@@ -1,0 +1,104 @@
+// Benchmarks for the extension layer: the paper's footnote-5/14 and ref-[8]
+// reproductions (E14–E17), the general-service engine, and the coalition
+// search.
+package greednet_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"greednet/internal/alloc"
+	"greednet/internal/des"
+	"greednet/internal/game"
+	"greednet/internal/learnauto"
+	"greednet/internal/mm1"
+	"greednet/internal/randdist"
+	"greednet/internal/utility"
+)
+
+func BenchmarkE14ClosedLoop(b *testing.B)    { benchExperiment(b, "E14") }
+func BenchmarkE15MG1(b *testing.B)           { benchExperiment(b, "E15") }
+func BenchmarkE16Coalition(b *testing.B)     { benchExperiment(b, "E16") }
+func BenchmarkE17Automata(b *testing.B)      { benchExperiment(b, "E17") }
+func BenchmarkE18DKSFQ(b *testing.B)         { benchExperiment(b, "E18") }
+func BenchmarkE19Tandem(b *testing.B)        { benchExperiment(b, "E19") }
+func BenchmarkE20OnlyFairShare(b *testing.B) { benchExperiment(b, "E20") }
+
+// DESIGN.md §6 ablation: grid+golden best response vs Newton-on-FDC.
+func BenchmarkBRNewtonFDC(b *testing.B) {
+	us := utility.Identical(utility.NewLinear(1, 0.25), 3)
+	r := []float64{0.1, 0.2, 0.15}
+	for i := 0; i < b.N; i++ {
+		sinkF, _ = game.BestResponseNewton(alloc.FairShare{}, us, r, 0, game.BROptions{})
+	}
+}
+
+func BenchmarkFairQueueing100kEvents(b *testing.B) {
+	rates := []float64{0.1, 0.15, 0.2, 0.25}
+	for i := 0; i < b.N; i++ {
+		_, err := des.RunSched(des.SchedConfig{
+			Rates:   rates,
+			Sched:   &des.FQSched{},
+			Horizon: 6e4,
+			Seed:    int64(i + 1),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDESGeneralService100kEvents(b *testing.B) {
+	rates := []float64{0.1, 0.15, 0.2, 0.25}
+	for i := 0; i < b.N; i++ {
+		_, err := des.RunG(des.GConfig{
+			Rates:    rates,
+			Service:  randdist.FromCV2(2),
+			Classify: &des.SerialClass{},
+			Horizon:  6e4,
+			Seed:     int64(i + 1),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSerialGCongestionN8(b *testing.B) {
+	r := []float64{0.02, 0.04, 0.06, 0.08, 0.1, 0.12, 0.14, 0.16}
+	s := alloc.SerialG{Model: mm1.MG1{CV2: 2}}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sinkV = s.Congestion(r)
+	}
+}
+
+func BenchmarkCoalitionSearchN3(b *testing.B) {
+	us := utility.Identical(utility.NewLinear(1, 0.2), 3)
+	res, err := game.SolveNash(alloc.Proportional{}, us, []float64{0.1, 0.1, 0.1}, game.NashOptions{})
+	if err != nil || !res.Converged {
+		b.Fatal("solve failed")
+	}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < b.N; i++ {
+		if w := game.FindCoalitionDeviation(alloc.Proportional{}, us, res.R, []int{0, 1, 2}, rng, 500); w == nil {
+			b.Fatal("expected a deviation at FIFO Nash")
+		}
+	}
+}
+
+func BenchmarkLearningAutomata(b *testing.B) {
+	us := utility.Identical(utility.NewLinear(1, 0.25), 3)
+	payoff := learnauto.AnalyticPayoff(alloc.FairShare{}, us)
+	for i := 0; i < b.N; i++ {
+		learnauto.Run(payoff, 3, learnauto.Options{Seed: int64(i + 1), Rounds: 3000})
+	}
+}
+
+func BenchmarkGammaSampling(b *testing.B) {
+	g := randdist.GammaFromCV2(2)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < b.N; i++ {
+		sinkF = g.Sample(rng)
+	}
+}

@@ -1,0 +1,194 @@
+// Benchmarks: one per reproduced table/figure-equivalent (E1–E20, run in
+// fast mode through the experiment registry), plus micro-benchmarks of the
+// core machinery and the ablations called out in DESIGN.md §6.
+package greednet_test
+
+import (
+	"io"
+	"testing"
+
+	"greednet"
+	"greednet/internal/alloc"
+	"greednet/internal/des"
+	"greednet/internal/game"
+	"greednet/internal/numeric"
+	"greednet/internal/utility"
+)
+
+// benchExperiment runs one registered experiment end to end in fast mode.
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		v, err := greednet.RunExperiment(id, io.Discard, greednet.ExperimentOptions{Fast: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !v.Match {
+			b.Fatalf("%s stopped reproducing the paper: %s", id, v.Note)
+		}
+	}
+}
+
+func BenchmarkE1Table1Priority(b *testing.B)  { benchExperiment(b, "E1") }
+func BenchmarkE2FIFONashPareto(b *testing.B)  { benchExperiment(b, "E2") }
+func BenchmarkE3SymmetricPareto(b *testing.B) { benchExperiment(b, "E3") }
+func BenchmarkE4EnvyScan(b *testing.B)        { benchExperiment(b, "E4") }
+func BenchmarkE5Uniqueness(b *testing.B)      { benchExperiment(b, "E5") }
+func BenchmarkE6GHC(b *testing.B)             { benchExperiment(b, "E6") }
+func BenchmarkE7Revelation(b *testing.B)      { benchExperiment(b, "E7") }
+func BenchmarkE8Relaxation(b *testing.B)      { benchExperiment(b, "E8") }
+func BenchmarkE9Protection(b *testing.B)      { benchExperiment(b, "E9") }
+func BenchmarkE10FtpTelnet(b *testing.B)      { benchExperiment(b, "E10") }
+func BenchmarkE11Separable(b *testing.B)      { benchExperiment(b, "E11") }
+func BenchmarkE12Network(b *testing.B)        { benchExperiment(b, "E12") }
+func BenchmarkE13FQvsFS(b *testing.B)         { benchExperiment(b, "E13") }
+
+// ---- Core machinery ------------------------------------------------------
+
+var sinkF float64
+var sinkV []float64
+
+func BenchmarkFairShareCongestionN8(b *testing.B) {
+	r := []float64{0.02, 0.04, 0.06, 0.08, 0.1, 0.12, 0.14, 0.16}
+	fs := alloc.FairShare{}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sinkV = fs.Congestion(r)
+	}
+}
+
+func BenchmarkProportionalCongestionN8(b *testing.B) {
+	r := []float64{0.02, 0.04, 0.06, 0.08, 0.1, 0.12, 0.14, 0.16}
+	p := alloc.Proportional{}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sinkV = p.Congestion(r)
+	}
+}
+
+func BenchmarkNashSolveFairShareN4(b *testing.B) {
+	us := utility.Identical(utility.NewLinear(1, 0.25), 4)
+	r0 := []float64{0.05, 0.1, 0.15, 0.2}
+	for i := 0; i < b.N; i++ {
+		res, err := game.SolveNash(alloc.FairShare{}, us, r0, game.NashOptions{})
+		if err != nil || !res.Converged {
+			b.Fatal("solve failed")
+		}
+	}
+}
+
+func BenchmarkBestResponseFairShare(b *testing.B) {
+	u := utility.NewLinear(1, 0.25)
+	r := []float64{0.1, 0.2, 0.15}
+	for i := 0; i < b.N; i++ {
+		sinkF, _ = game.BestResponse(alloc.FairShare{}, u, r, 0, game.BROptions{})
+	}
+}
+
+func BenchmarkDESFairShare100kEvents(b *testing.B) {
+	rates := []float64{0.1, 0.15, 0.2, 0.25}
+	for i := 0; i < b.N; i++ {
+		// Horizon ≈ 100k events at total event rate ≈ 1.7/time unit.
+		_, err := des.Run(des.Config{
+			Rates:      rates,
+			Discipline: &des.FairShareSplitter{},
+			Horizon:    6e4,
+			Seed:       int64(i + 1),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDESFIFO100kEvents(b *testing.B) {
+	rates := []float64{0.1, 0.15, 0.2, 0.25}
+	for i := 0; i < b.N; i++ {
+		_, err := des.Run(des.Config{
+			Rates:      rates,
+			Discipline: &des.FIFO{},
+			Horizon:    6e4,
+			Seed:       int64(i + 1),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEigenvalues8x8(b *testing.B) {
+	m := numeric.NewMatrix(8, 8)
+	for i := 0; i < 8; i++ {
+		for j := 0; j < 8; j++ {
+			m.Set(i, j, float64((i*7+j*3)%11)-5)
+		}
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := numeric.Eigenvalues(m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- Ablations (DESIGN.md §6) ----------------------------------------------
+
+// Analytic triangular Jacobian vs finite differences for Fair Share.
+func BenchmarkFSJacobianAnalyticN6(b *testing.B) {
+	r := []float64{0.03, 0.06, 0.09, 0.12, 0.15, 0.18}
+	fs := alloc.FairShare{}
+	for i := 0; i < b.N; i++ {
+		_ = fs.Jacobian(r)
+	}
+}
+
+func BenchmarkFSJacobianFDN6(b *testing.B) {
+	r := []float64{0.03, 0.06, 0.09, 0.12, 0.15, 0.18}
+	fs := alloc.FairShare{}
+	for i := 0; i < b.N; i++ {
+		_ = numeric.JacobianFD(fs.Congestion, r, 1e-7)
+	}
+}
+
+// Gauss–Seidel vs Jacobi best-response iteration.
+func BenchmarkNashGaussSeidelN4(b *testing.B) {
+	us := utility.Identical(utility.NewLinear(1, 0.25), 4)
+	r0 := []float64{0.05, 0.1, 0.15, 0.2}
+	for i := 0; i < b.N; i++ {
+		res, _ := game.SolveNash(alloc.FairShare{}, us, r0,
+			game.NashOptions{Scheme: game.GaussSeidel})
+		if !res.Converged {
+			b.Fatal("GS failed")
+		}
+	}
+}
+
+func BenchmarkNashJacobiN4(b *testing.B) {
+	us := utility.Identical(utility.NewLinear(1, 0.25), 4)
+	r0 := []float64{0.05, 0.1, 0.15, 0.2}
+	for i := 0; i < b.N; i++ {
+		res, _ := game.SolveNash(alloc.FairShare{}, us, r0,
+			game.NashOptions{Scheme: game.Jacobi})
+		if !res.Converged {
+			b.Fatal("Jacobi failed")
+		}
+	}
+}
+
+// Grid-seeded golden section vs plain golden section in best response.
+func BenchmarkBRGridSeeded(b *testing.B) {
+	u := utility.NewLinear(1, 0.25)
+	r := []float64{0.1, 0.2, 0.15}
+	for i := 0; i < b.N; i++ {
+		sinkF, _ = game.BestResponse(alloc.FairShare{}, u, r, 0,
+			game.BROptions{GridPoints: 64})
+	}
+}
+
+func BenchmarkBRCoarseGrid(b *testing.B) {
+	u := utility.NewLinear(1, 0.25)
+	r := []float64{0.1, 0.2, 0.15}
+	for i := 0; i < b.N; i++ {
+		sinkF, _ = game.BestResponse(alloc.FairShare{}, u, r, 0,
+			game.BROptions{GridPoints: 8})
+	}
+}

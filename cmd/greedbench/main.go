@@ -1,0 +1,100 @@
+// Command greedbench runs the paper-reproduction experiment suite (E1–E20)
+// and prints each experiment's table with a paper-vs-measured verdict.
+// EXPERIMENTS.md is generated from this tool's output.
+//
+// Usage:
+//
+//	greedbench [-run E1,E8] [-fast] [-seed N] [-list]
+//
+// Exit status is nonzero if any selected experiment fails to reproduce the
+// paper's shape.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"greednet/internal/experiment"
+)
+
+func main() {
+	var (
+		runList = flag.String("run", "", "comma-separated experiment IDs (default: all)")
+		fast    = flag.Bool("fast", false, "use reduced horizons and search budgets")
+		seed    = flag.Int64("seed", 0, "override the per-experiment default seeds")
+		list    = flag.Bool("list", false, "list experiments and exit")
+		mdOut   = flag.String("md", "", "also write a Markdown verdict summary to this path")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiment.All() {
+			fmt.Printf("%-4s %-28s %s\n", e.ID, e.Source, e.Title)
+		}
+		return
+	}
+
+	selected := experiment.All()
+	if *runList != "" {
+		selected = selected[:0]
+		for _, id := range strings.Split(*runList, ",") {
+			id = strings.TrimSpace(id)
+			e, ok := experiment.ByID(id)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "greedbench: unknown experiment %q (use -list)\n", id)
+				os.Exit(2)
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	opt := experiment.Options{Fast: *fast, Seed: *seed}
+	failures := 0
+	type outcome struct {
+		e  experiment.Experiment
+		v  experiment.Verdict
+		e2 error
+	}
+	var outcomes []outcome
+	for _, e := range selected {
+		v, err := e.Run(os.Stdout, opt)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "greedbench: %s errored: %v\n", e.ID, err)
+			failures++
+		} else if !v.Match {
+			failures++
+		}
+		outcomes = append(outcomes, outcome{e: e, v: v, e2: err})
+	}
+	fmt.Printf("suite: %d/%d experiments reproduce the paper\n",
+		len(selected)-failures, len(selected))
+
+	if *mdOut != "" {
+		f, err := os.Create(*mdOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "greedbench:", err)
+			os.Exit(2)
+		}
+		fmt.Fprintln(f, "| ID | Paper source | Claim | Verdict |")
+		fmt.Fprintln(f, "|----|--------------|-------|---------|")
+		for _, o := range outcomes {
+			verdict := "MATCH"
+			switch {
+			case o.e2 != nil:
+				verdict = "ERROR"
+			case !o.v.Match:
+				verdict = "MISMATCH"
+			}
+			fmt.Fprintf(f, "| %s | %s | %s | %s |\n", o.e.ID, o.e.Source, o.e.Title, verdict)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "greedbench:", err)
+			os.Exit(2)
+		}
+	}
+	if failures > 0 {
+		os.Exit(1)
+	}
+}

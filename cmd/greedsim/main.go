@@ -1,0 +1,162 @@
+// Command greedsim computes game-theoretic operating points of the
+// single-switch model: Nash equilibria, Stackelberg equilibria, Pareto
+// diagnostics, envy, and protection, for a chosen service discipline and
+// utility profile.
+//
+// Examples:
+//
+//	greedsim -disc fair-share -profile "linear:1,0.2;linear:1,0.3"
+//	greedsim -disc fifo -profile "linear:1,0.2;linear:1,0.2" -mode stackelberg -leader 0
+//	greedsim -disc fair-share -profile "linear:1,0.25;log:0.3,1" -mode envy
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"text/tabwriter"
+
+	"greednet/internal/cliutil"
+	"greednet/internal/core"
+	"greednet/internal/dynamics"
+	"greednet/internal/game"
+	"greednet/internal/mm1"
+	"greednet/internal/numeric"
+	"greednet/internal/plot"
+	"greednet/internal/workload"
+)
+
+func main() {
+	var (
+		discName = flag.String("disc", "fair-share", "allocation: fair-share|proportional|hol|hol-largest|blend:θ")
+		profile  = flag.String("profile", "linear:1,0.2;linear:1,0.3", "semicolon-separated utility specs")
+		mode     = flag.String("mode", "nash", "nash|stackelberg|pareto|envy|protect|dynamics|coalition")
+		leader   = flag.Int("leader", 0, "leader index for -mode stackelberg")
+		startStr = flag.String("start", "", "starting rates (default 0.1 each)")
+		rounds   = flag.Int("rounds", 400, "rounds for -mode dynamics")
+		scenario = flag.String("scenario", "", "named scenario overriding -profile: symmetric:N,γ | ftptelnet | cheater:V,R | mixed | random:N,SEED")
+	)
+	flag.Parse()
+
+	a, err := cliutil.ParseAlloc(*discName)
+	fatalIf(err)
+	var us core.Profile
+	var start []float64
+	var free []bool
+	if *scenario != "" {
+		sc, err := workload.Parse(*scenario)
+		fatalIf(err)
+		fmt.Printf("scenario %s (%d users)\n", sc.Name, len(sc.Users))
+		us, start, free = sc.Users, sc.Start, sc.Free
+	} else {
+		us, err = cliutil.ParseProfile(*profile)
+		fatalIf(err)
+		start = make([]float64, len(us))
+		for i := range start {
+			start[i] = 0.1
+		}
+	}
+	n := len(us)
+	if *startStr != "" {
+		start, err = cliutil.ParseRates(*startStr)
+		fatalIf(err)
+		if len(start) != n {
+			fatalIf(fmt.Errorf("start has %d rates for %d users", len(start), n))
+		}
+	}
+
+	switch *mode {
+	case "nash":
+		res, err := game.SolveNash(a, us, start, game.NashOptions{Free: free})
+		fatalIf(err)
+		printPoint(a.Name()+" Nash equilibrium", us, core.Point{R: res.R, C: res.C})
+		fmt.Printf("converged=%v iters=%d maxDeviationGain=%.3g\n",
+			res.Converged, res.Iters, res.MaxGain)
+	case "stackelberg":
+		adv, st, nash, err := game.LeaderAdvantage(a, us, *leader, start, game.StackOptions{})
+		fatalIf(err)
+		printPoint(a.Name()+" Nash equilibrium", us, core.Point{R: nash.R, C: nash.C})
+		printPoint(fmt.Sprintf("%s Stackelberg (leader %d)", a.Name(), *leader),
+			us, core.Point{R: st.R, C: st.C})
+		fmt.Printf("leader advantage over Nash: %.6g\n", adv)
+	case "pareto":
+		res, err := game.SolveNash(a, us, start, game.NashOptions{Free: free})
+		fatalIf(err)
+		p := core.Point{R: res.R, C: res.C}
+		printPoint(a.Name()+" Nash equilibrium", us, p)
+		resid := game.ParetoResidual(us, p)
+		fmt.Printf("Pareto FDC residual: %v (‖·‖∞ = %.3g; zero ⇒ candidate Pareto point)\n",
+			resid, numeric.VecNormInf(resid))
+	case "envy":
+		res, err := game.SolveNash(a, us, start, game.NashOptions{Free: free})
+		fatalIf(err)
+		p := core.Point{R: res.R, C: res.C}
+		printPoint(a.Name()+" Nash equilibrium", us, p)
+		amount, i, j := game.MaxEnvy(us, p)
+		if amount <= 1e-9 {
+			fmt.Println("allocation is envy-free")
+		} else {
+			fmt.Printf("max envy: user %d envies user %d by %.6g\n", i, j, amount)
+		}
+	case "protect":
+		slacks := game.ProtectionSlack(a, start)
+		tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(tw, "user\trate\tbound r/(1−Nr)\tC_i\tslack")
+		c := a.Congestion(start)
+		for i := range start {
+			fmt.Fprintf(tw, "%d\t%.4g\t%.4g\t%.4g\t%.4g\n",
+				i, start[i], mm1.ProtectionBound(n, start[i]), c[i], slacks[i])
+		}
+		tw.Flush()
+	case "dynamics":
+		traj := dynamics.HillClimb(a, us, start, dynamics.HillClimbOptions{
+			Rounds: *rounds,
+			Step:   0.005,
+		})
+		series := make([]plot.Series, n)
+		for i := 0; i < n; i++ {
+			series[i] = plot.Series{
+				Name: fmt.Sprintf("user %d rate", i),
+				Y:    plot.Column(traj, i),
+			}
+		}
+		fmt.Printf("incremental hill climbing under %s (%d rounds):\n", a.Name(), *rounds)
+		fmt.Print(plot.Chart{Width: 64, Height: 14}.Render(series...))
+		final := traj[len(traj)-1]
+		printPoint("final point", us, core.At(a, final))
+	case "coalition":
+		res, err := game.SolveNash(a, us, start, game.NashOptions{Free: free})
+		fatalIf(err)
+		printPoint(a.Name()+" Nash equilibrium", us, core.Point{R: res.R, C: res.C})
+		rng := rand.New(rand.NewSource(1))
+		w := game.StrongEquilibriumCheck(a, us, res.R, rng, 1000)
+		if w == nil {
+			fmt.Println("no improving coalition found: the equilibrium is (empirically) strong")
+		} else {
+			fmt.Printf("coalition %v improves jointly: rates %v, gains %v\n",
+				w.Members, w.Rates, w.Gains)
+		}
+	default:
+		fatalIf(fmt.Errorf("unknown mode %q", *mode))
+	}
+}
+
+func printPoint(title string, us core.Profile, p core.Point) {
+	fmt.Println(title + ":")
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "user\trate r_i\tcongestion c_i\tutility U_i")
+	for i := range p.R {
+		fmt.Fprintf(tw, "%d\t%.6g\t%.6g\t%.6g\n", i, p.R[i], p.C[i], us[i].Value(p.R[i], p.C[i]))
+	}
+	tw.Flush()
+	fmt.Printf("total load %.4g, total queue %.4g (M/M/1 predicts %.4g)\n",
+		mm1.Sum(p.R), mm1.Sum(p.C), mm1.G(mm1.Sum(p.R)))
+}
+
+func fatalIf(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "greedsim:", err)
+		os.Exit(1)
+	}
+}

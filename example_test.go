@@ -1,0 +1,95 @@
+package greednet_test
+
+import (
+	"fmt"
+	"math"
+
+	"greednet"
+)
+
+// ExampleSolveNash computes the selfish operating point of two users under
+// the Fair Share discipline.
+func ExampleSolveNash() {
+	users := greednet.Profile{
+		greednet.NewLinearUtility(1, 0.25),
+		greednet.NewLinearUtility(1, 0.25),
+	}
+	res, err := greednet.SolveNash(greednet.NewFairShare(), users,
+		[]float64{0.1, 0.1}, greednet.NashOptions{})
+	if err != nil {
+		panic(err)
+	}
+	// Identical users split the closed-form symmetric rate (1−√γ)/N.
+	fmt.Printf("rates: %.4f %.4f converged: %v\n", res.R[0], res.R[1], res.Converged)
+	// Output:
+	// rates: 0.2500 0.2500 converged: true
+}
+
+// ExampleProtectionBound shows the Definition-7 guarantee.
+func ExampleProtectionBound() {
+	fmt.Printf("%.4f\n", greednet.ProtectionBound(3, 0.1))
+	// Output:
+	// 0.1429
+}
+
+// ExampleFairShare demonstrates the insulation property: a flooding user
+// cannot raise a light user's congestion above its symmetric share.
+func ExampleFairShare() {
+	fs := greednet.NewFairShare()
+	calm := fs.Congestion([]float64{0.1, 0.2})
+	flood := fs.Congestion([]float64{0.1, 5.0})
+	fmt.Printf("light user: calm %.4f, under flood %.4f\n", calm[0], flood[0])
+	fmt.Printf("flooder gets: %v\n", flood[1])
+	// Output:
+	// light user: calm 0.1250, under flood 0.1250
+	// flooder gets: +Inf
+}
+
+// ExampleMaxEnvy evaluates fairness of an allocation point.
+func ExampleMaxEnvy() {
+	users := greednet.Profile{
+		greednet.NewLinearUtility(1, 0.25),
+		greednet.NewLinearUtility(1, 0.25),
+	}
+	p := greednet.Point{R: []float64{0.1, 0.4}, C: []float64{0.2, 0.5}}
+	amount, envier, envied := greednet.MaxEnvy(users, p)
+	fmt.Printf("user %d envies user %d by %.4f\n", envier, envied, amount)
+	// Output:
+	// user 0 envies user 1 by 0.2250
+}
+
+// ExampleG evaluates the M/M/1 mean-queue curve.
+func ExampleG() {
+	fmt.Printf("%.1f %.1f\n", greednet.G(0.5), greednet.G(0.9))
+	// Output:
+	// 1.0 9.0
+}
+
+func ExampleCheckFeasible() {
+	r := []float64{0.2, 0.3}
+	c := greednet.NewFairShare().Congestion(r)
+	rep := greednet.CheckFeasible(r, c, 1e-9)
+	fmt.Println(rep.Feasible, rep.Interior)
+	// Output:
+	// true true
+}
+
+// ExampleSimulate validates an analytic allocation against the exact
+// event-driven simulation.
+func ExampleSimulate() {
+	rates := []float64{0.2, 0.3}
+	res, err := greednet.Simulate(greednet.SimConfig{
+		Rates:      rates,
+		Discipline: &greednet.SimFairShare{},
+		Horizon:    2e5,
+		Seed:       1,
+	})
+	if err != nil {
+		panic(err)
+	}
+	want := greednet.NewFairShare().Congestion(rates)
+	ok := math.Abs(res.AvgQueue[0]-want[0]) < 0.05 && math.Abs(res.AvgQueue[1]-want[1]) < 0.1
+	fmt.Println("simulation matches analytics:", ok)
+	// Output:
+	// simulation matches analytics: true
+}

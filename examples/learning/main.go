@@ -1,0 +1,49 @@
+// Learning: users know nothing about each other or the switch — they only
+// observe their own payoffs and eliminate rate choices that prove
+// dominated (the paper's "generalized hill climbing").  Under Fair Share
+// every such learner is funneled to the unique Nash equilibrium; under
+// FIFO elimination cannot even begin, because any candidate can be starved
+// by the others' remaining candidates.
+package main
+
+import (
+	"fmt"
+	"math"
+
+	"greednet"
+)
+
+func main() {
+	const n = 3
+	gamma := 0.25
+	users := greednet.IdenticalProfile(greednet.NewLinearUtility(1, gamma), n)
+	nashRate := (1 - math.Sqrt(gamma)) / float64(n) // closed form for FS
+
+	fmt.Printf("3 identical users, U = r − %.2f·c;  FS Nash rate = %.4f each\n\n", gamma, nashRate)
+
+	for _, disc := range []greednet.Allocation{
+		greednet.NewFairShare(),
+		greednet.NewProportional(),
+	} {
+		res := greednet.GeneralizedHillClimb(disc, users,
+			greednet.NewBox(n, 1e-6, 1-1e-6),
+			greednet.EliminationOptions{Tol: 1e-3})
+		fmt.Printf("%s: candidate interval for user 0 by elimination round:\n", disc.Name())
+		width := 1.0
+		fmt.Printf("  start: [0.000, 1.000] (width %.3f)\n", width)
+		for i, w := range res.Widths {
+			if i < 6 || i == len(res.Widths)-1 {
+				fmt.Printf("  round %2d: width %.5f\n", i+1, w)
+			} else if i == 6 {
+				fmt.Println("  ...")
+			}
+		}
+		mid := res.Final.Mid()
+		fmt.Printf("  outcome: converged=%v stalled=%v, midpoint %.4f (Nash %.4f)\n\n",
+			res.Converged, res.Stalled, mid[0], nashRate)
+	}
+
+	fmt.Println("Under Fair Share, ignorance is no obstacle: any reasonable learner")
+	fmt.Println("ends at the equilibrium. Under FIFO the candidate set barely shrinks —")
+	fmt.Println("no rate is safe while others might flood the switch.")
+}

@@ -1,0 +1,76 @@
+// M/G/1 generalization (footnote 5 of the paper): the serial (Fair Share)
+// allocation and its guarantees do not depend on exponential service —
+// only on the station's total-congestion curve being increasing and
+// convex.  This example runs the same selfish users over M/D/1
+// (deterministic service) and a bursty M/G/1 (cv² = 2), and also shows the
+// one thing that does NOT generalize: the Table-1 priority construction
+// realizes the serial ideal exactly only for exponential service.
+package main
+
+import (
+	"fmt"
+
+	"greednet"
+)
+
+func main() {
+	users := greednet.Profile{
+		greednet.NewLinearUtility(1, 0.15),
+		greednet.NewLinearUtility(1, 0.30),
+		greednet.NewLinearUtility(1, 0.45),
+	}
+	start := []float64{0.1, 0.1, 0.1}
+
+	for _, cv2 := range []float64{0, 1, 2} {
+		model := greednet.MG1Model{CV2: cv2}
+		serial := greednet.SerialAllocation{Model: model}
+		res, err := greednet.SolveNash(serial, users, start, greednet.NashOptions{})
+		if err != nil || !res.Converged {
+			panic("solve failed")
+		}
+		p := greednet.Point{R: res.R, C: res.C}
+		envy, _, _ := greednet.MaxEnvy(users, p)
+		fmt.Printf("\n%s equilibrium:\n", serial.Name())
+		for i := range res.R {
+			fmt.Printf("  user %d: rate %.4f  queue %.4f\n", i, res.R[i], res.C[i])
+		}
+		fmt.Printf("  envy at equilibrium: %.2g (envy-free for every service law)\n", envy)
+
+		// Realization drift: the Table-1 priority construction vs the ideal.
+		table := greednet.TablePriorityAllocation{Model: model}
+		ideal := serial.Congestion(res.R)
+		real := table.Congestion(res.R)
+		worst := 0.0
+		for i := range ideal {
+			d := (real[i] - ideal[i]) / ideal[i]
+			if d < 0 {
+				d = -d
+			}
+			if d > worst {
+				worst = d
+			}
+		}
+		fmt.Printf("  Table-1 realization drift from serial ideal: %.2f%%\n", 100*worst)
+	}
+
+	// Confirm with the general-service simulator at cv² = 2.
+	fmt.Println("\ngeneral-service simulation check (cv² = 2, Table-1 splitter):")
+	rates := []float64{0.1, 0.2, 0.3}
+	sim, err := greednet.SimulateG(greednet.GSimConfig{
+		Rates:    rates,
+		Service:  greednet.ServiceFromCV2(2),
+		Classify: &greednet.SerialClassifier{},
+		Horizon:  2e5,
+		Seed:     5,
+	})
+	if err != nil {
+		panic(err)
+	}
+	exact := greednet.TablePriorityAllocation{Model: greednet.MG1Model{CV2: 2}}.Congestion(rates)
+	for i := range rates {
+		fmt.Printf("  user %d: measured %.4f  exact priority formula %.4f\n",
+			i, sim.AvgQueue[i], exact[i])
+	}
+	fmt.Println("\nThe guarantees travel with the constraint's convexity; the specific")
+	fmt.Println("queueing realization is an exponential-service artifact.")
+}

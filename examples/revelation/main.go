@@ -1,0 +1,72 @@
+// Revelation (Theorem 6): instead of hill climbing, users may simply tell
+// the switch their utility function, and the switch allocates at the Nash
+// equilibrium of the reported profile.  Built on Fair Share (the B^FS
+// mechanism) this is truthful — no lie helps.  Built on FIFO it is a
+// manipulation playground: exaggerating your appetite acts like a
+// Stackelberg commitment and pays.
+package main
+
+import (
+	"fmt"
+
+	"greednet"
+)
+
+func main() {
+	truth := greednet.NewLinearUtility(1, 0.3) // our user's real preferences
+	others := greednet.Profile{
+		nil, // slot 0 belongs to our user
+		greednet.NewLinearUtility(1, 0.25),
+		greednet.NewLinearUtility(1, 0.4),
+	}
+	// Candidate misreports: pretend to be more/less congestion averse.
+	lies := []struct {
+		label string
+		u     greednet.Utility
+	}{
+		{"claim γ=0.05 (very greedy)", greednet.NewLinearUtility(1, 0.05)},
+		{"claim γ=0.15", greednet.NewLinearUtility(1, 0.15)},
+		{"truth   γ=0.30", truth},
+		{"claim γ=0.60 (meek)", greednet.NewLinearUtility(1, 0.6)},
+	}
+
+	for _, disc := range []greednet.Allocation{
+		greednet.NewFairShare(),
+		greednet.NewProportional(),
+	} {
+		m := greednet.Mechanism{Alloc: disc}
+		fmt.Printf("\nmechanism on %s:\n", disc.Name())
+		// Truthful baseline first: the yardstick every lie is judged by.
+		baseReports := make(greednet.Profile, len(others))
+		copy(baseReports, others)
+		baseReports[0] = truth
+		base, err := m.Allocate(baseReports)
+		if err != nil {
+			panic(err)
+		}
+		truthU := truth.Value(base.R[0], base.C[0])
+		for _, lie := range lies {
+			reports := make(greednet.Profile, len(others))
+			copy(reports, others)
+			reports[0] = lie.u
+			p, err := m.Allocate(reports)
+			if err != nil {
+				fmt.Printf("  %-28s (no stable outcome)\n", lie.label)
+				continue
+			}
+			// Judge the outcome with the TRUE utility.
+			v := truth.Value(p.R[0], p.C[0])
+			mark := ""
+			switch {
+			case lie.u == greednet.Utility(truth):
+				mark = "  ← truthful baseline"
+			case v > truthU+1e-9:
+				mark = "  ← LIE PAYS"
+			}
+			fmt.Printf("  %-28s rate %.4f  queue %.4f  true utility %+.5f%s\n",
+				lie.label, p.R[0], p.C[0], v, mark)
+		}
+	}
+	fmt.Println("\nUnder B^FS the truthful report maximizes your true utility (Theorem 6);")
+	fmt.Println("under the FIFO mechanism, overstating greed is rewarded.")
+}

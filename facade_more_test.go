@@ -1,0 +1,164 @@
+package greednet_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"greednet"
+)
+
+func TestFacadeDerivativeHelpers(t *testing.T) {
+	fs := greednet.NewFairShare()
+	r := []float64{0.1, 0.2, 0.3}
+	jac := greednet.JacobianOf(fs, r)
+	if jac.Rows() != 3 || jac.Cols() != 3 {
+		t.Fatalf("Jacobian shape %dx%d", jac.Rows(), jac.Cols())
+	}
+	// Triangular structure through the facade.
+	if math.Abs(jac.At(0, 2)) > 1e-12 {
+		t.Errorf("∂C_0/∂r_2 should vanish: %v", jac.At(0, 2))
+	}
+	if rep := greednet.CheckMAC(fs, r, 1e-6); !rep.OK {
+		t.Errorf("FS should pass MAC: %+v", rep)
+	}
+	u := greednet.NewLinearUtility(1, 0.3)
+	if m := greednet.MarginalRate(u, 0.2, 0.4); math.Abs(m+1/0.3) > 1e-12 {
+		t.Errorf("marginal rate %v", m)
+	}
+}
+
+func TestFacadeGameHelpers(t *testing.T) {
+	us := greednet.IdenticalProfile(greednet.NewLinearUtility(1, 0.25), 2)
+	fs := greednet.NewFairShare()
+	x, val := greednet.BestResponse(fs, us[0], []float64{0.1, 0.1}, 0, greednet.BROptions{})
+	if x <= 0 || math.IsInf(val, 0) {
+		t.Errorf("best response %v %v", x, val)
+	}
+	res, err := greednet.SolveNash(fs, us, []float64{0.1, 0.1}, greednet.NashOptions{})
+	if err != nil || !res.Converged {
+		t.Fatal("solve failed")
+	}
+	e := greednet.NashResidual(fs, us, res.R)
+	if math.Abs(e[0]) > 1e-4 {
+		t.Errorf("residual %v at equilibrium", e)
+	}
+	p := greednet.Point{R: res.R, C: res.C}
+	pr := greednet.ParetoResidual(us, p)
+	if math.Abs(pr[0]) > 1e-3 {
+		t.Errorf("symmetric FS Nash should be Pareto: %v", pr)
+	}
+	st, err := greednet.SolveStackelberg(fs, us, 0, []float64{0.1, 0.1}, greednet.StackOptions{})
+	if err != nil || !st.FollowersConverged {
+		t.Fatalf("stackelberg failed: %v", err)
+	}
+	A := greednet.RelaxationMatrix(greednet.NewProportional(), us, res.R, 1e-6)
+	if _, err := greednet.SpectralRadius(A); err != nil {
+		t.Errorf("spectral radius: %v", err)
+	}
+}
+
+func TestFacadeCoalitions(t *testing.T) {
+	us := greednet.IdenticalProfile(greednet.NewLinearUtility(1, 0.2), 2)
+	prop := greednet.NewProportional()
+	res, err := greednet.SolveNash(prop, us, []float64{0.1, 0.1}, greednet.NashOptions{})
+	if err != nil || !res.Converged {
+		t.Fatal("solve failed")
+	}
+	rng := rand.New(rand.NewSource(1))
+	if w := greednet.FindCoalitionDeviation(prop, us, res.R, []int{0, 1}, rng, 2000); w == nil {
+		t.Error("grand coalition should improve at FIFO Nash")
+	}
+	fsRes, _ := greednet.SolveNash(greednet.NewFairShare(), us, []float64{0.1, 0.1}, greednet.NashOptions{})
+	if w := greednet.StrongEquilibriumCheck(greednet.NewFairShare(), us, fsRes.R, rng, 400); w != nil {
+		t.Errorf("FS Nash should resist coalitions: %+v", w)
+	}
+}
+
+func TestFacadeSelfishLoop(t *testing.T) {
+	us := greednet.IdenticalProfile(greednet.NewLinearUtility(1, 0.25), 2)
+	res := greednet.RunSelfish(
+		func() greednet.Discipline { return &greednet.SimFairShare{} },
+		us, []float64{0.1, 0.3},
+		greednet.SelfishOptions{Seed: 1, Rounds: 15, Epoch: 1500},
+	)
+	if len(res.Trajectory) != 16 || res.Epochs == 0 {
+		t.Errorf("unexpected selfish run: rounds=%d epochs=%d", len(res.Trajectory), res.Epochs)
+	}
+}
+
+func TestFacadeGeneralService(t *testing.T) {
+	res, err := greednet.SimulateG(greednet.GSimConfig{
+		Rates:    []float64{0.2, 0.3},
+		Service:  greednet.ServiceFromCV2(2),
+		Classify: &greednet.SerialClassifier{},
+		Horizon:  3e4,
+		Seed:     2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Departures == 0 {
+		t.Error("no departures")
+	}
+	serial := greednet.SerialAllocation{Model: greednet.MG1Model{CV2: 2}}
+	if c := serial.Congestion([]float64{0.2, 0.3}); c[0] <= 0 || c[1] <= c[0] {
+		t.Errorf("serial allocation %v", c)
+	}
+	tp := greednet.TablePriorityAllocation{Model: greednet.MG1Model{CV2: 1}}
+	fsC := greednet.NewFairShare().Congestion([]float64{0.2, 0.3})
+	tpC := tp.Congestion([]float64{0.2, 0.3})
+	for i := range fsC {
+		if math.Abs(fsC[i]-tpC[i]) > 1e-9 {
+			t.Errorf("cv²=1 table priority should equal FS: %v vs %v", tpC, fsC)
+		}
+	}
+	var m greednet.ServerModel = greednet.MM1Model{}
+	if m.L(0.5) != 1 {
+		t.Errorf("MM1 model L(0.5) = %v", m.L(0.5))
+	}
+	pa := greednet.ProportionalAllocation{Model: greednet.MG1Model{CV2: 0}}
+	if c := pa.Congestion([]float64{0.2, 0.2}); c[0] != c[1] {
+		t.Errorf("equal rates must get equal proportional congestion: %v", c)
+	}
+}
+
+func TestFacadeScheduledSim(t *testing.T) {
+	res, err := greednet.SimulateSched(greednet.SchedSimConfig{
+		Rates:   []float64{0.1, 0.4},
+		Sched:   &greednet.FairQueueing{},
+		Horizon: 5e4,
+		Seed:    3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ff, err := greednet.SimulateSched(greednet.SchedSimConfig{
+		Rates:   []float64{0.1, 0.4},
+		Sched:   &greednet.FCFSScheduler{},
+		Horizon: 5e4,
+		Seed:    3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AvgDelay[0] >= ff.AvgDelay[0] {
+		t.Errorf("FQ should cut the light flow's delay: %v vs %v",
+			res.AvgDelay[0], ff.AvgDelay[0])
+	}
+}
+
+func TestFacadeMechanism(t *testing.T) {
+	m := greednet.Mechanism{Alloc: greednet.NewFairShare()}
+	us := greednet.Profile{
+		greednet.NewLinearUtility(1, 0.3),
+		greednet.NewLinearUtility(1, 0.4),
+	}
+	p, err := m.Allocate(us)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.R) != 2 {
+		t.Errorf("allocation %+v", p)
+	}
+}

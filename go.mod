@@ -1,0 +1,3 @@
+module greednet
+
+go 1.22

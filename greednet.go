@@ -1,0 +1,308 @@
+// Package greednet is a game-theoretic queueing library reproducing Scott
+// Shenker's "Making Greed Work in Networks: A Game-Theoretic Analysis of
+// Switch Service Disciplines" (SIGCOMM 1994).
+//
+// The model: one exponential server of rate 1 (the switch) is shared by N
+// independent Poisson sources.  A service discipline induces an allocation
+// function C(r) from offered rates to per-user average queue lengths
+// (congestion); each user holds a private utility U(r_i, c_i) and adjusts
+// its rate selfishly, so operating points are Nash equilibria.  The paper
+// shows the Fair Share allocation (serial cost sharing) is the unique
+// monotonic discipline giving envy-free, unique, robustly learnable,
+// Stackelberg-immune, rapidly convergent, truthfully implementable, and
+// protective equilibria — while FIFO-like disciplines guarantee none of
+// those — and that no discipline guarantees Pareto-optimal equilibria.
+//
+// This package is the public facade: it re-exports the model interfaces,
+// the allocation functions, the utility families, the game solvers, the
+// self-optimization dynamics, the revelation mechanism, the discrete-event
+// simulator, and the multi-switch network model from the internal
+// packages.  A minimal session:
+//
+//	us := greednet.Profile{
+//		greednet.NewLinearUtility(1, 0.2),
+//		greednet.NewLinearUtility(1, 0.3),
+//	}
+//	res, _ := greednet.SolveNash(greednet.NewFairShare(), us,
+//		[]float64{0.1, 0.1}, greednet.NashOptions{})
+//	fmt.Println(res.R, res.C)
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-vs-measured record of every reproduced table and theorem.
+package greednet
+
+import (
+	"io"
+
+	"greednet/internal/alloc"
+	"greednet/internal/core"
+	"greednet/internal/des"
+	"greednet/internal/dynamics"
+	"greednet/internal/experiment"
+	"greednet/internal/game"
+	"greednet/internal/mechanism"
+	"greednet/internal/mm1"
+	"greednet/internal/network"
+	"greednet/internal/numeric"
+	"greednet/internal/utility"
+)
+
+// ---- Model vocabulary -------------------------------------------------
+
+// Allocation is a switch allocation function C(r); see core.Allocation.
+type Allocation = core.Allocation
+
+// Utility is a user preference U(r, c); see core.Utility.
+type Utility = core.Utility
+
+// Profile is one utility per user.
+type Profile = core.Profile
+
+// Point is an operating point (rates with their congestions).
+type Point = core.Point
+
+// MarginalRate returns M = U_r/U_c, the paper's marginal-utility ratio.
+func MarginalRate(u Utility, r, c float64) float64 { return core.MarginalRate(u, r, c) }
+
+// ---- M/M/1 analytics ---------------------------------------------------
+
+// G is the M/M/1 total-queue function g(x) = x/(1−x).
+func G(x float64) float64 { return mm1.G(x) }
+
+// FeasibilityReport describes how an allocation relates to the
+// work-conserving feasible set.
+type FeasibilityReport = mm1.FeasibilityReport
+
+// CheckFeasible validates (r, c) against the Coffman–Mitrani feasible set.
+func CheckFeasible(r, c []float64, tol float64) FeasibilityReport {
+	return mm1.CheckFeasible(r, c, tol)
+}
+
+// ProtectionBound is the Definition-7 guarantee r/(1 − n·r).
+func ProtectionBound(n int, r float64) float64 { return mm1.ProtectionBound(n, r) }
+
+// ---- Allocation functions ----------------------------------------------
+
+// FairShare is the serial cost sharing allocation (the paper's hero).
+type FairShare = alloc.FairShare
+
+// Proportional is the FIFO/LIFO/PS allocation C_i = r_i/(1−Σr).
+type Proportional = alloc.Proportional
+
+// HOLPriority is strict preemptive priority keyed to the rate order.
+type HOLPriority = alloc.HOLPriority
+
+// Blend interpolates between Fair Share and proportional.
+type Blend = alloc.Blend
+
+// PriorityOrder selects the HOLPriority direction.
+type PriorityOrder = alloc.PriorityOrder
+
+// Priority orderings for HOLPriority.
+const (
+	SmallestFirst = alloc.SmallestFirst
+	LargestFirst  = alloc.LargestFirst
+)
+
+// NewFairShare returns the Fair Share allocation function.
+func NewFairShare() Allocation { return alloc.FairShare{} }
+
+// NewProportional returns the proportional (FIFO) allocation function.
+func NewProportional() Allocation { return alloc.Proportional{} }
+
+// JacobianOf returns ∂C_i/∂r_j for any allocation (analytic when
+// implemented, finite differences otherwise).
+func JacobianOf(a Allocation, r []float64) *numeric.Matrix { return alloc.JacobianOf(a, r) }
+
+// CheckMAC verifies the paper's monotonicity (MAC) conditions at r.
+func CheckMAC(a Allocation, r []float64, tol float64) alloc.MACReport {
+	return alloc.CheckMAC(a, r, tol)
+}
+
+// ---- Utility families ----------------------------------------------------
+
+// LinearUtility is U = A·r − Γ·c.
+type LinearUtility = utility.Linear
+
+// ExponentialUtility is the Lemma-5 planting family.
+type ExponentialUtility = utility.Exponential
+
+// LogUtility is U = W·log r − Γ·c.
+type LogUtility = utility.Log
+
+// PowerUtility is U = A·r − Γ·c^P.
+type PowerUtility = utility.Power
+
+// SqrtUtility is U = W·√r − Γ·c.
+type SqrtUtility = utility.Sqrt
+
+// DelaySensitiveUtility penalizes delay c/r (a §5.2 Telnet archetype).
+type DelaySensitiveUtility = utility.DelaySensitive
+
+// NewLinearUtility returns U = a·r − gamma·c.
+func NewLinearUtility(a, gamma float64) LinearUtility { return utility.NewLinear(a, gamma) }
+
+// IdenticalProfile replicates one utility for n users.
+func IdenticalProfile(u Utility, n int) Profile { return utility.Identical(u, n) }
+
+// ---- Game solvers ---------------------------------------------------------
+
+// BROptions configures best-response searches.
+type BROptions = game.BROptions
+
+// NashOptions configures SolveNash.
+type NashOptions = game.NashOptions
+
+// NashResult reports a Nash solve.
+type NashResult = game.NashResult
+
+// StackOptions and StackelbergResult configure/report leader-follower
+// equilibria.
+type (
+	StackOptions      = game.StackOptions
+	StackelbergResult = game.StackelbergResult
+)
+
+// Update schemes for best-response iteration.
+const (
+	GaussSeidel = game.GaussSeidel
+	Jacobi      = game.Jacobi
+)
+
+// BestResponse maximizes user i's utility over its own rate.
+func BestResponse(a Allocation, u Utility, r []float64, i int, opt BROptions) (x, val float64) {
+	return game.BestResponse(a, u, r, i, opt)
+}
+
+// SolveNash runs best-response iteration to a Nash equilibrium.
+func SolveNash(a Allocation, us Profile, r0 []float64, opt NashOptions) (NashResult, error) {
+	return game.SolveNash(a, us, r0, opt)
+}
+
+// SolveStackelberg computes a leader-follower equilibrium.
+func SolveStackelberg(a Allocation, us Profile, leader int, r0 []float64, opt StackOptions) (StackelbergResult, error) {
+	return game.SolveStackelberg(a, us, leader, r0, opt)
+}
+
+// NashResidual is the paper's E_i = M_i + ∂C_i/∂r_i distance from the Nash
+// first-derivative condition.
+func NashResidual(a Allocation, us Profile, r []float64) []float64 {
+	return game.NashResidual(a, us, r)
+}
+
+// ParetoResidual measures violation of the Pareto FDC M_i = Z(r).
+func ParetoResidual(us Profile, p Point) []float64 { return game.ParetoResidual(us, p) }
+
+// MaxEnvy returns the largest envy at a point and the pair involved.
+func MaxEnvy(us Profile, p Point) (amount float64, envier, envied int) {
+	return game.MaxEnvy(us, p)
+}
+
+// RelaxationMatrix builds the §4.2.3 synchronous-Newton relaxation matrix.
+func RelaxationMatrix(a Allocation, us Profile, r []float64, h float64) *numeric.Matrix {
+	return game.RelaxationMatrix(a, us, r, h)
+}
+
+// SpectralRadius returns max |λ| of a real matrix.
+func SpectralRadius(m *numeric.Matrix) (float64, error) { return numeric.SpectralRadius(m) }
+
+// ---- Dynamics ---------------------------------------------------------------
+
+// Box is a product of per-user candidate intervals for learning.
+type Box = dynamics.Box
+
+// EliminationOptions and EliminationResult configure/report generalized
+// hill climbing.
+type (
+	EliminationOptions = dynamics.EliminationOptions
+	EliminationResult  = dynamics.EliminationResult
+)
+
+// NewBox returns the initial candidate box [lo, hi]^n.
+func NewBox(n int, lo, hi float64) Box { return dynamics.NewBox(n, lo, hi) }
+
+// GeneralizedHillClimb runs sound candidate-elimination learning.
+func GeneralizedHillClimb(a Allocation, us Profile, start Box, opt EliminationOptions) EliminationResult {
+	return dynamics.GeneralizedHillClimb(a, us, start, opt)
+}
+
+// ---- Mechanism ----------------------------------------------------------------
+
+// Mechanism maps reported utilities to the reported profile's equilibrium
+// allocation (B^FS when built on Fair Share).
+type Mechanism = mechanism.Mechanism
+
+// ---- Discrete-event simulation --------------------------------------------------
+
+// SimConfig configures a simulator run (alias of des.Config).
+type SimConfig = des.Config
+
+// SimResult reports measured queue statistics (alias of des.Result).
+type SimResult = des.Result
+
+// Discipline is a pluggable simulator service discipline.
+type Discipline = des.Discipline
+
+// Simulate runs the CTMC-exact discrete-event simulation.
+func Simulate(cfg SimConfig) (SimResult, error) { return des.Run(cfg) }
+
+// Simulator disciplines.
+type (
+	// SimFIFO serves in arrival order (proportional allocation).
+	SimFIFO = des.FIFO
+	// SimLIFO is preemptive last-come-first-served.
+	SimLIFO = des.LIFOPreemptive
+	// SimPS is packet-wise processor sharing.
+	SimPS = des.ProcessorSharing
+	// SimHOLPS shares the server equally among backlogged users (the
+	// Fair Queueing fluid ideal).
+	SimHOLPS = des.HOLProcessorSharing
+	// SimFairShare is the Table-1 priority splitter realizing C^FS.
+	SimFairShare = des.FairShareSplitter
+	// SimRatePriority is strict priority keyed to the rate order.
+	SimRatePriority = des.RatePriority
+)
+
+// ---- Networks ---------------------------------------------------------------------
+
+// Network is a multi-switch topology implementing Allocation (§5.4).
+type Network = network.Network
+
+// NewNetwork builds a topology with the given per-switch discipline.
+func NewNetwork(switches int, routes [][]int, disc Allocation) (*Network, error) {
+	return network.New(switches, routes, disc)
+}
+
+// LineNetwork builds the classic k-switch line with one long flow.
+func LineNetwork(k int, disc Allocation) (*Network, error) { return network.Line(k, disc) }
+
+// ---- Experiments --------------------------------------------------------------------
+
+// ExperimentOptions tunes experiment runs.
+type ExperimentOptions = experiment.Options
+
+// PaperExperiment is one reproducible claim from the paper.
+type PaperExperiment = experiment.Experiment
+
+// ExperimentVerdict is the paper-vs-measured outcome.
+type ExperimentVerdict = experiment.Verdict
+
+// Experiments returns the registry of all paper reproductions (E1–E20).
+func Experiments() []PaperExperiment { return experiment.All() }
+
+// RunExperiment executes one experiment by ID, writing its table to w.
+func RunExperiment(id string, w io.Writer, opt ExperimentOptions) (ExperimentVerdict, error) {
+	e, ok := experiment.ByID(id)
+	if !ok {
+		return ExperimentVerdict{}, errUnknownExperiment(id)
+	}
+	return e.Run(w, opt)
+}
+
+type unknownExperimentError string
+
+func (e unknownExperimentError) Error() string {
+	return "greednet: unknown experiment " + string(e)
+}
+
+func errUnknownExperiment(id string) error { return unknownExperimentError(id) }

@@ -1,0 +1,102 @@
+package greednet_test
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"greednet"
+)
+
+// TestPublicAPIQuickstart exercises the facade exactly as the README's
+// quickstart does.
+func TestPublicAPIQuickstart(t *testing.T) {
+	us := greednet.Profile{
+		greednet.NewLinearUtility(1, 0.2),
+		greednet.NewLinearUtility(1, 0.3),
+	}
+	res, err := greednet.SolveNash(greednet.NewFairShare(), us,
+		[]float64{0.1, 0.1}, greednet.NashOptions{})
+	if err != nil || !res.Converged {
+		t.Fatalf("SolveNash: %v %+v", err, res)
+	}
+	if res.R[0] <= res.R[1] {
+		t.Errorf("less congestion-averse user should send more: %v", res.R)
+	}
+	rep := greednet.CheckFeasible(res.R, res.C, 1e-7)
+	if !rep.Feasible {
+		t.Errorf("equilibrium allocation infeasible: %+v", rep)
+	}
+}
+
+func TestPublicAPISimulation(t *testing.T) {
+	res, err := greednet.Simulate(greednet.SimConfig{
+		Rates:      []float64{0.2, 0.3},
+		Discipline: &greednet.SimFairShare{},
+		Horizon:    5e4,
+		Seed:       7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := greednet.NewFairShare().Congestion([]float64{0.2, 0.3})
+	for i := range want {
+		if math.Abs(res.AvgQueue[i]-want[i]) > 0.15*want[i]+0.05 {
+			t.Errorf("sim queue[%d] = %v, want ≈%v", i, res.AvgQueue[i], want[i])
+		}
+	}
+}
+
+func TestPublicAPIExperiments(t *testing.T) {
+	if got := len(greednet.Experiments()); got != 20 {
+		t.Fatalf("Experiments() = %d entries, want 20", got)
+	}
+	var buf bytes.Buffer
+	v, err := greednet.RunExperiment("E5", &buf, greednet.ExperimentOptions{Fast: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Match {
+		t.Errorf("E5 mismatch: %s", v.Note)
+	}
+	if !strings.Contains(buf.String(), "verdict:") {
+		t.Error("missing verdict output")
+	}
+	if _, err := greednet.RunExperiment("E99", &buf, greednet.ExperimentOptions{}); err == nil {
+		t.Error("unknown experiment should error")
+	}
+}
+
+func TestPublicAPINetwork(t *testing.T) {
+	nw, err := greednet.LineNetwork(2, greednet.NewFairShare())
+	if err != nil {
+		t.Fatal(err)
+	}
+	us := greednet.IdenticalProfile(greednet.NewLinearUtility(1, 0.25), 3)
+	res, err := greednet.SolveNash(nw, us, []float64{0.1, 0.1, 0.1}, greednet.NashOptions{})
+	if err != nil || !res.Converged {
+		t.Fatalf("network solve: %v", err)
+	}
+	if res.R[0] >= res.R[1] {
+		t.Errorf("long flow should send less: %v", res.R)
+	}
+}
+
+func TestPublicAPIGHC(t *testing.T) {
+	us := greednet.IdenticalProfile(greednet.NewLinearUtility(1, 0.25), 2)
+	res := greednet.GeneralizedHillClimb(greednet.NewFairShare(), us,
+		greednet.NewBox(2, 1e-6, 1-1e-6), greednet.EliminationOptions{Tol: 1e-3})
+	if !res.Converged {
+		t.Errorf("GHC should converge for 2 FS users: %+v", res)
+	}
+}
+
+func TestPublicAPIProtectionBound(t *testing.T) {
+	if b := greednet.ProtectionBound(2, 0.25); math.Abs(b-0.5) > 1e-12 {
+		t.Errorf("ProtectionBound = %v", b)
+	}
+	if g := greednet.G(0.5); math.Abs(g-1) > 1e-12 {
+		t.Errorf("G(0.5) = %v", g)
+	}
+}

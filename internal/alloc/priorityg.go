@@ -1,0 +1,137 @@
+package alloc
+
+import (
+	"math"
+
+	"greednet/internal/mm1"
+)
+
+// This file computes the exact allocations of priority disciplines under
+// general (M/G/1) service, using the preemptive-resume priority formulas
+// (Bertsekas & Gallager, Data Networks §3.5.3): with classes 1..K in
+// decreasing priority, class loads σ_k = Σ_{j≤k} λ_j, unit-mean service,
+// and E[S²] = 1 + CV², the mean time in system of a class-k packet is
+//
+//	T_k = ( (1−σ_k) + R_k ) / ((1−σ_{k−1})(1−σ_k)),   R_k = σ_k·E[S²]/2.
+//
+// For exponential service (CV² = 1) these make the Table-1 construction
+// realize the serial (Fair Share) allocation exactly; for other service
+// distributions the realization drifts from the serial ideal because the
+// mean *number* in system is discipline-dependent beyond work conservation
+// — the paper's footnote-5 generalization is about the feasible set, not
+// about this particular realization.
+
+// classTimesPreemptive returns the per-class mean sojourn times for
+// preemptive-resume priority with the given class arrival rates (highest
+// priority first) and service second moment es2 = E[S²].  Classes whose
+// cumulative load reaches 1 get +Inf.
+func classTimesPreemptive(lambda []float64, es2 float64) []float64 {
+	T := make([]float64, len(lambda))
+	sigma := 0.0
+	r := 0.0
+	for k, l := range lambda {
+		prev := sigma
+		sigma += l
+		r += l * es2 / 2
+		if sigma >= 1 {
+			for m := k; m < len(lambda); m++ {
+				T[m] = math.Inf(1)
+			}
+			return T
+		}
+		T[k] = ((1 - sigma) + r) / ((1 - prev) * (1 - sigma))
+	}
+	return T
+}
+
+// TablePriorityG is the exact allocation produced by the paper's Table-1
+// priority construction when the server's service times have squared
+// coefficient of variation Model.CV2 (preemptive-resume priority,
+// FIFO within class, class m carrying each big-enough user's m-th rate
+// increment).  At CV2 = 1 it coincides with FairShare/SerialG(MM1).
+type TablePriorityG struct {
+	// Model supplies the service variability (only CV2 is used; the mean
+	// is 1 by construction).
+	Model mm1.MG1
+}
+
+// Name implements core.Allocation.
+func (t TablePriorityG) Name() string { return "table-priority-" + t.Model.Name() }
+
+// Congestion implements core.Allocation.  With users relabeled ascending,
+// class m (1-based) has arrival rate (N−m+1)·(r_m − r_{m−1}) and each user
+// of rank ≥ m contributes equally, so user k's mean queue is
+// Σ_{m≤k} λ_m·T_m/(N−m+1) = Σ_{m≤k} (r_m − r_{m−1})·T_m.
+func (t TablePriorityG) Congestion(r []float64) []float64 {
+	n := len(r)
+	out := make([]float64, n)
+	if n == 0 {
+		return out
+	}
+	idx := ascending(r)
+	es2 := 1 + t.Model.CV2
+	lambda := make([]float64, n)
+	incr := make([]float64, n)
+	prev := 0.0
+	for m := 0; m < n; m++ {
+		inc := r[idx[m]] - prev
+		prev = r[idx[m]]
+		incr[m] = inc
+		lambda[m] = float64(n-m) * inc
+	}
+	T := classTimesPreemptive(lambda, es2)
+	c := 0.0
+	for k := 0; k < n; k++ {
+		if math.IsInf(T[k], 1) && incr[k] > 0 {
+			for m := k; m < n; m++ {
+				out[idx[m]] = math.Inf(1)
+			}
+			return out
+		}
+		if incr[k] > 0 {
+			c += incr[k] * T[k]
+		}
+		out[idx[k]] = c
+	}
+	return out
+}
+
+// CongestionOf implements core.Allocation.
+func (t TablePriorityG) CongestionOf(r []float64, i int) float64 {
+	return t.Congestion(r)[i]
+}
+
+// HOLPriorityG is the exact allocation of strict preemptive-resume
+// priority keyed to ascending rate order under general service: user of
+// rank k (one class per user) has mean queue λ_k·T_k.
+type HOLPriorityG struct {
+	// Model supplies the service variability.
+	Model mm1.MG1
+}
+
+// Name implements core.Allocation.
+func (h HOLPriorityG) Name() string { return "hol-priority-" + h.Model.Name() }
+
+// Congestion implements core.Allocation.
+func (h HOLPriorityG) Congestion(r []float64) []float64 {
+	n := len(r)
+	out := make([]float64, n)
+	if n == 0 {
+		return out
+	}
+	idx := ascending(r)
+	lambda := make([]float64, n)
+	for k := 0; k < n; k++ {
+		lambda[k] = r[idx[k]]
+	}
+	T := classTimesPreemptive(lambda, 1+h.Model.CV2)
+	for k := 0; k < n; k++ {
+		out[idx[k]] = lambda[k] * T[k]
+	}
+	return out
+}
+
+// CongestionOf implements core.Allocation.
+func (h HOLPriorityG) CongestionOf(r []float64, i int) float64 {
+	return h.Congestion(r)[i]
+}

@@ -1,0 +1,131 @@
+package alloc
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"greednet/internal/core"
+	"greednet/internal/mm1"
+)
+
+// quickRates turns three raw uint16 seeds into a valid interior rate
+// triple with total load below max.
+func quickRates(a, b, c uint16, maxLoad float64) []float64 {
+	r := []float64{
+		0.01 + float64(a)/65536.0,
+		0.01 + float64(b)/65536.0,
+		0.01 + float64(c)/65536.0,
+	}
+	sum := r[0] + r[1] + r[2]
+	scale := maxLoad * (0.2 + 0.79*float64(int(a)+int(b)+int(c)%3)/196608.0) / sum
+	for i := range r {
+		r[i] *= scale
+	}
+	return r
+}
+
+func TestQuickFairShareWorkConservation(t *testing.T) {
+	f := func(a, b, c uint16) bool {
+		r := quickRates(a, b, c, 0.95)
+		cg := FairShare{}.Congestion(r)
+		total := cg[0] + cg[1] + cg[2]
+		want := mm1.G(r[0] + r[1] + r[2])
+		return math.Abs(total-want) < 1e-9*(1+want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickPermutationEquivariance(t *testing.T) {
+	discs := []core.Allocation{FairShare{}, Proportional{}, HOLPriority{Order: SmallestFirst}}
+	f := func(a, b, c uint16, swap bool) bool {
+		r := quickRates(a, b, c, 0.9)
+		rp := []float64{r[1], r[0], r[2]}
+		if swap {
+			rp = []float64{r[2], r[1], r[0]}
+		}
+		for _, d := range discs {
+			x := d.Congestion(r)
+			y := d.Congestion(rp)
+			if swap {
+				if math.Abs(y[0]-x[2]) > 1e-9 || math.Abs(y[1]-x[1]) > 1e-9 || math.Abs(y[2]-x[0]) > 1e-9 {
+					return false
+				}
+			} else {
+				if math.Abs(y[0]-x[1]) > 1e-9 || math.Abs(y[1]-x[0]) > 1e-9 || math.Abs(y[2]-x[2]) > 1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickOwnDerivativePositive(t *testing.T) {
+	// MAC condition 2 as a property: ∂C_i/∂r_i > 0 everywhere interior.
+	f := func(a, b, c uint16, who uint8) bool {
+		r := quickRates(a, b, c, 0.9)
+		i := int(who) % 3
+		for _, d := range []core.OwnDeriver{FairShare{}, Proportional{}, SerialG{Model: mm1.MG1{CV2: 2}}} {
+			d1, d2 := d.OwnDerivs(r, i)
+			if !(d1 > 0) || !(d2 > 0) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickSerialDominatedByProportionalForSmallest(t *testing.T) {
+	// The smallest sender is always weakly better off (lower congestion)
+	// under Fair Share than under FIFO; the largest weakly worse.
+	f := func(a, b, c uint16) bool {
+		r := quickRates(a, b, c, 0.9)
+		fs := FairShare{}.Congestion(r)
+		pr := Proportional{}.Congestion(r)
+		small, large := 0, 0
+		for i := 1; i < 3; i++ {
+			if r[i] < r[small] {
+				small = i
+			}
+			if r[i] > r[large] {
+				large = i
+			}
+		}
+		return fs[small] <= pr[small]+1e-12 && fs[large] >= pr[large]-1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickBlendBetweenEndpoints(t *testing.T) {
+	f := func(a, b, c uint16, th8 uint8) bool {
+		r := quickRates(a, b, c, 0.9)
+		th := float64(th8) / 255
+		bl := Blend{Theta: th}.Congestion(r)
+		fs := FairShare{}.Congestion(r)
+		pr := Proportional{}.Congestion(r)
+		for i := range r {
+			lo, hi := fs[i], pr[i]
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			if bl[i] < lo-1e-12 || bl[i] > hi+1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,131 @@
+package alloc
+
+import (
+	"math"
+
+	"greednet/internal/mm1"
+)
+
+// SerialG is the Fair Share (serial cost sharing) allocation generalized
+// to an arbitrary server model with strictly increasing, strictly convex
+// total-congestion function L — the footnote-5 generalization.  With the
+// M/M/1 model it coincides with FairShare.
+type SerialG struct {
+	// Model is the station's congestion model (e.g. mm1.MG1{CV2: 2}).
+	Model mm1.ServerModel
+}
+
+// Name implements core.Allocation.
+func (s SerialG) Name() string { return "serial-" + s.Model.Name() }
+
+// Congestion implements core.Allocation using the serial recursion with
+// L in place of g.
+func (s SerialG) Congestion(r []float64) []float64 {
+	n := len(r)
+	out := make([]float64, n)
+	if n == 0 {
+		return out
+	}
+	idx := ascending(r)
+	prefix := 0.0
+	prevL := 0.0
+	c := 0.0
+	for k := 1; k <= n; k++ {
+		i := idx[k-1]
+		xk := float64(n-k+1)*r[i] + prefix
+		lk := s.Model.L(xk)
+		if math.IsInf(lk, 1) {
+			for m := k; m <= n; m++ {
+				out[idx[m-1]] = math.Inf(1)
+			}
+			return out
+		}
+		c += (lk - prevL) / float64(n-k+1)
+		out[i] = c
+		prevL = lk
+		prefix += r[i]
+	}
+	return out
+}
+
+// CongestionOf implements core.Allocation.
+func (s SerialG) CongestionOf(r []float64, i int) float64 {
+	return s.Congestion(r)[i]
+}
+
+// OwnDerivs implements core.OwnDeriver: in ascending labels,
+// ∂C_k/∂r_k = L'(x_k) and ∂²C_k/∂r_k² = (N−k+1)·L”(x_k).
+func (s SerialG) OwnDerivs(r []float64, i int) (float64, float64) {
+	n := len(r)
+	idx := ascending(r)
+	prefix := 0.0
+	for k := 1; k <= n; k++ {
+		j := idx[k-1]
+		if j == i {
+			xk := float64(n-k+1)*r[i] + prefix
+			return s.Model.LPrime(xk), float64(n-k+1) * s.Model.LPrime2(xk)
+		}
+		prefix += r[j]
+	}
+	return math.NaN(), math.NaN()
+}
+
+// ProportionalG is the class-blind (FIFO-like) allocation generalized to
+// an arbitrary server model: C_i = r_i · L(Σr)/Σr.  With the M/M/1 model
+// it coincides with Proportional.
+type ProportionalG struct {
+	// Model is the station's congestion model.
+	Model mm1.ServerModel
+}
+
+// Name implements core.Allocation.
+func (p ProportionalG) Name() string { return "proportional-" + p.Model.Name() }
+
+// Congestion implements core.Allocation.
+func (p ProportionalG) Congestion(r []float64) []float64 {
+	out := make([]float64, len(r))
+	s := mm1.Sum(r)
+	if s >= 1 {
+		for i := range out {
+			out[i] = math.Inf(1)
+		}
+		return out
+	}
+	perRate := 1.0 // lim_{x→0} L(x)/x = L'(0)
+	if s > 0 {
+		perRate = p.Model.L(s) / s
+	} else {
+		perRate = p.Model.LPrime(0)
+	}
+	for i, ri := range r {
+		out[i] = ri * perRate
+	}
+	return out
+}
+
+// CongestionOf implements core.Allocation.
+func (p ProportionalG) CongestionOf(r []float64, i int) float64 {
+	s := mm1.Sum(r)
+	if s >= 1 {
+		return math.Inf(1)
+	}
+	if s == 0 {
+		return 0
+	}
+	return r[i] * p.Model.L(s) / s
+}
+
+// OwnDerivs implements core.OwnDeriver:
+// C_i = r_i·L(s)/s ⇒ ∂C_i/∂r_i = L(s)/s + r_i·d/ds[L(s)/s], and
+// ∂²C_i/∂r_i² = 2·d/ds[L(s)/s] + r_i·d²/ds²[L(s)/s].
+func (p ProportionalG) OwnDerivs(r []float64, i int) (float64, float64) {
+	s := mm1.Sum(r)
+	if s >= 1 {
+		return math.Inf(1), math.Inf(1)
+	}
+	l, lp, lpp := p.Model.L(s), p.Model.LPrime(s), p.Model.LPrime2(s)
+	h := l / s                                    // L/s
+	hp := (lp*s - l) / (s * s)                    // (L/s)'
+	hpp := (lpp*s*s - 2*s*lp + 2*l) / (s * s * s) // (L/s)''
+	return h + r[i]*hp, 2*hp + r[i]*hpp
+}

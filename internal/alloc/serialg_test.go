@@ -1,0 +1,182 @@
+package alloc
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"greednet/internal/core"
+	"greednet/internal/mm1"
+	"greednet/internal/numeric"
+)
+
+func TestSerialGMM1MatchesFairShare(t *testing.T) {
+	rng := rand.New(rand.NewSource(60))
+	s := SerialG{Model: mm1.MM1{}}
+	fs := FairShare{}
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + rng.Intn(5)
+		r := randomRates(rng, n, 0.9)
+		a := s.Congestion(r)
+		b := fs.Congestion(r)
+		for i := range r {
+			if math.Abs(a[i]-b[i]) > 1e-12 {
+				t.Fatalf("trial %d: SerialG(MM1) differs from FairShare at %d: %v vs %v",
+					trial, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+func TestProportionalGMM1MatchesProportional(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	p := ProportionalG{Model: mm1.MM1{}}
+	q := Proportional{}
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + rng.Intn(5)
+		r := randomRates(rng, n, 0.9)
+		a := p.Congestion(r)
+		b := q.Congestion(r)
+		for i := range r {
+			if math.Abs(a[i]-b[i]) > 1e-12 {
+				t.Fatalf("trial %d: mismatch at %d: %v vs %v", trial, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+func TestMG1ModelDerivativesMatchFD(t *testing.T) {
+	for _, m := range []mm1.ServerModel{mm1.MM1{}, mm1.MD1(), mm1.MG1{CV2: 2.5}} {
+		for _, x := range []float64{0.1, 0.3, 0.5, 0.7, 0.9} {
+			fd1 := numeric.Derivative(m.L, x, 1e-7)
+			if math.Abs(fd1-m.LPrime(x)) > 1e-4*(1+m.LPrime(x)) {
+				t.Errorf("%s L'(%v) = %v, FD %v", m.Name(), x, m.LPrime(x), fd1)
+			}
+			fd2 := numeric.Derivative(m.LPrime, x, 1e-7)
+			if math.Abs(fd2-m.LPrime2(x)) > 1e-4*(1+m.LPrime2(x)) {
+				t.Errorf("%s L''(%v) = %v, FD %v", m.Name(), x, m.LPrime2(x), fd2)
+			}
+		}
+	}
+}
+
+func TestMG1ConvexIncreasing(t *testing.T) {
+	// Footnote 5's requirement: L strictly increasing and strictly convex.
+	for _, m := range []mm1.ServerModel{mm1.MD1(), mm1.MG1{CV2: 1}, mm1.MG1{CV2: 4}} {
+		for x := 0.01; x < 0.99; x += 0.01 {
+			if m.LPrime(x) <= 0 {
+				t.Fatalf("%s not increasing at %v", m.Name(), x)
+			}
+			if m.LPrime2(x) <= 0 {
+				t.Fatalf("%s not convex at %v", m.Name(), x)
+			}
+		}
+		if !math.IsInf(m.L(1), 1) {
+			t.Errorf("%s should saturate at x=1", m.Name())
+		}
+	}
+}
+
+func TestMG1CV2OneMatchesMM1Mean(t *testing.T) {
+	m := mm1.MG1{CV2: 1}
+	for _, x := range []float64{0.1, 0.5, 0.8} {
+		if math.Abs(m.L(x)-mm1.G(x)) > 1e-12 {
+			t.Errorf("MG1(cv2=1).L(%v) = %v, want g = %v", x, m.L(x), mm1.G(x))
+		}
+	}
+}
+
+func TestSerialGOwnDerivsMatchFD(t *testing.T) {
+	rng := rand.New(rand.NewSource(62))
+	for _, model := range []mm1.ServerModel{mm1.MD1(), mm1.MG1{CV2: 2}} {
+		s := SerialG{Model: model}
+		for trial := 0; trial < 30; trial++ {
+			n := 2 + rng.Intn(3)
+			r := randomRates(rng, n, 0.7)
+			sortSeparate(r, 5e-3)
+			for i := range r {
+				d1, d2 := s.OwnDerivs(r, i)
+				f := func(x float64) float64 {
+					return s.CongestionOf(core.WithRate(r, i, x), i)
+				}
+				fd1 := numeric.Derivative(f, r[i], 1e-7)
+				fd2 := numeric.SecondDerivative(f, r[i], 1e-4)
+				if math.Abs(d1-fd1) > 1e-4*(1+math.Abs(d1)) {
+					t.Fatalf("%s d1 mismatch: %v vs %v", s.Name(), d1, fd1)
+				}
+				if math.Abs(d2-fd2) > 1e-2*(1+math.Abs(d2)) {
+					t.Fatalf("%s d2 mismatch: %v vs %v", s.Name(), d2, fd2)
+				}
+			}
+		}
+	}
+}
+
+func TestProportionalGOwnDerivsMatchFD(t *testing.T) {
+	rng := rand.New(rand.NewSource(63))
+	for _, model := range []mm1.ServerModel{mm1.MD1(), mm1.MG1{CV2: 2}} {
+		p := ProportionalG{Model: model}
+		for trial := 0; trial < 30; trial++ {
+			n := 2 + rng.Intn(3)
+			r := randomRates(rng, n, 0.8)
+			for i := range r {
+				d1, d2 := p.OwnDerivs(r, i)
+				f := func(x float64) float64 {
+					return p.CongestionOf(core.WithRate(r, i, x), i)
+				}
+				fd1 := numeric.Derivative(f, r[i], 1e-7)
+				fd2 := numeric.SecondDerivative(f, r[i], 1e-4)
+				if math.Abs(d1-fd1) > 1e-4*(1+math.Abs(d1)) {
+					t.Fatalf("%s d1 mismatch: %v vs %v", p.Name(), d1, fd1)
+				}
+				if math.Abs(d2-fd2) > 1e-2*(1+math.Abs(d2)) {
+					t.Fatalf("%s d2 mismatch: %v vs %v", p.Name(), d2, fd2)
+				}
+			}
+		}
+	}
+}
+
+func TestSerialGFeasibleAndProtective(t *testing.T) {
+	rng := rand.New(rand.NewSource(64))
+	for _, model := range []mm1.ServerModel{mm1.MD1(), mm1.MG1{CV2: 3}} {
+		s := SerialG{Model: model}
+		for trial := 0; trial < 150; trial++ {
+			n := 2 + rng.Intn(4)
+			// Feasibility inside the stable region.
+			r := randomRates(rng, n, 0.9)
+			c := s.Congestion(r)
+			if rep := mm1.CheckFeasibleG(model, r, c, 1e-7); !rep.Feasible {
+				t.Fatalf("%s infeasible at %v: %+v", s.Name(), r, rep)
+			}
+			// Protectiveness even under overload by others.
+			ro := make([]float64, n)
+			for i := range ro {
+				ro[i] = 0.01 + 1.2*rng.Float64()
+			}
+			co := s.Congestion(ro)
+			for i := range ro {
+				bound := mm1.SymmetricCongestionG(model, n, ro[i])
+				if co[i] > bound*(1+1e-12)+1e-12 {
+					t.Fatalf("%s violates generalized protection: C=%v bound=%v",
+						s.Name(), co[i], bound)
+				}
+			}
+		}
+	}
+}
+
+func TestSerialGInsulationTriangularity(t *testing.T) {
+	// The partial-insulation structure survives the model change: bumping
+	// a larger sender's rate leaves a smaller sender's congestion fixed.
+	s := SerialG{Model: mm1.MG1{CV2: 2}}
+	r := []float64{0.1, 0.3, 0.4}
+	base := s.Congestion(r)
+	bumped := s.Congestion([]float64{0.1, 0.3, 0.49})
+	if math.Abs(base[0]-bumped[0]) > 1e-12 || math.Abs(base[1]-bumped[1]) > 1e-12 {
+		t.Errorf("smaller senders should be insulated: %v vs %v", base, bumped)
+	}
+	if bumped[2] <= base[2] {
+		t.Error("the grower should pay for its own growth")
+	}
+}

@@ -1,0 +1,89 @@
+package cliutil
+
+import (
+	"testing"
+
+	"greednet/internal/utility"
+)
+
+func TestParseRates(t *testing.T) {
+	r, err := ParseRates("0.1, 0.2,0.15")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r) != 3 || r[0] != 0.1 || r[1] != 0.2 || r[2] != 0.15 {
+		t.Errorf("got %v", r)
+	}
+	for _, bad := range []string{"", "x", "0.1,-0.2", "0,0.1"} {
+		if _, err := ParseRates(bad); err == nil {
+			t.Errorf("ParseRates(%q) should fail", bad)
+		}
+	}
+}
+
+func TestParseUtility(t *testing.T) {
+	u, err := ParseUtility("linear:1,0.3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l, ok := u.(utility.Linear); !ok || l.A != 1 || l.Gamma != 0.3 {
+		t.Errorf("got %#v", u)
+	}
+	if _, err := ParseUtility("power:1,2,1.5"); err != nil {
+		t.Errorf("power: %v", err)
+	}
+	if _, err := ParseUtility("log:0.4,1"); err != nil {
+		t.Errorf("log: %v", err)
+	}
+	if _, err := ParseUtility("sqrt:1,2"); err != nil {
+		t.Errorf("sqrt: %v", err)
+	}
+	if _, err := ParseUtility("delay:1,2"); err != nil {
+		t.Errorf("delay: %v", err)
+	}
+	for _, bad := range []string{"linear", "linear:1", "nope:1,2", "linear:a,b", "power:1,2"} {
+		if _, err := ParseUtility(bad); err == nil {
+			t.Errorf("ParseUtility(%q) should fail", bad)
+		}
+	}
+}
+
+func TestParseProfile(t *testing.T) {
+	p, err := ParseProfile("linear:1,0.2; log:0.3,1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p) != 2 {
+		t.Errorf("profile length %d", len(p))
+	}
+	if _, err := ParseProfile(""); err == nil {
+		t.Error("empty profile should fail")
+	}
+	if _, err := ParseProfile("linear:1,0.2; bogus:1"); err == nil {
+		t.Error("bad member should fail")
+	}
+}
+
+func TestParseAlloc(t *testing.T) {
+	for _, good := range []string{"fair-share", "fs", "fifo", "proportional", "hol", "hol-largest", "blend:0.5"} {
+		if _, err := ParseAlloc(good); err != nil {
+			t.Errorf("ParseAlloc(%q): %v", good, err)
+		}
+	}
+	for _, bad := range []string{"", "wfq", "blend:2", "blend:x"} {
+		if _, err := ParseAlloc(bad); err == nil {
+			t.Errorf("ParseAlloc(%q) should fail", bad)
+		}
+	}
+}
+
+func TestParseDiscipline(t *testing.T) {
+	for _, good := range []string{"fifo", "lifo", "ps", "holps", "fq", "fairshare", "ratepriority"} {
+		if _, err := ParseDiscipline(good); err != nil {
+			t.Errorf("ParseDiscipline(%q): %v", good, err)
+		}
+	}
+	if _, err := ParseDiscipline("red"); err == nil {
+		t.Error("unknown discipline should fail")
+	}
+}

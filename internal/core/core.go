@@ -1,0 +1,120 @@
+// Package core defines the central model abstractions of the greednet
+// library: allocation functions C(r) induced by switch service disciplines,
+// utility functions U(r, c) of selfish users, and the vocabulary shared by
+// the game solvers, dynamics, mechanisms, and simulators.
+//
+// The model follows Shenker, "Making Greed Work in Networks" (SIGCOMM '94):
+// a single exponential server of rate 1 is shared by N Poisson sources with
+// rates r_i; a service discipline determines each user's average queue
+// length c_i = C_i(r); each user i holds a private utility U_i(r_i, c_i),
+// increasing in r_i and decreasing in c_i, and adjusts r_i selfishly.
+package core
+
+import "math"
+
+// Allocation is an allocation function C: rate vector → congestion vector,
+// induced by a (work-conserving, symmetric) switch service discipline.
+//
+// Implementations must be symmetric (permutation equivariant) and defined on
+// all of R⁺ⁿ: outside the natural domain D = {r_i > 0, Σr < 1} the returned
+// congestions may be +Inf, as the paper requires for the learning analysis.
+type Allocation interface {
+	// Name identifies the discipline, e.g. "fair-share" or "proportional".
+	Name() string
+	// Congestion returns the congestion vector C(r).  The input must not be
+	// modified; the output is freshly allocated.
+	Congestion(r []float64) []float64
+	// CongestionOf returns C_i(r) alone.  It is equivalent to
+	// Congestion(r)[i] but may be cheaper.
+	CongestionOf(r []float64, i int) float64
+}
+
+// OwnDeriver is implemented by allocations that provide analytic first and
+// second derivatives of C_i with respect to the user's own rate r_i.
+// Solvers fall back to finite differences when unavailable.
+type OwnDeriver interface {
+	// OwnDerivs returns ∂C_i/∂r_i and ∂²C_i/∂r_i² at r.
+	OwnDerivs(r []float64, i int) (d1, d2 float64)
+}
+
+// Jacobianer is implemented by allocations that provide an analytic
+// Jacobian ∂C_i/∂r_j.
+type Jacobianer interface {
+	// Jacobian returns the matrix J with J[i][j] = ∂C_i/∂r_j at r.
+	Jacobian(r []float64) [][]float64
+}
+
+// Utility is a user's utility function over (rate, congestion) allocations,
+// in the paper's admissible set AU: C², strictly increasing in r, strictly
+// decreasing in c, with convex preferences.  Utilities are ordinal — all
+// results must be invariant under monotone transformations.
+type Utility interface {
+	// Value returns U(r, c).  Implementations must map c = +Inf to −Inf
+	// (infinite congestion is the worst possible outcome) so that
+	// out-of-domain probes made by optimizers are well ordered.
+	Value(r, c float64) float64
+	// Gradient returns (∂U/∂r, ∂U/∂c) with ∂U/∂r > 0 and ∂U/∂c < 0 for
+	// finite c.
+	Gradient(r, c float64) (dr, dc float64)
+}
+
+// Profile is one utility per user.
+type Profile []Utility
+
+// MarginalRate returns M(r, c) = (∂U/∂r)/(∂U/∂c), the ratio of marginal
+// utilities from the paper's first-derivative conditions.  It is negative
+// for utilities in AU.
+func MarginalRate(u Utility, r, c float64) float64 {
+	dr, dc := u.Gradient(r, c)
+	return dr / dc
+}
+
+// Point is an operating point: rates with the congestions some allocation
+// assigns to them.
+type Point struct {
+	R []float64
+	C []float64
+}
+
+// At evaluates the allocation at r and bundles the result.
+func At(a Allocation, r []float64) Point {
+	return Point{R: append([]float64(nil), r...), C: a.Congestion(r)}
+}
+
+// UtilityValues returns each user's utility at the point.
+func (p Point) UtilityValues(us Profile) []float64 {
+	out := make([]float64, len(p.R))
+	for i, u := range us {
+		out[i] = u.Value(p.R[i], p.C[i])
+	}
+	return out
+}
+
+// WithRate returns a copy of r with element i replaced by x — the paper's
+// r|ⁱx notation.
+func WithRate(r []float64, i int, x float64) []float64 {
+	out := append([]float64(nil), r...)
+	out[i] = x
+	return out
+}
+
+// Clamp returns x restricted to [lo, hi].
+func Clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+// IsFiniteVec reports whether every component is finite.
+func IsFiniteVec(v []float64) bool {
+	for _, x := range v {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return false
+		}
+	}
+	return true
+}

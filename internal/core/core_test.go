@@ -1,0 +1,106 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// stubAlloc is a minimal allocation for facade-level tests.
+type stubAlloc struct{}
+
+func (stubAlloc) Name() string { return "stub" }
+func (stubAlloc) Congestion(r []float64) []float64 {
+	out := make([]float64, len(r))
+	for i, v := range r {
+		out[i] = 2 * v
+	}
+	return out
+}
+func (s stubAlloc) CongestionOf(r []float64, i int) float64 { return 2 * r[i] }
+
+// stubUtility is linear U = r − c.
+type stubUtility struct{}
+
+func (stubUtility) Value(r, c float64) float64 {
+	if math.IsInf(c, 1) {
+		return math.Inf(-1)
+	}
+	return r - c
+}
+func (stubUtility) Gradient(r, c float64) (float64, float64) { return 1, -1 }
+
+func TestMarginalRate(t *testing.T) {
+	if m := MarginalRate(stubUtility{}, 0.3, 0.5); m != -1 {
+		t.Errorf("MarginalRate = %v, want -1", m)
+	}
+}
+
+func TestAtBundlesPoint(t *testing.T) {
+	r := []float64{0.1, 0.2}
+	p := At(stubAlloc{}, r)
+	if p.C[0] != 0.2 || p.C[1] != 0.4 {
+		t.Errorf("At congestion = %v", p.C)
+	}
+	// The bundled rates must be a copy.
+	p.R[0] = 99
+	if r[0] != 0.1 {
+		t.Error("At must copy the rate vector")
+	}
+}
+
+func TestUtilityValues(t *testing.T) {
+	p := Point{R: []float64{0.3, 0.5}, C: []float64{0.1, 0.2}}
+	us := Profile{stubUtility{}, stubUtility{}}
+	v := p.UtilityValues(us)
+	if math.Abs(v[0]-0.2) > 1e-15 || math.Abs(v[1]-0.3) > 1e-15 {
+		t.Errorf("UtilityValues = %v", v)
+	}
+}
+
+func TestWithRate(t *testing.T) {
+	r := []float64{1, 2, 3}
+	w := WithRate(r, 1, 9)
+	if w[1] != 9 || r[1] != 2 {
+		t.Errorf("WithRate mutated input or failed: %v %v", w, r)
+	}
+}
+
+func TestWithRateQuickNoAlias(t *testing.T) {
+	f := func(a, b, c float64, which uint8, val float64) bool {
+		r := []float64{a, b, c}
+		i := int(which) % 3
+		orig := append([]float64(nil), r...)
+		w := WithRate(r, i, val)
+		for k := range r {
+			if r[k] != orig[k] {
+				return false
+			}
+			if k != i && w[k] != r[k] {
+				return false
+			}
+		}
+		return w[i] == val || (math.IsNaN(val) && math.IsNaN(w[i]))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClamp(t *testing.T) {
+	if Clamp(5, 0, 1) != 1 || Clamp(-5, 0, 1) != 0 || Clamp(0.5, 0, 1) != 0.5 {
+		t.Error("Clamp wrong")
+	}
+}
+
+func TestIsFiniteVec(t *testing.T) {
+	if !IsFiniteVec([]float64{1, 2}) {
+		t.Error("finite vec misflagged")
+	}
+	if IsFiniteVec([]float64{1, math.Inf(1)}) || IsFiniteVec([]float64{math.NaN()}) {
+		t.Error("non-finite vec accepted")
+	}
+	if !IsFiniteVec(nil) {
+		t.Error("empty vec is vacuously finite")
+	}
+}

@@ -1,0 +1,253 @@
+// Package des is a discrete-event simulator for the paper's switch model: a
+// single exponential server of rate 1 fed by independent Poisson sources.
+//
+// Because service requirements are exponential and preemption is allowed,
+// the system is a continuous-time Markov chain whatever the (work-
+// conserving, non-anticipating) discipline does: the state advances with a
+// single exponential clock of rate Σλ + 1{busy}, and disciplines differ
+// only in WHICH queued packet completes at a departure epoch.  The event
+// loop below exploits this, so the simulation is exact, not an
+// approximation — sampling noise is the only error source, which is what
+// makes the DES a sharp validator for the analytic allocation functions
+// (Table 1 in particular).
+package des
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+
+	"greednet/internal/stats"
+)
+
+// Packet is one queued job.
+type Packet struct {
+	// User is the source index.
+	User int
+	// Arrive is the arrival timestamp.
+	Arrive float64
+	// Class is the priority class assigned at arrival (used by priority
+	// disciplines; 0 otherwise).
+	Class int
+}
+
+// Discipline picks which packet the (memoryless) server completes at each
+// departure epoch.  Implementations are single-goroutine; the Simulator
+// drives them sequentially.
+type Discipline interface {
+	// Name identifies the discipline.
+	Name() string
+	// Reset prepares for a fresh run with the given source rates.  The rng
+	// is owned by the simulator and shared for the whole run.
+	Reset(rates []float64, rng *rand.Rand)
+	// Enqueue admits an arriving packet.
+	Enqueue(p Packet)
+	// Dequeue removes and returns the packet the server completes now.
+	// It is called only when Len() > 0.
+	Dequeue() Packet
+	// Len reports the number of queued packets.
+	Len() int
+}
+
+// Config parameterizes a simulation run.
+type Config struct {
+	// Rates are the per-user Poisson arrival rates; the server has rate 1,
+	// so Σ Rates < 1 is required for stability.
+	Rates []float64
+	// Discipline is the service discipline under test.
+	Discipline Discipline
+	// Horizon is the simulated time after warmup; default 2e5.
+	Horizon float64
+	// Warmup is the initial period excluded from statistics; default 5%
+	// of Horizon.
+	Warmup float64
+	// Seed seeds the run's random source.
+	Seed int64
+	// Batches is the number of batch-means segments for confidence
+	// intervals; default 20.
+	Batches int
+	// OnDeparture, when non-nil, is invoked for every post-warmup
+	// departure with the departing packet and the departure time (e.g. a
+	// Tracer's Observe method).
+	OnDeparture func(p Packet, depart float64)
+}
+
+// Result carries the measured per-user statistics.
+type Result struct {
+	// AvgQueue is the time-averaged number of user-i packets in the system
+	// — the paper's congestion c_i.
+	AvgQueue []float64
+	// QueueCI95 is the batch-means 95% half-width for AvgQueue.
+	QueueCI95 []float64
+	// AvgDelay is the mean sojourn time of departed user-i packets.
+	AvgDelay []float64
+	// Throughput is the measured departure rate of user i.
+	Throughput []float64
+	// TotalAvgQueue is the time-averaged total queue (should match
+	// g(Σr) = Σr/(1−Σr) for any work-conserving discipline).
+	TotalAvgQueue float64
+	// Arrivals and Departures count post-warmup events.
+	Arrivals, Departures int64
+	// Duration is the measured (post-warmup) time span.
+	Duration float64
+}
+
+// ErrBadConfig reports an unusable configuration.
+var ErrBadConfig = errors.New("des: bad config")
+
+// Run simulates the switch and returns the measured statistics.
+func Run(cfg Config) (Result, error) {
+	n := len(cfg.Rates)
+	if n == 0 || cfg.Discipline == nil {
+		return Result{}, ErrBadConfig
+	}
+	total := 0.0
+	for _, r := range cfg.Rates {
+		if r <= 0 || math.IsNaN(r) {
+			return Result{}, ErrBadConfig
+		}
+		total += r
+	}
+	if total >= 1 {
+		return Result{}, ErrBadConfig
+	}
+	if cfg.Horizon <= 0 {
+		cfg.Horizon = 2e5
+	}
+	if cfg.Warmup <= 0 {
+		cfg.Warmup = 0.05 * cfg.Horizon
+	}
+	if cfg.Batches <= 0 {
+		cfg.Batches = 20
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	d := cfg.Discipline
+	d.Reset(cfg.Rates, rng)
+
+	end := cfg.Warmup + cfg.Horizon
+	batchLen := cfg.Horizon / float64(cfg.Batches)
+
+	counts := make([]int, n) // packets in system per user
+	queueAvg := make([]stats.TimeAverage, n)
+	var totalAvg stats.TimeAverage
+	batchInt := make([][]float64, n) // per-user, per-batch integrals
+	for i := range batchInt {
+		batchInt[i] = make([]float64, cfg.Batches)
+	}
+	delaySum := make([]float64, n)
+	departed := make([]int64, n)
+	var res Result
+	res.AvgQueue = make([]float64, n)
+	res.QueueCI95 = make([]float64, n)
+	res.AvgDelay = make([]float64, n)
+	res.Throughput = make([]float64, n)
+
+	t := 0.0
+	inSystem := 0
+	for t < end {
+		rate := total
+		if inSystem > 0 {
+			rate += 1
+		}
+		dt := rng.ExpFloat64() / rate
+		// Split the elapsed interval across warmup/measurement boundary.
+		tNext := t + dt
+		if tNext > cfg.Warmup {
+			lo := math.Max(t, cfg.Warmup)
+			hi := math.Min(tNext, end)
+			if hi > lo {
+				span := hi - lo
+				for i := 0; i < n; i++ {
+					if counts[i] > 0 {
+						queueAvg[i].Accumulate(float64(counts[i]), span)
+					} else {
+						queueAvg[i].Accumulate(0, span)
+					}
+				}
+				totalAvg.Accumulate(float64(inSystem), span)
+				// Batch integrals (piecewise across batch boundaries).
+				accumulateBatches(batchInt, counts, lo-cfg.Warmup, hi-cfg.Warmup, batchLen, cfg.Batches)
+			}
+		}
+		t = tNext
+		if t >= end {
+			break
+		}
+		// Choose the event type.
+		u := rng.Float64() * rate
+		if u < total {
+			// Arrival: pick the source.
+			i := 0
+			acc := cfg.Rates[0]
+			for u > acc && i < n-1 {
+				i++
+				acc += cfg.Rates[i]
+			}
+			d.Enqueue(Packet{User: i, Arrive: t})
+			counts[i]++
+			inSystem++
+			if t >= cfg.Warmup {
+				res.Arrivals++
+			}
+		} else if inSystem > 0 {
+			p := d.Dequeue()
+			counts[p.User]--
+			inSystem--
+			if t >= cfg.Warmup {
+				res.Departures++
+				departed[p.User]++
+				delaySum[p.User] += t - p.Arrive
+				if cfg.OnDeparture != nil {
+					cfg.OnDeparture(p, t)
+				}
+			}
+		}
+	}
+
+	res.Duration = cfg.Horizon
+	for i := 0; i < n; i++ {
+		res.AvgQueue[i] = queueAvg[i].Value()
+		res.QueueCI95[i] = batchCI(batchInt[i], batchLen)
+		if departed[i] > 0 {
+			res.AvgDelay[i] = delaySum[i] / float64(departed[i])
+		} else {
+			res.AvgDelay[i] = math.NaN()
+		}
+		res.Throughput[i] = float64(departed[i]) / cfg.Horizon
+	}
+	res.TotalAvgQueue = totalAvg.Value()
+	return res, nil
+}
+
+// accumulateBatches spreads the interval [lo, hi) of constant per-user
+// counts over the batch buckets.
+func accumulateBatches(batchInt [][]float64, counts []int, lo, hi, batchLen float64, batches int) {
+	for lo < hi {
+		b := int(lo / batchLen)
+		if b >= batches {
+			b = batches - 1
+		}
+		bEnd := float64(b+1) * batchLen
+		seg := math.Min(hi, bEnd) - lo
+		if seg <= 0 {
+			seg = hi - lo
+		}
+		for i, c := range counts {
+			if c > 0 {
+				batchInt[i][b] += float64(c) * seg
+			}
+		}
+		lo += seg
+	}
+}
+
+// batchCI converts per-batch queue integrals into a 95% half-width for the
+// run-level time average.
+func batchCI(integrals []float64, batchLen float64) float64 {
+	means := make([]float64, len(integrals))
+	for i, v := range integrals {
+		means[i] = v / batchLen
+	}
+	return stats.CI95(means)
+}

@@ -1,0 +1,222 @@
+package des
+
+import (
+	"math"
+	"testing"
+
+	"greednet/internal/alloc"
+	"greednet/internal/mm1"
+)
+
+// closeToCI fails unless |got − want| ≤ max(5·ci, abs).
+func closeToCI(t *testing.T, label string, got, want, ci, abs float64) {
+	t.Helper()
+	tol := math.Max(5*ci, abs)
+	if math.Abs(got-want) > tol {
+		t.Errorf("%s: got %v, want %v (±%v)", label, got, want, tol)
+	}
+}
+
+var testRates = []float64{0.10, 0.15, 0.20, 0.25}
+
+func runDES(t *testing.T, d Discipline, rates []float64, horizon float64, seed int64) Result {
+	t.Helper()
+	res, err := Run(Config{Rates: rates, Discipline: d, Horizon: horizon, Seed: seed})
+	if err != nil {
+		t.Fatalf("Run(%s): %v", d.Name(), err)
+	}
+	return res
+}
+
+func TestTotalQueueMatchesMM1AllDisciplines(t *testing.T) {
+	// Work conservation: total average queue = g(Σr) for every discipline.
+	want := mm1.G(mm1.Sum(testRates))
+	for _, d := range []Discipline{
+		&FIFO{}, &LIFOPreemptive{}, &ProcessorSharing{},
+		&HOLProcessorSharing{}, &RatePriority{}, &FairShareSplitter{},
+	} {
+		res := runDES(t, d, testRates, 2e5, 1)
+		if math.Abs(res.TotalAvgQueue-want) > 0.08*want {
+			t.Errorf("%s: total queue %v, want %v", d.Name(), res.TotalAvgQueue, want)
+		}
+	}
+}
+
+func TestClassBlindDisciplinesAreProportional(t *testing.T) {
+	// FIFO, LIFO-preemptive, and PS all realize C_i = r_i/(1−s).
+	want := alloc.Proportional{}.Congestion(testRates)
+	for _, d := range []Discipline{&FIFO{}, &LIFOPreemptive{}, &ProcessorSharing{}} {
+		res := runDES(t, d, testRates, 3e5, 2)
+		for i := range testRates {
+			closeToCI(t, d.Name()+" c_"+string(rune('0'+i)), res.AvgQueue[i], want[i], res.QueueCI95[i], 0.02)
+		}
+	}
+}
+
+func TestFairShareSplitterMatchesTable1(t *testing.T) {
+	// The paper's Table 1 construction must reproduce C^FS.
+	want := alloc.FairShare{}.Congestion(testRates)
+	res := runDES(t, &FairShareSplitter{}, testRates, 4e5, 3)
+	for i := range testRates {
+		closeToCI(t, "fs c_"+string(rune('0'+i)), res.AvgQueue[i], want[i], res.QueueCI95[i], 0.02)
+	}
+}
+
+func TestRatePriorityMatchesHOLFormula(t *testing.T) {
+	want := alloc.HOLPriority{Order: alloc.SmallestFirst}.Congestion(testRates)
+	res := runDES(t, &RatePriority{}, testRates, 3e5, 4)
+	for i := range testRates {
+		closeToCI(t, "hol c_"+string(rune('0'+i)), res.AvgQueue[i], want[i], res.QueueCI95[i], 0.02)
+	}
+}
+
+func TestLittlesLaw(t *testing.T) {
+	// c_i = λ_i · d_i for each user, any discipline.
+	for _, d := range []Discipline{&FIFO{}, &FairShareSplitter{}, &HOLProcessorSharing{}} {
+		res := runDES(t, d, testRates, 2e5, 5)
+		for i, r := range testRates {
+			if math.IsNaN(res.AvgDelay[i]) {
+				t.Fatalf("%s: no departures for user %d", d.Name(), i)
+			}
+			pred := r * res.AvgDelay[i]
+			if math.Abs(pred-res.AvgQueue[i]) > 0.08*(res.AvgQueue[i]+0.05) {
+				t.Errorf("%s: Little's law broken for user %d: λd=%v, c=%v",
+					d.Name(), i, pred, res.AvgQueue[i])
+			}
+		}
+	}
+}
+
+func TestThroughputMatchesOfferedLoad(t *testing.T) {
+	res := runDES(t, &FIFO{}, testRates, 2e5, 6)
+	for i, r := range testRates {
+		if math.Abs(res.Throughput[i]-r) > 0.05*r {
+			t.Errorf("throughput[%d] = %v, want %v", i, res.Throughput[i], r)
+		}
+	}
+}
+
+func TestHOLPSCongestionOrdering(t *testing.T) {
+	// Under HOL-PS lighter senders see (weakly) less congestion; heavy
+	// senders carry the backlog.  Qualitative FQ property.
+	res := runDES(t, &HOLProcessorSharing{}, testRates, 3e5, 7)
+	for i := 1; i < len(testRates); i++ {
+		if res.AvgQueue[i] < res.AvgQueue[i-1]-0.05 {
+			t.Errorf("HOL-PS congestion not increasing with rate: %v", res.AvgQueue)
+		}
+	}
+}
+
+func TestDeterministicBySeed(t *testing.T) {
+	a := runDES(t, &FIFO{}, testRates, 1e4, 42)
+	b := runDES(t, &FIFO{}, testRates, 1e4, 42)
+	for i := range a.AvgQueue {
+		if a.AvgQueue[i] != b.AvgQueue[i] {
+			t.Fatal("same seed should reproduce identical results")
+		}
+	}
+	c := runDES(t, &FIFO{}, testRates, 1e4, 43)
+	same := true
+	for i := range a.AvgQueue {
+		if a.AvgQueue[i] != c.AvgQueue[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds should differ")
+	}
+}
+
+func TestRunRejectsBadConfigs(t *testing.T) {
+	if _, err := Run(Config{Rates: nil, Discipline: &FIFO{}}); err == nil {
+		t.Error("empty rates should error")
+	}
+	if _, err := Run(Config{Rates: []float64{0.6, 0.6}, Discipline: &FIFO{}}); err == nil {
+		t.Error("overload should error")
+	}
+	if _, err := Run(Config{Rates: []float64{-0.1, 0.2}, Discipline: &FIFO{}}); err == nil {
+		t.Error("negative rate should error")
+	}
+	if _, err := Run(Config{Rates: []float64{0.2}, Discipline: nil}); err == nil {
+		t.Error("nil discipline should error")
+	}
+}
+
+func TestBatchCIsArePlausible(t *testing.T) {
+	res := runDES(t, &FIFO{}, testRates, 2e5, 8)
+	for i := range testRates {
+		if math.IsNaN(res.QueueCI95[i]) || res.QueueCI95[i] <= 0 {
+			t.Errorf("CI[%d] = %v", i, res.QueueCI95[i])
+		}
+		if res.QueueCI95[i] > res.AvgQueue[i] {
+			t.Errorf("CI[%d] = %v implausibly wide vs mean %v", i, res.QueueCI95[i], res.AvgQueue[i])
+		}
+	}
+}
+
+func TestFIFOQueueCompaction(t *testing.T) {
+	var q fifoQueue
+	for i := 0; i < 1000; i++ {
+		q.push(Packet{User: i})
+		if i%2 == 0 {
+			p := q.pop()
+			_ = p
+		}
+	}
+	if q.len() != 500 {
+		t.Errorf("queue length %d, want 500", q.len())
+	}
+	// Drain and verify FIFO order of the remainder.
+	prev := -1
+	for q.len() > 0 {
+		p := q.pop()
+		if p.User <= prev {
+			t.Fatal("FIFO order violated")
+		}
+		prev = p.User
+	}
+}
+
+func TestFairShareSplitterTwoUsersInsulation(t *testing.T) {
+	// The light user's queue under FS should be near g(2r)/2 even when the
+	// heavy user is pushing the switch close to saturation.
+	rates := []float64{0.1, 0.85}
+	want := alloc.FairShare{}.Congestion(rates)
+	res := runDES(t, &FairShareSplitter{}, rates, 4e5, 9)
+	closeToCI(t, "light user", res.AvgQueue[0], want[0], res.QueueCI95[0], 0.02)
+	// FIFO, by contrast, drags the light user far above that.
+	resF := runDES(t, &FIFO{}, rates, 4e5, 9)
+	if resF.AvgQueue[0] < 3*want[0] {
+		t.Errorf("FIFO should hurt the light user: got %v vs FS ideal %v",
+			resF.AvgQueue[0], want[0])
+	}
+}
+
+func TestCyclicPollingBehavesLikeHOLPS(t *testing.T) {
+	// Deterministic cyclic visits and random uniform visits give backlogged
+	// users the same long-run service shares, so per-user mean queues agree.
+	poll := runDES(t, &CyclicPolling{}, testRates, 3e5, 10)
+	hol := runDES(t, &HOLProcessorSharing{}, testRates, 3e5, 10)
+	for i := range testRates {
+		tol := 5*(poll.QueueCI95[i]+hol.QueueCI95[i]) + 0.02
+		if math.Abs(poll.AvgQueue[i]-hol.AvgQueue[i]) > tol {
+			t.Errorf("user %d: polling %v vs HOL-PS %v (±%v)",
+				i, poll.AvgQueue[i], hol.AvgQueue[i], tol)
+		}
+	}
+	// Work conservation still holds.
+	want := mm1.G(mm1.Sum(testRates))
+	if math.Abs(poll.TotalAvgQueue-want) > 0.08*want {
+		t.Errorf("polling total %v, want %v", poll.TotalAvgQueue, want)
+	}
+}
+
+func TestCyclicPollingInsulatesLightUser(t *testing.T) {
+	rates := []float64{0.1, 0.8}
+	poll := runDES(t, &CyclicPolling{}, rates, 3e5, 11)
+	fifo := runDES(t, &FIFO{}, rates, 3e5, 11)
+	if poll.AvgQueue[0] > 0.5*fifo.AvgQueue[0] {
+		t.Errorf("polling should insulate the light user: %v vs FIFO %v",
+			poll.AvgQueue[0], fifo.AvgQueue[0])
+	}
+}

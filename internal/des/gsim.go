@@ -1,0 +1,374 @@
+package des
+
+import (
+	"container/heap"
+	"math"
+	"math/rand"
+	"sort"
+
+	"greednet/internal/randdist"
+	"greednet/internal/stats"
+)
+
+// The general-service engine: Poisson arrivals, arbitrary unit-mean
+// service-time distribution, and preemptive-resume strict priority across
+// classes (FIFO within a class).  With a single class this is plain M/G/1
+// FIFO; with the Table-1 thinning classifier it realizes the generalized
+// serial (Fair Share) allocation; with rank classes it is HOL priority.
+// Unlike the memoryless engine in des.go, service completions must be
+// scheduled explicitly and preempted work tracked.
+
+// Classifier assigns a priority class (0 = highest) to an arriving packet.
+type Classifier interface {
+	// Name identifies the classifier.
+	Name() string
+	// Reset prepares for a run; rates are the per-user Poisson rates.
+	Reset(rates []float64, rng *rand.Rand)
+	// Classify returns the class for a packet from the given user, in
+	// [0, NumClasses()).
+	Classify(user int) int
+	// NumClasses is the number of priority classes.
+	NumClasses() int
+}
+
+// SingleClass puts every packet in one class: plain M/G/1 FIFO.
+type SingleClass struct{}
+
+// Name implements Classifier.
+func (SingleClass) Name() string { return "fifo" }
+
+// Reset implements Classifier.
+func (SingleClass) Reset(rates []float64, rng *rand.Rand) {}
+
+// Classify implements Classifier.
+func (SingleClass) Classify(user int) int { return 0 }
+
+// NumClasses implements Classifier.
+func (SingleClass) NumClasses() int { return 1 }
+
+// RankClass gives the k-th smallest-rate user priority class k: HOL strict
+// priority keyed to the rate order.
+type RankClass struct {
+	rank []int
+}
+
+// Name implements Classifier.
+func (rc *RankClass) Name() string { return "rate-priority" }
+
+// Reset implements Classifier.
+func (rc *RankClass) Reset(rates []float64, rng *rand.Rand) {
+	n := len(rates)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return rates[idx[a]] < rates[idx[b]] })
+	rc.rank = make([]int, n)
+	for rank, u := range idx {
+		rc.rank[u] = rank
+	}
+}
+
+// Classify implements Classifier.
+func (rc *RankClass) Classify(user int) int { return rc.rank[user] }
+
+// NumClasses implements Classifier.
+func (rc *RankClass) NumClasses() int { return len(rc.rank) }
+
+// SerialClass is the Table-1 thinning classifier: the rank-k user's
+// packets are spread over classes 0..k with probabilities proportional to
+// the sorted-rate increments, realizing the serial (Fair Share) allocation
+// for any service distribution.
+type SerialClass struct {
+	cdf [][]float64
+	rng *rand.Rand
+	n   int
+}
+
+// Name implements Classifier.
+func (sc *SerialClass) Name() string { return "serial-splitter" }
+
+// Reset implements Classifier.
+func (sc *SerialClass) Reset(rates []float64, rng *rand.Rand) {
+	n := len(rates)
+	sc.n = n
+	sc.rng = rng
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return rates[idx[a]] < rates[idx[b]] })
+	sorted := make([]float64, n)
+	rank := make([]int, n)
+	for k, u := range idx {
+		sorted[k] = rates[u]
+		rank[u] = k
+	}
+	sc.cdf = make([][]float64, n)
+	for u := 0; u < n; u++ {
+		k := rank[u]
+		cdf := make([]float64, k+1)
+		prev, acc := 0.0, 0.0
+		for m := 0; m <= k; m++ {
+			acc += sorted[m] - prev
+			prev = sorted[m]
+			cdf[m] = acc / sorted[k]
+		}
+		cdf[k] = 1
+		sc.cdf[u] = cdf
+	}
+}
+
+// Classify implements Classifier.
+func (sc *SerialClass) Classify(user int) int {
+	cdf := sc.cdf[user]
+	x := sc.rng.Float64()
+	cls := sort.SearchFloat64s(cdf, x)
+	if cls >= len(cdf) {
+		cls = len(cdf) - 1
+	}
+	return cls
+}
+
+// NumClasses implements Classifier.
+func (sc *SerialClass) NumClasses() int { return sc.n }
+
+// GConfig parameterizes a general-service run.
+type GConfig struct {
+	// Rates are the per-user Poisson rates (Σ < 1 for stability).
+	Rates []float64
+	// Service is the unit-mean service-time distribution; default
+	// exponential.
+	Service randdist.Dist
+	// Classify maps packets to preemptive priority classes; default
+	// SingleClass (FIFO).
+	Classify Classifier
+	// Horizon, Warmup, Seed, Batches behave as in Config.
+	Horizon, Warmup float64
+	Seed            int64
+	Batches         int
+}
+
+// gpacket is one job in the general-service engine.
+type gpacket struct {
+	user      int
+	class     int
+	arrive    float64
+	remaining float64
+}
+
+// gevent is a scheduled event.
+type gevent struct {
+	t     float64
+	user  int  // arrival: which user; completion: unused
+	token int  // completion: validity token
+	isArr bool // arrival vs completion
+}
+
+type geventHeap []gevent
+
+func (h geventHeap) Len() int            { return len(h) }
+func (h geventHeap) Less(i, j int) bool  { return h[i].t < h[j].t }
+func (h geventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *geventHeap) Push(x interface{}) { *h = append(*h, x.(gevent)) }
+func (h *geventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// deque is a double-ended packet queue (resumed packets re-enter at the
+// front to preserve preemptive-resume FIFO order).
+type deque struct {
+	items []*gpacket
+}
+
+func (d *deque) pushBack(p *gpacket)  { d.items = append(d.items, p) }
+func (d *deque) pushFront(p *gpacket) { d.items = append([]*gpacket{p}, d.items...) }
+func (d *deque) popFront() *gpacket {
+	p := d.items[0]
+	d.items = d.items[1:]
+	return p
+}
+func (d *deque) len() int { return len(d.items) }
+
+// RunG simulates the general-service preemptive-priority station.
+func RunG(cfg GConfig) (Result, error) {
+	n := len(cfg.Rates)
+	if n == 0 {
+		return Result{}, ErrBadConfig
+	}
+	total := 0.0
+	for _, r := range cfg.Rates {
+		if r <= 0 || math.IsNaN(r) {
+			return Result{}, ErrBadConfig
+		}
+		total += r
+	}
+	if total >= 1 {
+		return Result{}, ErrBadConfig
+	}
+	if cfg.Service == nil {
+		cfg.Service = randdist.Exponential{}
+	}
+	if cfg.Classify == nil {
+		cfg.Classify = SingleClass{}
+	}
+	if cfg.Horizon <= 0 {
+		cfg.Horizon = 2e5
+	}
+	if cfg.Warmup <= 0 {
+		cfg.Warmup = 0.05 * cfg.Horizon
+	}
+	if cfg.Batches <= 0 {
+		cfg.Batches = 20
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	cfg.Classify.Reset(cfg.Rates, rng)
+	classes := make([]deque, cfg.Classify.NumClasses())
+
+	end := cfg.Warmup + cfg.Horizon
+	batchLen := cfg.Horizon / float64(cfg.Batches)
+
+	counts := make([]int, n)
+	queueAvg := make([]stats.TimeAverage, n)
+	var totalAvg stats.TimeAverage
+	batchInt := make([][]float64, n)
+	for i := range batchInt {
+		batchInt[i] = make([]float64, cfg.Batches)
+	}
+	delaySum := make([]float64, n)
+	departed := make([]int64, n)
+	var res Result
+	res.AvgQueue = make([]float64, n)
+	res.QueueCI95 = make([]float64, n)
+	res.AvgDelay = make([]float64, n)
+	res.Throughput = make([]float64, n)
+
+	var events geventHeap
+	for i, r := range cfg.Rates {
+		heap.Push(&events, gevent{t: rng.ExpFloat64() / r, user: i, isArr: true})
+	}
+	var serving *gpacket
+	servingToken := 0
+	tokenSeq := 0
+	inSystem := 0
+	prev := 0.0
+
+	startService := func(p *gpacket, now float64) {
+		serving = p
+		tokenSeq++
+		servingToken = tokenSeq
+		heap.Push(&events, gevent{t: now + p.remaining, token: servingToken})
+	}
+	nextFromQueues := func(now float64) {
+		serving = nil
+		for c := range classes {
+			if classes[c].len() > 0 {
+				startService(classes[c].popFront(), now)
+				return
+			}
+		}
+	}
+
+	for events.Len() > 0 {
+		ev := heap.Pop(&events).(gevent)
+		now := ev.t
+		if now > end {
+			now = end
+		}
+		// Accumulate piecewise-constant statistics over [prev, now).
+		if now > cfg.Warmup && now > prev {
+			lo := math.Max(prev, cfg.Warmup)
+			span := now - lo
+			if span > 0 {
+				for i := 0; i < n; i++ {
+					queueAvg[i].Accumulate(float64(counts[i]), span)
+				}
+				totalAvg.Accumulate(float64(inSystem), span)
+				accumulateBatches(batchInt, counts, lo-cfg.Warmup, now-cfg.Warmup, batchLen, cfg.Batches)
+			}
+		}
+		prev = now
+		if ev.t > end {
+			break
+		}
+		if ev.isArr {
+			u := ev.user
+			heap.Push(&events, gevent{t: ev.t + rng.ExpFloat64()/cfg.Rates[u], user: u, isArr: true})
+			p := &gpacket{
+				user:      u,
+				class:     cfg.Classify.Classify(u),
+				arrive:    ev.t,
+				remaining: cfg.Service.Sample(rng),
+			}
+			counts[u]++
+			inSystem++
+			if ev.t >= cfg.Warmup {
+				res.Arrivals++
+			}
+			switch {
+			case serving == nil:
+				startService(p, ev.t)
+			case p.class < serving.class:
+				// Preempt: bank the remaining work and resume later.
+				preempted := serving
+				// Find the scheduled completion to compute remaining work:
+				// remaining = scheduled completion − now; rather than
+				// searching the heap, track it via the packet itself.
+				preempted.remaining = preemptRemaining(&events, servingToken, ev.t)
+				servingToken = -1 // invalidate
+				classes[preempted.class].pushFront(preempted)
+				startService(p, ev.t)
+			default:
+				classes[p.class].pushBack(p)
+			}
+		} else {
+			if ev.token != servingToken || serving == nil {
+				continue // stale completion from a preempted service
+			}
+			p := serving
+			counts[p.user]--
+			inSystem--
+			if ev.t >= cfg.Warmup {
+				res.Departures++
+				departed[p.user]++
+				delaySum[p.user] += ev.t - p.arrive
+			}
+			nextFromQueues(ev.t)
+		}
+	}
+
+	res.Duration = cfg.Horizon
+	for i := 0; i < n; i++ {
+		res.AvgQueue[i] = queueAvg[i].Value()
+		res.QueueCI95[i] = batchCI(batchInt[i], batchLen)
+		if departed[i] > 0 {
+			res.AvgDelay[i] = delaySum[i] / float64(departed[i])
+		} else {
+			res.AvgDelay[i] = math.NaN()
+		}
+		res.Throughput[i] = float64(departed[i]) / cfg.Horizon
+	}
+	res.TotalAvgQueue = totalAvg.Value()
+	return res, nil
+}
+
+// preemptRemaining removes the pending completion with the given token
+// from the heap and returns its residual service time relative to now.
+func preemptRemaining(events *geventHeap, token int, now float64) float64 {
+	for i, ev := range *events {
+		if !ev.isArr && ev.token == token {
+			rem := ev.t - now
+			heap.Remove(events, i)
+			if rem < 0 {
+				rem = 0
+			}
+			return rem
+		}
+	}
+	return 0
+}

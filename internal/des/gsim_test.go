@@ -1,0 +1,161 @@
+package des
+
+import (
+	"math"
+	"testing"
+
+	"greednet/internal/alloc"
+	"greednet/internal/mm1"
+	"greednet/internal/randdist"
+)
+
+func runG(t *testing.T, cfg GConfig) Result {
+	t.Helper()
+	res, err := RunG(cfg)
+	if err != nil {
+		t.Fatalf("RunG: %v", err)
+	}
+	return res
+}
+
+func TestGFIFOMatchesPollaczekKhinchine(t *testing.T) {
+	// Total queue of M/G/1 FIFO must match L(x) = x + x²(1+cv²)/(2(1−x)).
+	rates := []float64{0.2, 0.3}
+	for _, cv2 := range []float64{0, 1, 2.5} {
+		model := mm1.MG1{CV2: cv2}
+		want := model.L(0.5)
+		res := runG(t, GConfig{
+			Rates:   rates,
+			Service: randdist.FromCV2(cv2),
+			Horizon: 4e5,
+			Seed:    11,
+		})
+		if math.Abs(res.TotalAvgQueue-want) > 0.06*want {
+			t.Errorf("cv²=%v: total queue %v, want P-K %v", cv2, res.TotalAvgQueue, want)
+		}
+		// Class-blind FIFO splits congestion in proportion to rate.
+		prop := alloc.ProportionalG{Model: model}.Congestion(rates)
+		for i := range rates {
+			if math.Abs(res.AvgQueue[i]-prop[i]) > math.Max(5*res.QueueCI95[i], 0.06*prop[i]) {
+				t.Errorf("cv²=%v user %d: %v, want %v", cv2, i, res.AvgQueue[i], prop[i])
+			}
+		}
+	}
+}
+
+func TestGExponentialMatchesMemorylessEngine(t *testing.T) {
+	// With exponential service both engines sample the same CTMC.
+	rates := []float64{0.15, 0.35}
+	g := runG(t, GConfig{Rates: rates, Service: randdist.Exponential{}, Horizon: 3e5, Seed: 12})
+	m, err := Run(Config{Rates: rates, Discipline: &FIFO{}, Horizon: 3e5, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range rates {
+		tol := 5 * (g.QueueCI95[i] + m.QueueCI95[i])
+		if math.Abs(g.AvgQueue[i]-m.AvgQueue[i]) > tol {
+			t.Errorf("engines disagree for user %d: %v vs %v (±%v)",
+				i, g.AvgQueue[i], m.AvgQueue[i], tol)
+		}
+	}
+}
+
+func TestGSerialSplitterMatchesTablePriorityG(t *testing.T) {
+	// The Table-1 construction under general service realizes exactly the
+	// preemptive-resume priority allocation TablePriorityG (which equals
+	// the serial ideal only at cv² = 1).
+	rates := []float64{0.1, 0.15, 0.2, 0.25}
+	for _, cv2 := range []float64{0, 1, 2} {
+		want := alloc.TablePriorityG{Model: mm1.MG1{CV2: cv2}}.Congestion(rates)
+		res := runG(t, GConfig{
+			Rates:    rates,
+			Service:  randdist.FromCV2(cv2),
+			Classify: &SerialClass{},
+			Horizon:  5e5,
+			Seed:     14,
+		})
+		for i := range rates {
+			tol := math.Max(5*res.QueueCI95[i], 0.05*want[i]+0.01)
+			if math.Abs(res.AvgQueue[i]-want[i]) > tol {
+				t.Errorf("cv²=%v user %d: DES %v, table-priority-G %v (±%v)",
+					cv2, i, res.AvgQueue[i], want[i], tol)
+			}
+		}
+	}
+}
+
+func TestGRankClassMatchesHOLPriorityG(t *testing.T) {
+	// One class per user (ascending rate) under general service matches
+	// the preemptive-resume priority sojourn formulas.
+	rates := []float64{0.1, 0.2, 0.3}
+	for _, cv2 := range []float64{0, 2} {
+		want := alloc.HOLPriorityG{Model: mm1.MG1{CV2: cv2}}.Congestion(rates)
+		res := runG(t, GConfig{
+			Rates:    rates,
+			Service:  randdist.FromCV2(cv2),
+			Classify: &RankClass{},
+			Horizon:  5e5,
+			Seed:     15,
+		})
+		for k := range rates {
+			tol := math.Max(5*res.QueueCI95[k], 0.06*want[k]+0.01)
+			if math.Abs(res.AvgQueue[k]-want[k]) > tol {
+				t.Errorf("cv²=%v class %d: DES %v, analytic %v (±%v)",
+					cv2, k, res.AvgQueue[k], want[k], tol)
+			}
+		}
+	}
+}
+
+func TestGLittlesLaw(t *testing.T) {
+	rates := []float64{0.2, 0.3}
+	res := runG(t, GConfig{
+		Rates:    rates,
+		Service:  randdist.FromCV2(2),
+		Classify: &SerialClass{},
+		Horizon:  2e5,
+		Seed:     16,
+	})
+	for i, r := range rates {
+		pred := r * res.AvgDelay[i]
+		if math.Abs(pred-res.AvgQueue[i]) > 0.08*(res.AvgQueue[i]+0.05) {
+			t.Errorf("Little's law broken for user %d: λd=%v c=%v", i, pred, res.AvgQueue[i])
+		}
+	}
+}
+
+func TestGRejectsBadConfig(t *testing.T) {
+	if _, err := RunG(GConfig{}); err == nil {
+		t.Error("empty config should error")
+	}
+	if _, err := RunG(GConfig{Rates: []float64{0.7, 0.7}}); err == nil {
+		t.Error("overload should error")
+	}
+}
+
+func TestGDeterministicBySeed(t *testing.T) {
+	cfg := GConfig{Rates: []float64{0.2, 0.2}, Service: randdist.FromCV2(2), Horizon: 1e4, Seed: 99}
+	a := runG(t, cfg)
+	b := runG(t, cfg)
+	for i := range a.AvgQueue {
+		if a.AvgQueue[i] != b.AvgQueue[i] {
+			t.Fatal("same seed must reproduce")
+		}
+	}
+}
+
+func TestDequeSemantics(t *testing.T) {
+	var d deque
+	p1 := &gpacket{user: 1}
+	p2 := &gpacket{user: 2}
+	p3 := &gpacket{user: 3}
+	d.pushBack(p1)
+	d.pushBack(p2)
+	d.pushFront(p3) // a resumed packet jumps the queue
+	if d.len() != 3 {
+		t.Fatal("len")
+	}
+	if d.popFront() != p3 || d.popFront() != p1 || d.popFront() != p2 {
+		t.Error("deque order wrong")
+	}
+}

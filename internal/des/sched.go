@@ -1,0 +1,312 @@
+package des
+
+import (
+	"container/heap"
+	"math"
+	"math/rand"
+
+	"greednet/internal/randdist"
+	"greednet/internal/stats"
+)
+
+// The scheduling engine: Poisson arrivals, general unit-mean service, and
+// NON-preemptive schedulers that pick the next packet to transmit whole —
+// the setting of real packet networks and of the Fair Queueing algorithm
+// of Demers, Keshav & Shenker that §5.2 discusses.  (The preemptive
+// priority engine lives in gsim.go; the memoryless CTMC engine in des.go.)
+
+// Scheduler selects the next packet to transmit.
+type Scheduler interface {
+	// Name identifies the scheduler.
+	Name() string
+	// Reset prepares for a run.
+	Reset(rates []float64)
+	// Enqueue admits an arriving packet; now is the arrival time and
+	// p.remaining its full transmission time (known at arrival, as packet
+	// lengths are on real links).
+	Enqueue(p *gpacket, now float64)
+	// Dequeue removes and returns the next packet to transmit.  Called
+	// only when Len() > 0, at time now.
+	Dequeue(now float64) *gpacket
+	// Len is the number of queued packets.
+	Len() int
+}
+
+// FCFSSched transmits packets in arrival order (the baseline).
+type FCFSSched struct {
+	q []*gpacket
+}
+
+// Name implements Scheduler.
+func (f *FCFSSched) Name() string { return "fcfs" }
+
+// Reset implements Scheduler.
+func (f *FCFSSched) Reset(rates []float64) { f.q = f.q[:0] }
+
+// Enqueue implements Scheduler.
+func (f *FCFSSched) Enqueue(p *gpacket, now float64) { f.q = append(f.q, p) }
+
+// Dequeue implements Scheduler.
+func (f *FCFSSched) Dequeue(now float64) *gpacket {
+	p := f.q[0]
+	f.q = f.q[1:]
+	return p
+}
+
+// Len implements Scheduler.
+func (f *FCFSSched) Len() int { return len(f.q) }
+
+// fqItem is a tagged packet in the FQ heap.
+type fqItem struct {
+	p      *gpacket
+	finish float64
+	seq    int64 // FIFO tie-break
+}
+
+type fqHeap []fqItem
+
+func (h fqHeap) Len() int { return len(h) }
+func (h fqHeap) Less(i, j int) bool {
+	if h[i].finish != h[j].finish {
+		return h[i].finish < h[j].finish
+	}
+	return h[i].seq < h[j].seq
+}
+func (h fqHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *fqHeap) Push(x interface{}) { *h = append(*h, x.(fqItem)) }
+func (h *fqHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// FQSched is the Fair Queueing scheduler of Demers, Keshav & Shenker:
+// it emulates bit-by-bit round robin by tracking a virtual time V(t) that
+// advances at rate 1/(number of backlogged flows), stamps each arriving
+// packet with a virtual finish time
+//
+//	F = max(V(arrival), F_prev(flow)) + length,
+//
+// and always transmits the queued packet with the smallest finish tag.
+// It approximates head-of-line processor sharing without time-slicing.
+type FQSched struct {
+	h          fqHeap
+	lastFinish []float64 // per-flow previous finish tag
+	queued     []int     // per-flow queued-packet count (backlog tracking)
+	backlogged int
+	vtime      float64
+	lastUpdate float64
+	seq        int64
+}
+
+// Name implements Scheduler.
+func (f *FQSched) Name() string { return "fair-queueing" }
+
+// Reset implements Scheduler.
+func (f *FQSched) Reset(rates []float64) {
+	n := len(rates)
+	f.h = f.h[:0]
+	f.lastFinish = make([]float64, n)
+	f.queued = make([]int, n)
+	f.backlogged = 0
+	f.vtime = 0
+	f.lastUpdate = 0
+	f.seq = 0
+}
+
+// advance moves virtual time forward to now.  While k flows are
+// backlogged, each receives a 1/k share of the server, so a bit-round
+// completes every k real time units.
+func (f *FQSched) advance(now float64) {
+	if now > f.lastUpdate {
+		if f.backlogged > 0 {
+			f.vtime += (now - f.lastUpdate) / float64(f.backlogged)
+		} else {
+			// An idle server lets virtual time track real time so stale
+			// finish tags do not advantage long-idle flows.
+			f.vtime += now - f.lastUpdate
+		}
+		f.lastUpdate = now
+	}
+}
+
+// Enqueue implements Scheduler.
+func (f *FQSched) Enqueue(p *gpacket, now float64) {
+	f.advance(now)
+	u := p.user
+	start := f.vtime
+	if f.lastFinish[u] > start {
+		start = f.lastFinish[u]
+	}
+	finish := start + p.remaining
+	f.lastFinish[u] = finish
+	if f.queued[u] == 0 {
+		f.backlogged++
+	}
+	f.queued[u]++
+	f.seq++
+	heap.Push(&f.h, fqItem{p: p, finish: finish, seq: f.seq})
+}
+
+// Dequeue implements Scheduler.
+func (f *FQSched) Dequeue(now float64) *gpacket {
+	f.advance(now)
+	it := heap.Pop(&f.h).(fqItem)
+	u := it.p.user
+	f.queued[u]--
+	if f.queued[u] == 0 {
+		f.backlogged--
+	}
+	return it.p
+}
+
+// Len implements Scheduler.
+func (f *FQSched) Len() int { return len(f.h) }
+
+// SchedConfig parameterizes a non-preemptive scheduling run.
+type SchedConfig struct {
+	// Rates are the per-flow Poisson rates (Σ < 1).
+	Rates []float64
+	// Service is the unit-mean packet-length distribution; default
+	// exponential.
+	Service randdist.Dist
+	// Sched is the scheduler under test; default FCFS.
+	Sched Scheduler
+	// Horizon, Warmup, Seed, Batches behave as in Config.
+	Horizon, Warmup float64
+	Seed            int64
+	Batches         int
+}
+
+// RunSched simulates the non-preemptive scheduler.
+func RunSched(cfg SchedConfig) (Result, error) {
+	n := len(cfg.Rates)
+	if n == 0 {
+		return Result{}, ErrBadConfig
+	}
+	total := 0.0
+	for _, r := range cfg.Rates {
+		if r <= 0 || math.IsNaN(r) {
+			return Result{}, ErrBadConfig
+		}
+		total += r
+	}
+	if total >= 1 {
+		return Result{}, ErrBadConfig
+	}
+	if cfg.Service == nil {
+		cfg.Service = randdist.Exponential{}
+	}
+	if cfg.Sched == nil {
+		cfg.Sched = &FCFSSched{}
+	}
+	if cfg.Horizon <= 0 {
+		cfg.Horizon = 2e5
+	}
+	if cfg.Warmup <= 0 {
+		cfg.Warmup = 0.05 * cfg.Horizon
+	}
+	if cfg.Batches <= 0 {
+		cfg.Batches = 20
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	cfg.Sched.Reset(cfg.Rates)
+
+	end := cfg.Warmup + cfg.Horizon
+	batchLen := cfg.Horizon / float64(cfg.Batches)
+	counts := make([]int, n)
+	queueAvg := make([]stats.TimeAverage, n)
+	var totalAvg stats.TimeAverage
+	batchInt := make([][]float64, n)
+	for i := range batchInt {
+		batchInt[i] = make([]float64, cfg.Batches)
+	}
+	delaySum := make([]float64, n)
+	departed := make([]int64, n)
+	var res Result
+	res.AvgQueue = make([]float64, n)
+	res.QueueCI95 = make([]float64, n)
+	res.AvgDelay = make([]float64, n)
+	res.Throughput = make([]float64, n)
+
+	var events geventHeap
+	for i, r := range cfg.Rates {
+		heap.Push(&events, gevent{t: rng.ExpFloat64() / r, user: i, isArr: true})
+	}
+	var serving *gpacket
+	inSystem := 0
+	prev := 0.0
+
+	for events.Len() > 0 {
+		ev := heap.Pop(&events).(gevent)
+		now := ev.t
+		if now > end {
+			now = end
+		}
+		if now > cfg.Warmup && now > prev {
+			lo := math.Max(prev, cfg.Warmup)
+			span := now - lo
+			if span > 0 {
+				for i := 0; i < n; i++ {
+					queueAvg[i].Accumulate(float64(counts[i]), span)
+				}
+				totalAvg.Accumulate(float64(inSystem), span)
+				accumulateBatches(batchInt, counts, lo-cfg.Warmup, now-cfg.Warmup, batchLen, cfg.Batches)
+			}
+		}
+		prev = now
+		if ev.t > end {
+			break
+		}
+		if ev.isArr {
+			u := ev.user
+			heap.Push(&events, gevent{t: ev.t + rng.ExpFloat64()/cfg.Rates[u], user: u, isArr: true})
+			p := &gpacket{user: u, arrive: ev.t, remaining: cfg.Service.Sample(rng)}
+			counts[u]++
+			inSystem++
+			if ev.t >= cfg.Warmup {
+				res.Arrivals++
+			}
+			if serving == nil {
+				serving = p
+				heap.Push(&events, gevent{t: ev.t + p.remaining})
+			} else {
+				cfg.Sched.Enqueue(p, ev.t)
+			}
+		} else {
+			if serving == nil {
+				continue
+			}
+			p := serving
+			counts[p.user]--
+			inSystem--
+			if ev.t >= cfg.Warmup {
+				res.Departures++
+				departed[p.user]++
+				delaySum[p.user] += ev.t - p.arrive
+			}
+			serving = nil
+			if cfg.Sched.Len() > 0 {
+				serving = cfg.Sched.Dequeue(ev.t)
+				heap.Push(&events, gevent{t: ev.t + serving.remaining})
+			}
+		}
+	}
+
+	res.Duration = cfg.Horizon
+	for i := 0; i < n; i++ {
+		res.AvgQueue[i] = queueAvg[i].Value()
+		res.QueueCI95[i] = batchCI(batchInt[i], batchLen)
+		if departed[i] > 0 {
+			res.AvgDelay[i] = delaySum[i] / float64(departed[i])
+		} else {
+			res.AvgDelay[i] = math.NaN()
+		}
+		res.Throughput[i] = float64(departed[i]) / cfg.Horizon
+	}
+	res.TotalAvgQueue = totalAvg.Value()
+	return res, nil
+}

@@ -1,0 +1,127 @@
+package des
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+)
+
+// TraceRecord is one completed packet's life in the simulator.
+type TraceRecord struct {
+	// User is the packet's source.
+	User int
+	// Class is the priority class it was served in (0 for class-blind
+	// disciplines).
+	Class int
+	// Arrive and Depart are its timestamps.
+	Arrive, Depart float64
+}
+
+// Delay is the packet's total sojourn time.
+func (t TraceRecord) Delay() float64 { return t.Depart - t.Arrive }
+
+// Tracer collects per-packet records, bounded by a capacity to keep long
+// runs affordable; once full, further records are counted but dropped.
+type Tracer struct {
+	// Records holds the collected packets in departure order.
+	Records []TraceRecord
+	// Dropped counts records discarded after capacity was reached.
+	Dropped int64
+	cap     int
+}
+
+// NewTracer returns a tracer bounded to capacity records (≤ 0 means a
+// default of 100000).
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = 100000
+	}
+	return &Tracer{cap: capacity}
+}
+
+// Observe implements the departure hook.
+func (tr *Tracer) Observe(p Packet, depart float64) {
+	if len(tr.Records) >= tr.cap {
+		tr.Dropped++
+		return
+	}
+	tr.Records = append(tr.Records, TraceRecord{
+		User:   p.User,
+		Class:  p.Class,
+		Arrive: p.Arrive,
+		Depart: depart,
+	})
+}
+
+// WriteCSV emits the trace as CSV (user, class, arrive, depart, delay).
+func (tr *Tracer) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"user", "class", "arrive", "depart", "delay"}); err != nil {
+		return err
+	}
+	for _, r := range tr.Records {
+		rec := []string{
+			strconv.Itoa(r.User),
+			strconv.Itoa(r.Class),
+			strconv.FormatFloat(r.Arrive, 'g', -1, 64),
+			strconv.FormatFloat(r.Depart, 'g', -1, 64),
+			strconv.FormatFloat(r.Delay(), 'g', -1, 64),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// DelayPercentiles returns the requested delay percentiles (each in
+// [0, 100]) for one user's packets, or NaNs when the user has no records.
+func (tr *Tracer) DelayPercentiles(user int, ps ...float64) []float64 {
+	var delays []float64
+	for _, r := range tr.Records {
+		if r.User == user {
+			delays = append(delays, r.Delay())
+		}
+	}
+	out := make([]float64, len(ps))
+	if len(delays) == 0 {
+		for i := range out {
+			out[i] = math.NaN()
+		}
+		return out
+	}
+	insertionSort(delays)
+	for i, p := range ps {
+		idx := int(p / 100 * float64(len(delays)-1))
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(delays) {
+			idx = len(delays) - 1
+		}
+		out[i] = delays[idx]
+	}
+	return out
+}
+
+// insertionSort avoids importing sort for a hot loop on mostly-sorted
+// departure-ordered delays.
+func insertionSort(xs []float64) {
+	for i := 1; i < len(xs); i++ {
+		v := xs[i]
+		j := i - 1
+		for j >= 0 && xs[j] > v {
+			xs[j+1] = xs[j]
+			j--
+		}
+		xs[j+1] = v
+	}
+}
+
+// String summarizes the tracer.
+func (tr *Tracer) String() string {
+	return fmt.Sprintf("trace{records=%d dropped=%d}", len(tr.Records), tr.Dropped)
+}

@@ -1,0 +1,100 @@
+package dynamics
+
+import (
+	"greednet/internal/core"
+	"greednet/internal/game"
+)
+
+// LeaderFollowerOptions configures the §4.2.2 timescale experiment.
+type LeaderFollowerOptions struct {
+	// Epochs is the number of slow leader adjustments; default 60.
+	Epochs int
+	// Probe is the leader's ±probe distance for its local comparison;
+	// default 0.01.
+	Probe float64
+	// Step is the leader's per-epoch move; default 0.01.
+	Step float64
+	// Nash configures the fast followers' equilibration between leader
+	// moves.
+	Nash game.NashOptions
+}
+
+func (o LeaderFollowerOptions) withDefaults() LeaderFollowerOptions {
+	if o.Epochs <= 0 {
+		o.Epochs = 60
+	}
+	if o.Probe <= 0 {
+		o.Probe = 0.01
+	}
+	if o.Step <= 0 {
+		o.Step = 0.01
+	}
+	return o
+}
+
+// LeaderFollowerResult reports the timescale experiment.
+type LeaderFollowerResult struct {
+	// R is the final rate vector (followers at their equilibrium).
+	R []float64
+	// LeaderUtility is the leader's final achieved utility.
+	LeaderUtility float64
+	// Trajectory records the leader's rate per epoch.
+	Trajectory []float64
+	// Converged is false if some follower equilibration failed.
+	Converged bool
+}
+
+// LeaderFollower simulates the §4.2.2 story: one sophisticated user (the
+// leader) adjusts its rate on a much longer time constant than everyone
+// else, so between its moves the naive followers settle into the Nash
+// equilibrium of their subsystem.  The leader itself is still a naive
+// local hill climber — it merely compares the settled payoffs of r ± probe
+// and steps uphill — yet this timescale separation alone steers it to the
+// Stackelberg rate.  Under Fair Share that is the Nash rate (nothing to
+// exploit, Theorem 5); under FIFO the leader ends up better off than at
+// Nash without ever knowing the game.
+func LeaderFollower(a core.Allocation, us core.Profile, leader int, r0 []float64, opt LeaderFollowerOptions) LeaderFollowerResult {
+	opt = opt.withDefaults()
+	n := len(r0)
+	free := make([]bool, n)
+	for i := range free {
+		free[i] = i != leader
+	}
+	inner := opt.Nash
+	inner.Free = free
+
+	res := LeaderFollowerResult{Converged: true}
+	warm := append([]float64(nil), r0...)
+	// settle equilibrates the followers at leader rate x and returns the
+	// leader's achieved utility.
+	settle := func(x float64) float64 {
+		start := append([]float64(nil), warm...)
+		start[leader] = x
+		nr, err := game.SolveNash(a, us, start, inner)
+		if err != nil || !nr.Converged {
+			res.Converged = false
+			return us[leader].Value(x, a.CongestionOf(start, leader))
+		}
+		copy(warm, nr.R)
+		return us[leader].Value(x, a.CongestionOf(nr.R, leader))
+	}
+
+	x := r0[leader]
+	for e := 0; e < opt.Epochs; e++ {
+		res.Trajectory = append(res.Trajectory, x)
+		up := core.Clamp(x+opt.Probe, 1e-6, 1-1e-6)
+		dn := core.Clamp(x-opt.Probe, 1e-6, 1-1e-6)
+		vUp := settle(up)
+		vDn := settle(dn)
+		switch {
+		case vUp > vDn:
+			x = core.Clamp(x+opt.Step, 1e-6, 1-1e-6)
+		case vDn > vUp:
+			x = core.Clamp(x-opt.Step, 1e-6, 1-1e-6)
+		}
+	}
+	res.LeaderUtility = settle(x)
+	res.R = append([]float64(nil), warm...)
+	res.R[leader] = x
+	return res
+}

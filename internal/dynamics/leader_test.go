@@ -1,0 +1,71 @@
+package dynamics
+
+import (
+	"math"
+	"testing"
+
+	"greednet/internal/alloc"
+	"greednet/internal/core"
+	"greednet/internal/game"
+	"greednet/internal/utility"
+)
+
+func TestSlowLeaderExploitsFIFO(t *testing.T) {
+	// §4.2.2: a naive hill climber with a longer time constant becomes a
+	// de-facto Stackelberg leader under FIFO and beats its Nash utility.
+	us := core.Profile{utility.NewLinear(1, 0.2), utility.NewLinear(1, 0.3)}
+	nash, err := game.SolveNash(alloc.Proportional{}, us, []float64{0.1, 0.1}, game.NashOptions{})
+	if err != nil || !nash.Converged {
+		t.Fatal("nash solve failed")
+	}
+	nashU := us[0].Value(nash.R[0], nash.C[0])
+	lf := LeaderFollower(alloc.Proportional{}, us, 0, []float64{0.1, 0.1},
+		LeaderFollowerOptions{Epochs: 80, Step: 0.008, Probe: 0.008})
+	if !lf.Converged {
+		t.Fatal("follower equilibration failed")
+	}
+	if lf.LeaderUtility <= nashU+1e-4 {
+		t.Errorf("slow leader gained nothing under FIFO: %v vs Nash %v",
+			lf.LeaderUtility, nashU)
+	}
+	// The emergent commitment should approach the analytic Stackelberg rate.
+	st, err := game.SolveStackelberg(alloc.Proportional{}, us, 0, []float64{0.1, 0.1}, game.StackOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(lf.R[0]-st.R[0]) > 0.03 {
+		t.Errorf("emergent leader rate %v far from Stackelberg %v", lf.R[0], st.R[0])
+	}
+}
+
+func TestSlowLeaderGainsNothingUnderFairShare(t *testing.T) {
+	// Theorem 5: under FS the Stackelberg point IS the Nash point, so the
+	// timescale trick yields no advantage.
+	us := core.Profile{utility.NewLinear(1, 0.2), utility.NewLinear(1, 0.3)}
+	nash, err := game.SolveNash(alloc.FairShare{}, us, []float64{0.1, 0.1}, game.NashOptions{})
+	if err != nil || !nash.Converged {
+		t.Fatal("nash solve failed")
+	}
+	nashU := us[0].Value(nash.R[0], nash.C[0])
+	lf := LeaderFollower(alloc.FairShare{}, us, 0, []float64{0.1, 0.1},
+		LeaderFollowerOptions{Epochs: 80, Step: 0.008, Probe: 0.008})
+	if !lf.Converged {
+		t.Fatal("follower equilibration failed")
+	}
+	if lf.LeaderUtility > nashU+1e-4 {
+		t.Errorf("leader should gain nothing under FS: %v vs Nash %v",
+			lf.LeaderUtility, nashU)
+	}
+	if math.Abs(lf.R[0]-nash.R[0]) > 0.02 {
+		t.Errorf("leader should settle at the Nash rate: %v vs %v", lf.R[0], nash.R[0])
+	}
+}
+
+func TestLeaderFollowerTrajectoryLength(t *testing.T) {
+	us := core.Profile{utility.NewLinear(1, 0.25), utility.NewLinear(1, 0.25)}
+	lf := LeaderFollower(alloc.FairShare{}, us, 0, []float64{0.1, 0.1},
+		LeaderFollowerOptions{Epochs: 10})
+	if len(lf.Trajectory) != 10 {
+		t.Errorf("trajectory length %d, want 10", len(lf.Trajectory))
+	}
+}

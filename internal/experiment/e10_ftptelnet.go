@@ -1,0 +1,121 @@
+package experiment
+
+import (
+	"io"
+	"math"
+
+	"greednet/internal/alloc"
+	"greednet/internal/core"
+	"greednet/internal/des"
+	"greednet/internal/game"
+	"greednet/internal/utility"
+)
+
+// E10FTPTelnet reproduces the §5.2 application claims: with primitive
+// utility archetypes — FTP transfers that care only about throughput and
+// Telnet sessions that care only about delay — Fair Share (Fair Queueing's
+// analytic ideal) gives fair throughput to the greedy flows, low delay to
+// the light interactive flows, and protection; FIFO gives none of these.
+// The selfish equilibrium is computed analytically, then the resulting
+// rate operating point is replayed in the discrete-event simulator to
+// measure packet delays.
+func E10FTPTelnet() Experiment {
+	e := Experiment{
+		ID:     "E10",
+		Source: "§5.2 (Fair Queueing applications)",
+		Title:  "FTP vs Telnet: throughput fairness and interactive delay under FIFO vs Fair Share",
+	}
+	e.Run = func(w io.Writer, opt Options) (Verdict, error) {
+		header(w, e)
+		// Two greedy FTPs (nearly congestion-insensitive) and two fixed
+		// light Telnet flows that do not optimize (they just need their
+		// keystrokes through).
+		ftpA := utility.NewLinear(1, 0.06)
+		ftpB := utility.NewLinear(1, 0.10) // slightly less aggressive
+		telnetRate := 0.01
+		us := core.Profile{ftpA, ftpB, utility.NewLinear(1, 0.5), utility.NewLinear(1, 0.5)}
+		free := []bool{true, true, false, false}
+		r0 := []float64{0.1, 0.1, telnetRate, telnetRate}
+
+		horizon := 3e5
+		if opt.Fast {
+			horizon = 3e4
+		}
+		seed := opt.Seed
+		if seed == 0 {
+			seed = 1010
+		}
+
+		type row struct {
+			name                string
+			ftp1, ftp2          float64
+			telnetDelayAnalytic float64
+			telnetDelayDES      float64
+			ftpShareRatio       float64
+			telnetProtected     bool
+		}
+		var rows []row
+		for _, a := range []core.Allocation{alloc.Proportional{}, alloc.FairShare{}} {
+			res, err := game.SolveNash(a, us, r0, game.NashOptions{Free: free})
+			if err != nil || !res.Converged {
+				return Verdict{}, errf("nash failed for %s", a.Name())
+			}
+			// Analytic telnet delay d = c/r at the equilibrium.
+			dTelnet := res.C[2] / res.R[2]
+			// Replay the operating point in the DES with the discipline
+			// that realizes this allocation.
+			var disc des.Discipline
+			if _, isFS := a.(alloc.FairShare); isFS {
+				disc = &des.FairShareSplitter{}
+			} else {
+				disc = &des.FIFO{}
+			}
+			sim, err := des.Run(des.Config{
+				Rates:      res.R,
+				Discipline: disc,
+				Horizon:    horizon,
+				Seed:       seed,
+			})
+			if err != nil {
+				return Verdict{}, err
+			}
+			bound := res.R[2] / (1 - 4*res.R[2])
+			rows = append(rows, row{
+				name:                a.Name(),
+				ftp1:                res.R[0],
+				ftp2:                res.R[1],
+				telnetDelayAnalytic: dTelnet,
+				telnetDelayDES:      sim.AvgDelay[2],
+				ftpShareRatio:       res.R[0] / res.R[1],
+				telnetProtected:     res.C[2] <= bound+1e-9,
+			})
+		}
+
+		tb := newTable(w)
+		tb.row("disc", "FTP-1 rate", "FTP-2 rate", "FTP ratio", "telnet delay (analytic)",
+			"telnet delay (DES)", "telnet protected?")
+		for _, r := range rows {
+			tb.row(r.name, r.ftp1, r.ftp2, r.ftpShareRatio, r.telnetDelayAnalytic,
+				r.telnetDelayDES, yesno(r.telnetProtected))
+		}
+		tb.flush()
+
+		fifo, fs := rows[0], rows[1]
+		// Paper shape: FS gives the light flows far lower delay than FIFO,
+		// keeps them protected, and the DES agrees with the analytics.
+		match := fs.telnetDelayAnalytic < 0.5*fifo.telnetDelayAnalytic &&
+			fs.telnetProtected &&
+			relClose(fs.telnetDelayDES, fs.telnetDelayAnalytic, 0.25) &&
+			relClose(fifo.telnetDelayDES, fifo.telnetDelayAnalytic, 0.25)
+		return verdictLine(w, match,
+			"Fair Share cuts interactive delay and protects light flows; FIFO couples them to the FTP backlog"), nil
+	}
+	return e
+}
+
+func relClose(a, b, tol float64) bool {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return false
+	}
+	return math.Abs(a-b) <= tol*math.Max(math.Abs(a), math.Abs(b))
+}

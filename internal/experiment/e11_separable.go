@@ -1,0 +1,94 @@
+package experiment
+
+import (
+	"io"
+	"math"
+	"math/rand"
+
+	"greednet/internal/alloc"
+	"greednet/internal/core"
+	"greednet/internal/game"
+	"greednet/internal/utility"
+)
+
+// E11Separable reproduces Corollary 2: when the constraint function is
+// separable — here f̂(r) = Σ r_i², sharable as C_i = r_i² — the Nash and
+// Pareto first-derivative conditions coincide, so *every* Nash equilibrium
+// is Pareto optimal, in sharp contrast to the M/M/1 constraint g(Σr).
+func E11Separable() Experiment {
+	e := Experiment{
+		ID:     "E11",
+		Source: "Corollary 2",
+		Title:  "separable constraint Σr²: every Nash equilibrium is Pareto optimal",
+	}
+	e.Run = func(w io.Writer, opt Options) (Verdict, error) {
+		header(w, e)
+		seed := opt.Seed
+		if seed == 0 {
+			seed = 1111
+		}
+		rng := rand.New(rand.NewSource(seed))
+		profiles := 10
+		if opt.Fast {
+			profiles = 4
+		}
+		a := alloc.Square{}
+		tb := newTable(w)
+		tb.row("profile", "N", "Nash rates", "max |M_i + 2r_i|", "Nash⇒Pareto FDC?")
+		match := true
+		for k := 0; k < profiles; k++ {
+			n := 2 + rng.Intn(4)
+			us := interiorSquareProfile(rng, n)
+			r0 := make([]float64, n)
+			for i := range r0 {
+				r0[i] = 0.05 + 0.3*rng.Float64()
+			}
+			res, err := game.SolveNash(a, us, r0, game.NashOptions{})
+			if err != nil || !res.Converged {
+				return Verdict{}, errf("square-world Nash failed (profile %d)", k)
+			}
+			// In the Σr² world the Pareto FDC is M_i = −∂f̂/∂r_i = −2r_i,
+			// identical to the Nash FDC for C_i = r_i².
+			worst := 0.0
+			for i := range res.R {
+				m := marginal(us[i], res.R[i], res.C[i])
+				if v := math.Abs(m + 2*res.R[i]); v > worst {
+					worst = v
+				}
+			}
+			ok := worst < 1e-3
+			if !ok {
+				match = false
+			}
+			tb.row(k, n, fmtVec(res.R), worst, yesno(ok))
+		}
+		tb.flush()
+		return verdictLine(w, match,
+			"the Nash FDC equals the Pareto FDC at every equilibrium of the separable world"), nil
+	}
+	return e
+}
+
+// interiorSquareProfile draws utilities whose optimum against C = r² is
+// guaranteed interior to (0, 1), so the Nash FDC applies: Linear needs
+// γ > 1/2 (optimum r = 1/(2γ)), Power needs 2γp > 1, Log needs w < 2γ.
+func interiorSquareProfile(rng *rand.Rand, n int) core.Profile {
+	out := make(core.Profile, n)
+	for i := range out {
+		switch rng.Intn(3) {
+		case 0:
+			out[i] = utility.Linear{A: 1, Gamma: 0.7 + 2*rng.Float64()}
+		case 1:
+			out[i] = utility.Power{A: 1, Gamma: 0.8 + 2*rng.Float64(), P: 1 + rng.Float64()}
+		default:
+			g := 1 + 2*rng.Float64()
+			out[i] = utility.Log{W: g * (0.3 + 0.5*rng.Float64()), Gamma: g}
+		}
+	}
+	return out
+}
+
+func marginal(u core.Utility, r, c float64) float64 {
+	dr, dc := u.Gradient(r, c)
+	return dr / dc
+}

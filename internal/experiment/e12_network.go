@@ -1,0 +1,85 @@
+package experiment
+
+import (
+	"io"
+
+	"greednet/internal/alloc"
+	"greednet/internal/core"
+	"greednet/internal/game"
+	"greednet/internal/network"
+	"greednet/internal/utility"
+)
+
+// E12Network reproduces the §5.4 discussion: with the Poisson
+// approximation, the single-switch machinery generalizes to networks of
+// switches — selfish best response still converges on a line of Fair Share
+// switches and the per-switch protection bounds still hold for a long
+// route, while a line of FIFO switches multiplies the damage greedy cross
+// traffic does to the long flow.
+func E12Network() Experiment {
+	e := Experiment{
+		ID:     "E12",
+		Source: "§5.4 (network of switches)",
+		Title:  "line topology: convergence and protection generalize to FS networks",
+	}
+	e.Run = func(w io.Writer, opt Options) (Verdict, error) {
+		header(w, e)
+		k := 3
+		match := true
+
+		// Users: 0 = long flow over all k switches; 1..k = cross flows.
+		us := core.Profile{
+			utility.NewLinear(1, 0.3),
+			utility.NewLinear(1, 0.25),
+			utility.NewLinear(1, 0.25),
+			utility.NewLinear(1, 0.25),
+		}
+		tb := newTable(w)
+		tb.row("disc", "converged?", "long-flow rate", "cross rates", "max deviation gain")
+		results := map[string]game.NashResult{}
+		for _, d := range []core.Allocation{alloc.FairShare{}, alloc.Proportional{}} {
+			nw, err := network.Line(k, d)
+			if err != nil {
+				return Verdict{}, err
+			}
+			res, err := game.SolveNash(nw, us, []float64{0.1, 0.1, 0.1, 0.1}, game.NashOptions{})
+			if err != nil {
+				return Verdict{}, err
+			}
+			results[d.Name()] = res
+			tb.row(nw.Name(), yesno(res.Converged), res.R[0], fmtVec(res.R[1:]), res.MaxGain)
+			if _, isFS := d.(alloc.FairShare); isFS && (!res.Converged || res.MaxGain > 1e-5) {
+				match = false
+			}
+		}
+		tb.flush()
+		// Paper shape: the long user pays congestion at every hop, so it
+		// settles at a lower rate than a cross user.
+		if fs := results["network(fair-share)"]; fs.Converged && fs.R[0] >= fs.R[1] {
+			match = false
+		}
+
+		// Protection of a naive long flow against flooding cross traffic.
+		attack := []float64{0.1, 0.9, 0.95, 0.99}
+		tb2 := newTable(w)
+		tb2.row("disc", "long-flow congestion under flood", "summed bound", "protected?")
+		for _, d := range []core.Allocation{alloc.FairShare{}, alloc.Proportional{}} {
+			nw, _ := network.Line(k, d)
+			c := nw.CongestionOf(attack, 0)
+			bound := nw.ProtectionBound(0, attack[0])
+			prot := c <= bound+1e-9
+			tb2.row(nw.Name(), c, bound, yesno(prot))
+			if _, isFS := d.(alloc.FairShare); isFS {
+				if !prot {
+					match = false
+				}
+			} else if prot {
+				match = false
+			}
+		}
+		tb2.flush()
+		return verdictLine(w, match,
+			"FS line networks converge and keep per-hop protection for the long flow; FIFO lines let cross floods destroy it"), nil
+	}
+	return e
+}

@@ -1,0 +1,130 @@
+package experiment
+
+import (
+	"io"
+	"math"
+	"math/rand"
+
+	"greednet/internal/alloc"
+	"greednet/internal/core"
+	"greednet/internal/des"
+	"greednet/internal/game"
+	"greednet/internal/mm1"
+	"greednet/internal/randdist"
+	"greednet/internal/utility"
+)
+
+// E15GeneralService reproduces footnote 5: every result rests only on the
+// constraint function being strictly increasing and strictly convex, so the
+// serial (Fair Share) allocation generalized to M/D/1 and M/G/1 stations
+// retains uniqueness, envy-freeness, and protection.  It also quantifies a
+// caveat the footnote leaves implicit: the Table-1 *priority realization*
+// is exact only for exponential service — for other service laws its
+// allocation (computed exactly via preemptive-resume priority formulas and
+// confirmed by general-service simulation) drifts from the serial ideal.
+func E15GeneralService() Experiment {
+	e := Experiment{
+		ID:     "E15",
+		Source: "footnote 5 (M/G/1 generalization)",
+		Title:  "serial allocation over M/D/1 and M/G/1: properties persist; Table-1 realization drifts",
+	}
+	e.Run = func(w io.Writer, opt Options) (Verdict, error) {
+		header(w, e)
+		seed := opt.Seed
+		if seed == 0 {
+			seed = 1515
+		}
+		match := true
+		models := []mm1.MG1{{CV2: 0}, {CV2: 2}}
+
+		// (a) Game-theoretic properties of the generalized serial rule.
+		tb := newTable(w)
+		tb.row("model", "distinct Nash (8 starts)", "max envy at Nash", "protection violations", "properties hold?")
+		rng := rand.New(rand.NewSource(seed))
+		for _, m := range models {
+			a := alloc.SerialG{Model: m}
+			us := utility.RandomProfile(rng, 3)
+			starts := make([][]float64, 8)
+			for k := range starts {
+				s := make([]float64, 3)
+				for i := range s {
+					s[i] = 0.02 + 0.4*rng.Float64()
+				}
+				starts[k] = s
+			}
+			distinct, all := game.MultiStartNash(a, us, starts, game.NashOptions{}, 1e-4)
+			envy := 0.0
+			if len(all) > 0 {
+				envy, _, _ = game.MaxEnvy(us, core.Point{R: all[0].R, C: all[0].C})
+			}
+			// Adversarial protection probe with the generalized bound.
+			violations := 0
+			probes := 300
+			if opt.Fast {
+				probes = 60
+			}
+			for k := 0; k < probes; k++ {
+				n := 2 + rng.Intn(3)
+				r := make([]float64, n)
+				for i := range r {
+					r[i] = 0.01 + 1.2*rng.Float64()
+				}
+				c := a.Congestion(r)
+				for i := range r {
+					bound := mm1.SymmetricCongestionG(m, n, r[i])
+					if c[i] > bound*(1+1e-9)+1e-9 {
+						violations++
+					}
+				}
+			}
+			ok := len(all) == len(starts) && len(distinct) == 1 && envy <= 1e-7 && violations == 0
+			if !ok {
+				match = false
+			}
+			tb.row(m.Name(), len(distinct), envy, violations, yesno(ok))
+		}
+		tb.flush()
+
+		// (b) Realization drift: the Table-1 priority construction vs the
+		// serial ideal, exact formulas confirmed by general-service DES.
+		rates := []float64{0.1, 0.15, 0.2, 0.25}
+		horizon := 3e5
+		if opt.Fast {
+			horizon = 4e4
+		}
+		tb2 := newTable(w)
+		tb2.row("cv²", "serial ideal c₄", "Table-1 exact c₄", "drift", "DES c₄", "DES≈exact?")
+		for _, cv2 := range []float64{0, 1, 2} {
+			ideal := alloc.SerialG{Model: mm1.MG1{CV2: cv2}}.Congestion(rates)
+			exact := alloc.TablePriorityG{Model: mm1.MG1{CV2: cv2}}.Congestion(rates)
+			sim, err := des.RunG(des.GConfig{
+				Rates:    rates,
+				Service:  randdist.FromCV2(cv2),
+				Classify: &des.SerialClass{},
+				Horizon:  horizon,
+				Seed:     seed,
+			})
+			if err != nil {
+				return Verdict{}, err
+			}
+			last := len(rates) - 1
+			drift := math.Abs(exact[last]-ideal[last]) / ideal[last]
+			desOK := math.Abs(sim.AvgQueue[last]-exact[last]) <=
+				math.Max(5*sim.QueueCI95[last], 0.06*exact[last])
+			tb2.row(cv2, ideal[last], exact[last], drift, sim.AvgQueue[last], yesno(desOK))
+			if !desOK {
+				match = false
+			}
+			if cv2 == 1 && drift > 1e-9 {
+				match = false // exponential service must realize the ideal exactly
+			}
+			if cv2 != 1 && drift == 0 {
+				match = false // non-exponential service must drift
+			}
+		}
+		tb2.flush()
+		return verdictLine(w, match,
+			"the serial rule keeps uniqueness/envy-freeness/protection for M/D/1 and M/G/1; the Table-1 realization is exact only at cv²=1"), nil
+	}
+	return e
+}

@@ -1,0 +1,89 @@
+package experiment
+
+import (
+	"io"
+	"math/rand"
+
+	"greednet/internal/alloc"
+	"greednet/internal/core"
+	"greednet/internal/game"
+	"greednet/internal/mm1"
+	"greednet/internal/utility"
+)
+
+// E16Coalition reproduces footnote 14: Fair Share Nash equilibria are
+// resilient against coalitional manipulation (they are strong equilibria),
+// while the FIFO equilibrium is not even resilient against the grand
+// coalition — everybody throttling back helps everybody, which is the
+// tragedy-of-the-commons signature of §4.1.1 restated coalitionally.
+func E16Coalition() Experiment {
+	e := Experiment{
+		ID:     "E16",
+		Source: "footnote 14 (coalition resilience)",
+		Title:  "Fair Share equilibria are strong equilibria; FIFO's fall to the grand coalition",
+	}
+	e.Run = func(w io.Writer, opt Options) (Verdict, error) {
+		header(w, e)
+		seed := opt.Seed
+		if seed == 0 {
+			seed = 1616
+		}
+		samples := 1200
+		if opt.Fast {
+			samples = 300
+		}
+		profiles := []struct {
+			name string
+			us   core.Profile
+		}{
+			{"identical linear", utility.Identical(utility.NewLinear(1, 0.2), 3)},
+			{"mixed families", core.Profile{
+				utility.NewLinear(1, 0.25),
+				utility.Log{W: 0.3, Gamma: 1},
+				utility.Sqrt{W: 1, Gamma: 2},
+			}},
+		}
+		tb := newTable(w)
+		tb.row("profile", "disc", "improving coalition found?", "members", "total rate before→after")
+		match := true
+		for pi, p := range profiles {
+			for _, a := range []core.Allocation{alloc.FairShare{}, alloc.Proportional{}} {
+				res, err := game.SolveNash(a, p.us, []float64{0.1, 0.1, 0.1}, game.NashOptions{})
+				if err != nil || !res.Converged {
+					return Verdict{}, errf("nash failed: %s/%s", p.name, a.Name())
+				}
+				rng := rand.New(rand.NewSource(seed + int64(pi)))
+				wtn := game.StrongEquilibriumCheck(a, p.us, res.R, rng, samples)
+				members := "-"
+				loadChange := "-"
+				if wtn != nil {
+					members = fmtInts(wtn.Members)
+					loadChange = fnum(mm1.Sum(res.R)) + "→" + fnum(mm1.Sum(wtn.Rates))
+				}
+				tb.row(p.name, a.Name(), yesno(wtn != nil), members, loadChange)
+				if _, isFS := a.(alloc.FairShare); isFS {
+					if wtn != nil {
+						match = false
+					}
+				} else if wtn == nil {
+					match = false
+				}
+			}
+		}
+		tb.flush()
+		return verdictLine(w, match,
+			"no coalition improves on a Fair Share equilibrium; FIFO equilibria fall to joint throttling"), nil
+	}
+	return e
+}
+
+func fmtInts(xs []int) string {
+	s := "["
+	for i, v := range xs {
+		if i > 0 {
+			s += " "
+		}
+		s += fnum(float64(v))
+	}
+	return s + "]"
+}

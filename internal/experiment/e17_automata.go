@@ -1,0 +1,66 @@
+package experiment
+
+import (
+	"io"
+	"math"
+
+	"greednet/internal/alloc"
+	"greednet/internal/learnauto"
+	"greednet/internal/utility"
+)
+
+// E17Automata reproduces the reference-[8] learning model the paper leans
+// on for Theorem 5: linear reward–inaction automata that know nothing of
+// the game concentrate their play on the Fair Share Nash equilibrium
+// (within the action-grid resolution).
+func E17Automata() Experiment {
+	e := Experiment{
+		ID:     "E17",
+		Source: "ref [8] (learning by distributed automata), §4.2.2",
+		Title:  "reward–inaction automata concentrate on the Fair Share Nash equilibrium",
+	}
+	e.Run = func(w io.Writer, opt Options) (Verdict, error) {
+		header(w, e)
+		seed := opt.Seed
+		if seed == 0 {
+			seed = 1717
+		}
+		n := 3
+		gamma := 0.25
+		us := utility.Identical(utility.NewLinear(1, gamma), n)
+		want := (1 - math.Sqrt(gamma)) / float64(n)
+		lo := learnauto.Options{Seed: seed, Rounds: 12000}
+		if opt.Fast {
+			lo.Rounds = 5000
+		}
+		match := true
+		tb := newTable(w)
+		tb.row("switch", "automaton", "modal rate", "modal mass", "target Nash", "on grid target?")
+		for _, a := range []struct {
+			name  string
+			alloc interface {
+				CongestionOf(r []float64, i int) float64
+			}
+			target float64
+		}{
+			{"fair-share", alloc.FairShare{}, want},
+		} {
+			payoff := func(r []float64, i int) float64 {
+				return us[i].Value(r[i], a.alloc.CongestionOf(r, i))
+			}
+			res := learnauto.Run(payoff, n, lo)
+			gridStep := res.Grid[1] - res.Grid[0]
+			for i := range res.Modal {
+				ok := math.Abs(res.Modal[i]-a.target) <= 1.5*gridStep && res.ModalMass[i] > 0.4
+				if !ok {
+					match = false
+				}
+				tb.row(a.name, i, res.Modal[i], res.ModalMass[i], a.target, yesno(ok))
+			}
+		}
+		tb.flush()
+		return verdictLine(w, match,
+			"blind L_R-I automata concentrate within one grid cell of the FS Nash rate"), nil
+	}
+	return e
+}

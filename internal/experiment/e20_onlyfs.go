@@ -1,0 +1,100 @@
+package experiment
+
+import (
+	"io"
+	"math"
+	"math/rand"
+
+	"greednet/internal/alloc"
+	"greednet/internal/core"
+	"greednet/internal/game"
+	"greednet/internal/utility"
+)
+
+// E20OnlyFairShare probes the uniqueness halves of Theorems 3, 5, 7, and 8
+// ("Fair Share is the ONLY MAC allocation function with any one of these
+// properties") by ablation: the Blend family θ·FS + (1−θ)·FIFO is MAC for
+// every θ, yet each property must fail for every θ < 1 and snap into place
+// exactly at θ = 1.
+func E20OnlyFairShare() Experiment {
+	e := Experiment{
+		ID:     "E20",
+		Source: "Theorems 3/5/7/8 uniqueness parts",
+		Title:  "MAC ablation: every Fair Share property fails for every blend θ < 1",
+	}
+	e.Run = func(w io.Writer, opt Options) (Verdict, error) {
+		header(w, e)
+		seed := opt.Seed
+		if seed == 0 {
+			seed = 2020
+		}
+		thetas := []float64{0, 0.25, 0.5, 0.75, 0.9, 1}
+		if opt.Fast {
+			thetas = []float64{0, 0.5, 0.9, 1}
+		}
+		match := true
+		tb := newTable(w)
+		tb.row("θ", "MAC?", "unilateral envy", "protection slack", "Stackelberg adv", "all FS properties?")
+		for _, th := range thetas {
+			a := alloc.Blend{Theta: th}
+			rng := rand.New(rand.NewSource(seed))
+
+			// MAC membership at random interior points.
+			macOK := true
+			for k := 0; k < 10; k++ {
+				r := []float64{0.05 + 0.2*rng.Float64(), 0.05 + 0.2*rng.Float64(), 0.05 + 0.2*rng.Float64()}
+				if !alloc.CheckMAC(a, r, 1e-6).OK {
+					macOK = false
+				}
+			}
+
+			// (Thm 3) worst unilateral envy over adversarial opponents.
+			worstEnvy := math.Inf(-1)
+			us2 := core.Profile{utility.NewLinear(1, 0.2), utility.NewLinear(1, 0.2)}
+			for k := 0; k < 40; k++ {
+				r := []float64{0.02 + 0.3*rng.Float64(), 0.02 + 0.7*rng.Float64()}
+				if r[0]+r[1] > 0.95 {
+					continue
+				}
+				if v := game.UnilateralEnvy(a, us2, r, 0, game.BROptions{}); v > worstEnvy {
+					worstEnvy = v
+				}
+			}
+
+			// (Thm 8) worst protection slack under a flooding opponent.
+			worstSlack := math.Inf(1)
+			for _, atk := range []float64{0.5, 0.7, 0.85} {
+				slacks := game.ProtectionSlack(a, []float64{0.1, atk})
+				if slacks[0] < worstSlack {
+					worstSlack = slacks[0]
+				}
+			}
+
+			// (Thm 5) Stackelberg leader advantage.
+			so := game.StackOptions{}
+			if opt.Fast {
+				so.Grid = 20
+			}
+			adv, _, _, err := game.LeaderAdvantage(a, us2, 0, []float64{0.1, 0.1}, so)
+			if err != nil {
+				return Verdict{}, err
+			}
+
+			fsLike := worstEnvy <= 1e-6 && worstSlack >= -1e-9 && math.Abs(adv) <= 1e-4
+			tb.row(th, yesno(macOK), worstEnvy, worstSlack, adv, yesno(fsLike))
+			if !macOK {
+				match = false
+			}
+			if th == 1 && !fsLike {
+				match = false
+			}
+			if th < 1 && fsLike {
+				match = false // a non-FS MAC blend must fail something
+			}
+		}
+		tb.flush()
+		return verdictLine(w, match,
+			"every blend is MAC, yet envy-freeness, protection, and Stackelberg-immunity hold only at θ = 1 (pure Fair Share)"), nil
+	}
+	return e
+}

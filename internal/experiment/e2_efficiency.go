@@ -1,0 +1,84 @@
+package experiment
+
+import (
+	"io"
+	"math"
+	"math/rand"
+
+	"greednet/internal/alloc"
+	"greednet/internal/core"
+	"greednet/internal/game"
+	"greednet/internal/numeric"
+	"greednet/internal/utility"
+)
+
+// E2Efficiency reproduces the §4.1.1 efficiency analysis: proportional
+// (FIFO) Nash equilibria violate the Pareto first-derivative condition and
+// are Pareto-dominated, while Fair Share's symmetric Nash coincides with
+// the symmetric Pareto point for identical users (the overgrazing gap).
+func E2Efficiency() Experiment {
+	e := Experiment{
+		ID:     "E2",
+		Source: "Theorem 1, §4.1.1",
+		Title:  "FIFO Nash equilibria are never Pareto optimal; the selfish overgrazing gap",
+	}
+	e.Run = func(w io.Writer, opt Options) (Verdict, error) {
+		header(w, e)
+		seed := opt.Seed
+		if seed == 0 {
+			seed = 202
+		}
+		rng := rand.New(rand.NewSource(seed))
+		gamma := 0.2
+		u := utility.NewLinear(1, gamma)
+		tb := newTable(w)
+		tb.row("N", "disc", "Nash rate", "Pareto rate", "U@Nash", "U@Pareto",
+			"FDC residual", "dominated?")
+		match := true
+		samples := 4000
+		if opt.Fast {
+			samples = 500
+		}
+		for _, n := range []int{2, 4, 8} {
+			us := utility.Identical(u, n)
+			rp, cp, ok := game.SymmetricParetoRate(u, n)
+			if !ok {
+				return Verdict{}, errf("no symmetric Pareto rate for n=%d", n)
+			}
+			uPareto := u.Value(rp, cp)
+			for _, a := range []core.Allocation{alloc.Proportional{}, alloc.FairShare{}} {
+				r0 := make([]float64, n)
+				for i := range r0 {
+					r0[i] = 0.5 / float64(n)
+				}
+				res, err := game.SolveNash(a, us, r0, game.NashOptions{})
+				if err != nil || !res.Converged {
+					return Verdict{}, errf("nash solve failed for %s n=%d", a.Name(), n)
+				}
+				p := core.Point{R: res.R, C: res.C}
+				resid := numeric.VecNormInf(game.ParetoResidual(us, p))
+				uNash := u.Value(res.R[0], res.C[0])
+				witness := game.FindDominating(us, p, rng, samples)
+				dominated := witness != nil
+				tb.row(n, a.Name(), res.R[0], rp, uNash, uPareto, resid, yesno(dominated))
+				switch a.(type) {
+				case alloc.Proportional:
+					// Paper shape: FIFO Nash over-grazes (rate above the
+					// Pareto rate), violates the FDC, is dominated.
+					if res.R[0] <= rp || resid < 1e-3 || !dominated || uNash >= uPareto {
+						match = false
+					}
+				case alloc.FairShare:
+					// Paper shape: FS symmetric Nash IS the Pareto point.
+					if math.Abs(res.R[0]-rp) > 1e-4 || resid > 1e-3 || dominated {
+						match = false
+					}
+				}
+			}
+		}
+		tb.flush()
+		return verdictLine(w, match,
+			"FIFO Nash overshoots the symmetric Pareto rate and is dominated; FS Nash sits on it"), nil
+	}
+	return e
+}

@@ -1,0 +1,113 @@
+package experiment
+
+import (
+	"io"
+	"math"
+
+	"greednet/internal/alloc"
+	"greednet/internal/core"
+	"greednet/internal/game"
+	"greednet/internal/numeric"
+	"greednet/internal/utility"
+)
+
+// E3SymmetricPareto reproduces Theorem 2: a MAC Nash equilibrium can be
+// Pareto optimal only at completely symmetric rates, and every symmetric
+// Pareto point is a Nash equilibrium of Fair Share.
+func E3SymmetricPareto() Experiment {
+	e := Experiment{
+		ID:     "E3",
+		Source: "Theorem 2",
+		Title:  "Pareto∩Nash requires symmetric rates; symmetric Pareto points are FS Nash",
+	}
+	e.Run = func(w io.Writer, opt Options) (Verdict, error) {
+		header(w, e)
+		match := true
+		tb := newTable(w)
+		tb.row("case", "utility family", "N", "FS Nash spread", "Pareto FDC resid", "shape holds?")
+
+		// (a) Identical users, several families: FS Nash symmetric and
+		// satisfies the Pareto FDC.
+		idCases := []struct {
+			name string
+			u    core.Utility
+		}{
+			{"linear γ=0.25", utility.NewLinear(1, 0.25)},
+			{"log w=0.4 γ=1", utility.Log{W: 0.4, Gamma: 1}},
+			{"sqrt w=1 γ=2", utility.Sqrt{W: 1, Gamma: 2}},
+			{"power p=1.5", utility.Power{A: 1, Gamma: 1, P: 1.5}},
+		}
+		for _, tc := range idCases {
+			n := 4
+			us := utility.Identical(tc.u, n)
+			res, err := game.SolveNash(alloc.FairShare{}, us, []float64{0.02, 0.05, 0.1, 0.2}, game.NashOptions{})
+			if err != nil || !res.Converged {
+				return Verdict{}, errf("FS solve failed for %s", tc.name)
+			}
+			spread := spreadOf(res.R)
+			resid := numeric.VecNormInf(game.ParetoResidual(us, core.Point{R: res.R, C: res.C}))
+			ok := spread < 1e-5 && resid < 1e-3
+			if !ok {
+				match = false
+			}
+			tb.row("identical", tc.name, n, spread, resid, yesno(ok))
+		}
+
+		// (b) Heterogeneous users: FS Nash is asymmetric, hence (Thm 2)
+		// not Pareto — the FDC residual must be bounded away from zero.
+		hetero := core.Profile{
+			utility.NewLinear(1, 0.15),
+			utility.NewLinear(1, 0.45),
+			utility.Log{W: 0.3, Gamma: 1},
+		}
+		res, err := game.SolveNash(alloc.FairShare{}, hetero, []float64{0.1, 0.1, 0.1}, game.NashOptions{})
+		if err != nil || !res.Converged {
+			return Verdict{}, errf("heterogeneous FS solve failed")
+		}
+		spread := spreadOf(res.R)
+		resid := numeric.VecNormInf(game.ParetoResidual(hetero, core.Point{R: res.R, C: res.C}))
+		ok := spread > 1e-3 && resid > 1e-3
+		if !ok {
+			match = false
+		}
+		tb.row("heterogeneous", "mixed", 3, spread, resid, yesno(ok))
+
+		// (c) The symmetric Pareto point is itself an FS Nash equilibrium:
+		// plant it and verify no user can deviate profitably.
+		u := utility.NewLinear(1, 0.25)
+		n := 5
+		rp, _, okP := game.SymmetricParetoRate(u, n)
+		if !okP {
+			return Verdict{}, errf("no symmetric Pareto point")
+		}
+		rvec := make([]float64, n)
+		for i := range rvec {
+			rvec[i] = rp
+		}
+		us := utility.Identical(u, n)
+		maxGain := 0.0
+		for i := 0; i < n; i++ {
+			if g := game.DeviationGain(alloc.FairShare{}, us[i], rvec, i, game.BROptions{}); g > maxGain {
+				maxGain = g
+			}
+		}
+		okC := maxGain < 1e-7
+		if !okC {
+			match = false
+		}
+		tb.row("planted Pareto", "linear γ=0.25", n, 0.0, maxGain, yesno(okC))
+		tb.flush()
+		return verdictLine(w, match,
+			"FS Nash symmetric+Pareto for identical users, asymmetric+non-Pareto otherwise; symmetric Pareto points are FS-stable"), nil
+	}
+	return e
+}
+
+func spreadOf(r []float64) float64 {
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range r {
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	return hi - lo
+}

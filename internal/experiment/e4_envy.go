@@ -1,0 +1,124 @@
+package experiment
+
+import (
+	"io"
+	"math"
+	"math/rand"
+
+	"greednet/internal/alloc"
+	"greednet/internal/core"
+	"greednet/internal/game"
+	"greednet/internal/utility"
+)
+
+// E4Envy reproduces Theorem 3: Fair Share is unilaterally envy-free (so
+// its equilibria are fair), while proportional equilibria leave optimizing
+// users envying larger senders.
+func E4Envy() Experiment {
+	e := Experiment{
+		ID:     "E4",
+		Source: "Theorem 3, §4.1.2",
+		Title:  "Fair Share equilibria are envy-free; FIFO equilibria are not",
+	}
+	e.Run = func(w io.Writer, opt Options) (Verdict, error) {
+		header(w, e)
+		seed := opt.Seed
+		if seed == 0 {
+			seed = 404
+		}
+		rng := rand.New(rand.NewSource(seed))
+		match := true
+
+		// (a) Envy at equilibrium for heterogeneous linear users.
+		us := core.Profile{
+			utility.NewLinear(1, 0.2),
+			utility.NewLinear(1, 0.25),
+			utility.NewLinear(1, 0.3),
+		}
+		tb := newTable(w)
+		tb.row("disc", "Nash rates", "max envy", "envier→envied", "envy-free?")
+		for _, a := range []core.Allocation{alloc.Proportional{}, alloc.FairShare{}} {
+			res, err := game.SolveNash(a, us, []float64{0.1, 0.1, 0.1}, game.NashOptions{})
+			if err != nil || !res.Converged {
+				return Verdict{}, errf("nash solve failed for %s", a.Name())
+			}
+			amount, i, j := game.MaxEnvy(us, core.Point{R: res.R, C: res.C})
+			free := amount <= 1e-7
+			pair := "-"
+			if !free {
+				pair = fmtPair(i, j)
+			}
+			tb.row(a.Name(), fmtVec(res.R), amount, pair, yesno(free))
+			switch a.(type) {
+			case alloc.Proportional:
+				if free {
+					match = false
+				}
+			case alloc.FairShare:
+				if !free {
+					match = false
+				}
+			}
+		}
+		tb.flush()
+
+		// (b) Unilateral envy scan over random opponent configurations.
+		trials := 200
+		if opt.Fast {
+			trials = 40
+		}
+		worstFS, worstProp := math.Inf(-1), math.Inf(-1)
+		propPositive := 0
+		for k := 0; k < trials; k++ {
+			n := 2 + rng.Intn(3)
+			prof := utility.RandomProfile(rng, n)
+			r := make([]float64, n)
+			for i := range r {
+				r[i] = 0.02 + 0.6*rng.Float64()
+			}
+			i := rng.Intn(n)
+			if v := game.UnilateralEnvy(alloc.FairShare{}, prof, r, i, game.BROptions{}); v > worstFS {
+				worstFS = v
+			}
+			// Keep the proportional probe inside the stable region so the
+			// optimizer's payoff is finite.
+			scale := 0.9 / sumOf(r)
+			if scale < 1 {
+				for j := range r {
+					r[j] *= scale
+				}
+			}
+			if v := game.UnilateralEnvy(alloc.Proportional{}, prof, r, i, game.BROptions{}); v > 1e-7 {
+				propPositive++
+				if v > worstProp {
+					worstProp = v
+				}
+			}
+		}
+		tbl2 := newTable(w)
+		tbl2.row("scan", "trials", "worst FS unilateral envy", "FIFO trials with envy", "worst FIFO envy")
+		tbl2.row("random opponents", trials, worstFS, propPositive, worstProp)
+		tbl2.flush()
+		if worstFS > 1e-6 || propPositive == 0 {
+			match = false
+		}
+		return verdictLine(w, match,
+			"optimizing users never envy under FS; under FIFO smaller senders envy larger ones"), nil
+	}
+	return e
+}
+
+func fmtVec(r []float64) string {
+	s := "["
+	for i, v := range r {
+		if i > 0 {
+			s += " "
+		}
+		s += fnum(v)
+	}
+	return s + "]"
+}
+
+func fmtPair(i, j int) string {
+	return fnum(float64(i)) + "→" + fnum(float64(j))
+}

@@ -1,0 +1,114 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"greednet/internal/alloc"
+	"greednet/internal/core"
+	"greednet/internal/dynamics"
+	"greednet/internal/game"
+	"greednet/internal/utility"
+)
+
+// E6Learning reproduces Theorem 5: generalized hill climbing (sound
+// candidate-elimination learners) collapses onto the Fair Share Nash
+// equilibrium but stalls wide under FIFO; and Stackelberg leadership pays
+// nothing under Fair Share while it pays under FIFO.
+func E6Learning() Experiment {
+	e := Experiment{
+		ID:     "E6",
+		Source: "Theorem 5, §4.2.2",
+		Title:  "robust convergence of generalized hill climbing; Stackelberg = Nash under FS",
+	}
+	e.Run = func(w io.Writer, opt Options) (Verdict, error) {
+		header(w, e)
+		match := true
+
+		// (a) Interval-elimination learning from total ignorance.
+		n := 3
+		gamma := 0.25
+		us := utility.Identical(utility.NewLinear(1, gamma), n)
+		eo := dynamics.EliminationOptions{Tol: 1e-3}
+		if opt.Fast {
+			eo.Grid = 32
+			eo.MaxRounds = 40
+		}
+		tb := newTable(w)
+		tb.row("disc", "rounds", "final box width", "Nash inside?", "collapsed?")
+		nashRate := (1 - math.Sqrt(gamma)) / float64(n)
+		nashVec := []float64{nashRate, nashRate, nashRate}
+		for _, a := range []core.Allocation{alloc.FairShare{}, alloc.Proportional{}} {
+			res := dynamics.GeneralizedHillClimb(a, us, dynamics.NewBox(n, 1e-6, 1-1e-6), eo)
+			inside := res.Final.Contains(nashVec, 1e-6)
+			collapsed := res.Final.Width() <= 1e-2
+			tb.row(a.Name(), res.Rounds, res.Final.Width(), yesno(inside), yesno(collapsed))
+			if _, isFS := a.(alloc.FairShare); isFS {
+				if !inside || !collapsed {
+					match = false
+				}
+			} else if collapsed {
+				match = false // FIFO must stall wide
+			}
+		}
+		tb.flush()
+
+		// (b) Stackelberg leader advantage.
+		prof := core.Profile{utility.NewLinear(1, 0.2), utility.NewLinear(1, 0.3)}
+		so := game.StackOptions{}
+		if opt.Fast {
+			so.Grid = 24
+		}
+		tb2 := newTable(w)
+		tb2.row("disc", "leader Nash U", "leader Stackelberg U", "advantage", "lead rate vs Nash rate")
+		for _, a := range []core.Allocation{alloc.FairShare{}, alloc.Proportional{}} {
+			adv, st, nash, err := game.LeaderAdvantage(a, prof, 0, []float64{0.1, 0.1}, so)
+			if err != nil {
+				return Verdict{}, err
+			}
+			nu := prof[0].Value(nash.R[0], nash.C[0])
+			tb2.row(a.Name(), nu, st.LeaderUtility, adv,
+				fmt.Sprintf("%s vs %s", fnum(st.R[0]), fnum(nash.R[0])))
+			if _, isFS := a.(alloc.FairShare); isFS {
+				if math.Abs(adv) > 1e-4 {
+					match = false
+				}
+			} else if adv <= 1e-5 {
+				match = false
+			}
+		}
+		tb2.flush()
+
+		// (c) Timescale exploitation (§4.2.2 first paragraph): a naive
+		// hill climber with a longer time constant becomes a de-facto
+		// leader while fast followers equilibrate between its moves.
+		// 80 slow epochs let the leader walk from 0.1 to the ≈0.6
+		// Stackelberg rate at Step per epoch; fewer would cut the walk
+		// short, so the budget is not reduced in fast mode (it is cheap).
+		lfo := dynamics.LeaderFollowerOptions{Epochs: 80, Step: 0.008, Probe: 0.008}
+		tb3 := newTable(w)
+		tb3.row("disc", "slow-leader final U", "leader Nash U", "timescale gain")
+		for _, a := range []core.Allocation{alloc.FairShare{}, alloc.Proportional{}} {
+			nash, err := game.SolveNash(a, prof, []float64{0.1, 0.1}, game.NashOptions{})
+			if err != nil || !nash.Converged {
+				return Verdict{}, errf("nash failed for %s", a.Name())
+			}
+			nashU := prof[0].Value(nash.R[0], nash.C[0])
+			lf := dynamics.LeaderFollower(a, prof, 0, []float64{0.1, 0.1}, lfo)
+			gain := lf.LeaderUtility - nashU
+			tb3.row(a.Name(), lf.LeaderUtility, nashU, gain)
+			if _, isFS := a.(alloc.FairShare); isFS {
+				if gain > 1e-3 {
+					match = false
+				}
+			} else if gain <= 1e-4 {
+				match = false
+			}
+		}
+		tb3.flush()
+		return verdictLine(w, match,
+			"learners collapse to FS Nash from total ignorance and leading pays nothing; FIFO stalls, rewards leaders, and lets slow hill climbers exploit fast ones"), nil
+	}
+	return e
+}

@@ -1,0 +1,70 @@
+package experiment
+
+import (
+	"io"
+
+	"greednet/internal/alloc"
+	"greednet/internal/core"
+	"greednet/internal/mechanism"
+	"greednet/internal/utility"
+)
+
+// E7Revelation reproduces Theorem 6: the direct mechanism B^FS (allocate
+// at the Fair Share Nash equilibrium of the reported utilities) gives no
+// user an incentive to misreport, while the same construction on the
+// proportional allocation is manipulable.
+func E7Revelation() Experiment {
+	e := Experiment{
+		ID:     "E7",
+		Source: "Theorem 6, §4.2.2",
+		Title:  "B^FS is a revelation mechanism; the FIFO analogue is manipulable",
+	}
+	e.Run = func(w io.Writer, opt Options) (Verdict, error) {
+		header(w, e)
+		truths := []utility.Linear{
+			utility.NewLinear(1, 0.2),
+			utility.NewLinear(1, 0.35),
+			utility.NewLinear(1, 0.5),
+		}
+		scales := []float64{0.1, 0.25, 0.5, 0.8, 1.3, 2, 4, 10}
+		if opt.Fast {
+			scales = []float64{0.25, 0.5, 2, 4}
+		}
+		others := core.Profile{nil, utility.NewLinear(1, 0.3), utility.Log{W: 0.3, Gamma: 1}}
+		match := true
+		tb := newTable(w)
+		tb.row("mechanism", "true γ", "truthful U", "best lie gain", "lies tried", "truthful best?")
+		for _, a := range []core.Allocation{alloc.FairShare{}, alloc.Proportional{}} {
+			m := mechanism.Mechanism{Alloc: a}
+			anyGain := false
+			for _, truth := range truths {
+				var lies []core.Utility
+				for _, s := range scales {
+					lies = append(lies,
+						utility.Linear{A: truth.A, Gamma: truth.Gamma * s},
+						utility.Linear{A: truth.A * s, Gamma: truth.Gamma})
+				}
+				man, err := mechanism.SearchManipulation(m, truth, 0, others, lies)
+				if err != nil {
+					return Verdict{}, err
+				}
+				honest := man.BestGain <= 1e-6
+				if !honest {
+					anyGain = true
+				}
+				tb.row(a.Name(), truth.Gamma, man.TruthfulUtility, man.BestGain,
+					man.Evaluated, yesno(honest))
+				if _, isFS := a.(alloc.FairShare); isFS && !honest {
+					match = false
+				}
+			}
+			if _, isFS := a.(alloc.FairShare); !isFS && !anyGain {
+				match = false // FIFO mechanism should be exploitable somewhere
+			}
+		}
+		tb.flush()
+		return verdictLine(w, match,
+			"no sampled misreport beats the truth under B^FS; lies pay under the FIFO-based mechanism"), nil
+	}
+	return e
+}

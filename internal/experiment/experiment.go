@@ -1,0 +1,162 @@
+// Package experiment contains the reproduction harness: one runner per
+// paper claim (Table 1 and Theorems 1–8, plus the §5 discussion claims),
+// each printing the measured table and a paper-vs-measured verdict line.
+// cmd/greedbench drives the full suite; EXPERIMENTS.md records the output.
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"text/tabwriter"
+)
+
+// Options tunes a run.
+type Options struct {
+	// Fast shrinks simulation horizons and search budgets for use in
+	// benchmarks and smoke tests.
+	Fast bool
+	// Seed makes randomized searches reproducible; 0 means the per-
+	// experiment default.
+	Seed int64
+}
+
+// Experiment is one reproducible claim from the paper.
+type Experiment struct {
+	// ID is the short handle, e.g. "E1".
+	ID string
+	// Source cites the paper location, e.g. "Table 1" or "Theorem 4".
+	Source string
+	// Title summarizes the claim.
+	Title string
+	// Run executes the experiment, writing its table to w.  The returned
+	// Verdict reports whether the measured shape matches the paper.
+	Run func(w io.Writer, opt Options) (Verdict, error)
+}
+
+// Verdict is the outcome of comparing measurement to the paper's claim.
+type Verdict struct {
+	// Match is true when the measured shape reproduces the paper.
+	Match bool
+	// Note is a one-line summary of what was checked.
+	Note string
+}
+
+// All returns the experiment registry in presentation order.
+func All() []Experiment {
+	return []Experiment{
+		E1Table1(),
+		E2Efficiency(),
+		E3SymmetricPareto(),
+		E4Envy(),
+		E5Uniqueness(),
+		E6Learning(),
+		E7Revelation(),
+		E8Relaxation(),
+		E9Protection(),
+		E10FTPTelnet(),
+		E11Separable(),
+		E12Network(),
+		E13FairQueueing(),
+		E14ClosedLoop(),
+		E15GeneralService(),
+		E16Coalition(),
+		E17Automata(),
+		E18DKSFairQueueing(),
+		E19Tandem(),
+		E20OnlyFairShare(),
+	}
+}
+
+// ByID returns the experiment with the given ID, or false.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// IDs returns all registered IDs sorted.
+func IDs() []string {
+	var ids []string
+	for _, e := range All() {
+		ids = append(ids, e.ID)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// table wraps a tabwriter with convenience row helpers.
+type table struct {
+	tw *tabwriter.Writer
+}
+
+func newTable(w io.Writer) *table {
+	return &table{tw: tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)}
+}
+
+func (t *table) row(cells ...interface{}) {
+	for i, c := range cells {
+		if i > 0 {
+			fmt.Fprint(t.tw, "\t")
+		}
+		switch v := c.(type) {
+		case float64:
+			fmt.Fprintf(t.tw, "%s", fnum(v))
+		default:
+			fmt.Fprintf(t.tw, "%v", v)
+		}
+	}
+	fmt.Fprintln(t.tw)
+}
+
+func (t *table) flush() { t.tw.Flush() }
+
+// fnum renders a float compactly.
+func fnum(v float64) string {
+	switch {
+	case math.IsNaN(v):
+		return "nan"
+	case math.IsInf(v, 1):
+		return "+inf"
+	case math.IsInf(v, -1):
+		return "-inf"
+	case v == 0:
+		return "0"
+	case math.Abs(v) >= 1e4 || math.Abs(v) < 1e-4:
+		return fmt.Sprintf("%.3e", v)
+	default:
+		return fmt.Sprintf("%.5g", v)
+	}
+}
+
+// yesno renders a boolean as a table cell.
+func yesno(b bool) string {
+	if b {
+		return "yes"
+	}
+	return "no"
+}
+
+// errf builds an experiment error.
+func errf(format string, args ...interface{}) error {
+	return fmt.Errorf("experiment: "+format, args...)
+}
+
+// header prints the experiment banner.
+func header(w io.Writer, e Experiment) {
+	fmt.Fprintf(w, "== %s (%s): %s ==\n", e.ID, e.Source, e.Title)
+}
+
+// verdictLine prints and returns the verdict.
+func verdictLine(w io.Writer, match bool, note string) Verdict {
+	status := "MATCH"
+	if !match {
+		status = "MISMATCH"
+	}
+	fmt.Fprintf(w, "verdict: %s — %s\n\n", status, note)
+	return Verdict{Match: match, Note: note}
+}

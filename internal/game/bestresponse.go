@@ -1,0 +1,181 @@
+// Package game implements the game-theoretic machinery of the paper:
+// best-response computation, Nash equilibrium solvers, Pareto first-
+// derivative conditions and dominance searches, envy and unilateral
+// envy-freeness, the out-of-equilibrium protection bound, Stackelberg
+// (leader/follower) equilibria, and the Newton relaxation matrix of
+// §4.2.3 with its nilpotency/stability analysis.
+package game
+
+import (
+	"math"
+
+	"greednet/internal/alloc"
+	"greednet/internal/core"
+)
+
+// BROptions controls the one-dimensional best-response search.
+type BROptions struct {
+	// Lo and Hi bound the searched rate interval; defaults (1e-9, 1−1e-9).
+	Lo, Hi float64
+	// GridPoints seeds the search with an even grid before golden-section
+	// refinement, making it robust to the −Inf plateaus allocations create
+	// outside their finite region.  Default 64.
+	GridPoints int
+	// Tol is the argument tolerance of the refinement.  Default 1e-10.
+	Tol float64
+}
+
+func (o BROptions) withDefaults() BROptions {
+	if o.Lo <= 0 {
+		o.Lo = 1e-9
+	}
+	if o.Hi <= 0 || o.Hi >= 1 {
+		o.Hi = 1 - 1e-9
+	}
+	if o.GridPoints <= 0 {
+		o.GridPoints = 64
+	}
+	if o.Tol <= 0 {
+		o.Tol = 1e-10
+	}
+	return o
+}
+
+// Payoff returns user i's utility at rate vector r under allocation a.
+func Payoff(a core.Allocation, u core.Utility, r []float64, i int) float64 {
+	return u.Value(r[i], a.CongestionOf(r, i))
+}
+
+// BestResponse maximizes user i's utility over its own rate, holding the
+// other rates in r fixed.  It returns the maximizing rate and the utility
+// achieved.  The search is grid-seeded golden section over [Lo, Hi].
+func BestResponse(a core.Allocation, u core.Utility, r []float64, i int, opt BROptions) (x, val float64) {
+	opt = opt.withDefaults()
+	rr := append([]float64(nil), r...)
+	h := func(x float64) float64 {
+		rr[i] = x
+		return u.Value(x, a.CongestionOf(rr, i))
+	}
+	x, val = maximizeGrid(h, opt.Lo, opt.Hi, opt.GridPoints, opt.Tol)
+	return x, val
+}
+
+// maximizeGrid is a local copy of the robust grid+golden maximizer to keep
+// this package's hot path allocation-free.
+func maximizeGrid(f func(float64) float64, a, b float64, n int, tol float64) (float64, float64) {
+	h := (b - a) / float64(n)
+	bestI, bestF := 0, math.Inf(-1)
+	for i := 0; i <= n; i++ {
+		if v := f(a + float64(i)*h); v > bestF {
+			bestF, bestI = v, i
+		}
+	}
+	lo := a + float64(bestI-1)*h
+	if bestI == 0 {
+		lo = a
+	}
+	hi := a + float64(bestI+1)*h
+	if bestI == n {
+		hi = b
+	}
+	const invPhi = 0.6180339887498949
+	c := hi - invPhi*(hi-lo)
+	d := lo + invPhi*(hi-lo)
+	fc, fd := f(c), f(d)
+	for hi-lo > tol {
+		if fc > fd {
+			hi, d, fd = d, c, fc
+			c = hi - invPhi*(hi-lo)
+			fc = f(c)
+		} else {
+			lo, c, fc = c, d, fd
+			d = lo + invPhi*(hi-lo)
+			fd = f(d)
+		}
+	}
+	x := lo + (hi-lo)/2
+	return x, f(x)
+}
+
+// BestResponseNewton computes user i's best response by running Newton's
+// method on the first-derivative condition E_i(x) = M_i + ∂C_i/∂r_i = 0 in
+// the user's own coordinate, falling back to the grid search when Newton
+// fails to bracket an interior optimum (corner solutions, non-concave
+// payoffs, or iterates leaving the finite region).  For smooth concave
+// payoffs it is several times cheaper than the grid+golden search — the
+// DESIGN.md §6 solver ablation.
+func BestResponseNewton(a core.Allocation, us core.Profile, r []float64, i int, opt BROptions) (x, val float64) {
+	opt = opt.withDefaults()
+	rr := append([]float64(nil), r...)
+	fdc := func(x float64) float64 {
+		rr[i] = x
+		c := a.CongestionOf(rr, i)
+		if math.IsInf(c, 1) {
+			return math.Inf(-1) // way past the optimum
+		}
+		d1, _ := alloc.OwnDerivs(a, rr, i)
+		return core.MarginalRate(us[i], x, c) + d1
+	}
+	// Newton with numeric derivative, seeded at the current rate.
+	x = core.Clamp(r[i], opt.Lo, opt.Hi)
+	ok := false
+	for iter := 0; iter < 40; iter++ {
+		f := fdc(x)
+		if math.IsInf(f, 0) || math.IsNaN(f) {
+			break
+		}
+		if math.Abs(f) < 1e-11 {
+			ok = true
+			break
+		}
+		h := 1e-6 * (math.Abs(x) + 1e-3)
+		fp, fm := fdc(x+h), fdc(x-h)
+		if math.IsInf(fp, 0) || math.IsInf(fm, 0) {
+			break
+		}
+		d := (fp - fm) / (2 * h)
+		if d == 0 || math.IsNaN(d) {
+			break
+		}
+		nx := core.Clamp(x-f/d, opt.Lo, opt.Hi)
+		if math.Abs(nx-x) < 1e-13 {
+			x = nx
+			ok = true
+			break
+		}
+		x = nx
+	}
+	if ok {
+		rr[i] = x
+		val = us[i].Value(x, a.CongestionOf(rr, i))
+		// Guard against converging to a stationary point that is not the
+		// maximum: accept only if a coarse grid finds nothing better.
+		gx, gval := BestResponse(a, us[i], r, i, BROptions{GridPoints: 16, Tol: 1e-6})
+		if gval <= val+1e-9 {
+			return x, val
+		}
+		return gx, gval
+	}
+	return BestResponse(a, us[i], r, i, opt)
+}
+
+// DeviationGain returns how much user i could gain by unilaterally
+// deviating from r: max_x U_i(x, C_i(r|x)) − U_i(r_i, C_i(r)).  A point is
+// an (ε-)Nash equilibrium iff every user's gain is ≤ ε.
+func DeviationGain(a core.Allocation, u core.Utility, r []float64, i int, opt BROptions) float64 {
+	_, best := BestResponse(a, u, r, i, opt)
+	return best - Payoff(a, u, r, i)
+}
+
+// NashResidual returns the vector E with E_i = M_i(r_i, C_i(r)) + ∂C_i/∂r_i,
+// the paper's measure of distance from the Nash first-derivative condition.
+// All components vanish at an interior Nash equilibrium.
+func NashResidual(a core.Allocation, us core.Profile, r []float64) []float64 {
+	c := a.Congestion(r)
+	out := make([]float64, len(r))
+	for i := range r {
+		d1, _ := alloc.OwnDerivs(a, r, i)
+		out[i] = core.MarginalRate(us[i], r[i], c[i]) + d1
+	}
+	return out
+}

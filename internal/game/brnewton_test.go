@@ -1,0 +1,55 @@
+package game
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"greednet/internal/alloc"
+	"greednet/internal/core"
+	"greednet/internal/utility"
+)
+
+func TestBestResponseNewtonMatchesGrid(t *testing.T) {
+	rng := rand.New(rand.NewSource(95))
+	for trial := 0; trial < 60; trial++ {
+		n := 2 + rng.Intn(3)
+		us := utility.RandomProfile(rng, n)
+		r := make([]float64, n)
+		for i := range r {
+			r[i] = 0.02 + 0.5*rng.Float64()/float64(n)
+		}
+		i := rng.Intn(n)
+		for _, a := range []core.Allocation{alloc.FairShare{}, alloc.Proportional{}} {
+			gx, gval := BestResponse(a, us[i], r, i, BROptions{})
+			nx, nval := BestResponseNewton(a, us, r, i, BROptions{})
+			// Values must agree (arguments may differ at flat optima).
+			if nval < gval-1e-6 {
+				t.Fatalf("trial %d %s: Newton value %v < grid value %v (x %v vs %v)",
+					trial, a.Name(), nval, gval, nx, gx)
+			}
+		}
+	}
+}
+
+func TestBestResponseNewtonCornerFallback(t *testing.T) {
+	// γ ≥ 1 drives the optimum to the lower corner; Newton cannot find an
+	// interior FDC zero and must fall back gracefully.
+	us := core.Profile{utility.NewLinear(1, 2), utility.NewLinear(1, 2)}
+	x, _ := BestResponseNewton(alloc.Proportional{}, us, []float64{0.1, 0.2}, 0, BROptions{})
+	if x > 1e-5 {
+		t.Errorf("corner case: got %v, want ≈0", x)
+	}
+}
+
+func TestBestResponseNewtonClosedForm(t *testing.T) {
+	gamma := 0.25
+	us := utility.Identical(utility.NewLinear(1, gamma), 3)
+	r := []float64{0.1, 0.2, 0.15}
+	tt := 1 - r[1] - r[2]
+	want := tt - math.Sqrt(gamma*tt)
+	x, _ := BestResponseNewton(alloc.Proportional{}, us, r, 0, BROptions{})
+	if math.Abs(x-want) > 1e-7 {
+		t.Errorf("Newton BR %v, want %v", x, want)
+	}
+}

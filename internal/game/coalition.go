@@ -1,0 +1,113 @@
+package game
+
+import (
+	"math/rand"
+
+	"greednet/internal/core"
+)
+
+// CoalitionDeviation describes a joint rate deviation that strictly
+// improves every member of a coalition relative to a reference point — a
+// witness that the point is not a strong equilibrium.
+type CoalitionDeviation struct {
+	// Members lists the deviating users.
+	Members []int
+	// Rates is the full rate vector after the deviation (non-members keep
+	// their reference rates).
+	Rates []float64
+	// Gains holds each member's utility improvement (> 0 for all).
+	Gains []float64
+}
+
+// FindCoalitionDeviation searches for a joint deviation by the given
+// coalition that makes every member strictly better off than at the
+// reference point r, holding non-members fixed.  The search samples
+// scaled and jittered coalition rate vectors.  A nil result means no
+// improving deviation was found (the paper's footnote 14: Fair Share Nash
+// equilibria resist coalitional manipulation); a non-nil result is a
+// constructive counterexample (as FIFO's overgrazing equilibria admit —
+// the whole population throttling back helps everyone).
+func FindCoalitionDeviation(a core.Allocation, us core.Profile, r []float64, coalition []int, rng *rand.Rand, samples int) *CoalitionDeviation {
+	base := a.Congestion(r)
+	baseU := make([]float64, len(coalition))
+	for k, i := range coalition {
+		baseU[k] = us[i].Value(r[i], base[i])
+	}
+	cand := append([]float64(nil), r...)
+	for s := 0; s < samples; s++ {
+		copy(cand, r)
+		switch s % 3 {
+		case 0: // Common scaling of all members.
+			scale := 0.3 + 1.4*rng.Float64()
+			for _, i := range coalition {
+				cand[i] = r[i] * scale
+			}
+		case 1: // Independent jitter.
+			for _, i := range coalition {
+				cand[i] = r[i] * (0.3 + 1.4*rng.Float64())
+			}
+		default: // Fresh draw in (0, 1) scaled to a random budget.
+			budget := 0.8 * rng.Float64()
+			sum := 0.0
+			w := make([]float64, len(coalition))
+			for k := range coalition {
+				w[k] = rng.ExpFloat64() + 1e-9
+				sum += w[k]
+			}
+			for k, i := range coalition {
+				cand[i] = budget * w[k] / sum
+			}
+		}
+		valid := true
+		for _, i := range coalition {
+			if cand[i] <= 0 {
+				valid = false
+				break
+			}
+		}
+		if !valid {
+			continue
+		}
+		c := a.Congestion(cand)
+		allBetter := true
+		gains := make([]float64, len(coalition))
+		for k, i := range coalition {
+			gains[k] = us[i].Value(cand[i], c[i]) - baseU[k]
+			if gains[k] <= 1e-10 {
+				allBetter = false
+				break
+			}
+		}
+		if allBetter {
+			return &CoalitionDeviation{
+				Members: append([]int(nil), coalition...),
+				Rates:   append([]float64(nil), cand...),
+				Gains:   gains,
+			}
+		}
+	}
+	return nil
+}
+
+// StrongEquilibriumCheck searches all 2ⁿ−1 coalitions (n ≤ 12) for an
+// improving joint deviation from r.  It returns the first witness found,
+// or nil when every sampled deviation fails — evidence that r is a strong
+// equilibrium.
+func StrongEquilibriumCheck(a core.Allocation, us core.Profile, r []float64, rng *rand.Rand, samplesPerCoalition int) *CoalitionDeviation {
+	n := len(r)
+	if n > 12 {
+		n = 12
+	}
+	for mask := 1; mask < 1<<uint(n); mask++ {
+		var coalition []int
+		for i := 0; i < n; i++ {
+			if mask&(1<<uint(i)) != 0 {
+				coalition = append(coalition, i)
+			}
+		}
+		if w := FindCoalitionDeviation(a, us, r, coalition, rng, samplesPerCoalition); w != nil {
+			return w
+		}
+	}
+	return nil
+}

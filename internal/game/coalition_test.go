@@ -1,0 +1,84 @@
+package game
+
+import (
+	"math/rand"
+	"testing"
+
+	"greednet/internal/alloc"
+	"greednet/internal/core"
+	"greednet/internal/utility"
+)
+
+func TestFIFONashAdmitsCoalitionDeviation(t *testing.T) {
+	// The grand coalition throttling back improves everyone at the FIFO
+	// Nash equilibrium (overgrazing).
+	n := 3
+	us := utility.Identical(utility.NewLinear(1, 0.2), n)
+	res, err := SolveNash(alloc.Proportional{}, us, []float64{0.1, 0.1, 0.1}, NashOptions{})
+	if err != nil || !res.Converged {
+		t.Fatal("solve failed")
+	}
+	rng := rand.New(rand.NewSource(80))
+	w := FindCoalitionDeviation(alloc.Proportional{}, us, res.R, []int{0, 1, 2}, rng, 2000)
+	if w == nil {
+		t.Fatal("expected a grand-coalition improvement at FIFO Nash")
+	}
+	for k, g := range w.Gains {
+		if g <= 0 {
+			t.Errorf("member %d gain %v should be positive", w.Members[k], g)
+		}
+	}
+	// The improvement should come from throttling (lower total rate).
+	sumBefore, sumAfter := 0.0, 0.0
+	for i := range res.R {
+		sumBefore += res.R[i]
+		sumAfter += w.Rates[i]
+	}
+	if sumAfter >= sumBefore {
+		t.Errorf("expected throttling: %v → %v", sumBefore, sumAfter)
+	}
+}
+
+func TestFairShareNashResistsCoalitions(t *testing.T) {
+	// Footnote 14: Fair Share Nash equilibria are resilient against
+	// coalitional manipulation (strong equilibria).
+	profiles := []core.Profile{
+		utility.Identical(utility.NewLinear(1, 0.25), 3),
+		{
+			utility.NewLinear(1, 0.2),
+			utility.Log{W: 0.3, Gamma: 1},
+			utility.Sqrt{W: 1, Gamma: 2},
+		},
+	}
+	for pi, us := range profiles {
+		start := make([]float64, len(us))
+		for i := range start {
+			start[i] = 0.1
+		}
+		res, err := SolveNash(alloc.FairShare{}, us, start, NashOptions{})
+		if err != nil || !res.Converged {
+			t.Fatalf("profile %d: solve failed", pi)
+		}
+		rng := rand.New(rand.NewSource(int64(81 + pi)))
+		if w := StrongEquilibriumCheck(alloc.FairShare{}, us, res.R, rng, 800); w != nil {
+			t.Errorf("profile %d: coalition %v improves at FS Nash by %v (rates %v)",
+				pi, w.Members, w.Gains, w.Rates)
+		}
+	}
+}
+
+func TestSingletonCoalitionMatchesNashness(t *testing.T) {
+	// A singleton coalition deviation is just a unilateral deviation, so
+	// none should exist at any Nash equilibrium, FIFO included.
+	us := utility.Identical(utility.NewLinear(1, 0.25), 2)
+	res, err := SolveNash(alloc.Proportional{}, us, []float64{0.1, 0.1}, NashOptions{})
+	if err != nil || !res.Converged {
+		t.Fatal("solve failed")
+	}
+	rng := rand.New(rand.NewSource(82))
+	for i := 0; i < 2; i++ {
+		if w := FindCoalitionDeviation(alloc.Proportional{}, us, res.R, []int{i}, rng, 2000); w != nil {
+			t.Errorf("unilateral improvement at Nash for user %d: %+v", i, w)
+		}
+	}
+}

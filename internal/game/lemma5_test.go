@@ -1,0 +1,72 @@
+package game
+
+import (
+	"math/rand"
+	"testing"
+
+	"greednet/internal/alloc"
+	"greednet/internal/core"
+	"greednet/internal/numeric"
+	"greednet/internal/utility"
+)
+
+// TestLemma5PlantNash verifies the paper's Lemma 5 construction: for any
+// interior point and any MAC allocation, the exponential utility family
+// with α/γ = ∂C_i/∂r_i and sufficiently sharp curvature makes that point a
+// Nash equilibrium.
+func TestLemma5PlantNash(t *testing.T) {
+	rng := rand.New(rand.NewSource(90))
+	for _, a := range []core.Allocation{alloc.FairShare{}, alloc.Proportional{}} {
+		for trial := 0; trial < 25; trial++ {
+			n := 2 + rng.Intn(3)
+			r := make([]float64, n)
+			total := 0.2 + 0.6*rng.Float64()
+			sum := 0.0
+			for i := range r {
+				r[i] = 0.05 + rng.Float64()
+				sum += r[i]
+			}
+			for i := range r {
+				r[i] *= total / sum
+			}
+			c := a.Congestion(r)
+			us := make(core.Profile, n)
+			for i := range us {
+				slope, _ := alloc.OwnDerivs(a, r, i)
+				us[i] = utility.PlantNash(r[i], c[i], slope, 60, 60)
+			}
+			// The planted point satisfies the FDC...
+			if resid := numeric.VecNormInf(NashResidual(a, us, r)); resid > 1e-6 {
+				t.Fatalf("%s trial %d: planted FDC residual %v at r=%v", a.Name(), trial, resid, r)
+			}
+			// ...and no unilateral deviation is profitable.
+			for i := range r {
+				if g := DeviationGain(a, us[i], r, i, BROptions{}); g > 1e-6 {
+					t.Fatalf("%s trial %d: user %d gains %v at planted point %v",
+						a.Name(), trial, i, g, r)
+				}
+			}
+		}
+	}
+}
+
+// TestLemma5SolverRecoversPlantedPoint closes the loop: the best-response
+// solver started elsewhere must come back to the planted equilibrium under
+// Fair Share (whose equilibrium is unique, Theorem 4).
+func TestLemma5SolverRecoversPlantedPoint(t *testing.T) {
+	r := []float64{0.12, 0.2, 0.31}
+	fs := alloc.FairShare{}
+	c := fs.Congestion(r)
+	us := make(core.Profile, len(r))
+	for i := range us {
+		slope, _ := alloc.OwnDerivs(fs, r, i)
+		us[i] = utility.PlantNash(r[i], c[i], slope, 60, 60)
+	}
+	res, err := SolveNash(fs, us, []float64{0.05, 0.05, 0.05}, NashOptions{})
+	if err != nil || !res.Converged {
+		t.Fatalf("solve failed: %v", err)
+	}
+	if d := numeric.VecDist(res.R, r); d > 1e-4 {
+		t.Errorf("solver found %v, planted %v (dist %v)", res.R, r, d)
+	}
+}

@@ -1,0 +1,112 @@
+package game
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"greednet/internal/alloc"
+	"greednet/internal/core"
+	"greednet/internal/mm1"
+	"greednet/internal/utility"
+)
+
+func TestProtectionSlackDefinition(t *testing.T) {
+	r := []float64{0.1, 0.3}
+	slacks := ProtectionSlack(alloc.FairShare{}, r)
+	c := alloc.FairShare{}.Congestion(r)
+	for i := range r {
+		want := mm1.ProtectionBound(2, r[i]) - c[i]
+		if math.Abs(slacks[i]-want) > 1e-12 {
+			t.Errorf("slack[%d] = %v, want %v", i, slacks[i], want)
+		}
+		if slacks[i] < 0 {
+			t.Errorf("FS slack must be nonnegative: %v", slacks)
+		}
+	}
+}
+
+func TestEnvyMatrixDiagonalZero(t *testing.T) {
+	us := utility.Identical(utility.NewLinear(1, 0.3), 3)
+	p := core.Point{R: []float64{0.1, 0.2, 0.3}, C: []float64{0.2, 0.4, 0.9}}
+	m := EnvyMatrix(us, p)
+	for i := range m {
+		if m[i][i] != 0 {
+			t.Errorf("diagonal envy must be zero: %v", m[i][i])
+		}
+	}
+	// With identical utilities, mutual envy entries are antisymmetric in
+	// preference: if i envies j's bundle then j does not envy i's.
+	for i := range m {
+		for j := range m {
+			if i != j && m[i][j] > 1e-12 && m[j][i] > 1e-12 {
+				t.Errorf("both %d and %d envy each other under identical utilities", i, j)
+			}
+		}
+	}
+}
+
+func TestStackelbergLeaderNeverWorseThanNash(t *testing.T) {
+	// Definition 5: the leader's Stackelberg utility is ≥ her Nash utility
+	// for every MAC allocation.
+	rng := rand.New(rand.NewSource(96))
+	for trial := 0; trial < 6; trial++ {
+		us := core.Profile{
+			utility.NewLinear(1, 0.15+0.2*rng.Float64()),
+			utility.NewLinear(1, 0.15+0.2*rng.Float64()),
+		}
+		for _, a := range []core.Allocation{alloc.FairShare{}, alloc.Proportional{}, alloc.Blend{Theta: 0.5}} {
+			adv, st, nash, err := LeaderAdvantage(a, us, 0, []float64{0.1, 0.1}, StackOptions{Grid: 24})
+			if err != nil || !st.FollowersConverged || !nash.Converged {
+				t.Fatalf("trial %d %s: solve failed", trial, a.Name())
+			}
+			if adv < -1e-5 {
+				t.Errorf("trial %d %s: leader WORSE off leading (adv %v)", trial, a.Name(), adv)
+			}
+		}
+	}
+}
+
+func TestMultiStartRejectsNonConverged(t *testing.T) {
+	// Starts given to MultiStartNash that fail to converge must be
+	// excluded from `all`, not silently counted.
+	us := utility.Identical(utility.NewLinear(1, 0.25), 2)
+	starts := [][]float64{{0.1, 0.1}, {0.2, 0.2}}
+	opt := NashOptions{MaxIter: 1} // too few rounds to converge from far away
+	_, all := MultiStartNash(alloc.FairShare{}, us, [][]float64{{0.45, 0.45}}, opt, 1e-6)
+	if len(all) != 0 {
+		t.Errorf("non-converged starts should be dropped, got %d", len(all))
+	}
+	_, all = MultiStartNash(alloc.FairShare{}, us, starts, NashOptions{}, 1e-6)
+	if len(all) != 2 {
+		t.Errorf("expected 2 converged runs, got %d", len(all))
+	}
+}
+
+func TestFindDominatingNilAtParetoPoint(t *testing.T) {
+	// The symmetric Pareto point should admit no dominating witness.
+	u := utility.NewLinear(1, 0.25)
+	n := 3
+	rp, cp, ok := SymmetricParetoRate(u, n)
+	if !ok {
+		t.Fatal("no Pareto rate")
+	}
+	p := core.Point{R: []float64{rp, rp, rp}, C: []float64{cp, cp, cp}}
+	us := utility.Identical(u, n)
+	if w := FindDominating(us, p, rand.New(rand.NewSource(97)), 3000); w != nil {
+		t.Errorf("found a 'dominating' point over a Pareto optimum: %+v", w)
+	}
+}
+
+func TestNashResidualSigns(t *testing.T) {
+	// E_i = M_i + ∂C_i/∂r_i relates to the payoff slope via
+	// dU/dr = U_c·E with U_c < 0, so E is NEGATIVE below the equilibrium
+	// (utility still rising) and POSITIVE above it.
+	us := utility.Identical(utility.NewLinear(1, 0.25), 2)
+	star := (1 - math.Sqrt(0.25)) / 2
+	below := NashResidual(alloc.FairShare{}, us, []float64{star * 0.8, star * 0.8})
+	above := NashResidual(alloc.FairShare{}, us, []float64{star * 1.2, star * 1.2})
+	if below[0] >= 0 || above[0] <= 0 {
+		t.Errorf("residual signs wrong: below %v, above %v", below[0], above[0])
+	}
+}

@@ -1,0 +1,192 @@
+package game
+
+import (
+	"errors"
+	"math"
+
+	"greednet/internal/core"
+	"greednet/internal/numeric"
+)
+
+// UpdateScheme selects how best responses are applied during Nash
+// fixed-point iteration.
+type UpdateScheme int
+
+const (
+	// GaussSeidel updates users one at a time, each seeing the others'
+	// freshest rates.  This models asynchronous self-optimization and is
+	// the default.
+	GaussSeidel UpdateScheme = iota
+	// Jacobi updates all users simultaneously from the previous round's
+	// rates — the synchronous dynamics whose stability §4.2.3 analyzes.
+	Jacobi
+)
+
+// NashOptions configures SolveNash.
+type NashOptions struct {
+	// Scheme is the update order; default GaussSeidel.
+	Scheme UpdateScheme
+	// MaxIter bounds best-response rounds; default 500.
+	MaxIter int
+	// Tol is the ∞-norm rate-change convergence threshold; default 1e-7
+	// (the inner golden-section searches carry ≈1e-9 argmax noise, so
+	// tolerances below ≈1e-8 can keep the loop jittering forever).
+	Tol float64
+	// Damping in (0, 1] blends the best response with the previous rate:
+	// r ← (1−d)·r + d·BR.  Default 1 (undamped).
+	Damping float64
+	// BR configures each inner best-response search.
+	BR BROptions
+	// Free, when non-nil, marks which users self-optimize; users with
+	// Free[i] == false hold their initial rate (the paper's non-optimizing
+	// users / subsystems).
+	Free []bool
+}
+
+func (o NashOptions) withDefaults(n int) NashOptions {
+	if o.MaxIter <= 0 {
+		o.MaxIter = 500
+	}
+	if o.Tol <= 0 {
+		o.Tol = 1e-7
+	}
+	if o.Damping <= 0 || o.Damping > 1 {
+		o.Damping = 1
+	}
+	if o.Free == nil {
+		o.Free = make([]bool, n)
+		for i := range o.Free {
+			o.Free[i] = true
+		}
+	}
+	return o
+}
+
+// NashResult reports the outcome of a Nash solve.
+type NashResult struct {
+	// R and C are the final rates and congestions.
+	R, C []float64
+	// Converged is true when the rate change fell below Tol.
+	Converged bool
+	// Iters is the number of best-response rounds performed.
+	Iters int
+	// MaxGain is the largest remaining unilateral deviation gain at R, a
+	// direct certificate of (ε-)Nash-ness.
+	MaxGain float64
+}
+
+// ErrNoProfile is returned when the profile and start vector disagree.
+var ErrNoProfile = errors.New("game: profile and rate vector lengths differ")
+
+// SolveNash runs best-response iteration from r0 under allocation a and
+// utility profile us.  It converges for the Fair Share allocation from any
+// start (Theorems 4–5); for other disciplines it may cycle or diverge, in
+// which case Converged is false.
+func SolveNash(a core.Allocation, us core.Profile, r0 []float64, opt NashOptions) (NashResult, error) {
+	n := len(r0)
+	if len(us) != n {
+		return NashResult{}, ErrNoProfile
+	}
+	opt = opt.withDefaults(n)
+	r := append([]float64(nil), r0...)
+	next := make([]float64, n)
+	iters := 0
+	converged := false
+	for iters = 1; iters <= opt.MaxIter; iters++ {
+		maxDelta := 0.0
+		switch opt.Scheme {
+		case Jacobi:
+			copy(next, r)
+			for i := 0; i < n; i++ {
+				if !opt.Free[i] {
+					continue
+				}
+				br, _ := BestResponse(a, us[i], r, i, opt.BR)
+				next[i] = (1-opt.Damping)*r[i] + opt.Damping*br
+			}
+			for i := 0; i < n; i++ {
+				if d := math.Abs(next[i] - r[i]); d > maxDelta {
+					maxDelta = d
+				}
+			}
+			copy(r, next)
+		default: // GaussSeidel
+			for i := 0; i < n; i++ {
+				if !opt.Free[i] {
+					continue
+				}
+				br, _ := BestResponse(a, us[i], r, i, opt.BR)
+				nr := (1-opt.Damping)*r[i] + opt.Damping*br
+				if d := math.Abs(nr - r[i]); d > maxDelta {
+					maxDelta = d
+				}
+				r[i] = nr
+			}
+		}
+		if maxDelta <= opt.Tol {
+			converged = true
+			break
+		}
+	}
+	res := NashResult{
+		R:         r,
+		C:         a.Congestion(r),
+		Converged: converged,
+		Iters:     iters,
+	}
+	for i := 0; i < n; i++ {
+		if !opt.Free[i] {
+			continue
+		}
+		if g := DeviationGain(a, us[i], r, i, opt.BR); g > res.MaxGain {
+			res.MaxGain = g
+		}
+	}
+	return res, nil
+}
+
+// NashTrajectory records the rate vectors visited by best-response
+// iteration (including the start), up to maxRounds rounds, without any
+// convergence requirement.  Useful for plotting and stability experiments.
+func NashTrajectory(a core.Allocation, us core.Profile, r0 []float64, opt NashOptions, maxRounds int) [][]float64 {
+	n := len(r0)
+	opt = opt.withDefaults(n)
+	opt.MaxIter = 1
+	traj := make([][]float64, 0, maxRounds+1)
+	traj = append(traj, append([]float64(nil), r0...))
+	r := r0
+	for k := 0; k < maxRounds; k++ {
+		res, err := SolveNash(a, us, r, opt)
+		if err != nil {
+			break
+		}
+		r = res.R
+		traj = append(traj, append([]float64(nil), r...))
+	}
+	return traj
+}
+
+// MultiStartNash solves from several starting points and reports the
+// distinct limits found (within tol in the ∞-norm).  For Fair Share the
+// result always has exactly one element (Theorem 4).
+func MultiStartNash(a core.Allocation, us core.Profile, starts [][]float64, opt NashOptions, tol float64) ([]NashResult, []NashResult) {
+	var distinct, all []NashResult
+	for _, s := range starts {
+		res, err := SolveNash(a, us, s, opt)
+		if err != nil || !res.Converged {
+			continue
+		}
+		all = append(all, res)
+		dup := false
+		for _, d := range distinct {
+			if numeric.VecDist(d.R, res.R) <= tol {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			distinct = append(distinct, res)
+		}
+	}
+	return distinct, all
+}

@@ -1,0 +1,78 @@
+package game
+
+import (
+	"errors"
+	"math"
+
+	"greednet/internal/core"
+	"greednet/internal/numeric"
+)
+
+// SolveNashNewton finds a Nash equilibrium by applying the multivariate
+// Newton method to the first-derivative-condition system E(r) = 0 (with
+// E_i = M_i + ∂C_i/∂r_i), solving the linearized system with the full
+// finite-difference Jacobian at each step.  It converges quadratically
+// from good starts but, unlike best-response iteration, offers no global
+// guarantees — it exists as the DESIGN.md ablation partner of SolveNash
+// and as a fast polisher for near-equilibrium starts.
+//
+// The returned point satisfies ‖E‖∞ ≤ ftol; callers should confirm
+// Nash-ness with DeviationGain if the start was far from equilibrium
+// (an FDC zero can be a corner or saddle for non-concave payoffs).
+func SolveNashNewton(a core.Allocation, us core.Profile, r0 []float64, maxIter int, ftol float64) (NashResult, error) {
+	n := len(r0)
+	if len(us) != n {
+		return NashResult{}, ErrNoProfile
+	}
+	if maxIter <= 0 {
+		maxIter = 50
+	}
+	if ftol <= 0 {
+		ftol = 1e-10
+	}
+	r := append([]float64(nil), r0...)
+	field := ResidualField(a, us)
+	var res NashResult
+	for iter := 1; iter <= maxIter; iter++ {
+		e := field(r)
+		if !core.IsFiniteVec(e) {
+			return res, errors.New("game: Newton residual left the finite region")
+		}
+		if numeric.VecNormInf(e) <= ftol {
+			res = NashResult{R: r, C: a.Congestion(r), Converged: true, Iters: iter}
+			for i := 0; i < n; i++ {
+				if g := DeviationGain(a, us[i], r, i, BROptions{}); g > res.MaxGain {
+					res.MaxGain = g
+				}
+			}
+			return res, nil
+		}
+		jac := numeric.JacobianFD(field, r, 0)
+		step, err := numeric.Solve(jac, e)
+		if err != nil {
+			return res, err
+		}
+		// Damped update with a feasibility guard: keep every rate strictly
+		// positive and the iterate finite.
+		lambda := 1.0
+		for attempt := 0; attempt < 30; attempt++ {
+			ok := true
+			for i := 0; i < n; i++ {
+				v := r[i] - lambda*step[i]
+				if v <= 1e-9 || v >= 1-1e-9 || math.IsNaN(v) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				break
+			}
+			lambda /= 2
+		}
+		for i := 0; i < n; i++ {
+			r[i] = core.Clamp(r[i]-lambda*step[i], 1e-9, 1-1e-9)
+		}
+	}
+	res = NashResult{R: r, C: a.Congestion(r), Converged: false, Iters: maxIter}
+	return res, errors.New("game: Newton did not reach the FDC tolerance")
+}

@@ -1,0 +1,77 @@
+package game
+
+import (
+	"math"
+	"testing"
+
+	"greednet/internal/alloc"
+	"greednet/internal/core"
+	"greednet/internal/numeric"
+	"greednet/internal/utility"
+)
+
+func TestNewtonMatchesBestResponseFairShare(t *testing.T) {
+	us := core.Profile{
+		utility.NewLinear(1, 0.2),
+		utility.NewLinear(1, 0.35),
+		utility.Log{W: 0.3, Gamma: 1},
+	}
+	br, err := SolveNash(alloc.FairShare{}, us, []float64{0.1, 0.1, 0.1}, NashOptions{})
+	if err != nil || !br.Converged {
+		t.Fatal("best-response solve failed")
+	}
+	nw, err := SolveNashNewton(alloc.FairShare{}, us, []float64{0.1, 0.1, 0.1}, 0, 0)
+	if err != nil || !nw.Converged {
+		t.Fatalf("Newton solve failed: %v", err)
+	}
+	if d := numeric.VecDist(br.R, nw.R); d > 1e-5 {
+		t.Errorf("solvers disagree by %v: %v vs %v", d, br.R, nw.R)
+	}
+	if nw.MaxGain > 1e-6 {
+		t.Errorf("Newton point is not Nash: gain %v", nw.MaxGain)
+	}
+}
+
+func TestNewtonMatchesClosedFormSymmetric(t *testing.T) {
+	n := 4
+	gamma := 0.25
+	us := utility.Identical(utility.NewLinear(1, gamma), n)
+	want := (1 - math.Sqrt(gamma)) / float64(n)
+	// Start slightly off-symmetric so the FS Jacobian is well behaved.
+	start := []float64{0.12, 0.13, 0.14, 0.15}
+	res, err := SolveNashNewton(alloc.FairShare{}, us, start, 0, 0)
+	if err != nil || !res.Converged {
+		t.Fatalf("Newton failed: %v", err)
+	}
+	for i, v := range res.R {
+		if math.Abs(v-want) > 1e-6 {
+			t.Errorf("r[%d] = %v, want %v", i, v, want)
+		}
+	}
+}
+
+func TestNewtonProportional(t *testing.T) {
+	us := utility.Identical(utility.NewLinear(1, 0.2), 3)
+	br, err := SolveNash(alloc.Proportional{}, us, []float64{0.1, 0.1, 0.1}, NashOptions{})
+	if err != nil || !br.Converged {
+		t.Fatal("BR failed")
+	}
+	start := append([]float64(nil), br.R...)
+	for i := range start {
+		start[i] *= 1.05
+	}
+	res, err := SolveNashNewton(alloc.Proportional{}, us, start, 0, 0)
+	if err != nil || !res.Converged {
+		t.Fatalf("Newton failed: %v", err)
+	}
+	if d := numeric.VecDist(br.R, res.R); d > 1e-5 {
+		t.Errorf("Newton point %v differs from BR point %v", res.R, br.R)
+	}
+}
+
+func TestNewtonProfileMismatch(t *testing.T) {
+	us := utility.Identical(utility.NewLinear(1, 0.2), 2)
+	if _, err := SolveNashNewton(alloc.FairShare{}, us, []float64{0.1, 0.1, 0.1}, 0, 0); err == nil {
+		t.Error("length mismatch should error")
+	}
+}

@@ -1,0 +1,117 @@
+package game
+
+import (
+	"math/rand"
+
+	"greednet/internal/core"
+	"greednet/internal/mm1"
+)
+
+// ProtectionSlack returns, for each user i, the slack of the paper's
+// protection bound (Definition 7): r_i/(1 − N·r_i) − C_i(r).  Negative
+// slack means the bound is violated at r.  Fair Share keeps every slack
+// nonnegative for every r (Theorem 8); proportional allocations do not.
+func ProtectionSlack(a core.Allocation, r []float64) []float64 {
+	n := len(r)
+	c := a.Congestion(r)
+	out := make([]float64, n)
+	for i := range r {
+		out[i] = mm1.ProtectionBound(n, r[i]) - c[i]
+	}
+	return out
+}
+
+// AdversarialProtection holds the result of an adversarial search against
+// the protection bound for one victim user.
+type AdversarialProtection struct {
+	// Victim is the protected user's index (always 0 in the search).
+	Victim int
+	// Rate is the victim's fixed rate.
+	Rate float64
+	// Bound is r/(1 − N·r), the guarantee being tested.
+	Bound float64
+	// WorstCongestion is the largest C_victim found over the attack space.
+	WorstCongestion float64
+	// WorstAttack is the full rate vector attaining it.
+	WorstAttack []float64
+	// Violated is true when WorstCongestion exceeds Bound by more than a
+	// numeric tolerance.
+	Violated bool
+}
+
+// AttackProtection searches adversarially for rate vectors of the other
+// n−1 users that maximize user 0's congestion when user 0 sends at rate.
+// It combines random sampling with coordinate ascent.  The search space is
+// capped so the total load stays below maxLoad (use values < 1 for
+// nonstalling comparability, or slightly above to probe the overload
+// behaviour FS tolerates).
+func AttackProtection(a core.Allocation, rate float64, n int, maxLoad float64, rng *rand.Rand, iters int) AdversarialProtection {
+	res := AdversarialProtection{
+		Victim: 0,
+		Rate:   rate,
+		Bound:  mm1.ProtectionBound(n, rate),
+	}
+	r := make([]float64, n)
+	best := append([]float64(nil), r...)
+	bestC := 0.0
+	budget := maxLoad - rate
+	if budget <= 0 {
+		budget = 0.01
+	}
+	for k := 0; k < iters; k++ {
+		r[0] = rate
+		// Random split of a random fraction of the remaining budget.
+		frac := rng.Float64()
+		weights := make([]float64, n-1)
+		sum := 0.0
+		for i := range weights {
+			weights[i] = rng.ExpFloat64() + 1e-9
+			sum += weights[i]
+		}
+		for i := range weights {
+			r[i+1] = budget * frac * weights[i] / sum
+		}
+		if c := a.CongestionOf(r, 0); c > bestC {
+			bestC = c
+			copy(best, r)
+		}
+	}
+	// Coordinate ascent refinement from the best random attack.
+	copy(r, best)
+	for pass := 0; pass < 4; pass++ {
+		for i := 1; i < n; i++ {
+			lo, hi := 1e-9, budget
+			// Golden-section maximize C_0 over r[i].
+			const invPhi = 0.6180339887498949
+			c := hi - invPhi*(hi-lo)
+			d := lo + invPhi*(hi-lo)
+			eval := func(x float64) float64 {
+				r[i] = x
+				return a.CongestionOf(r, 0)
+			}
+			fc, fd := eval(c), eval(d)
+			for hi-lo > 1e-9 {
+				if fc > fd {
+					hi, d, fd = d, c, fc
+					c = hi - invPhi*(hi-lo)
+					fc = eval(c)
+				} else {
+					lo, c, fc = c, d, fd
+					d = lo + invPhi*(hi-lo)
+					fd = eval(d)
+				}
+			}
+			r[i] = lo + (hi-lo)/2
+			if v := a.CongestionOf(r, 0); v > bestC {
+				bestC = v
+				copy(best, r)
+			} else {
+				copy(r, best)
+			}
+		}
+	}
+	res.WorstCongestion = bestC
+	res.WorstAttack = best
+	res.Violated = bestC > res.Bound*(1+1e-9)+1e-12
+	return res
+}

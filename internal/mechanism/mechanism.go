@@ -1,0 +1,96 @@
+// Package mechanism implements the direct revelation mechanisms of §4.2.2:
+// users report utility functions to the switch, and the switch computes the
+// allocation that the selfish play of the *reported* profile would reach —
+// the map B(Û) of the paper.  B^FS (built on Fair Share) is a revelation
+// mechanism: truth-telling is a dominant strategy (Theorem 6).  The same
+// construction built on the proportional allocation is manipulable, which
+// the experiments demonstrate by explicit lie search.
+package mechanism
+
+import (
+	"errors"
+
+	"greednet/internal/core"
+	"greednet/internal/game"
+)
+
+// Mechanism maps reported utility profiles to allocations by solving the
+// Nash equilibrium of the reports under a fixed service discipline.
+type Mechanism struct {
+	// Alloc is the discipline whose induced game is solved on reports.
+	Alloc core.Allocation
+	// Nash configures the equilibrium computation.
+	Nash game.NashOptions
+	// Start is the solver's starting rate vector; nil defaults to 0.1/n
+	// per user (any start works for Fair Share by Theorem 4).
+	Start []float64
+}
+
+// ErrNotConverged is returned when the inner Nash solve fails, so the
+// mechanism has no well-defined outcome for the reports.
+var ErrNotConverged = errors.New("mechanism: reported-profile equilibrium did not converge")
+
+// Allocate computes B(reports): the allocation point of the reported
+// profile's Nash equilibrium.
+func (m Mechanism) Allocate(reports core.Profile) (core.Point, error) {
+	n := len(reports)
+	start := m.Start
+	if start == nil {
+		start = make([]float64, n)
+		for i := range start {
+			start[i] = 0.1 / float64(n)
+		}
+	}
+	res, err := game.SolveNash(m.Alloc, reports, start, m.Nash)
+	if err != nil {
+		return core.Point{}, err
+	}
+	if !res.Converged {
+		return core.Point{}, ErrNotConverged
+	}
+	return core.Point{R: res.R, C: res.C}, nil
+}
+
+// Manipulation describes the outcome of a lie search for one user.
+type Manipulation struct {
+	// TruthfulUtility is the user's true utility at the truthful outcome.
+	TruthfulUtility float64
+	// BestGain is max over sampled lies of (true utility at lying outcome)
+	// − TruthfulUtility.  ≤ 0 means no sampled lie helps.
+	BestGain float64
+	// BestLie indexes the most profitable lie in the candidate slice, or
+	// −1 when no lie was evaluated successfully.
+	BestLie int
+	// Evaluated counts the lies whose outcome converged.
+	Evaluated int
+}
+
+// SearchManipulation evaluates, for user i with true utility truth and
+// opponents reporting others (others[i] is ignored), whether any candidate
+// misreport improves user i's true utility over truthful reporting.
+func SearchManipulation(m Mechanism, truth core.Utility, i int, others core.Profile, lies []core.Utility) (Manipulation, error) {
+	reports := make(core.Profile, len(others))
+	copy(reports, others)
+	reports[i] = truth
+	base, err := m.Allocate(reports)
+	if err != nil {
+		return Manipulation{}, err
+	}
+	out := Manipulation{
+		TruthfulUtility: truth.Value(base.R[i], base.C[i]),
+		BestLie:         -1,
+	}
+	for k, lie := range lies {
+		reports[i] = lie
+		p, err := m.Allocate(reports)
+		if err != nil {
+			continue
+		}
+		out.Evaluated++
+		if gain := truth.Value(p.R[i], p.C[i]) - out.TruthfulUtility; out.BestLie == -1 || gain > out.BestGain {
+			out.BestGain = gain
+			out.BestLie = k
+		}
+	}
+	return out, nil
+}

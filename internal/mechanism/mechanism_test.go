@@ -1,0 +1,96 @@
+package mechanism
+
+import (
+	"testing"
+
+	"greednet/internal/alloc"
+	"greednet/internal/core"
+	"greednet/internal/utility"
+)
+
+// lieFamily returns misreports derived from a linear truth by scaling the
+// congestion aversion and the throughput weight.
+func lieFamily(truth utility.Linear) []core.Utility {
+	scales := []float64{0.2, 0.5, 0.8, 1.25, 2, 5}
+	var lies []core.Utility
+	for _, s := range scales {
+		lies = append(lies,
+			utility.Linear{A: truth.A, Gamma: truth.Gamma * s},
+			utility.Linear{A: truth.A * s, Gamma: truth.Gamma},
+		)
+	}
+	return lies
+}
+
+func TestFairShareMechanismTruthful(t *testing.T) {
+	// Theorem 6: under B^FS no misreport in the sampled family helps.
+	m := Mechanism{Alloc: alloc.FairShare{}}
+	truth := utility.NewLinear(1, 0.3)
+	others := core.Profile{
+		truth,
+		utility.NewLinear(1, 0.15),
+		utility.NewLinear(1, 0.5),
+	}
+	man, err := SearchManipulation(m, truth, 0, others, lieFamily(truth))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if man.Evaluated == 0 {
+		t.Fatal("no lies evaluated")
+	}
+	if man.BestGain > 1e-6 {
+		t.Errorf("B^FS manipulable: gain %v via lie %d", man.BestGain, man.BestLie)
+	}
+}
+
+func TestFairShareMechanismTruthfulHeterogeneous(t *testing.T) {
+	m := Mechanism{Alloc: alloc.FairShare{}}
+	truth := utility.NewLinear(1, 0.25)
+	others := core.Profile{
+		nil, // slot for the manipulator
+		utility.Log{W: 0.3, Gamma: 1},
+		utility.Sqrt{W: 1, Gamma: 2},
+	}
+	man, err := SearchManipulation(m, truth, 0, others, lieFamily(truth))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if man.BestGain > 1e-6 {
+		t.Errorf("B^FS manipulable: gain %v", man.BestGain)
+	}
+}
+
+func TestProportionalMechanismManipulable(t *testing.T) {
+	// The same construction on FIFO is not a revelation mechanism:
+	// overstating aggressiveness (lower reported γ) acts like a
+	// Stackelberg commitment and pays.
+	m := Mechanism{Alloc: alloc.Proportional{}}
+	truth := utility.NewLinear(1, 0.3)
+	others := core.Profile{
+		truth,
+		utility.NewLinear(1, 0.25),
+	}
+	man, err := SearchManipulation(m, truth, 0, others, lieFamily(truth))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if man.BestGain <= 1e-6 {
+		t.Errorf("expected profitable lie under proportional mechanism, best gain %v", man.BestGain)
+	}
+}
+
+func TestAllocateMatchesDirectNash(t *testing.T) {
+	m := Mechanism{Alloc: alloc.FairShare{}}
+	us := core.Profile{utility.NewLinear(1, 0.3), utility.NewLinear(1, 0.4)}
+	p, err := m.Allocate(us)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.R) != 2 || p.R[0] <= 0 || p.R[1] <= 0 {
+		t.Errorf("bad allocation %+v", p)
+	}
+	// More congestion-averse user sends less.
+	if p.R[1] >= p.R[0] {
+		t.Errorf("γ=0.4 user should send less: %v", p.R)
+	}
+}

@@ -1,0 +1,150 @@
+package mm1
+
+import (
+	"fmt"
+	"math"
+)
+
+// ServerModel abstracts the total-congestion function of a work-conserving
+// queueing station: L(x) is the mean number in system at total arrival
+// rate x (unit mean service time).  The paper's results hold for any model
+// whose L is strictly increasing and strictly convex on [0, 1) (footnote
+// 5) — which covers M/M/1, M/D/1, and general M/G/1 stations.
+type ServerModel interface {
+	// Name identifies the model, e.g. "mm1" or "mg1(cv2=2)".
+	Name() string
+	// L is the mean number in system at total rate x; +Inf for x ≥ 1.
+	L(x float64) float64
+	// LPrime is dL/dx.
+	LPrime(x float64) float64
+	// LPrime2 is d²L/dx².
+	LPrime2(x float64) float64
+}
+
+// MM1 is the exponential-service station: L(x) = x/(1−x) — the paper's
+// base model.
+type MM1 struct{}
+
+// Name implements ServerModel.
+func (MM1) Name() string { return "mm1" }
+
+// L implements ServerModel.
+func (MM1) L(x float64) float64 { return G(x) }
+
+// LPrime implements ServerModel.
+func (MM1) LPrime(x float64) float64 { return GPrime(x) }
+
+// LPrime2 implements ServerModel.
+func (MM1) LPrime2(x float64) float64 { return GPrime2(x) }
+
+// MG1 is the Pollaczek–Khinchine station with unit-mean service times of
+// squared coefficient of variation CV2:
+//
+//	L(x) = x + x²·(1 + CV2) / (2(1 − x))
+//
+// CV2 = 1 recovers M/M/1's mean (though not its higher moments); CV2 = 0
+// is M/D/1 (deterministic service).
+type MG1 struct {
+	// CV2 is the squared coefficient of variation of service times (≥ 0).
+	CV2 float64
+}
+
+// Name implements ServerModel.
+func (m MG1) Name() string { return fmt.Sprintf("mg1(cv2=%g)", m.CV2) }
+
+// L implements ServerModel.
+func (m MG1) L(x float64) float64 {
+	if x >= 1 {
+		return math.Inf(1)
+	}
+	return x + x*x*(1+m.CV2)/(2*(1-x))
+}
+
+// LPrime implements ServerModel.
+func (m MG1) LPrime(x float64) float64 {
+	if x >= 1 {
+		return math.Inf(1)
+	}
+	k := (1 + m.CV2) / 2
+	d := 1 - x
+	// d/dx [x²/(1−x)] = (2x(1−x) + x²)/(1−x)² = x(2−x)/(1−x)².
+	return 1 + k*x*(2-x)/(d*d)
+}
+
+// LPrime2 implements ServerModel.
+func (m MG1) LPrime2(x float64) float64 {
+	if x >= 1 {
+		return math.Inf(1)
+	}
+	k := (1 + m.CV2) / 2
+	d := 1 - x
+	// d²/dx² [x²/(1−x)] = 2/(1−x)³.
+	return k * 2 / (d * d * d)
+}
+
+// MD1 returns the deterministic-service station (CV² = 0).
+func MD1() MG1 { return MG1{CV2: 0} }
+
+// SymmetricCongestionG is the per-user congestion of the completely
+// symmetric allocation under an arbitrary server model: L(n·r)/n.  It is
+// also the generalized Definition-7 protection bound.
+func SymmetricCongestionG(m ServerModel, n int, r float64) float64 {
+	if n <= 0 {
+		return math.NaN()
+	}
+	return m.L(float64(n)*r) / float64(n)
+}
+
+// CheckFeasibleG validates (r, c) against the work-conserving feasible set
+// of an arbitrary server model (the Kleinrock conservation analogue of
+// CheckFeasible).
+func CheckFeasibleG(m ServerModel, r, c []float64, tol float64) FeasibilityReport {
+	var rep FeasibilityReport
+	rep.MinPrefixSlack = math.Inf(1)
+	if len(r) != len(c) || len(r) == 0 || !InDomain(r) {
+		rep.TotalResidual = math.NaN()
+		return rep
+	}
+	for _, v := range c {
+		if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+			rep.TotalResidual = math.NaN()
+			return rep
+		}
+	}
+	n := len(r)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	// Sort by increasing c_i/r_i as in CheckFeasible.
+	for a := 0; a < n; a++ {
+		for b := a + 1; b < n; b++ {
+			if c[idx[b]]*r[idx[a]] < c[idx[a]]*r[idx[b]] {
+				idx[a], idx[b] = idx[b], idx[a]
+			}
+		}
+	}
+	sumC, sumR := 0.0, 0.0
+	interior := true
+	for k := 0; k < n; k++ {
+		sumC += c[idx[k]]
+		sumR += r[idx[k]]
+		slack := sumC - m.L(sumR)
+		if k < n-1 {
+			if slack < rep.MinPrefixSlack {
+				rep.MinPrefixSlack = slack
+			}
+			if slack <= tol {
+				interior = false
+			}
+		} else {
+			rep.TotalResidual = slack
+		}
+	}
+	if n == 1 {
+		rep.MinPrefixSlack = 0
+	}
+	rep.Feasible = math.Abs(rep.TotalResidual) <= tol && rep.MinPrefixSlack >= -tol
+	rep.Interior = rep.Feasible && interior
+	return rep
+}

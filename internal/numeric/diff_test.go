@@ -1,0 +1,71 @@
+package numeric
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDerivative(t *testing.T) {
+	f := math.Sin
+	if d := Derivative(f, 1, 0); math.Abs(d-math.Cos(1)) > 1e-8 {
+		t.Errorf("d/dx sin(1) = %v, want cos(1)", d)
+	}
+}
+
+func TestSecondDerivative(t *testing.T) {
+	f := func(x float64) float64 { return x * x * x }
+	if d := SecondDerivative(f, 2, 0); math.Abs(d-12) > 1e-4 {
+		t.Errorf("f''(2) = %v, want 12", d)
+	}
+}
+
+func TestGradient(t *testing.T) {
+	f := func(x []float64) float64 { return x[0]*x[0] + 3*x[0]*x[1] }
+	g := Gradient(f, []float64{2, 5}, 0)
+	if math.Abs(g[0]-19) > 1e-6 || math.Abs(g[1]-6) > 1e-6 {
+		t.Errorf("∇f = %v, want [19 6]", g)
+	}
+}
+
+func TestGradientDoesNotMutate(t *testing.T) {
+	x := []float64{1, 2}
+	Gradient(func(v []float64) float64 { return v[0] + v[1] }, x, 0)
+	if x[0] != 1 || x[1] != 2 {
+		t.Error("Gradient mutated its input")
+	}
+}
+
+func TestPartial(t *testing.T) {
+	f := func(x []float64) float64 { return math.Exp(x[0]) * x[1] }
+	if d := Partial(f, []float64{0, 3}, 0, 0); math.Abs(d-3) > 1e-6 {
+		t.Errorf("∂f/∂x0 = %v, want 3", d)
+	}
+}
+
+func TestPartial2Mixed(t *testing.T) {
+	f := func(x []float64) float64 { return x[0] * x[0] * x[1] }
+	if d := Partial2(f, []float64{3, 4}, 0, 1, 0); math.Abs(d-6) > 1e-3 {
+		t.Errorf("∂²f/∂x0∂x1 = %v, want 6", d)
+	}
+	if d := Partial2(f, []float64{3, 4}, 0, 0, 0); math.Abs(d-8) > 1e-3 {
+		t.Errorf("∂²f/∂x0² = %v, want 8", d)
+	}
+}
+
+func TestJacobianFD(t *testing.T) {
+	F := func(x []float64) []float64 {
+		return []float64{x[0] * x[1], x[0] + 2*x[1], math.Sin(x[0])}
+	}
+	j := JacobianFD(F, []float64{1, 2}, 0)
+	if j.Rows() != 3 || j.Cols() != 2 {
+		t.Fatalf("Jacobian shape %dx%d", j.Rows(), j.Cols())
+	}
+	want := [][]float64{{2, 1}, {1, 2}, {math.Cos(1), 0}}
+	for i := range want {
+		for k := range want[i] {
+			if math.Abs(j.At(i, k)-want[i][k]) > 1e-6 {
+				t.Errorf("J[%d][%d] = %v, want %v", i, k, j.At(i, k), want[i][k])
+			}
+		}
+	}
+}

@@ -1,0 +1,68 @@
+package numeric
+
+import (
+	"math"
+	"testing"
+)
+
+func TestEigenvaluesJordanBlock(t *testing.T) {
+	// A defective matrix (Jordan block) still has both eigenvalues = 2.
+	a := MatrixFromRows([][]float64{{2, 1}, {0, 2}})
+	ev, err := Eigenvalues(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range ev {
+		if math.Abs(real(l)-2) > 1e-6 || math.Abs(imag(l)) > 1e-6 {
+			t.Errorf("Jordan block eigenvalue %v, want 2", l)
+		}
+	}
+}
+
+func TestEigenvaluesZeroMatrix(t *testing.T) {
+	ev, err := Eigenvalues(NewMatrix(4, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ev) != 4 {
+		t.Fatalf("got %d eigenvalues", len(ev))
+	}
+	for _, l := range ev {
+		if l != 0 {
+			t.Errorf("zero matrix eigenvalue %v", l)
+		}
+	}
+}
+
+func TestEigenvaluesNonSquare(t *testing.T) {
+	if _, err := Eigenvalues(NewMatrix(2, 3)); err == nil {
+		t.Error("non-square should error")
+	}
+}
+
+func TestEigenvaluesStrictlyTriangular(t *testing.T) {
+	// Strictly lower triangular (nilpotent): all eigenvalues zero — the
+	// structure of the Fair Share relaxation matrix.  A length-n Jordan
+	// chain at 0 is the worst case for QR accuracy: computed eigenvalues
+	// scatter by O(‖A‖·ε^{1/n}) ≈ 1e−4 for n = 4, so the check uses a
+	// matching tolerance (this is why IsNilpotent multiplies the matrix
+	// out instead of trusting the spectrum).
+	a := MatrixFromRows([][]float64{
+		{0, 0, 0, 0},
+		{3, 0, 0, 0},
+		{1, -2, 0, 0},
+		{4, 5, 6, 0},
+	})
+	ev, err := Eigenvalues(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range ev {
+		if math.Abs(real(l)) > 1e-3 || math.Abs(imag(l)) > 1e-3 {
+			t.Errorf("nilpotent eigenvalue %v, want ≈0", l)
+		}
+	}
+	if !IsNilpotent(a, 1e-12) {
+		t.Error("IsNilpotent should certify the exact structure")
+	}
+}

@@ -1,0 +1,89 @@
+package numeric
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMatrixMul(t *testing.T) {
+	a := MatrixFromRows([][]float64{{1, 2}, {3, 4}})
+	b := MatrixFromRows([][]float64{{5, 6}, {7, 8}})
+	c := a.Mul(b)
+	want := [][]float64{{19, 22}, {43, 50}}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			if c.At(i, j) != want[i][j] {
+				t.Errorf("Mul[%d][%d] = %v, want %v", i, j, c.At(i, j), want[i][j])
+			}
+		}
+	}
+}
+
+func TestMatrixMulIdentity(t *testing.T) {
+	a := MatrixFromRows([][]float64{{1, 2, 3}, {4, 5, 6}, {7, 8, 9}})
+	if d := a.Mul(Identity(3)).Sub(a).MaxAbs(); d != 0 {
+		t.Errorf("A·I ≠ A, max diff %v", d)
+	}
+	if d := Identity(3).Mul(a).Sub(a).MaxAbs(); d != 0 {
+		t.Errorf("I·A ≠ A, max diff %v", d)
+	}
+}
+
+func TestMatrixMulVec(t *testing.T) {
+	a := MatrixFromRows([][]float64{{2, 0}, {1, 3}})
+	y := a.MulVec([]float64{4, 5})
+	if y[0] != 8 || y[1] != 19 {
+		t.Errorf("MulVec = %v, want [8 19]", y)
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	f := func(a, b, c, d, e, g float64) bool {
+		m := MatrixFromRows([][]float64{{a, b, c}, {d, e, g}})
+		return m.Transpose().Transpose().Sub(m).MaxAbs() == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAddSubScale(t *testing.T) {
+	a := MatrixFromRows([][]float64{{1, 2}, {3, 4}})
+	if d := a.Add(a).Sub(a.Scale(2)).MaxAbs(); d != 0 {
+		t.Errorf("A+A ≠ 2A, diff %v", d)
+	}
+}
+
+func TestFrobeniusNorm(t *testing.T) {
+	a := MatrixFromRows([][]float64{{3, 0}, {0, 4}})
+	if got := a.FrobeniusNorm(); math.Abs(got-5) > 1e-15 {
+		t.Errorf("Frobenius = %v, want 5", got)
+	}
+}
+
+func TestVecHelpers(t *testing.T) {
+	if VecNormInf([]float64{1, -7, 3}) != 7 {
+		t.Error("VecNormInf wrong")
+	}
+	if math.Abs(VecNorm2([]float64{3, 4})-5) > 1e-15 {
+		t.Error("VecNorm2 wrong")
+	}
+	if d := VecDist([]float64{1, 2}, []float64{1, 5}); d != 3 {
+		t.Errorf("VecDist = %v, want 3", d)
+	}
+}
+
+func TestMatrixRowClone(t *testing.T) {
+	a := MatrixFromRows([][]float64{{1, 2}, {3, 4}})
+	r := a.Row(1)
+	r[0] = 99
+	if a.At(1, 0) != 3 {
+		t.Error("Row must return a copy")
+	}
+	c := a.Clone()
+	c.Set(0, 0, 99)
+	if a.At(0, 0) != 1 {
+		t.Error("Clone must deep-copy")
+	}
+}

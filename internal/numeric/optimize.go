@@ -1,0 +1,159 @@
+package numeric
+
+import "math"
+
+// invPhi = 1/φ, the golden-section step ratio.
+const invPhi = 0.6180339887498949
+
+// MaximizeGolden maximizes f over the closed interval [a, b] by
+// golden-section search, assuming f is unimodal there.  It returns the
+// argmax and max; the argmax is accurate to within tol.
+func MaximizeGolden(f func(float64) float64, a, b, tol float64) (x, fx float64) {
+	if b < a {
+		a, b = b, a
+	}
+	c := b - invPhi*(b-a)
+	d := a + invPhi*(b-a)
+	fc, fd := f(c), f(d)
+	for b-a > tol {
+		if fc > fd {
+			b, d, fd = d, c, fc
+			c = b - invPhi*(b-a)
+			fc = f(c)
+		} else {
+			a, c, fc = c, d, fd
+			d = a + invPhi*(b-a)
+			fd = f(d)
+		}
+	}
+	x = a + (b-a)/2
+	return x, f(x)
+}
+
+// MaximizeBrent maximizes f over [a, b] using Brent's method for
+// minimization applied to −f (golden-section steps guarded by successive
+// parabolic interpolation).  f should be unimodal on [a, b].
+func MaximizeBrent(f func(float64) float64, a, b, tol float64) (xmax, fmax float64) {
+	if b < a {
+		a, b = b, a
+	}
+	neg := func(x float64) float64 { return -f(x) }
+	x, fx := brentMin(neg, a, b, tol)
+	return x, -fx
+}
+
+// brentMin is the classic Brent minimizer on [a, b].
+func brentMin(f func(float64) float64, a, b, tol float64) (float64, float64) {
+	const cgold = 0.3819660112501051 // 2 − φ
+	const eps = 1e-12
+	x := a + cgold*(b-a)
+	w, v := x, x
+	fx := f(x)
+	fw, fv := fx, fx
+	var d, e float64
+	for iter := 0; iter < 200; iter++ {
+		xm := (a + b) / 2
+		tol1 := tol*math.Abs(x) + eps
+		tol2 := 2 * tol1
+		if math.Abs(x-xm) <= tol2-(b-a)/2 {
+			break
+		}
+		useGolden := true
+		if math.Abs(e) > tol1 {
+			// Fit a parabola through x, w, v.
+			r := (x - w) * (fx - fv)
+			q := (x - v) * (fx - fw)
+			p := (x-v)*q - (x-w)*r
+			q = 2 * (q - r)
+			if q > 0 {
+				p = -p
+			}
+			q = math.Abs(q)
+			etemp := e
+			e = d
+			if math.Abs(p) < math.Abs(q*etemp/2) && p > q*(a-x) && p < q*(b-x) {
+				d = p / q
+				u := x + d
+				if u-a < tol2 || b-u < tol2 {
+					d = math.Copysign(tol1, xm-x)
+				}
+				useGolden = false
+			}
+		}
+		if useGolden {
+			if x >= xm {
+				e = a - x
+			} else {
+				e = b - x
+			}
+			d = cgold * e
+		}
+		var u float64
+		if math.Abs(d) >= tol1 {
+			u = x + d
+		} else {
+			u = x + math.Copysign(tol1, d)
+		}
+		fu := f(u)
+		if fu <= fx {
+			if u >= x {
+				a = x
+			} else {
+				b = x
+			}
+			v, w, x = w, x, u
+			fv, fw, fx = fw, fx, fu
+		} else {
+			if u < x {
+				a = u
+			} else {
+				b = u
+			}
+			if fu <= fw || w == x {
+				v, fv = w, fw
+				w, fw = u, fu
+			} else if fu <= fv || v == x || v == w {
+				v, fv = u, fu
+			}
+		}
+	}
+	return x, fx
+}
+
+// MaximizeGrid maximizes f over [a, b] by evaluating n+1 equally spaced
+// points and then refining the best cell with golden-section search.  It is
+// robust to mild non-unimodality (e.g. flat −Inf plateaus near a domain
+// boundary) at the cost of n extra evaluations.
+func MaximizeGrid(f func(float64) float64, a, b float64, n int, tol float64) (x, fx float64) {
+	if n < 2 {
+		n = 2
+	}
+	if b < a {
+		a, b = b, a
+	}
+	h := (b - a) / float64(n)
+	bestI, bestF := 0, math.Inf(-1)
+	for i := 0; i <= n; i++ {
+		v := f(a + float64(i)*h)
+		if v > bestF {
+			bestF, bestI = v, i
+		}
+	}
+	lo := a + float64(maxInt(bestI-1, 0))*h
+	hi := a + float64(minInt(bestI+1, n))*h
+	return MaximizeGolden(f, lo, hi, tol)
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,70 @@
+package numeric
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMaximizeGoldenQuadratic(t *testing.T) {
+	f := func(x float64) float64 { return -(x - 3) * (x - 3) }
+	x, fx := MaximizeGolden(f, 0, 10, 1e-10)
+	if math.Abs(x-3) > 1e-7 {
+		t.Errorf("argmax %v, want 3", x)
+	}
+	if fx > 0 || fx < -1e-12 {
+		t.Errorf("max %v, want 0", fx)
+	}
+}
+
+func TestMaximizeGoldenReversedInterval(t *testing.T) {
+	f := func(x float64) float64 { return -x * x }
+	x, _ := MaximizeGolden(f, 5, -5, 1e-10)
+	if math.Abs(x) > 1e-7 {
+		t.Errorf("argmax %v, want 0", x)
+	}
+}
+
+func TestMaximizeBrent(t *testing.T) {
+	f := func(x float64) float64 { return math.Sin(x) }
+	x, fx := MaximizeBrent(f, 0, math.Pi, 1e-12)
+	if math.Abs(x-math.Pi/2) > 1e-6 {
+		t.Errorf("argmax %v, want π/2", x)
+	}
+	if math.Abs(fx-1) > 1e-10 {
+		t.Errorf("max %v, want 1", fx)
+	}
+}
+
+func TestMaximizeGridNonUnimodal(t *testing.T) {
+	// Two humps; the taller one is at x = 7.
+	f := func(x float64) float64 {
+		return math.Exp(-(x-2)*(x-2)) + 2*math.Exp(-(x-7)*(x-7))
+	}
+	x, _ := MaximizeGrid(f, 0, 10, 50, 1e-10)
+	if math.Abs(x-7) > 1e-3 {
+		t.Errorf("argmax %v, want ≈7", x)
+	}
+}
+
+func TestMaximizeGridInfPlateau(t *testing.T) {
+	// −Inf outside [0, 0.5], maximum at 0.3: the shape best-response
+	// searches encounter at domain boundaries.
+	f := func(x float64) float64 {
+		if x > 0.5 {
+			return math.Inf(-1)
+		}
+		return -(x - 0.3) * (x - 0.3)
+	}
+	x, _ := MaximizeGrid(f, 0, 1, 64, 1e-10)
+	if math.Abs(x-0.3) > 1e-6 {
+		t.Errorf("argmax %v, want 0.3", x)
+	}
+}
+
+func TestMaximizeGridEndpointMax(t *testing.T) {
+	f := func(x float64) float64 { return x }
+	x, _ := MaximizeGrid(f, 0, 1, 16, 1e-10)
+	if math.Abs(x-1) > 1e-6 {
+		t.Errorf("argmax %v, want 1", x)
+	}
+}

@@ -1,0 +1,108 @@
+// Package randdist provides the service-time distributions used by the
+// general-service (M/G/1) simulator: exponential, deterministic, and gamma
+// with a chosen squared coefficient of variation.  All distributions here
+// have unit mean so the server's load equals the total arrival rate.
+package randdist
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Dist is a nonnegative service-time distribution with unit mean.
+type Dist interface {
+	// Name identifies the distribution.
+	Name() string
+	// Sample draws one service time.
+	Sample(rng *rand.Rand) float64
+	// CV2 is the squared coefficient of variation (variance, since the
+	// mean is 1).
+	CV2() float64
+}
+
+// Exponential is the unit-mean exponential distribution (CV² = 1).
+type Exponential struct{}
+
+// Name implements Dist.
+func (Exponential) Name() string { return "exponential" }
+
+// Sample implements Dist.
+func (Exponential) Sample(rng *rand.Rand) float64 { return rng.ExpFloat64() }
+
+// CV2 implements Dist.
+func (Exponential) CV2() float64 { return 1 }
+
+// Deterministic is the constant unit service time (CV² = 0).
+type Deterministic struct{}
+
+// Name implements Dist.
+func (Deterministic) Name() string { return "deterministic" }
+
+// Sample implements Dist.
+func (Deterministic) Sample(rng *rand.Rand) float64 { return 1 }
+
+// CV2 implements Dist.
+func (Deterministic) CV2() float64 { return 0 }
+
+// Gamma is a unit-mean gamma distribution with shape K (CV² = 1/K).
+type Gamma struct {
+	// K is the shape parameter (> 0); the scale is 1/K so the mean is 1.
+	K float64
+}
+
+// GammaFromCV2 builds the unit-mean gamma distribution with the given
+// squared coefficient of variation (> 0).
+func GammaFromCV2(cv2 float64) Gamma { return Gamma{K: 1 / cv2} }
+
+// Name implements Dist.
+func (g Gamma) Name() string { return fmt.Sprintf("gamma(k=%g)", g.K) }
+
+// CV2 implements Dist.
+func (g Gamma) CV2() float64 { return 1 / g.K }
+
+// Sample implements Dist using the Marsaglia–Tsang method, with the
+// standard boosting trick for shape < 1.
+func (g Gamma) Sample(rng *rand.Rand) float64 {
+	k := g.K
+	boost := 1.0
+	if k < 1 {
+		// X_k = X_{k+1} · U^{1/k}.
+		boost = math.Pow(rng.Float64(), 1/k)
+		k++
+	}
+	d := k - 1.0/3.0
+	c := 1 / math.Sqrt(9*d)
+	for {
+		var x, v float64
+		for {
+			x = rng.NormFloat64()
+			v = 1 + c*x
+			if v > 0 {
+				break
+			}
+		}
+		v = v * v * v
+		u := rng.Float64()
+		if u < 1-0.0331*x*x*x*x {
+			return boost * d * v / g.K
+		}
+		if math.Log(u) < 0.5*x*x+d*(1-v+math.Log(v)) {
+			return boost * d * v / g.K
+		}
+	}
+}
+
+// FromCV2 returns the natural unit-mean distribution with the requested
+// squared coefficient of variation: deterministic at 0, exponential at 1,
+// gamma otherwise.
+func FromCV2(cv2 float64) Dist {
+	switch {
+	case cv2 == 0:
+		return Deterministic{}
+	case cv2 == 1:
+		return Exponential{}
+	default:
+		return GammaFromCV2(cv2)
+	}
+}

@@ -1,0 +1,72 @@
+package randdist
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"greednet/internal/stats"
+)
+
+func sampleStats(d Dist, n int, seed int64) (mean, variance float64) {
+	rng := rand.New(rand.NewSource(seed))
+	var w stats.Welford
+	for i := 0; i < n; i++ {
+		w.Add(d.Sample(rng))
+	}
+	return w.Mean(), w.Variance()
+}
+
+func TestUnitMeans(t *testing.T) {
+	for _, d := range []Dist{
+		Exponential{}, Deterministic{}, Gamma{K: 0.5}, Gamma{K: 1}, Gamma{K: 4},
+	} {
+		mean, _ := sampleStats(d, 200000, 1)
+		if math.Abs(mean-1) > 0.01 {
+			t.Errorf("%s sample mean %v, want 1", d.Name(), mean)
+		}
+	}
+}
+
+func TestCV2Matches(t *testing.T) {
+	for _, d := range []Dist{
+		Exponential{}, Deterministic{}, Gamma{K: 0.5}, Gamma{K: 2}, GammaFromCV2(3),
+	} {
+		_, v := sampleStats(d, 300000, 2)
+		if math.Abs(v-d.CV2()) > 0.05*(d.CV2()+0.01) {
+			t.Errorf("%s sample variance %v, want CV² %v", d.Name(), v, d.CV2())
+		}
+	}
+}
+
+func TestSamplesNonnegative(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, d := range []Dist{Exponential{}, Gamma{K: 0.3}, Gamma{K: 7}} {
+		for i := 0; i < 10000; i++ {
+			if x := d.Sample(rng); x < 0 || math.IsNaN(x) {
+				t.Fatalf("%s produced %v", d.Name(), x)
+			}
+		}
+	}
+}
+
+func TestFromCV2Dispatch(t *testing.T) {
+	if _, ok := FromCV2(0).(Deterministic); !ok {
+		t.Error("cv2=0 should be deterministic")
+	}
+	if _, ok := FromCV2(1).(Exponential); !ok {
+		t.Error("cv2=1 should be exponential")
+	}
+	g, ok := FromCV2(2).(Gamma)
+	if !ok || math.Abs(g.CV2()-2) > 1e-12 {
+		t.Errorf("cv2=2 should be gamma with CV²=2, got %#v", g)
+	}
+}
+
+func TestGammaFromCV2RoundTrip(t *testing.T) {
+	for _, cv2 := range []float64{0.25, 0.5, 2, 5} {
+		if g := GammaFromCV2(cv2); math.Abs(g.CV2()-cv2) > 1e-12 {
+			t.Errorf("round trip failed for %v: %v", cv2, g.CV2())
+		}
+	}
+}

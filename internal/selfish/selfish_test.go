@@ -1,0 +1,75 @@
+package selfish
+
+import (
+	"math"
+	"testing"
+
+	"greednet/internal/alloc"
+	"greednet/internal/des"
+	"greednet/internal/game"
+	"greednet/internal/utility"
+)
+
+func TestClosedLoopFindsFairShareNash(t *testing.T) {
+	// Blind stochastic hill climbers over the simulator must settle near
+	// the analytic Fair Share Nash equilibrium.
+	n := 3
+	gamma := 0.25
+	us := utility.Identical(utility.NewLinear(1, gamma), n)
+	want := (1 - math.Sqrt(gamma)) / float64(n)
+	res := Run(func() des.Discipline { return &des.FairShareSplitter{} },
+		us, []float64{0.05, 0.3, 0.15}, Options{Seed: 1})
+	settled := res.TailAverage(10)
+	for i, v := range settled {
+		if math.Abs(v-want) > 0.03 {
+			t.Errorf("user %d settled at %v, analytic Nash %v", i, v, want)
+		}
+	}
+	if res.Epochs == 0 || len(res.Trajectory) != 61 {
+		t.Errorf("unexpected bookkeeping: epochs=%d rounds=%d", res.Epochs, len(res.Trajectory))
+	}
+}
+
+func TestClosedLoopFindsFIFONash(t *testing.T) {
+	// Premise 2 cuts both ways: under FIFO the blind optimizers land on
+	// the (inefficient) proportional Nash equilibrium.
+	n := 2
+	gamma := 0.25
+	us := utility.Identical(utility.NewLinear(1, gamma), n)
+	nash, err := game.SolveNash(alloc.Proportional{}, us, []float64{0.1, 0.1}, game.NashOptions{})
+	if err != nil || !nash.Converged {
+		t.Fatal("analytic solve failed")
+	}
+	res := Run(func() des.Discipline { return &des.FIFO{} },
+		us, []float64{0.1, 0.4}, Options{Seed: 2})
+	settled := res.TailAverage(10)
+	for i, v := range settled {
+		if math.Abs(v-nash.R[i]) > 0.04 {
+			t.Errorf("user %d settled at %v, analytic FIFO Nash %v", i, v, nash.R[i])
+		}
+	}
+}
+
+func TestTailAverage(t *testing.T) {
+	r := Result{Trajectory: [][]float64{{0, 0}, {1, 2}, {3, 4}}}
+	got := r.TailAverage(2)
+	if got[0] != 2 || got[1] != 3 {
+		t.Errorf("TailAverage = %v", got)
+	}
+	all := r.TailAverage(0)
+	if math.Abs(all[0]-4.0/3) > 1e-12 {
+		t.Errorf("TailAverage(0) = %v", all)
+	}
+}
+
+func TestMeltdownRetreat(t *testing.T) {
+	// Starting at meltdown rates, users must retreat into the stable
+	// region rather than sticking at −Inf payoffs.
+	us := utility.Identical(utility.NewLinear(1, 0.25), 2)
+	res := Run(func() des.Discipline { return &des.FIFO{} },
+		us, []float64{0.6, 0.6}, Options{Seed: 3, Rounds: 30})
+	total := res.R[0] + res.R[1]
+	if total >= 0.99 {
+		t.Errorf("users failed to retreat from meltdown: %v", res.R)
+	}
+}

@@ -1,0 +1,271 @@
+// Package sweep generates the parameter-sweep data series behind the
+// reproduction's figures: instability spectra versus congestion
+// sensitivity, the selfish efficiency gap versus population size, victim
+// congestion versus attacker rate, interactive delay versus bulk load, and
+// learning-box collapse per round.  Each sweep returns a rectangular Table
+// that can be written as CSV or rendered as an ASCII chart.
+package sweep
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+
+	"greednet/internal/alloc"
+	"greednet/internal/core"
+	"greednet/internal/dynamics"
+	"greednet/internal/game"
+	"greednet/internal/mm1"
+	"greednet/internal/numeric"
+	"greednet/internal/utility"
+)
+
+// Table is a rectangular data series with named columns.
+type Table struct {
+	// Name identifies the sweep.
+	Name string
+	// Header names the columns.
+	Header []string
+	// Rows holds the samples.
+	Rows [][]float64
+}
+
+// WriteCSV writes the table in CSV form.
+func (t Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Header); err != nil {
+		return err
+	}
+	rec := make([]string, len(t.Header))
+	for _, row := range t.Rows {
+		if len(row) != len(t.Header) {
+			return fmt.Errorf("sweep: ragged row in %s", t.Name)
+		}
+		for i, v := range row {
+			rec[i] = strconv.FormatFloat(v, 'g', -1, 64)
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Column returns the values of the named column.
+func (t Table) Column(name string) []float64 {
+	idx := -1
+	for i, h := range t.Header {
+		if h == name {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return nil
+	}
+	out := make([]float64, len(t.Rows))
+	for k, row := range t.Rows {
+		out[k] = row[idx]
+	}
+	return out
+}
+
+// Eigenvalue sweeps the proportional relaxation spectral radius against
+// the congestion sensitivity γ for N identical linear users, with the
+// analytic prediction and the 1−N limit (the paper's §4.2.3 claim).
+func Eigenvalue(n int, gammas []float64) (Table, error) {
+	t := Table{
+		Name:   "eigenvalue",
+		Header: []string{"gamma", "load", "rho", "rho_analytic", "limit"},
+	}
+	for _, gamma := range gammas {
+		us := utility.Identical(utility.NewLinear(1, gamma), n)
+		r0 := make([]float64, n)
+		for i := range r0 {
+			r0[i] = 0.5 / float64(n)
+		}
+		res, err := game.SolveNash(alloc.Proportional{}, us, r0, game.NashOptions{})
+		if err != nil || !res.Converged {
+			return t, fmt.Errorf("sweep: proportional Nash failed at γ=%v", gamma)
+		}
+		A := game.RelaxationMatrix(alloc.Proportional{}, us, res.R, 1e-6)
+		rho, err := numeric.SpectralRadius(A)
+		if err != nil {
+			return t, err
+		}
+		s := mm1.Sum(res.R)
+		tt := 1 - s
+		analytic := float64(n-1) * (tt + 2*res.R[0]) / (2 * (tt + res.R[0]))
+		t.Rows = append(t.Rows, []float64{gamma, s, rho, analytic, float64(n - 1)})
+	}
+	return t, nil
+}
+
+// EfficiencyGap sweeps the per-user utility loss of the FIFO Nash
+// equilibrium relative to the symmetric Pareto point as the population
+// grows (the tragedy-of-the-commons curve of §4.1.1).
+func EfficiencyGap(gamma float64, ns []int) (Table, error) {
+	t := Table{
+		Name:   "efficiency-gap",
+		Header: []string{"n", "nash_rate", "pareto_rate", "u_nash", "u_pareto", "relative_loss"},
+	}
+	u := utility.NewLinear(1, gamma)
+	for _, n := range ns {
+		rp, cp, ok := game.SymmetricParetoRate(u, n)
+		if !ok {
+			return t, fmt.Errorf("sweep: no Pareto rate for n=%d", n)
+		}
+		us := utility.Identical(u, n)
+		r0 := make([]float64, n)
+		for i := range r0 {
+			r0[i] = 0.5 / float64(n)
+		}
+		res, err := game.SolveNash(alloc.Proportional{}, us, r0, game.NashOptions{})
+		if err != nil || !res.Converged {
+			return t, fmt.Errorf("sweep: FIFO Nash failed at n=%d", n)
+		}
+		uN := u.Value(res.R[0], res.C[0])
+		uP := u.Value(rp, cp)
+		loss := 0.0
+		if uP != 0 {
+			loss = (uP - uN) / math.Abs(uP)
+		}
+		t.Rows = append(t.Rows, []float64{float64(n), res.R[0], rp, uN, uP, loss})
+	}
+	return t, nil
+}
+
+// Protection sweeps a victim's congestion against the attacker's rate
+// under FIFO and Fair Share, with the Definition-7 bound (the cheater
+// curve).
+func Protection(victimRate float64, victims int, attackRates []float64) Table {
+	t := Table{
+		Name:   "protection",
+		Header: []string{"attack_rate", "victim_c_fifo", "victim_c_fairshare", "bound"},
+	}
+	n := victims + 1
+	bound := mm1.ProtectionBound(n, victimRate)
+	for _, atk := range attackRates {
+		r := make([]float64, n)
+		for i := 0; i < victims; i++ {
+			r[i] = victimRate
+		}
+		r[victims] = atk
+		cf := alloc.Proportional{}.CongestionOf(r, 0)
+		cs := alloc.FairShare{}.CongestionOf(r, 0)
+		t.Rows = append(t.Rows, []float64{atk, cf, cs, bound})
+	}
+	return t
+}
+
+// GHCWidths sweeps the generalized-hill-climbing candidate-box width per
+// elimination round under both disciplines (the Theorem-5 collapse curve).
+// Rows are padded with the terminal width once a run stops.
+func GHCWidths(n int, gamma float64, rounds int) Table {
+	t := Table{
+		Name:   "ghc-widths",
+		Header: []string{"round", "width_fairshare", "width_fifo"},
+	}
+	us := utility.Identical(utility.NewLinear(1, gamma), n)
+	opt := dynamics.EliminationOptions{MaxRounds: rounds, Tol: 1e-9}
+	fs := dynamics.GeneralizedHillClimb(alloc.FairShare{}, us, dynamics.NewBox(n, 1e-6, 1-1e-6), opt)
+	pr := dynamics.GeneralizedHillClimb(alloc.Proportional{}, us, dynamics.NewBox(n, 1e-6, 1-1e-6), opt)
+	get := func(ws []float64, k int) float64 {
+		if k < len(ws) {
+			return ws[k]
+		}
+		if len(ws) == 0 {
+			return 1
+		}
+		return ws[len(ws)-1]
+	}
+	for k := 0; k < rounds; k++ {
+		t.Rows = append(t.Rows, []float64{float64(k + 1), get(fs.Widths, k), get(pr.Widths, k)})
+	}
+	return t
+}
+
+// InteractiveDelay sweeps the analytic delay of a fixed light flow as a
+// bulk flow's offered rate grows, under FIFO and Fair Share (the §5.2
+// FTP-vs-Telnet curve).
+func InteractiveDelay(lightRate float64, bulkRates []float64) Table {
+	t := Table{
+		Name:   "interactive-delay",
+		Header: []string{"bulk_rate", "delay_fifo", "delay_fairshare"},
+	}
+	for _, b := range bulkRates {
+		r := []float64{lightRate, b}
+		df := alloc.Proportional{}.CongestionOf(r, 0) / lightRate
+		ds := alloc.FairShare{}.CongestionOf(r, 0) / lightRate
+		t.Rows = append(t.Rows, []float64{b, df, ds})
+	}
+	return t
+}
+
+// ReactionCurves samples the two users' best-reply functions on a grid —
+// the classic duopoly-style figure whose crossing is the Nash equilibrium.
+// Columns: the opponent's rate, user 1's best reply to it, and user 0's
+// best reply to it.
+func ReactionCurves(a core.Allocation, us core.Profile, points int) (Table, error) {
+	t := Table{
+		Name:   "reaction-curves",
+		Header: []string{"opponent_rate", "br_user1", "br_user0"},
+	}
+	if len(us) != 2 {
+		return t, fmt.Errorf("sweep: ReactionCurves needs exactly 2 users, got %d", len(us))
+	}
+	if points < 2 {
+		points = 2
+	}
+	for k := 0; k < points; k++ {
+		x := 0.01 + 0.9*float64(k)/float64(points-1)
+		br1, _ := game.BestResponse(a, us[1], []float64{x, 0.1}, 1, game.BROptions{})
+		br0, _ := game.BestResponse(a, us[0], []float64{0.1, x}, 0, game.BROptions{})
+		t.Rows = append(t.Rows, []float64{x, br1, br0})
+	}
+	return t, nil
+}
+
+// NewtonResiduals sweeps synchronous-Newton residuals per step under both
+// disciplines near their equilibria (the Theorem-7 convergence curve).
+func NewtonResiduals(n int, steps int) (Table, error) {
+	t := Table{
+		Name:   "newton-residuals",
+		Header: []string{"step", "resid_fairshare", "resid_fifo"},
+	}
+	us := make(core.Profile, n)
+	for i := range us {
+		us[i] = utility.NewLinear(1, 0.12+0.08*float64(i))
+	}
+	hist := map[string][]float64{}
+	for _, a := range []core.Allocation{alloc.FairShare{}, alloc.Proportional{}} {
+		r0 := make([]float64, n)
+		for i := range r0 {
+			r0[i] = 0.3 / float64(n)
+		}
+		res, err := game.SolveNash(a, us, r0, game.NashOptions{})
+		if err != nil || !res.Converged {
+			return t, fmt.Errorf("sweep: Nash failed for %s", a.Name())
+		}
+		start := append([]float64(nil), res.R...)
+		for i := range start {
+			start[i] *= 1.02
+		}
+		hist[a.Name()] = game.NewtonConvergence(a, us, start, steps)
+	}
+	fs, pr := hist["fair-share"], hist["proportional"]
+	for k := 0; k <= steps; k++ {
+		row := []float64{float64(k), math.NaN(), math.NaN()}
+		if k < len(fs) {
+			row[1] = fs[k]
+		}
+		if k < len(pr) {
+			row[2] = pr[k]
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}

@@ -1,0 +1,250 @@
+// Package utility implements families of admissible utility functions
+// U(r, c) from the paper's set AU: strictly increasing in throughput r,
+// strictly decreasing in congestion c, smooth, with convex preferences.
+// Utilities are ordinal; every family here is used only through the
+// core.Utility interface so results stay invariant under monotone
+// relabelings.
+package utility
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"greednet/internal/core"
+)
+
+// Linear is U(r, c) = A·r − Gamma·c, the paper's explicit example family
+// (§4.2.3 uses U = r − γc).  A and Gamma must be positive.
+type Linear struct {
+	A     float64
+	Gamma float64
+}
+
+// NewLinear returns the linear utility A·r − Gamma·c.
+func NewLinear(a, gamma float64) Linear { return Linear{A: a, Gamma: gamma} }
+
+// Value implements core.Utility.
+func (u Linear) Value(r, c float64) float64 {
+	if math.IsInf(c, 1) {
+		return math.Inf(-1)
+	}
+	return u.A*r - u.Gamma*c
+}
+
+// Gradient implements core.Utility.
+func (u Linear) Gradient(r, c float64) (float64, float64) { return u.A, -u.Gamma }
+
+// String describes the utility.
+func (u Linear) String() string { return fmt.Sprintf("linear(a=%g, γ=%g)", u.A, u.Gamma) }
+
+// Exponential is the Lemma-5 family
+//
+//	U(r, c) = −(α²/β)·e^{−(β/α)(r−R0)} − (γ²/ν)·e^{(ν/γ)(c−C0)}
+//
+// with all four shape parameters positive.  It is strictly concave, and by
+// construction its unconstrained marginal-rate condition M = −α/γ holds at
+// (R0, C0), which is how the paper plants Nash equilibria at chosen points.
+type Exponential struct {
+	Alpha, Beta, Gamma, Nu float64
+	R0, C0                 float64
+}
+
+// Value implements core.Utility.
+func (u Exponential) Value(r, c float64) float64 {
+	if math.IsInf(c, 1) {
+		return math.Inf(-1)
+	}
+	t1 := -(u.Alpha * u.Alpha / u.Beta) * math.Exp(-(u.Beta/u.Alpha)*(r-u.R0))
+	t2 := -(u.Gamma * u.Gamma / u.Nu) * math.Exp((u.Nu/u.Gamma)*(c-u.C0))
+	return t1 + t2
+}
+
+// Gradient implements core.Utility.
+func (u Exponential) Gradient(r, c float64) (float64, float64) {
+	dr := u.Alpha * math.Exp(-(u.Beta/u.Alpha)*(r-u.R0))
+	if math.IsInf(c, 1) {
+		return dr, math.Inf(-1)
+	}
+	dc := -u.Gamma * math.Exp((u.Nu/u.Gamma)*(c-u.C0))
+	return dr, dc
+}
+
+// String describes the utility.
+func (u Exponential) String() string {
+	return fmt.Sprintf("exp(α=%g, β=%g, γ=%g, ν=%g, r0=%g, c0=%g)",
+		u.Alpha, u.Beta, u.Gamma, u.Nu, u.R0, u.C0)
+}
+
+// PlantNash constructs the Lemma-5 exponential utility whose Nash
+// first-derivative condition M = −slope is satisfied exactly at (r0, c0),
+// with curvature parameters beta and nu controlling how sharply utility
+// falls away from that point.  slope must be the positive value ∂C_i/∂r_i
+// at the target point.
+func PlantNash(r0, c0, slope, beta, nu float64) Exponential {
+	// Choose α/γ = slope with γ = 1.
+	return Exponential{Alpha: slope, Beta: beta, Gamma: 1, Nu: nu, R0: r0, C0: c0}
+}
+
+// Log is U(r, c) = W·log(r) − Gamma·c, a throughput-saturating family.
+type Log struct {
+	W     float64
+	Gamma float64
+}
+
+// Value implements core.Utility.
+func (u Log) Value(r, c float64) float64 {
+	if r <= 0 {
+		return math.Inf(-1)
+	}
+	if math.IsInf(c, 1) {
+		return math.Inf(-1)
+	}
+	return u.W*math.Log(r) - u.Gamma*c
+}
+
+// Gradient implements core.Utility.
+func (u Log) Gradient(r, c float64) (float64, float64) {
+	if r <= 0 {
+		return math.Inf(1), -u.Gamma
+	}
+	return u.W / r, -u.Gamma
+}
+
+// String describes the utility.
+func (u Log) String() string { return fmt.Sprintf("log(w=%g, γ=%g)", u.W, u.Gamma) }
+
+// Power is U(r, c) = A·r − Gamma·c^P with P ≥ 1 (congestion pain grows
+// superlinearly).
+type Power struct {
+	A     float64
+	Gamma float64
+	P     float64
+}
+
+// Value implements core.Utility.
+func (u Power) Value(r, c float64) float64 {
+	if math.IsInf(c, 1) {
+		return math.Inf(-1)
+	}
+	return u.A*r - u.Gamma*math.Pow(c, u.P)
+}
+
+// Gradient implements core.Utility.
+func (u Power) Gradient(r, c float64) (float64, float64) {
+	if math.IsInf(c, 1) {
+		return u.A, math.Inf(-1)
+	}
+	return u.A, -u.Gamma * u.P * math.Pow(c, u.P-1)
+}
+
+// String describes the utility.
+func (u Power) String() string { return fmt.Sprintf("power(a=%g, γ=%g, p=%g)", u.A, u.Gamma, u.P) }
+
+// Sqrt is U(r, c) = W·√r − Gamma·c, concave in throughput.
+type Sqrt struct {
+	W     float64
+	Gamma float64
+}
+
+// Value implements core.Utility.
+func (u Sqrt) Value(r, c float64) float64 {
+	if r < 0 || math.IsInf(c, 1) {
+		return math.Inf(-1)
+	}
+	return u.W*math.Sqrt(r) - u.Gamma*c
+}
+
+// Gradient implements core.Utility.
+func (u Sqrt) Gradient(r, c float64) (float64, float64) {
+	if r <= 0 {
+		return math.Inf(1), -u.Gamma
+	}
+	return u.W / (2 * math.Sqrt(r)), -u.Gamma
+}
+
+// String describes the utility.
+func (u Sqrt) String() string { return fmt.Sprintf("sqrt(w=%g, γ=%g)", u.W, u.Gamma) }
+
+// DelaySensitive is U(r, c) = A·r − Gamma·(c/r), a §5.2 "Telnet" archetype
+// that penalizes average delay d = c/r rather than queue length.  It is
+// strictly monotone in the right directions but lies slightly outside the
+// paper's convexity assumptions; it is used only in the applications
+// experiments, with robust (grid-started) best-response search.
+type DelaySensitive struct {
+	A     float64
+	Gamma float64
+}
+
+// Value implements core.Utility.
+func (u DelaySensitive) Value(r, c float64) float64 {
+	if r <= 0 || math.IsInf(c, 1) {
+		return math.Inf(-1)
+	}
+	return u.A*r - u.Gamma*c/r
+}
+
+// Gradient implements core.Utility.
+func (u DelaySensitive) Gradient(r, c float64) (float64, float64) {
+	if r <= 0 {
+		return math.Inf(1), -math.Inf(1)
+	}
+	return u.A + u.Gamma*c/(r*r), -u.Gamma / r
+}
+
+// String describes the utility.
+func (u DelaySensitive) String() string {
+	return fmt.Sprintf("delay(a=%g, γ=%g)", u.A, u.Gamma)
+}
+
+// Scaled wraps a utility with a strictly increasing affine transform
+// G(u) = Scale·u + Shift (Scale > 0).  Because utilities are ordinal, any
+// solver output must be invariant under this wrapper; tests rely on that.
+type Scaled struct {
+	U     core.Utility
+	Scale float64
+	Shift float64
+}
+
+// Value implements core.Utility.
+func (s Scaled) Value(r, c float64) float64 { return s.Scale*s.U.Value(r, c) + s.Shift }
+
+// Gradient implements core.Utility.
+func (s Scaled) Gradient(r, c float64) (float64, float64) {
+	dr, dc := s.U.Gradient(r, c)
+	return s.Scale * dr, s.Scale * dc
+}
+
+// RandomAU draws a random utility from the smooth families above with
+// moderate parameters.  The draw never produces DelaySensitive (which is
+// outside AU).
+func RandomAU(rng *rand.Rand) core.Utility {
+	switch rng.Intn(4) {
+	case 0:
+		return Linear{A: 0.5 + 2*rng.Float64(), Gamma: 1 + 15*rng.Float64()}
+	case 1:
+		return Log{W: 0.2 + 1.5*rng.Float64(), Gamma: 0.5 + 4*rng.Float64()}
+	case 2:
+		return Power{A: 0.5 + 2*rng.Float64(), Gamma: 0.5 + 4*rng.Float64(), P: 1 + 2*rng.Float64()}
+	default:
+		return Sqrt{W: 0.5 + 2*rng.Float64(), Gamma: 0.5 + 4*rng.Float64()}
+	}
+}
+
+// RandomProfile draws n independent random AU utilities.
+func RandomProfile(rng *rand.Rand, n int) core.Profile {
+	p := make(core.Profile, n)
+	for i := range p {
+		p[i] = RandomAU(rng)
+	}
+	return p
+}
+
+// Identical returns a profile of n copies of u.
+func Identical(u core.Utility, n int) core.Profile {
+	p := make(core.Profile, n)
+	for i := range p {
+		p[i] = u
+	}
+	return p
+}
