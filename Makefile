@@ -1,0 +1,34 @@
+GO ?= go
+LINT := bin/greedlint
+FUZZTIME ?= 30s
+
+.PHONY: all build lint test race fuzz clean
+
+all: build lint test
+
+build:
+	$(GO) build ./...
+
+$(LINT): cmd/greedlint/*.go internal/lint/*.go
+	$(GO) build -o $(LINT) ./cmd/greedlint
+
+# go vet's standard checks, then the in-tree greedlint suite (floateq,
+# rngsource, panicfree, errdrop) through the same vettool protocol.
+lint: $(LINT)
+	$(GO) vet ./...
+	$(GO) vet -vettool=$(abspath $(LINT)) ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Short fuzz smoke over the allocation invariants; CI runs this on every
+# push, longer local runs via FUZZTIME=5m make fuzz.
+fuzz:
+	$(GO) test ./internal/alloc -run='^$$' -fuzz=FuzzFairShareInvariants -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/alloc -run='^$$' -fuzz=FuzzTablePriorityGMatchesFairShareAtCV1 -fuzztime=$(FUZZTIME)
+
+clean:
+	rm -rf bin

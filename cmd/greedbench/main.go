@@ -77,8 +77,14 @@ func main() {
 			fmt.Fprintln(os.Stderr, "greedbench:", err)
 			os.Exit(2)
 		}
-		fmt.Fprintln(f, "| ID | Paper source | Claim | Verdict |")
-		fmt.Fprintln(f, "|----|--------------|-------|---------|")
+		write := func(_ int, err error) {
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "greedbench:", err)
+				os.Exit(2)
+			}
+		}
+		write(fmt.Fprintln(f, "| ID | Paper source | Claim | Verdict |"))
+		write(fmt.Fprintln(f, "|----|--------------|-------|---------|"))
 		for _, o := range outcomes {
 			verdict := "MATCH"
 			switch {
@@ -87,7 +93,7 @@ func main() {
 			case !o.v.Match:
 				verdict = "MISMATCH"
 			}
-			fmt.Fprintf(f, "| %s | %s | %s | %s |\n", o.e.ID, o.e.Source, o.e.Title, verdict)
+			write(fmt.Fprintf(f, "| %s | %s | %s | %s |\n", o.e.ID, o.e.Source, o.e.Title, verdict))
 		}
 		if err := f.Close(); err != nil {
 			fmt.Fprintln(os.Stderr, "greedbench:", err)

@@ -101,13 +101,13 @@ func main() {
 	fmt.Printf("discipline %s, %d users, load %.3g, horizon %.3g (%d departures)\n",
 		discLabel, len(rates), mm1.Sum(rates), *horizon, res.Departures)
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "user\trate\tavg queue\t±95% CI\tavg delay\tthroughput\tserial ideal\tproportional")
+	fmt.Fprintln(tw, "user\trate\tavg queue\t±95% CI\tavg delay\tthroughput\tserial ideal\tproportional") //lint:allow errdrop console tabwriter over stdout: best-effort like fmt.Printf
 	for i, r := range rates {
-		fmt.Fprintf(tw, "%d\t%.4g\t%.5g\t%.2g\t%.5g\t%.4g\t%.5g\t%.5g\n",
+		fmt.Fprintf(tw, "%d\t%.4g\t%.5g\t%.2g\t%.5g\t%.4g\t%.5g\t%.5g\n", //lint:allow errdrop console tabwriter over stdout: best-effort like fmt.Printf
 			i, r, res.AvgQueue[i], res.QueueCI95[i], res.AvgDelay[i],
 			res.Throughput[i], fs[i], prop[i])
 	}
-	tw.Flush()
+	tw.Flush() //lint:allow errdrop console tabwriter over stdout: best-effort like fmt.Printf
 	fmt.Printf("total queue %.5g (station model predicts %.5g)\n",
 		res.TotalAvgQueue, model.L(mm1.Sum(rates)))
 }

@@ -1,0 +1,251 @@
+// Command greedlint runs greednet's in-tree static-analysis suite
+// (internal/lint): floateq, rngsource, panicfree, and errdrop.
+//
+// It speaks the go command's (unpublished) vet driver protocol, so the
+// canonical invocation is through the build system, which supplies export
+// data and caches results:
+//
+//	go build -o bin/greedlint ./cmd/greedlint
+//	go vet -vettool=bin/greedlint ./...
+//
+// It also runs standalone over package patterns, shelling out to `go list`
+// for file lists and export data (test files are only covered by the
+// vettool form, which analyzes each package's test variants):
+//
+//	greedlint ./...
+//
+// Suppress an intentional finding with a trailing or preceding comment:
+//
+//	if cv2 == 0 { ... } //lint:allow floateq exact sentinel value
+//
+// Exit status: 0 when clean, 2 when findings were reported, 1 on errors.
+package main
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+
+	"greednet/internal/lint"
+)
+
+var (
+	analyzersFlag = flag.String("analyzers", "", "comma-separated analyzer subset to run (default: all)")
+	versionFlag   = flag.String("V", "", "print version and exit (use -V=full for the build-system form)")
+	flagsFlag     = flag.Bool("flags", false, "print analyzer flags in JSON (used by the go command)")
+)
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: greedlint [-analyzers=a,b] package... | vet.cfg\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *versionFlag != "" {
+		printVersion()
+		return
+	}
+	if *flagsFlag {
+		printFlags()
+		return
+	}
+
+	analyzers, err := lint.ByName(*analyzersFlag)
+	if err != nil {
+		fatal(err)
+	}
+
+	args := flag.Args()
+	if len(args) == 0 {
+		flag.Usage()
+		os.Exit(1)
+	}
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		runUnitchecker(args[0], analyzers)
+		return
+	}
+	runStandalone(args, analyzers)
+}
+
+// printVersion implements -V / -V=full, which the go command uses to stamp
+// the tool into its cache keys.  The output line must match the shape
+// "<name> version devel ... buildID=<id>".
+func printVersion() {
+	progname := filepath.Base(os.Args[0])
+	if *versionFlag != "full" {
+		fmt.Printf("%s version devel\n", progname)
+		return
+	}
+	id := "unknown"
+	if exe, err := os.Executable(); err == nil {
+		if data, err := os.ReadFile(exe); err == nil {
+			sum := sha256.Sum256(data)
+			id = fmt.Sprintf("%x", sum[:16])
+		}
+	}
+	fmt.Printf("%s version devel comments-go-here buildID=%s\n", progname, id)
+}
+
+// printFlags implements -flags: the go command queries the tool's flag set
+// as JSON before parsing the `go vet` command line.
+func printFlags() {
+	type jsonFlag struct {
+		Name  string
+		Bool  bool
+		Usage string
+	}
+	out := []jsonFlag{
+		{Name: "analyzers", Bool: false, Usage: "comma-separated analyzer subset to run"},
+	}
+	data, err := json.Marshal(out)
+	if err != nil {
+		fatal(err)
+	}
+	_, _ = os.Stdout.Write(data)
+}
+
+// vetConfig mirrors the JSON configuration cmd/go writes for each vetted
+// package (cmd/go/internal/work.vetConfig).
+type vetConfig struct {
+	ID           string
+	Compiler     string
+	Dir          string
+	ImportPath   string
+	GoFiles      []string
+	NonGoFiles   []string
+	IgnoredFiles []string
+
+	ImportMap   map[string]string
+	PackageFile map[string]string
+	Standard    map[string]bool
+	PackageVetx map[string]string
+	VetxOnly    bool
+	VetxOutput  string
+	GoVersion   string
+
+	SucceedOnTypecheckFailure bool
+}
+
+// runUnitchecker analyzes the single package described by a vet.cfg file.
+func runUnitchecker(cfgFile string, analyzers []*lint.Analyzer) {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		fatal(err)
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fatal(fmt.Errorf("greedlint: parsing %s: %w", cfgFile, err))
+	}
+	// Always leave (possibly empty) vetx output behind: the go command
+	// caches it and skips re-running the tool on unchanged dependencies.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte("greedlint\n"), 0o666); err != nil {
+			fatal(err)
+		}
+	}
+	if cfg.VetxOnly {
+		return // dependency pass: facts only, and greedlint has no facts
+	}
+	diags, fset, err := lint.Analyze(lint.LoadConfig{
+		ImportPath:  cfg.ImportPath,
+		GoFiles:     cfg.GoFiles,
+		ImportMap:   cfg.ImportMap,
+		PackageFile: cfg.PackageFile,
+	}, analyzers)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return
+		}
+		fatal(err)
+	}
+	if len(diags) > 0 {
+		for _, d := range diags {
+			fmt.Fprintf(os.Stderr, "%s: %s [%s]\n", fset.Position(d.Pos), d.Message, d.Analyzer)
+		}
+		os.Exit(2)
+	}
+}
+
+// listPackage is the subset of `go list -json` output the standalone mode
+// consumes.
+type listPackage struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	CgoFiles   []string
+	DepOnly    bool
+	Standard   bool
+}
+
+// runStandalone resolves package patterns with `go list` and analyzes each
+// non-dependency package against the build cache's export data.
+func runStandalone(patterns []string, analyzers []*lint.Analyzer) {
+	args := append([]string{"list", "-e", "-deps", "-export",
+		"-json=ImportPath,Dir,Export,GoFiles,CgoFiles,DepOnly,Standard"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Stderr = os.Stderr
+	out, err := cmd.Output()
+	if err != nil {
+		fatal(fmt.Errorf("greedlint: go list: %w", err))
+	}
+
+	exports := make(map[string]string)
+	var targets []listPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			fatal(fmt.Errorf("greedlint: decoding go list output: %w", err))
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly && !p.Standard {
+			targets = append(targets, p)
+		}
+	}
+
+	exit := 0
+	for _, p := range targets {
+		if len(p.CgoFiles) > 0 {
+			fmt.Fprintf(os.Stderr, "greedlint: skipping %s: cgo package\n", p.ImportPath)
+			continue
+		}
+		if len(p.GoFiles) == 0 {
+			continue
+		}
+		files := make([]string, len(p.GoFiles))
+		for i, f := range p.GoFiles {
+			files[i] = filepath.Join(p.Dir, f)
+		}
+		diags, fset, err := lint.Analyze(lint.LoadConfig{
+			ImportPath:  p.ImportPath,
+			GoFiles:     files,
+			PackageFile: exports,
+		}, analyzers)
+		if err != nil {
+			fatal(err)
+		}
+		for _, d := range diags {
+			fmt.Fprintf(os.Stderr, "%s: %s [%s]\n", fset.Position(d.Pos), d.Message, d.Analyzer)
+			exit = 2
+		}
+	}
+	os.Exit(exit)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

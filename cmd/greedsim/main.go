@@ -13,7 +13,6 @@ package main
 import (
 	"flag"
 	"fmt"
-	"math/rand"
 	"os"
 	"text/tabwriter"
 
@@ -24,6 +23,7 @@ import (
 	"greednet/internal/mm1"
 	"greednet/internal/numeric"
 	"greednet/internal/plot"
+	"greednet/internal/randdist"
 	"greednet/internal/workload"
 )
 
@@ -102,13 +102,13 @@ func main() {
 	case "protect":
 		slacks := game.ProtectionSlack(a, start)
 		tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
-		fmt.Fprintln(tw, "user\trate\tbound r/(1−Nr)\tC_i\tslack")
+		fmt.Fprintln(tw, "user\trate\tbound r/(1−Nr)\tC_i\tslack") //lint:allow errdrop console tabwriter over stdout: best-effort like fmt.Printf
 		c := a.Congestion(start)
 		for i := range start {
-			fmt.Fprintf(tw, "%d\t%.4g\t%.4g\t%.4g\t%.4g\n",
+			fmt.Fprintf(tw, "%d\t%.4g\t%.4g\t%.4g\t%.4g\n", //lint:allow errdrop console tabwriter over stdout: best-effort like fmt.Printf
 				i, start[i], mm1.ProtectionBound(n, start[i]), c[i], slacks[i])
 		}
-		tw.Flush()
+		tw.Flush() //lint:allow errdrop console tabwriter over stdout: best-effort like fmt.Printf
 	case "dynamics":
 		traj := dynamics.HillClimb(a, us, start, dynamics.HillClimbOptions{
 			Rounds: *rounds,
@@ -129,7 +129,7 @@ func main() {
 		res, err := game.SolveNash(a, us, start, game.NashOptions{Free: free})
 		fatalIf(err)
 		printPoint(a.Name()+" Nash equilibrium", us, core.Point{R: res.R, C: res.C})
-		rng := rand.New(rand.NewSource(1))
+		rng := randdist.NewRand(1)
 		w := game.StrongEquilibriumCheck(a, us, res.R, rng, 1000)
 		if w == nil {
 			fmt.Println("no improving coalition found: the equilibrium is (empirically) strong")
@@ -145,11 +145,11 @@ func main() {
 func printPoint(title string, us core.Profile, p core.Point) {
 	fmt.Println(title + ":")
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "user\trate r_i\tcongestion c_i\tutility U_i")
+	fmt.Fprintln(tw, "user\trate r_i\tcongestion c_i\tutility U_i") //lint:allow errdrop console tabwriter over stdout: best-effort like fmt.Printf
 	for i := range p.R {
-		fmt.Fprintf(tw, "%d\t%.6g\t%.6g\t%.6g\n", i, p.R[i], p.C[i], us[i].Value(p.R[i], p.C[i]))
+		fmt.Fprintf(tw, "%d\t%.6g\t%.6g\t%.6g\n", i, p.R[i], p.C[i], us[i].Value(p.R[i], p.C[i])) //lint:allow errdrop console tabwriter over stdout: best-effort like fmt.Printf
 	}
-	tw.Flush()
+	tw.Flush() //lint:allow errdrop console tabwriter over stdout: best-effort like fmt.Printf
 	fmt.Printf("total load %.4g, total queue %.4g (M/M/1 predicts %.4g)\n",
 		mm1.Sum(p.R), mm1.Sum(p.C), mm1.G(mm1.Sum(p.R)))
 }

@@ -59,7 +59,14 @@ func main() {
 			fmt.Fprintln(os.Stderr, "greedsweep:", err)
 			os.Exit(1)
 		}
-		defer f.Close()
+		defer func() {
+			// A short write can surface only at close; don't report success
+			// for a truncated CSV.
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "greedsweep:", err)
+				os.Exit(1)
+			}
+		}()
 		w = f
 	}
 	if err := tab.WriteCSV(w); err != nil {

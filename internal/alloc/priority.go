@@ -67,7 +67,7 @@ func (h HOLPriority) Congestion(r []float64) []float64 {
 	for k := 0; k < n; {
 		// Identify the tie group [k, m).
 		m := k + 1
-		for m < n && r[idx[m]] == r[idx[k]] {
+		for m < n && r[idx[m]] == r[idx[k]] { //lint:allow floateq exact rate ties define the priority groups
 			m++
 		}
 		for j := k; j < m; j++ {

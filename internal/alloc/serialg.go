@@ -109,7 +109,7 @@ func (p ProportionalG) CongestionOf(r []float64, i int) float64 {
 	if s >= 1 {
 		return math.Inf(1)
 	}
-	if s == 0 {
+	if s == 0 { //lint:allow floateq zero aggregate load yields zero congestion exactly
 		return 0
 	}
 	return r[i] * p.Model.L(s) / s

@@ -5,6 +5,7 @@ package cliutil
 
 import (
 	"fmt"
+	"math"
 	"strconv"
 	"strings"
 
@@ -28,8 +29,8 @@ func ParseRates(s string) ([]float64, error) {
 		if err != nil {
 			return nil, fmt.Errorf("cliutil: bad rate %q: %w", p, err)
 		}
-		if v <= 0 {
-			return nil, fmt.Errorf("cliutil: rate %v must be positive", v)
+		if v <= 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("cliutil: rate %v must be positive and finite", v)
 		}
 		out = append(out, v)
 	}

@@ -17,6 +17,7 @@ import (
 	"math"
 	"math/rand"
 
+	"greednet/internal/randdist"
 	"greednet/internal/stats"
 )
 
@@ -121,7 +122,7 @@ func Run(cfg Config) (Result, error) {
 		cfg.Batches = 20
 	}
 
-	rng := rand.New(rand.NewSource(cfg.Seed))
+	rng := randdist.NewRand(cfg.Seed)
 	d := cfg.Discipline
 	d.Reset(cfg.Rates, rng)
 

@@ -5,6 +5,17 @@ import (
 	"sort"
 )
 
+// mustNonEmpty enforces the Discipline.Dequeue contract: Dequeue is called
+// only when Len() > 0, so an empty structure here is an internal invariant
+// violation (a corrupted Len bookkeeping or a misused Discipline), never a
+// user-recoverable condition.  Panicking with a uniform message beats the
+// bare index panic the slice access would otherwise produce.
+func mustNonEmpty(name string, n int) {
+	if n == 0 {
+		panic("des: Dequeue on empty " + name + " (Discipline contract requires Len() > 0)")
+	}
+}
+
 // fifoQueue is a slice-backed FIFO with amortized compaction.
 type fifoQueue struct {
 	buf  []Packet
@@ -43,7 +54,10 @@ func (f *FIFO) Reset(rates []float64, rng *rand.Rand) { f.q.reset() }
 func (f *FIFO) Enqueue(p Packet) { f.q.push(p) }
 
 // Dequeue implements Discipline.
-func (f *FIFO) Dequeue() Packet { return f.q.pop() }
+func (f *FIFO) Dequeue() Packet {
+	mustNonEmpty("FIFO", f.q.len())
+	return f.q.pop()
+}
 
 // Len implements Discipline.
 func (f *FIFO) Len() int { return f.q.len() }
@@ -68,6 +82,7 @@ func (l *LIFOPreemptive) Enqueue(p Packet) { l.stack = append(l.stack, p) }
 
 // Dequeue implements Discipline.
 func (l *LIFOPreemptive) Dequeue() Packet {
+	mustNonEmpty("LIFOPreemptive", len(l.stack))
 	p := l.stack[len(l.stack)-1]
 	l.stack = l.stack[:len(l.stack)-1]
 	return p
@@ -98,6 +113,7 @@ func (ps *ProcessorSharing) Enqueue(p Packet) { ps.pkts = append(ps.pkts, p) }
 
 // Dequeue implements Discipline.
 func (ps *ProcessorSharing) Dequeue() Packet {
+	mustNonEmpty("ProcessorSharing", len(ps.pkts))
 	i := ps.rng.Intn(len(ps.pkts))
 	p := ps.pkts[i]
 	last := len(ps.pkts) - 1
@@ -150,6 +166,7 @@ func (h *HOLProcessorSharing) Enqueue(p Packet) {
 
 // Dequeue implements Discipline.
 func (h *HOLProcessorSharing) Dequeue() Packet {
+	mustNonEmpty("HOLProcessorSharing", len(h.backlog))
 	k := h.rng.Intn(len(h.backlog))
 	u := h.backlog[k]
 	q := &h.queues[u]
@@ -206,7 +223,8 @@ func (c *CyclicPolling) Dequeue() Packet {
 			return c.queues[u].pop()
 		}
 	}
-	panic("des: Dequeue on empty CyclicPolling")
+	mustNonEmpty("CyclicPolling", 0)
+	return Packet{} // unreachable
 }
 
 // Len implements Discipline.
@@ -262,7 +280,8 @@ func (s *StrictPriority) Dequeue() Packet {
 			return s.classes[i].pop()
 		}
 	}
-	panic("des: Dequeue on empty StrictPriority")
+	mustNonEmpty("StrictPriority", 0)
+	return Packet{} // unreachable
 }
 
 // Len implements Discipline.

@@ -226,7 +226,7 @@ func RunG(cfg GConfig) (Result, error) {
 		cfg.Batches = 20
 	}
 
-	rng := rand.New(rand.NewSource(cfg.Seed))
+	rng := randdist.NewRand(cfg.Seed)
 	cfg.Classify.Reset(cfg.Rates, rng)
 	classes := make([]deque, cfg.Classify.NumClasses())
 

@@ -3,7 +3,6 @@ package des
 import (
 	"container/heap"
 	"math"
-	"math/rand"
 
 	"greednet/internal/randdist"
 	"greednet/internal/stats"
@@ -67,7 +66,7 @@ type fqHeap []fqItem
 
 func (h fqHeap) Len() int { return len(h) }
 func (h fqHeap) Less(i, j int) bool {
-	if h[i].finish != h[j].finish {
+	if h[i].finish != h[j].finish { //lint:allow floateq exact finish-tag tie-break keeps the heap deterministic
 		return h[i].finish < h[j].finish
 	}
 	return h[i].seq < h[j].seq
@@ -212,7 +211,7 @@ func RunSched(cfg SchedConfig) (Result, error) {
 		cfg.Batches = 20
 	}
 
-	rng := rand.New(rand.NewSource(cfg.Seed))
+	rng := randdist.NewRand(cfg.Seed)
 	cfg.Sched.Reset(cfg.Rates)
 
 	end := cfg.Warmup + cfg.Horizon

@@ -2,8 +2,8 @@ package des
 
 import (
 	"math"
-	"math/rand"
 
+	"greednet/internal/randdist"
 	"greednet/internal/stats"
 )
 
@@ -104,7 +104,7 @@ func RunTandem(cfg TandemConfig) (TandemResult, error) {
 		globalB[nLong+i] = nLong + nA + i
 	}
 
-	rng := rand.New(rand.NewSource(cfg.Seed))
+	rng := randdist.NewRand(cfg.Seed)
 	discA := cfg.NewDisc()
 	discB := cfg.NewDisc()
 	discA.Reset(ratesA, rng)

@@ -1,0 +1,72 @@
+package des
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+// limitWriter fails once more than limit bytes have been written, standing
+// in for a full disk or closed pipe.
+type limitWriter struct {
+	limit   int
+	written int
+}
+
+var errSinkFull = errors.New("sink full")
+
+func (w *limitWriter) Write(p []byte) (int, error) {
+	if w.written+len(p) > w.limit {
+		n := w.limit - w.written
+		if n < 0 {
+			n = 0
+		}
+		w.written = w.limit
+		return n, errSinkFull
+	}
+	w.written += len(p)
+	return len(p), nil
+}
+
+func TestWriteCSVHeaderError(t *testing.T) {
+	tr := NewTracer(10)
+	if err := tr.WriteCSV(&limitWriter{limit: 0}); !errors.Is(err, errSinkFull) {
+		t.Errorf("WriteCSV to a dead writer = %v, want %v", err, errSinkFull)
+	}
+}
+
+func TestWriteCSVMidRecordError(t *testing.T) {
+	tr := NewTracer(100000)
+	for i := 0; i < 5000; i++ {
+		tr.Observe(Packet{User: i % 3, Arrive: float64(i)}, float64(i)+0.5)
+	}
+	// Enough room for the header and some records, not the whole trace,
+	// so the failure surfaces from a record write or the final flush.
+	if err := tr.WriteCSV(&limitWriter{limit: 4096}); !errors.Is(err, errSinkFull) {
+		t.Errorf("WriteCSV to a filling writer = %v, want %v", err, errSinkFull)
+	}
+}
+
+func TestDelayPercentilesNoRecordsIsNaN(t *testing.T) {
+	tr := NewTracer(10)
+	tr.Observe(Packet{User: 0, Arrive: 1}, 2)
+	got := tr.DelayPercentiles(7, 50, 99) // user 7 never departed
+	if len(got) != 2 || !math.IsNaN(got[0]) || !math.IsNaN(got[1]) {
+		t.Errorf("DelayPercentiles(absent user) = %v, want NaNs", got)
+	}
+}
+
+func TestDelayPercentilesClampsRange(t *testing.T) {
+	tr := NewTracer(10)
+	for i := 0; i < 4; i++ {
+		tr.Observe(Packet{User: 0, Arrive: 0}, float64(i+1)) // delays 1..4
+	}
+	got := tr.DelayPercentiles(0, -5, 0, 100, 150)
+	want := []float64{1, 1, 4, 4}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("DelayPercentiles clamp: got %v, want %v", got, want)
+			break
+		}
+	}
+}

@@ -26,7 +26,9 @@ func E10FTPTelnet() Experiment {
 		Title:  "FTP vs Telnet: throughput fairness and interactive delay under FIFO vs Fair Share",
 	}
 	e.Run = func(w io.Writer, opt Options) (Verdict, error) {
-		header(w, e)
+		if err := header(w, e); err != nil {
+			return Verdict{}, err
+		}
 		// Two greedy FTPs (nearly congestion-insensitive) and two fixed
 		// light Telnet flows that do not optimize (they just need their
 		// keystrokes through).
@@ -98,7 +100,9 @@ func E10FTPTelnet() Experiment {
 			tb.row(r.name, r.ftp1, r.ftp2, r.ftpShareRatio, r.telnetDelayAnalytic,
 				r.telnetDelayDES, yesno(r.telnetProtected))
 		}
-		tb.flush()
+		if err := tb.flush(); err != nil {
+			return Verdict{}, err
+		}
 
 		fifo, fs := rows[0], rows[1]
 		// Paper shape: FS gives the light flows far lower delay than FIFO,
@@ -108,7 +112,7 @@ func E10FTPTelnet() Experiment {
 			relClose(fs.telnetDelayDES, fs.telnetDelayAnalytic, 0.25) &&
 			relClose(fifo.telnetDelayDES, fifo.telnetDelayAnalytic, 0.25)
 		return verdictLine(w, match,
-			"Fair Share cuts interactive delay and protects light flows; FIFO couples them to the FTP backlog"), nil
+			"Fair Share cuts interactive delay and protects light flows; FIFO couples them to the FTP backlog")
 	}
 	return e
 }

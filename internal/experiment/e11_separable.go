@@ -8,6 +8,7 @@ import (
 	"greednet/internal/alloc"
 	"greednet/internal/core"
 	"greednet/internal/game"
+	"greednet/internal/randdist"
 	"greednet/internal/utility"
 )
 
@@ -22,12 +23,14 @@ func E11Separable() Experiment {
 		Title:  "separable constraint Σr²: every Nash equilibrium is Pareto optimal",
 	}
 	e.Run = func(w io.Writer, opt Options) (Verdict, error) {
-		header(w, e)
+		if err := header(w, e); err != nil {
+			return Verdict{}, err
+		}
 		seed := opt.Seed
 		if seed == 0 {
 			seed = 1111
 		}
-		rng := rand.New(rand.NewSource(seed))
+		rng := randdist.NewRand(seed)
 		profiles := 10
 		if opt.Fast {
 			profiles = 4
@@ -62,9 +65,11 @@ func E11Separable() Experiment {
 			}
 			tb.row(k, n, fmtVec(res.R), worst, yesno(ok))
 		}
-		tb.flush()
+		if err := tb.flush(); err != nil {
+			return Verdict{}, err
+		}
 		return verdictLine(w, match,
-			"the Nash FDC equals the Pareto FDC at every equilibrium of the separable world"), nil
+			"the Nash FDC equals the Pareto FDC at every equilibrium of the separable world")
 	}
 	return e
 }

@@ -23,7 +23,9 @@ func E12Network() Experiment {
 		Title:  "line topology: convergence and protection generalize to FS networks",
 	}
 	e.Run = func(w io.Writer, opt Options) (Verdict, error) {
-		header(w, e)
+		if err := header(w, e); err != nil {
+			return Verdict{}, err
+		}
 		k := 3
 		match := true
 
@@ -52,7 +54,9 @@ func E12Network() Experiment {
 				match = false
 			}
 		}
-		tb.flush()
+		if err := tb.flush(); err != nil {
+			return Verdict{}, err
+		}
 		// Paper shape: the long user pays congestion at every hop, so it
 		// settles at a lower rate than a cross user.
 		if fs := results["network(fair-share)"]; fs.Converged && fs.R[0] >= fs.R[1] {
@@ -77,9 +81,11 @@ func E12Network() Experiment {
 				match = false
 			}
 		}
-		tb2.flush()
+		if err := tb2.flush(); err != nil {
+			return Verdict{}, err
+		}
 		return verdictLine(w, match,
-			"FS line networks converge and keep per-hop protection for the long flow; FIFO lines let cross floods destroy it"), nil
+			"FS line networks converge and keep per-hop protection for the long flow; FIFO lines let cross floods destroy it")
 	}
 	return e
 }

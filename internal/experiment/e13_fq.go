@@ -20,7 +20,9 @@ func E13FairQueueing() Experiment {
 		Title:  "HOL processor sharing tracks the Fair Share allocation, not the proportional one",
 	}
 	e.Run = func(w io.Writer, opt Options) (Verdict, error) {
-		header(w, e)
+		if err := header(w, e); err != nil {
+			return Verdict{}, err
+		}
 		rates := []float64{0.05, 0.1, 0.25, 0.45}
 		horizon := 4e5
 		if opt.Fast {
@@ -47,7 +49,9 @@ func E13FairQueueing() Experiment {
 		for i, r := range rates {
 			tb.row(i+1, r, sim.AvgQueue[i], sim.QueueCI95[i], fs[i], prop[i])
 		}
-		tb.flush()
+		if err := tb.flush(); err != nil {
+			return Verdict{}, err
+		}
 		// The paper (footnote 15) claims kinship of *intuition*, not of
 		// formula: both FS and the FQ fluid ideal give partial insularity.
 		// Shape checks:
@@ -73,10 +77,12 @@ func E13FairQueueing() Experiment {
 		tb2.row("light-half ‖HOL-PS − FS‖₂", "light-half ‖HOL-PS − FIFO‖₂",
 			"light flows insulated?", "heavy flow absorbs backlog?")
 		tb2.row(dFS, dProp, yesno(lightOK && closer), yesno(heavyOK))
-		tb2.flush()
+		if err := tb2.flush(); err != nil {
+			return Verdict{}, err
+		}
 		match := closer && lightOK && heavyOK
 		return verdictLine(w, match,
-			"HOL-PS shows Fair-Share-style partial insularity: light flows shielded, heavy flow carries its own backlog"), nil
+			"HOL-PS shows Fair-Share-style partial insularity: light flows shielded, heavy flow carries its own backlog")
 	}
 	return e
 }

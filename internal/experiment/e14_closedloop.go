@@ -24,7 +24,9 @@ func E14ClosedLoop() Experiment {
 		Title:  "closed loop: blind hill climbers over the simulator land on the analytic Nash point",
 	}
 	e.Run = func(w io.Writer, opt Options) (Verdict, error) {
-		header(w, e)
+		if err := header(w, e); err != nil {
+			return Verdict{}, err
+		}
 		seed := opt.Seed
 		if seed == 0 {
 			seed = 1414
@@ -68,9 +70,11 @@ func E14ClosedLoop() Experiment {
 			}
 			tb.row(tc.name, fmtVec(settled), fmtVec(nash.R), dist, res.Epochs, yesno(ok))
 		}
-		tb.flush()
+		if err := tb.flush(); err != nil {
+			return Verdict{}, err
+		}
 		return verdictLine(w, match,
-			"selfish measurement-driven optimizers reproduce the predicted equilibria of both disciplines"), nil
+			"selfish measurement-driven optimizers reproduce the predicted equilibria of both disciplines")
 	}
 	return e
 }

@@ -3,7 +3,6 @@ package experiment
 import (
 	"io"
 	"math"
-	"math/rand"
 
 	"greednet/internal/alloc"
 	"greednet/internal/core"
@@ -29,7 +28,9 @@ func E15GeneralService() Experiment {
 		Title:  "serial allocation over M/D/1 and M/G/1: properties persist; Table-1 realization drifts",
 	}
 	e.Run = func(w io.Writer, opt Options) (Verdict, error) {
-		header(w, e)
+		if err := header(w, e); err != nil {
+			return Verdict{}, err
+		}
 		seed := opt.Seed
 		if seed == 0 {
 			seed = 1515
@@ -40,7 +41,7 @@ func E15GeneralService() Experiment {
 		// (a) Game-theoretic properties of the generalized serial rule.
 		tb := newTable(w)
 		tb.row("model", "distinct Nash (8 starts)", "max envy at Nash", "protection violations", "properties hold?")
-		rng := rand.New(rand.NewSource(seed))
+		rng := randdist.NewRand(seed)
 		for _, m := range models {
 			a := alloc.SerialG{Model: m}
 			us := utility.RandomProfile(rng, 3)
@@ -83,7 +84,9 @@ func E15GeneralService() Experiment {
 			}
 			tb.row(m.Name(), len(distinct), envy, violations, yesno(ok))
 		}
-		tb.flush()
+		if err := tb.flush(); err != nil {
+			return Verdict{}, err
+		}
 
 		// (b) Realization drift: the Table-1 priority construction vs the
 		// serial ideal, exact formulas confirmed by general-service DES.
@@ -115,16 +118,18 @@ func E15GeneralService() Experiment {
 			if !desOK {
 				match = false
 			}
-			if cv2 == 1 && drift > 1e-9 {
+			if cv2 == 1 && drift > 1e-9 { //lint:allow floateq exact sentinel: cv²=1 selects exponential service
 				match = false // exponential service must realize the ideal exactly
 			}
-			if cv2 != 1 && drift == 0 {
+			if cv2 != 1 && drift == 0 { //lint:allow floateq exact sentinels: cv²=1 is exponential, exactly-zero drift impossible otherwise
 				match = false // non-exponential service must drift
 			}
 		}
-		tb2.flush()
+		if err := tb2.flush(); err != nil {
+			return Verdict{}, err
+		}
 		return verdictLine(w, match,
-			"the serial rule keeps uniqueness/envy-freeness/protection for M/D/1 and M/G/1; the Table-1 realization is exact only at cv²=1"), nil
+			"the serial rule keeps uniqueness/envy-freeness/protection for M/D/1 and M/G/1; the Table-1 realization is exact only at cv²=1")
 	}
 	return e
 }

@@ -2,12 +2,12 @@ package experiment
 
 import (
 	"io"
-	"math/rand"
 
 	"greednet/internal/alloc"
 	"greednet/internal/core"
 	"greednet/internal/game"
 	"greednet/internal/mm1"
+	"greednet/internal/randdist"
 	"greednet/internal/utility"
 )
 
@@ -23,7 +23,9 @@ func E16Coalition() Experiment {
 		Title:  "Fair Share equilibria are strong equilibria; FIFO's fall to the grand coalition",
 	}
 	e.Run = func(w io.Writer, opt Options) (Verdict, error) {
-		header(w, e)
+		if err := header(w, e); err != nil {
+			return Verdict{}, err
+		}
 		seed := opt.Seed
 		if seed == 0 {
 			seed = 1616
@@ -52,7 +54,7 @@ func E16Coalition() Experiment {
 				if err != nil || !res.Converged {
 					return Verdict{}, errf("nash failed: %s/%s", p.name, a.Name())
 				}
-				rng := rand.New(rand.NewSource(seed + int64(pi)))
+				rng := randdist.NewRand(seed + int64(pi))
 				wtn := game.StrongEquilibriumCheck(a, p.us, res.R, rng, samples)
 				members := "-"
 				loadChange := "-"
@@ -70,9 +72,11 @@ func E16Coalition() Experiment {
 				}
 			}
 		}
-		tb.flush()
+		if err := tb.flush(); err != nil {
+			return Verdict{}, err
+		}
 		return verdictLine(w, match,
-			"no coalition improves on a Fair Share equilibrium; FIFO equilibria fall to joint throttling"), nil
+			"no coalition improves on a Fair Share equilibrium; FIFO equilibria fall to joint throttling")
 	}
 	return e
 }

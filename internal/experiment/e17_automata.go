@@ -20,7 +20,9 @@ func E17Automata() Experiment {
 		Title:  "reward–inaction automata concentrate on the Fair Share Nash equilibrium",
 	}
 	e.Run = func(w io.Writer, opt Options) (Verdict, error) {
-		header(w, e)
+		if err := header(w, e); err != nil {
+			return Verdict{}, err
+		}
 		seed := opt.Seed
 		if seed == 0 {
 			seed = 1717
@@ -58,9 +60,11 @@ func E17Automata() Experiment {
 				tb.row(a.name, i, res.Modal[i], res.ModalMass[i], a.target, yesno(ok))
 			}
 		}
-		tb.flush()
+		if err := tb.flush(); err != nil {
+			return Verdict{}, err
+		}
 		return verdictLine(w, match,
-			"blind L_R-I automata concentrate within one grid cell of the FS Nash rate"), nil
+			"blind L_R-I automata concentrate within one grid cell of the FS Nash rate")
 	}
 	return e
 }

@@ -21,7 +21,9 @@ func E18DKSFairQueueing() Experiment {
 		Title:  "DKS Fair Queueing in packet simulation: fairness, light-flow delay, protection",
 	}
 	e.Run = func(w io.Writer, opt Options) (Verdict, error) {
-		header(w, e)
+		if err := header(w, e); err != nil {
+			return Verdict{}, err
+		}
 		horizon := 4e5
 		if opt.Fast {
 			horizon = 5e4
@@ -57,7 +59,9 @@ func E18DKSFairQueueing() Experiment {
 		for i, r := range rates {
 			tb.row(i+1, r, fq.AvgDelay[i], ff.AvgDelay[i], fq.AvgQueue[i], ff.AvgQueue[i])
 		}
-		tb.flush()
+		if err := tb.flush(); err != nil {
+			return Verdict{}, err
+		}
 		lightBetter := fq.AvgDelay[0] < 0.7*ff.AvgDelay[0] &&
 			fq.AvgDelay[1] < 0.85*ff.AvgDelay[1]
 		heavyPays := fq.AvgQueue[2] > ff.AvgQueue[2]
@@ -82,7 +86,9 @@ func E18DKSFairQueueing() Experiment {
 			fqDelays = append(fqDelays, a.AvgDelay[0])
 			tb2.row(atk, a.AvgDelay[0], b.AvgDelay[0])
 		}
-		tb2.flush()
+		if err := tb2.flush(); err != nil {
+			return Verdict{}, err
+		}
 		// FQ keeps the victim's delay nearly flat across a 3× load ramp.
 		if fqDelays[2] > 3.5*fqDelays[0] {
 			match = false
@@ -102,12 +108,14 @@ func E18DKSFairQueueing() Experiment {
 		tb3 := newTable(w)
 		tb3.row("equal-flow queue spread", "mean queue", "relative")
 		tb3.row(spread, eq.AvgQueue[0], spread/eq.AvgQueue[0])
-		tb3.flush()
+		if err := tb3.flush(); err != nil {
+			return Verdict{}, err
+		}
 		if spread > 0.2*eq.AvgQueue[0] {
 			match = false
 		}
 		return verdictLine(w, match,
-			"DKS Fair Queueing delivers §5.2's trio: equal shares, low light-flow delay, protection from flooding"), nil
+			"DKS Fair Queueing delivers §5.2's trio: equal shares, low light-flow delay, protection from flooding")
 	}
 	return e
 }

@@ -22,7 +22,9 @@ func E19Tandem() Experiment {
 		Title:  "tandem simulation: Poisson approximation exact for FIFO, mild drift for Fair Share",
 	}
 	e.Run = func(w io.Writer, opt Options) (Verdict, error) {
-		header(w, e)
+		if err := header(w, e); err != nil {
+			return Verdict{}, err
+		}
 		horizon := 5e5
 		if opt.Fast {
 			horizon = 6e4
@@ -78,19 +80,23 @@ func E19Tandem() Experiment {
 			}
 			maxDev[tc.name] = worst
 		}
-		tb.flush()
+		if err := tb.flush(); err != nil {
+			return Verdict{}, err
+		}
 		tb2 := newTable(w)
 		tb2.row("disc", "max relative deviation", "within expectation?")
 		fifoOK := maxDev["fifo"] < 0.05
 		fsOK := maxDev["fair-share"] < 0.2
 		tb2.row("fifo (Jackson exact)", maxDev["fifo"], yesno(fifoOK))
 		tb2.row("fair-share (approximate)", maxDev["fair-share"], yesno(fsOK))
-		tb2.flush()
+		if err := tb2.flush(); err != nil {
+			return Verdict{}, err
+		}
 		if !fifoOK || !fsOK {
 			match = false
 		}
 		return verdictLine(w, match,
-			"the §5.4 Poisson approximation is exact for FIFO tandems and within ~20% for Fair Share tandems"), nil
+			"the §5.4 Poisson approximation is exact for FIFO tandems and within ~20% for Fair Share tandems")
 	}
 	return e
 }

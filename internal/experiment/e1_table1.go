@@ -19,7 +19,9 @@ func E1Table1() Experiment {
 		Title:  "priority-class splitter realizes the Fair Share allocation",
 	}
 	e.Run = func(w io.Writer, opt Options) (Verdict, error) {
-		header(w, e)
+		if err := header(w, e); err != nil {
+			return Verdict{}, err
+		}
 		rates := []float64{0.10, 0.15, 0.20, 0.25}
 		horizon := 4e5
 		if opt.Fast {
@@ -52,11 +54,15 @@ func E1Table1() Experiment {
 			}
 			tb.row(i+1, r, want[i], res.AvgQueue[i], res.QueueCI95[i], rel, prop[i])
 		}
-		tb.flush()
-		fmt.Fprintf(w, "total queue: DES %s vs M/M/1 %s (work conservation)\n",
-			fnum(res.TotalAvgQueue), fnum(sumOf(want)))
+		if err := tb.flush(); err != nil {
+			return Verdict{}, err
+		}
+		if _, err := fmt.Fprintf(w, "total queue: DES %s vs M/M/1 %s (work conservation)\n",
+			fnum(res.TotalAvgQueue), fnum(sumOf(want))); err != nil {
+			return Verdict{}, err
+		}
 		return verdictLine(w, match,
-			"simulated Table-1 priority queue matches the serial Fair Share formula per user"), nil
+			"simulated Table-1 priority queue matches the serial Fair Share formula per user")
 	}
 	return e
 }

@@ -3,11 +3,11 @@ package experiment
 import (
 	"io"
 	"math"
-	"math/rand"
 
 	"greednet/internal/alloc"
 	"greednet/internal/core"
 	"greednet/internal/game"
+	"greednet/internal/randdist"
 	"greednet/internal/utility"
 )
 
@@ -23,7 +23,9 @@ func E20OnlyFairShare() Experiment {
 		Title:  "MAC ablation: every Fair Share property fails for every blend θ < 1",
 	}
 	e.Run = func(w io.Writer, opt Options) (Verdict, error) {
-		header(w, e)
+		if err := header(w, e); err != nil {
+			return Verdict{}, err
+		}
 		seed := opt.Seed
 		if seed == 0 {
 			seed = 2020
@@ -37,7 +39,7 @@ func E20OnlyFairShare() Experiment {
 		tb.row("θ", "MAC?", "unilateral envy", "protection slack", "Stackelberg adv", "all FS properties?")
 		for _, th := range thetas {
 			a := alloc.Blend{Theta: th}
-			rng := rand.New(rand.NewSource(seed))
+			rng := randdist.NewRand(seed)
 
 			// MAC membership at random interior points.
 			macOK := true
@@ -85,16 +87,18 @@ func E20OnlyFairShare() Experiment {
 			if !macOK {
 				match = false
 			}
-			if th == 1 && !fsLike {
+			if th == 1 && !fsLike { //lint:allow floateq exact sentinel: the θ=1 endpoint of the blend sweep
 				match = false
 			}
 			if th < 1 && fsLike {
 				match = false // a non-FS MAC blend must fail something
 			}
 		}
-		tb.flush()
+		if err := tb.flush(); err != nil {
+			return Verdict{}, err
+		}
 		return verdictLine(w, match,
-			"every blend is MAC, yet envy-freeness, protection, and Stackelberg-immunity hold only at θ = 1 (pure Fair Share)"), nil
+			"every blend is MAC, yet envy-freeness, protection, and Stackelberg-immunity hold only at θ = 1 (pure Fair Share)")
 	}
 	return e
 }

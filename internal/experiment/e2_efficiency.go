@@ -3,12 +3,12 @@ package experiment
 import (
 	"io"
 	"math"
-	"math/rand"
 
 	"greednet/internal/alloc"
 	"greednet/internal/core"
 	"greednet/internal/game"
 	"greednet/internal/numeric"
+	"greednet/internal/randdist"
 	"greednet/internal/utility"
 )
 
@@ -23,12 +23,14 @@ func E2Efficiency() Experiment {
 		Title:  "FIFO Nash equilibria are never Pareto optimal; the selfish overgrazing gap",
 	}
 	e.Run = func(w io.Writer, opt Options) (Verdict, error) {
-		header(w, e)
+		if err := header(w, e); err != nil {
+			return Verdict{}, err
+		}
 		seed := opt.Seed
 		if seed == 0 {
 			seed = 202
 		}
-		rng := rand.New(rand.NewSource(seed))
+		rng := randdist.NewRand(seed)
 		gamma := 0.2
 		u := utility.NewLinear(1, gamma)
 		tb := newTable(w)
@@ -76,9 +78,11 @@ func E2Efficiency() Experiment {
 				}
 			}
 		}
-		tb.flush()
+		if err := tb.flush(); err != nil {
+			return Verdict{}, err
+		}
 		return verdictLine(w, match,
-			"FIFO Nash overshoots the symmetric Pareto rate and is dominated; FS Nash sits on it"), nil
+			"FIFO Nash overshoots the symmetric Pareto rate and is dominated; FS Nash sits on it")
 	}
 	return e
 }

@@ -21,7 +21,9 @@ func E3SymmetricPareto() Experiment {
 		Title:  "Pareto∩Nash requires symmetric rates; symmetric Pareto points are FS Nash",
 	}
 	e.Run = func(w io.Writer, opt Options) (Verdict, error) {
-		header(w, e)
+		if err := header(w, e); err != nil {
+			return Verdict{}, err
+		}
 		match := true
 		tb := newTable(w)
 		tb.row("case", "utility family", "N", "FS Nash spread", "Pareto FDC resid", "shape holds?")
@@ -96,9 +98,11 @@ func E3SymmetricPareto() Experiment {
 			match = false
 		}
 		tb.row("planted Pareto", "linear γ=0.25", n, 0.0, maxGain, yesno(okC))
-		tb.flush()
+		if err := tb.flush(); err != nil {
+			return Verdict{}, err
+		}
 		return verdictLine(w, match,
-			"FS Nash symmetric+Pareto for identical users, asymmetric+non-Pareto otherwise; symmetric Pareto points are FS-stable"), nil
+			"FS Nash symmetric+Pareto for identical users, asymmetric+non-Pareto otherwise; symmetric Pareto points are FS-stable")
 	}
 	return e
 }

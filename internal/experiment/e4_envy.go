@@ -3,11 +3,11 @@ package experiment
 import (
 	"io"
 	"math"
-	"math/rand"
 
 	"greednet/internal/alloc"
 	"greednet/internal/core"
 	"greednet/internal/game"
+	"greednet/internal/randdist"
 	"greednet/internal/utility"
 )
 
@@ -21,12 +21,14 @@ func E4Envy() Experiment {
 		Title:  "Fair Share equilibria are envy-free; FIFO equilibria are not",
 	}
 	e.Run = func(w io.Writer, opt Options) (Verdict, error) {
-		header(w, e)
+		if err := header(w, e); err != nil {
+			return Verdict{}, err
+		}
 		seed := opt.Seed
 		if seed == 0 {
 			seed = 404
 		}
-		rng := rand.New(rand.NewSource(seed))
+		rng := randdist.NewRand(seed)
 		match := true
 
 		// (a) Envy at equilibrium for heterogeneous linear users.
@@ -60,7 +62,9 @@ func E4Envy() Experiment {
 				}
 			}
 		}
-		tb.flush()
+		if err := tb.flush(); err != nil {
+			return Verdict{}, err
+		}
 
 		// (b) Unilateral envy scan over random opponent configurations.
 		trials := 200
@@ -98,12 +102,14 @@ func E4Envy() Experiment {
 		tbl2 := newTable(w)
 		tbl2.row("scan", "trials", "worst FS unilateral envy", "FIFO trials with envy", "worst FIFO envy")
 		tbl2.row("random opponents", trials, worstFS, propPositive, worstProp)
-		tbl2.flush()
+		if err := tbl2.flush(); err != nil {
+			return Verdict{}, err
+		}
 		if worstFS > 1e-6 || propPositive == 0 {
 			match = false
 		}
 		return verdictLine(w, match,
-			"optimizing users never envy under FS; under FIFO smaller senders envy larger ones"), nil
+			"optimizing users never envy under FS; under FIFO smaller senders envy larger ones")
 	}
 	return e
 }

@@ -2,12 +2,12 @@ package experiment
 
 import (
 	"io"
-	"math/rand"
 
 	"greednet/internal/alloc"
 	"greednet/internal/core"
 	"greednet/internal/game"
 	"greednet/internal/numeric"
+	"greednet/internal/randdist"
 	"greednet/internal/utility"
 )
 
@@ -21,12 +21,14 @@ func E5Uniqueness() Experiment {
 		Title:  "Fair Share has a unique Nash equilibrium (multi-start search)",
 	}
 	e.Run = func(w io.Writer, opt Options) (Verdict, error) {
-		header(w, e)
+		if err := header(w, e); err != nil {
+			return Verdict{}, err
+		}
 		seed := opt.Seed
 		if seed == 0 {
 			seed = 505
 		}
-		rng := rand.New(rand.NewSource(seed))
+		rng := randdist.NewRand(seed)
 		starts := 24
 		profiles := 8
 		if opt.Fast {
@@ -64,9 +66,11 @@ func E5Uniqueness() Experiment {
 				}
 			}
 		}
-		tb.flush()
+		if err := tb.flush(); err != nil {
+			return Verdict{}, err
+		}
 		return verdictLine(w, match,
-			"every FS start converges to the same equilibrium (FIFO shown for contrast)"), nil
+			"every FS start converges to the same equilibrium (FIFO shown for contrast)")
 	}
 	return e
 }

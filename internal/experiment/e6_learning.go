@@ -23,7 +23,9 @@ func E6Learning() Experiment {
 		Title:  "robust convergence of generalized hill climbing; Stackelberg = Nash under FS",
 	}
 	e.Run = func(w io.Writer, opt Options) (Verdict, error) {
-		header(w, e)
+		if err := header(w, e); err != nil {
+			return Verdict{}, err
+		}
 		match := true
 
 		// (a) Interval-elimination learning from total ignorance.
@@ -52,7 +54,9 @@ func E6Learning() Experiment {
 				match = false // FIFO must stall wide
 			}
 		}
-		tb.flush()
+		if err := tb.flush(); err != nil {
+			return Verdict{}, err
+		}
 
 		// (b) Stackelberg leader advantage.
 		prof := core.Profile{utility.NewLinear(1, 0.2), utility.NewLinear(1, 0.3)}
@@ -78,7 +82,9 @@ func E6Learning() Experiment {
 				match = false
 			}
 		}
-		tb2.flush()
+		if err := tb2.flush(); err != nil {
+			return Verdict{}, err
+		}
 
 		// (c) Timescale exploitation (§4.2.2 first paragraph): a naive
 		// hill climber with a longer time constant becomes a de-facto
@@ -106,9 +112,11 @@ func E6Learning() Experiment {
 				match = false
 			}
 		}
-		tb3.flush()
+		if err := tb3.flush(); err != nil {
+			return Verdict{}, err
+		}
 		return verdictLine(w, match,
-			"learners collapse to FS Nash from total ignorance and leading pays nothing; FIFO stalls, rewards leaders, and lets slow hill climbers exploit fast ones"), nil
+			"learners collapse to FS Nash from total ignorance and leading pays nothing; FIFO stalls, rewards leaders, and lets slow hill climbers exploit fast ones")
 	}
 	return e
 }

@@ -20,7 +20,9 @@ func E7Revelation() Experiment {
 		Title:  "B^FS is a revelation mechanism; the FIFO analogue is manipulable",
 	}
 	e.Run = func(w io.Writer, opt Options) (Verdict, error) {
-		header(w, e)
+		if err := header(w, e); err != nil {
+			return Verdict{}, err
+		}
 		truths := []utility.Linear{
 			utility.NewLinear(1, 0.2),
 			utility.NewLinear(1, 0.35),
@@ -62,9 +64,11 @@ func E7Revelation() Experiment {
 				match = false // FIFO mechanism should be exploitable somewhere
 			}
 		}
-		tb.flush()
+		if err := tb.flush(); err != nil {
+			return Verdict{}, err
+		}
 		return verdictLine(w, match,
-			"no sampled misreport beats the truth under B^FS; lies pay under the FIFO-based mechanism"), nil
+			"no sampled misreport beats the truth under B^FS; lies pay under the FIFO-based mechanism")
 	}
 	return e
 }

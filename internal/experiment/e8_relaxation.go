@@ -23,7 +23,9 @@ func E8Relaxation() Experiment {
 		Title:  "relaxation spectra: FS nilpotent; FIFO leading eigenvalue → 1−N",
 	}
 	e.Run = func(w io.Writer, opt Options) (Verdict, error) {
-		header(w, e)
+		if err := header(w, e); err != nil {
+			return Verdict{}, err
+		}
 		match := true
 
 		// (a) Proportional eigenvalue sweep: smaller γ ⇒ heavier load ⇒
@@ -64,7 +66,9 @@ func E8Relaxation() Experiment {
 			}
 			// The deepest-γ row should be close to the 1−N limit.
 		}
-		tb.flush()
+		if err := tb.flush(); err != nil {
+			return Verdict{}, err
+		}
 
 		// (b) Fair Share nilpotency and ≤N-step Newton convergence, with
 		// distinct rates (FS is C² away from ties).
@@ -100,9 +104,11 @@ func E8Relaxation() Experiment {
 				match = false
 			}
 		}
-		tb2.flush()
+		if err := tb2.flush(); err != nil {
+			return Verdict{}, err
+		}
 		return verdictLine(w, match,
-			"FIFO spectra track (N−1)(t+2r)/(2t+2r) → N−1; FS matrices are nilpotent and Newton collapses within ≈N steps"), nil
+			"FIFO spectra track (N−1)(t+2r)/(2t+2r) → N−1; FS matrices are nilpotent and Newton collapses within ≈N steps")
 	}
 	return e
 }
@@ -118,7 +124,7 @@ func matrixPowerNorm(a *numeric.Matrix, n int) float64 {
 // stepsToCollapse returns the first index where the residual history falls
 // below frac·hist[0], or −1.
 func stepsToCollapse(hist []float64, frac float64) int {
-	if len(hist) == 0 || hist[0] == 0 {
+	if len(hist) == 0 || hist[0] == 0 { //lint:allow floateq division guard: collapse fraction undefined from exactly-zero start
 		return 0
 	}
 	for i, v := range hist {

@@ -2,11 +2,11 @@ package experiment
 
 import (
 	"io"
-	"math/rand"
 
 	"greednet/internal/alloc"
 	"greednet/internal/core"
 	"greednet/internal/game"
+	"greednet/internal/randdist"
 	"greednet/internal/utility"
 )
 
@@ -22,7 +22,9 @@ func E9Protection() Experiment {
 		Title:  "out-of-equilibrium protection: adversarial attacks vs the symmetric bound",
 	}
 	e.Run = func(w io.Writer, opt Options) (Verdict, error) {
-		header(w, e)
+		if err := header(w, e); err != nil {
+			return Verdict{}, err
+		}
 		seed := opt.Seed
 		if seed == 0 {
 			seed = 909
@@ -51,7 +53,7 @@ func E9Protection() Experiment {
 		for _, d := range discs {
 			anyViolation := false
 			for _, tc := range cases {
-				rng := rand.New(rand.NewSource(seed + int64(tc.n*100) + int64(tc.rate*1000)))
+				rng := randdist.NewRand(seed + int64(tc.n*100) + int64(tc.rate*1000))
 				res := game.AttackProtection(d.a, tc.rate, tc.n, d.maxLoad, rng, iters)
 				tb.row(d.a.Name(), tc.n, tc.rate, res.Bound, res.WorstCongestion, yesno(res.Violated))
 				if res.Violated {
@@ -66,7 +68,9 @@ func E9Protection() Experiment {
 				match = false
 			}
 		}
-		tb.flush()
+		if err := tb.flush(); err != nil {
+			return Verdict{}, err
+		}
 
 		// Show the worst attack FIFO suffers for one scenario, plus the
 		// out-of-equilibrium satisfaction comparison the paper mentions:
@@ -75,7 +79,7 @@ func E9Protection() Experiment {
 		u := utility.NewLinear(1, 0.3)
 		rate := 0.1
 		n := 3
-		rng := rand.New(rand.NewSource(seed))
+		rng := randdist.NewRand(seed)
 		fsRes := game.AttackProtection(alloc.FairShare{}, rate, n, 2.0, rng, iters)
 		symC := alloc.FairShare{}.Congestion([]float64{rate, rate, rate})[0]
 		uWorst := u.Value(rate, fsRes.WorstCongestion)
@@ -84,12 +88,14 @@ func E9Protection() Experiment {
 		tb2.row("victim U under worst FS attack", "victim U in symmetric system", "guarantee holds?")
 		ok := uWorst >= uSym-1e-9
 		tb2.row(uWorst, uSym, yesno(ok))
-		tb2.flush()
+		if err := tb2.flush(); err != nil {
+			return Verdict{}, err
+		}
 		if !ok {
 			match = false
 		}
 		return verdictLine(w, match,
-			"FS never exceeds the protective bound under adversarial search; FIFO and meek-first priority are driven far past it"), nil
+			"FS never exceeds the protective bound under adversarial search; FIFO and meek-first priority are driven far past it")
 	}
 	return e
 }

@@ -89,31 +89,46 @@ func IDs() []string {
 	return ids
 }
 
-// table wraps a tabwriter with convenience row helpers.
+// table wraps a tabwriter with convenience row helpers.  Write errors are
+// latched on first occurrence and surfaced by flush, so row stays chainable.
 type table struct {
-	tw *tabwriter.Writer
+	tw  *tabwriter.Writer
+	err error
 }
 
 func newTable(w io.Writer) *table {
 	return &table{tw: tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)}
 }
 
+func (t *table) record(_ int, err error) {
+	if t.err == nil {
+		t.err = err
+	}
+}
+
 func (t *table) row(cells ...interface{}) {
 	for i, c := range cells {
 		if i > 0 {
-			fmt.Fprint(t.tw, "\t")
+			t.record(fmt.Fprint(t.tw, "\t"))
 		}
 		switch v := c.(type) {
 		case float64:
-			fmt.Fprintf(t.tw, "%s", fnum(v))
+			t.record(fmt.Fprintf(t.tw, "%s", fnum(v)))
 		default:
-			fmt.Fprintf(t.tw, "%v", v)
+			t.record(fmt.Fprintf(t.tw, "%v", v))
 		}
 	}
-	fmt.Fprintln(t.tw)
+	t.record(fmt.Fprintln(t.tw))
 }
 
-func (t *table) flush() { t.tw.Flush() }
+// flush writes the buffered table and reports the first error from any row
+// or from the flush itself.
+func (t *table) flush() error {
+	if err := t.tw.Flush(); t.err == nil {
+		t.err = err
+	}
+	return t.err
+}
 
 // fnum renders a float compactly.
 func fnum(v float64) string {
@@ -124,7 +139,7 @@ func fnum(v float64) string {
 		return "+inf"
 	case math.IsInf(v, -1):
 		return "-inf"
-	case v == 0:
+	case v == 0: //lint:allow floateq exact sentinel: render literal zero as "0"
 		return "0"
 	case math.Abs(v) >= 1e4 || math.Abs(v) < 1e-4:
 		return fmt.Sprintf("%.3e", v)
@@ -147,16 +162,17 @@ func errf(format string, args ...interface{}) error {
 }
 
 // header prints the experiment banner.
-func header(w io.Writer, e Experiment) {
-	fmt.Fprintf(w, "== %s (%s): %s ==\n", e.ID, e.Source, e.Title)
+func header(w io.Writer, e Experiment) error {
+	_, err := fmt.Fprintf(w, "== %s (%s): %s ==\n", e.ID, e.Source, e.Title)
+	return err
 }
 
 // verdictLine prints and returns the verdict.
-func verdictLine(w io.Writer, match bool, note string) Verdict {
+func verdictLine(w io.Writer, match bool, note string) (Verdict, error) {
 	status := "MATCH"
 	if !match {
 		status = "MISMATCH"
 	}
-	fmt.Fprintf(w, "verdict: %s — %s\n\n", status, note)
-	return Verdict{Match: match, Note: note}
+	_, err := fmt.Fprintf(w, "verdict: %s — %s\n\n", status, note)
+	return Verdict{Match: match, Note: note}, err
 }

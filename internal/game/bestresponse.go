@@ -134,7 +134,7 @@ func BestResponseNewton(a core.Allocation, us core.Profile, r []float64, i int, 
 			break
 		}
 		d := (fp - fm) / (2 * h)
-		if d == 0 || math.IsNaN(d) {
+		if d == 0 || math.IsNaN(d) { //lint:allow floateq division guard: any nonzero derivative is usable
 			break
 		}
 		nx := core.Clamp(x-f/d, opt.Lo, opt.Hi)

@@ -52,7 +52,7 @@ func NewtonStep(a core.Allocation, us core.Profile, r []float64, lo, hi float64)
 		}
 		d := numeric.Derivative(f, r[i], 1e-6*(math.Abs(r[i])+1e-3))
 		step := 0.0
-		if d != 0 && !math.IsNaN(d) && !math.IsInf(d, 0) {
+		if d != 0 && !math.IsNaN(d) && !math.IsInf(d, 0) { //lint:allow floateq division guard: any nonzero derivative is usable
 			step = e[i] / d
 		}
 		out[i] = core.Clamp(r[i]-step, lo, hi)

@@ -13,6 +13,7 @@ import (
 	"math/rand"
 
 	"greednet/internal/core"
+	"greednet/internal/randdist"
 )
 
 // PayoffFunc returns user i's payoff when the full action profile (actual
@@ -83,7 +84,7 @@ type Result struct {
 // Run plays n automata against each other through the payoff function.
 func Run(payoff PayoffFunc, n int, opt Options) Result {
 	opt = opt.withDefaults()
-	rng := rand.New(rand.NewSource(opt.Seed))
+	rng := randdist.NewRand(opt.Seed)
 	grid := make([]float64, opt.Actions)
 	for k := range grid {
 		grid[k] = opt.Lo + (opt.Hi-opt.Lo)*float64(k)/float64(opt.Actions-1)

@@ -1,0 +1,157 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ErrDrop flags call statements that silently discard an error result,
+// errcheck-style.  A dropped error is how a failed write turns a MISMATCH
+// into an empty table that still says MATCH.  Handle the error, or make
+// the discard explicit with `_ = f()` (which this analyzer accepts as a
+// deliberate decision), or annotate with //lint:allow errdrop.
+//
+// Exemptions, chosen to keep the signal high:
+//   - fmt.Print / Printf / Println, and fmt.Fprint* aimed at os.Stdout or
+//     os.Stderr (best-effort console output, matching errcheck's default
+//     excludes);
+//   - writes whose destination is an in-memory *bytes.Buffer or
+//     *strings.Builder, whose Write methods are documented never to fail —
+//     both direct method calls and fmt.Fprint* with such a destination.
+var ErrDrop = &Analyzer{
+	Name: "errdrop",
+	Doc: "flags discarded error return values in statement position " +
+		"(including go/defer); handle the error or discard explicitly " +
+		"with `_ =`, or annotate with //lint:allow errdrop",
+	Run: runErrDrop,
+}
+
+func runErrDrop(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var call *ast.CallExpr
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				call, _ = n.X.(*ast.CallExpr)
+			case *ast.GoStmt:
+				call = n.Call
+			case *ast.DeferStmt:
+				call = n.Call
+			default:
+				return true
+			}
+			if call == nil || !returnsError(pass, call) || errDropExempt(pass, call) {
+				return true
+			}
+			pass.Reportf(call.Pos(),
+				"%s returns an error that is discarded; handle it or assign to _ explicitly (//lint:allow errdrop to override)",
+				calleeName(call))
+			return true
+		})
+	}
+	return nil
+}
+
+// returnsError reports whether any result of the call has type error.
+func returnsError(pass *Pass, call *ast.CallExpr) bool {
+	t := pass.TypesInfo.TypeOf(call)
+	if t == nil {
+		return false
+	}
+	switch t := t.(type) {
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if isErrorType(t.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	default:
+		return isErrorType(t)
+	}
+}
+
+func isErrorType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() == nil && obj.Name() == "error"
+}
+
+// errDropExempt implements the documented best-effort-output exemptions.
+func errDropExempt(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	obj := pass.TypesInfo.Uses[sel.Sel]
+	if obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	if obj.Pkg().Path() == "fmt" {
+		switch sel.Sel.Name {
+		case "Print", "Printf", "Println":
+			return true // stdout, best effort
+		case "Fprint", "Fprintf", "Fprintln":
+			return len(call.Args) > 0 &&
+				(isInMemorySink(pass, call.Args[0]) || isConsole(pass, call.Args[0]))
+		}
+		return false
+	}
+	// Method calls on in-memory sinks: buf.WriteString(...) etc.
+	if fn, ok := obj.(*types.Func); ok {
+		if recv := fn.Type().(*types.Signature).Recv(); recv != nil {
+			return isInMemorySinkType(recv.Type())
+		}
+	}
+	return false
+}
+
+// isConsole reports whether e is the os.Stdout or os.Stderr variable:
+// console output is best-effort, exactly as with fmt.Print*.
+func isConsole(pass *Pass, e ast.Expr) bool {
+	sel, ok := e.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	obj := pass.TypesInfo.Uses[sel.Sel]
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "os" {
+		return false
+	}
+	return sel.Sel.Name == "Stdout" || sel.Sel.Name == "Stderr"
+}
+
+// isInMemorySink reports whether e is a *bytes.Buffer or *strings.Builder.
+func isInMemorySink(pass *Pass, e ast.Expr) bool {
+	t := pass.TypesInfo.TypeOf(e)
+	return t != nil && isInMemorySinkType(t)
+}
+
+func isInMemorySinkType(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj() == nil || named.Obj().Pkg() == nil {
+		return false
+	}
+	path, name := named.Obj().Pkg().Path(), named.Obj().Name()
+	return (path == "bytes" && name == "Buffer") ||
+		(path == "strings" && name == "Builder")
+}
+
+// calleeName renders the called function for the diagnostic.
+func calleeName(call *ast.CallExpr) string {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		if root := rootIdent(fun.X); root != nil {
+			return root.Name + "." + fun.Sel.Name
+		}
+		return fun.Sel.Name
+	}
+	return "call"
+}

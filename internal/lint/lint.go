@@ -1,0 +1,239 @@
+// Package lint is greednet's in-tree static-analysis suite.  It enforces
+// the numerical and simulation invariants the compiler cannot see:
+//
+//   - floateq: floating-point values must be compared through named
+//     tolerance helpers (core.ApproxEq and friends), never with raw == / !=.
+//   - rngsource: every stochastic component must draw from an explicitly
+//     seeded stream constructed by internal/randdist, so the EXPERIMENTS.md
+//     verdicts stay bit-for-bit reproducible.
+//   - panicfree: library packages must return errors instead of panicking
+//     on user input; panics are reserved for documented invariant helpers.
+//   - errdrop: error return values must be handled (or explicitly
+//     discarded with `_ =`), errcheck-style.
+//
+// The framework deliberately mirrors a small slice of the
+// golang.org/x/tools/go/analysis API so the analyzers read like standard
+// vet checks, but it is implemented entirely on the standard library
+// (go/ast, go/token, go/types) because this repository builds offline with
+// no third-party modules.  cmd/greedlint drives the suite either as a
+// `go vet -vettool` unitchecker or standalone over `go list` output.
+//
+// Findings are suppressed line-by-line with an annotation comment:
+//
+//	x := a == b //lint:allow floateq exact sentinel comparison
+//
+// A whole-line `//lint:allow <analyzer> <reason>` comment suppresses
+// findings on the next source line instead.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one static check.
+type Analyzer struct {
+	// Name is the short identifier used in diagnostics and in
+	// //lint:allow annotations.
+	Name string
+	// Doc is a one-paragraph description of what the analyzer enforces.
+	Doc string
+	// Run inspects one package through the Pass and reports findings.
+	Run func(*Pass) error
+}
+
+// A Pass provides one analyzer with a single type-checked package.
+type Pass struct {
+	// Analyzer is the check being run.
+	Analyzer *Analyzer
+	// Fset maps positions for every file in the package.
+	Fset *token.FileSet
+	// Files are the parsed sources, comments included.
+	Files []*ast.File
+	// Pkg is the type-checked package.
+	Pkg *types.Package
+	// TypesInfo records types and uses for every expression.
+	TypesInfo *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      pos,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// InTestFile reports whether pos falls in a _test.go file.  Some analyzers
+// relax their rules for tests (tests may construct local RNGs directly, and
+// may panic freely).
+func (p *Pass) InTestFile(pos token.Pos) bool {
+	return strings.HasSuffix(p.Fset.Position(pos).Filename, "_test.go")
+}
+
+// A Diagnostic is one finding.
+type Diagnostic struct {
+	// Analyzer names the check that produced the finding.
+	Analyzer string
+	// Pos locates the finding.
+	Pos token.Pos
+	// Message describes the violation and the expected fix.
+	Message string
+}
+
+// AllowDirective is the comment prefix that suppresses a finding.
+const AllowDirective = "//lint:allow"
+
+// suppressions maps file name → line → analyzer names allowed there.
+type suppressions map[string]map[int]map[string]bool
+
+// collectSuppressions scans every comment for //lint:allow directives.  A
+// directive suppresses matching findings on its own line; a directive that
+// is the only thing on its line also suppresses the following line, so
+// annotations can sit above long statements.
+func collectSuppressions(fset *token.FileSet, files []*ast.File) suppressions {
+	sup := make(suppressions)
+	add := func(file string, line int, name string) {
+		if sup[file] == nil {
+			sup[file] = make(map[int]map[string]bool)
+		}
+		if sup[file][line] == nil {
+			sup[file][line] = make(map[string]bool)
+		}
+		sup[file][line][name] = true
+	}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(c.Text)
+				if !strings.HasPrefix(text, AllowDirective) {
+					continue
+				}
+				rest := strings.TrimPrefix(text, AllowDirective)
+				fields := strings.Fields(rest)
+				if len(fields) == 0 {
+					continue
+				}
+				name := fields[0]
+				pos := fset.Position(c.Pos())
+				add(pos.Filename, pos.Line, name)
+				if pos.Column == 1 || onlyCommentOnLine(fset, f, c) {
+					add(pos.Filename, pos.Line+1, name)
+				}
+			}
+		}
+	}
+	return sup
+}
+
+// onlyCommentOnLine reports whether comment c shares its line with no other
+// syntax, i.e. it is a standalone annotation line.
+func onlyCommentOnLine(fset *token.FileSet, f *ast.File, c *ast.Comment) bool {
+	line := fset.Position(c.Pos()).Line
+	alone := true
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil || !alone {
+			return false
+		}
+		switch n.(type) {
+		case *ast.CommentGroup, *ast.Comment:
+			return false
+		}
+		start := fset.Position(n.Pos()).Line
+		end := fset.Position(n.End()).Line
+		if end < line || start > line {
+			return false // entirely off the line; skip the subtree
+		}
+		if start == line || end == line {
+			// One of the node's own tokens sits on the comment's line, so
+			// the comment shares the line with real syntax.  A node that
+			// merely spans the line (the enclosing function or block) does
+			// not count — recurse to check its children instead.
+			alone = false
+			return false
+		}
+		return true
+	})
+	return alone
+}
+
+// suppressed reports whether d is covered by an annotation.
+func (s suppressions) suppressed(fset *token.FileSet, d Diagnostic) bool {
+	pos := fset.Position(d.Pos)
+	byLine := s[pos.Filename]
+	if byLine == nil {
+		return false
+	}
+	names := byLine[pos.Line]
+	return names[d.Analyzer] || names["all"]
+}
+
+// Run executes the analyzers over one type-checked package and returns the
+// findings that survive //lint:allow suppression, sorted by position.
+func Run(analyzers []*Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     files,
+			Pkg:       pkg,
+			TypesInfo: info,
+			diags:     &diags,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("lint: analyzer %s: %w", a.Name, err)
+		}
+	}
+	sup := collectSuppressions(fset, files)
+	kept := diags[:0]
+	for _, d := range diags {
+		if !sup.suppressed(fset, d) {
+			kept = append(kept, d)
+		}
+	}
+	sort.Slice(kept, func(i, j int) bool {
+		pi, pj := fset.Position(kept[i].Pos), fset.Position(kept[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		return pi.Column < pj.Column
+	})
+	return kept, nil
+}
+
+// All returns the full greedlint analyzer suite.
+func All() []*Analyzer {
+	return []*Analyzer{FloatEq, RNGSource, PanicFree, ErrDrop}
+}
+
+// ByName resolves a comma-separated analyzer list; an empty spec means all.
+func ByName(spec string) ([]*Analyzer, error) {
+	if strings.TrimSpace(spec) == "" {
+		return All(), nil
+	}
+	byName := make(map[string]*Analyzer)
+	for _, a := range All() {
+		byName[a.Name] = a
+	}
+	var out []*Analyzer
+	for _, name := range strings.Split(spec, ",") {
+		name = strings.TrimSpace(name)
+		a, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("lint: unknown analyzer %q", name)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}

@@ -1,0 +1,66 @@
+package lint_test
+
+import (
+	"strings"
+	"testing"
+
+	"greednet/internal/lint"
+	"greednet/internal/lint/linttest"
+)
+
+func TestFloatEq(t *testing.T) {
+	linttest.Run(t, "testdata/floateq", "fixture/floateq", []*lint.Analyzer{lint.FloatEq})
+}
+
+func TestRNGSource(t *testing.T) {
+	linttest.Run(t, "testdata/rngsource", "fixture/rngsource", []*lint.Analyzer{lint.RNGSource})
+}
+
+func TestRNGSourceExemptsRanddist(t *testing.T) {
+	// Under the sanctioned wrapper's import path the same construction
+	// pattern produces no findings.
+	linttest.Run(t, "testdata/rngsource_randdist", "greednet/internal/randdist",
+		[]*lint.Analyzer{lint.RNGSource})
+}
+
+func TestPanicFree(t *testing.T) {
+	linttest.Run(t, "testdata/panicfree", "fixture/panicfree", []*lint.Analyzer{lint.PanicFree})
+}
+
+func TestPanicFreeExemptsMain(t *testing.T) {
+	linttest.Run(t, "testdata/panicfree_main", "fixture/panicfree_main",
+		[]*lint.Analyzer{lint.PanicFree})
+}
+
+func TestErrDrop(t *testing.T) {
+	linttest.Run(t, "testdata/errdrop", "fixture/errdrop", []*lint.Analyzer{lint.ErrDrop})
+}
+
+func TestAllRegistersEveryAnalyzer(t *testing.T) {
+	names := make(map[string]bool)
+	for _, a := range lint.All() {
+		if a.Name == "" || a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %q is missing Name, Doc, or Run", a.Name)
+		}
+		names[a.Name] = true
+	}
+	for _, want := range []string{"floateq", "rngsource", "panicfree", "errdrop"} {
+		if !names[want] {
+			t.Errorf("All() does not register %q", want)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	as, err := lint.ByName("floateq,errdrop")
+	if err != nil {
+		t.Fatalf("ByName: %v", err)
+	}
+	if len(as) != 2 || as[0].Name != "floateq" || as[1].Name != "errdrop" {
+		t.Errorf("ByName returned %v", as)
+	}
+	if _, err := lint.ByName("nosuch"); err == nil ||
+		!strings.Contains(err.Error(), "nosuch") {
+		t.Errorf("ByName(nosuch) err = %v, want mention of the bad name", err)
+	}
+}

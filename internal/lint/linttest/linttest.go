@@ -1,0 +1,120 @@
+// Package linttest runs lint analyzers over fixture packages in testdata
+// and checks their findings against // want comments, in the spirit of
+// golang.org/x/tools/go/analysis/analysistest but built on the standard
+// library only.
+//
+// A fixture is a directory of Go files forming one package.  A line that
+// should be flagged carries a trailing comment
+//
+//	x := a == b // want "floateq"
+//
+// where each quoted string must be a substring of one finding reported on
+// that line (rendered as "analyzer: message").  Lines without a want
+// comment must produce no finding.  Files named *_test.go in the fixture
+// are parsed as such, so per-analyzer test-file policies are exercised.
+package linttest
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"greednet/internal/lint"
+)
+
+var wantRe = regexp.MustCompile(`// want ((?:"[^"]*"\s*)+)`)
+
+// expectation is one unmet // want pattern.
+type expectation struct {
+	file    string
+	line    int
+	pattern string
+}
+
+// Run analyzes the fixture package in dir under the given import path and
+// reports any mismatch between findings and // want comments.  The import
+// path matters to analyzers with package-based policies (rngsource exempts
+// greednet/internal/randdist; panicfree exempts package main).
+func Run(t *testing.T, dir, importPath string, analyzers []*lint.Analyzer) {
+	t.Helper()
+
+	paths, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil || len(paths) == 0 {
+		t.Fatalf("no fixture files in %s (err %v)", dir, err)
+	}
+	sort.Strings(paths)
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	var wants []expectation
+	for _, p := range paths {
+		src, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatalf("read %s: %v", p, err)
+		}
+		f, err := parser.ParseFile(fset, p, src, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("parse %s: %v", p, err)
+		}
+		files = append(files, f)
+		for i, line := range strings.Split(string(src), "\n") {
+			m := wantRe.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			for _, q := range regexp.MustCompile(`"[^"]*"`).FindAllString(m[1], -1) {
+				wants = append(wants, expectation{file: p, line: i + 1, pattern: q[1 : len(q)-1]})
+			}
+		}
+	}
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	// The source importer resolves stdlib imports from GOROOT without
+	// needing compiled export data, so fixtures typecheck offline.
+	conf := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	pkg, err := conf.Check(importPath, fset, files, info)
+	if err != nil {
+		t.Fatalf("typecheck %s: %v", dir, err)
+	}
+
+	diags, err := lint.Run(analyzers, fset, files, pkg, info)
+	if err != nil {
+		t.Fatalf("lint %s: %v", dir, err)
+	}
+
+	used := make([]bool, len(wants))
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		full := d.Analyzer + ": " + d.Message
+		matched := false
+		for i, w := range wants {
+			if !used[i] && w.file == pos.Filename && w.line == pos.Line &&
+				strings.Contains(full, w.pattern) {
+				used[i] = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s:%d: unexpected finding: %s", pos.Filename, pos.Line, full)
+		}
+	}
+	for i, w := range wants {
+		if !used[i] {
+			t.Errorf("%s:%d: expected a finding matching %q, got none", w.file, w.line, w.pattern)
+		}
+	}
+}

@@ -1,0 +1,68 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// PanicFree flags panic calls in library code.  Commands (package main),
+// examples, and tests may panic; library packages must return errors for
+// anything a caller could trigger.  A panic that guards a genuine internal
+// invariant belongs in a function named Must*/must* (the documented
+// invariant-helper convention) or carries a //lint:allow panicfree
+// annotation explaining the invariant.
+var PanicFree = &Analyzer{
+	Name: "panicfree",
+	Doc: "flags panic in non-main, non-test library code; return an error, " +
+		"move the panic into a Must*/must* invariant helper, or annotate " +
+		"with //lint:allow panicfree and state the invariant",
+	Run: runPanicFree,
+}
+
+func runPanicFree(pass *Pass) error {
+	if pass.Pkg != nil && pass.Pkg.Name() == "main" {
+		return nil // commands and examples may panic at top level
+	}
+	for _, f := range pass.Files {
+		var funcStack []string
+		inInvariantHelper := func() bool {
+			for _, name := range funcStack {
+				if strings.HasPrefix(name, "Must") || strings.HasPrefix(name, "must") {
+					return true
+				}
+			}
+			return false
+		}
+		var walk func(n ast.Node) bool
+		walk = func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				funcStack = append(funcStack, n.Name.Name)
+				if n.Body != nil {
+					ast.Inspect(n.Body, walk)
+				}
+				funcStack = funcStack[:len(funcStack)-1]
+				return false
+			case *ast.CallExpr:
+				id, ok := n.Fun.(*ast.Ident)
+				if !ok || id.Name != "panic" {
+					return true
+				}
+				if obj := pass.TypesInfo.Uses[id]; obj != nil {
+					if _, isBuiltin := obj.(*types.Builtin); !isBuiltin {
+						return true // a local function shadowing panic
+					}
+				}
+				if pass.InTestFile(n.Pos()) || inInvariantHelper() {
+					return true
+				}
+				pass.Reportf(n.Pos(),
+					"panic in library code; return an error for caller-reachable failures, or wrap in a Must*/must* helper (//lint:allow panicfree for documented invariants)")
+			}
+			return true
+		}
+		ast.Inspect(f, walk)
+	}
+	return nil
+}

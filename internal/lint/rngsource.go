@@ -1,0 +1,104 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// randdistPath is the one package allowed to construct math/rand sources:
+// everything else must obtain streams through its seeded constructors so
+// the EXPERIMENTS.md verdicts stay reproducible run-over-run.
+const randdistPath = "greednet/internal/randdist"
+
+// rngConstructors are the math/rand entry points that build new streams.
+var rngConstructors = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"NewZipf":   true,
+}
+
+// RNGSource flags draws from math/rand's global, implicitly seeded source
+// (rand.Float64(), rand.Intn(), ... at package level) everywhere, and
+// direct stream construction (rand.New, rand.NewSource) outside
+// internal/randdist in non-test code.  All simulation randomness must flow
+// through randdist.NewRand(seed) so every experiment is a deterministic
+// function of its seed.
+var RNGSource = &Analyzer{
+	Name: "rngsource",
+	Doc: "flags math/rand global-source draws everywhere and rand.New / " +
+		"rand.NewSource construction outside internal/randdist; use " +
+		"randdist.NewRand(seed) for an injectable seeded stream",
+	Run: runRNGSource,
+}
+
+func runRNGSource(pass *Pass) error {
+	if pass.Pkg != nil && pass.Pkg.Path() == randdistPath {
+		return nil // the sanctioned wrapper itself
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj := pass.TypesInfo.Uses[sel.Sel]
+			if obj == nil || obj.Pkg() == nil {
+				return true
+			}
+			path := obj.Pkg().Path()
+			if path != "math/rand" && path != "math/rand/v2" {
+				return true
+			}
+			// Only package-level selectors matter: rand.Float64 is the
+			// global source, rng.Float64 is a method on an injected stream.
+			if _, isPkg := pass.TypesInfo.Uses[rootIdent(sel.X)].(*types.PkgName); !isPkg {
+				return true
+			}
+			name := sel.Sel.Name
+			switch {
+			case rngConstructors[name]:
+				if pass.InTestFile(sel.Pos()) {
+					return true // tests may build throwaway local streams
+				}
+				pass.Reportf(sel.Pos(),
+					"direct %s.%s outside internal/randdist; construct seeded streams with randdist.NewRand (//lint:allow rngsource to override)",
+					lastPathElem(path), name)
+			case isFunc(obj):
+				pass.Reportf(sel.Pos(),
+					"draw from %s.%s uses the global implicitly-seeded source; inject a randdist.NewRand stream instead (//lint:allow rngsource to override)",
+					lastPathElem(path), name)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// rootIdent returns the leftmost identifier of a selector chain.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+func isFunc(obj types.Object) bool {
+	_, ok := obj.(*types.Func)
+	return ok
+}
+
+func lastPathElem(path string) string {
+	if i := strings.LastIndex(path, "/"); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}

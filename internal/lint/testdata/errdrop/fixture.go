@@ -1,0 +1,41 @@
+// Fixture for the errdrop analyzer: discarded error results in statement
+// position are flagged; explicit `_ =` discards, console fmt output, and
+// in-memory sinks are not.
+package errdrop
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"strings"
+)
+
+func fail() error { return errors.New("boom") }
+
+func open() (*os.File, error) { return nil, errors.New("no") }
+
+func statements() {
+	fail()       // want "errdrop"
+	go fail()    // want "errdrop"
+	defer fail() // want "errdrop"
+	open()       // want "errdrop"
+	_ = fail()   // explicit discard: allowed
+	fail()       //lint:allow errdrop fixture override
+}
+
+func console() {
+	fmt.Println("hi")               // best-effort console: allowed
+	fmt.Fprintln(os.Stderr, "hi")   // best-effort console: allowed
+	fmt.Fprintf(os.Stdout, "%d", 1) // best-effort console: allowed
+	f, _ := open()
+	fmt.Fprintln(f, "hi") // want "errdrop"
+}
+
+func sinks() {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "x") // in-memory sink: allowed
+	var sb strings.Builder
+	sb.WriteString("y")    // in-memory sink method: allowed
+	fmt.Fprintln(&sb, "z") // in-memory sink: allowed
+}

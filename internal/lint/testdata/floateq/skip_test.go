@@ -1,0 +1,6 @@
+package floateq
+
+// Test files are exempt: tests assert exact golden values deliberately.
+func goldenExact(got, want float64) bool {
+	return got == want
+}

@@ -1,0 +1,33 @@
+// Fixture for the panicfree analyzer: bare panics in library code are
+// flagged; Must-helpers, annotated invariants, shadowed panic identifiers,
+// and test files are not.
+package panicfree
+
+func Lookup(xs []int, i int) int {
+	if i < 0 || i >= len(xs) {
+		panic("out of range") // want "panicfree"
+	}
+	return xs[i]
+}
+
+func mustPositive(x int) {
+	if x <= 0 {
+		panic("not positive") // invariant helper by naming convention: allowed
+	}
+}
+
+func MustLookup(xs []int, i int) int {
+	if i >= len(xs) {
+		panic("out of range") // invariant helper by naming convention: allowed
+	}
+	return xs[i]
+}
+
+func annotated() {
+	panic("documented invariant") //lint:allow panicfree fixture invariant
+}
+
+func shadowed() {
+	panic := func(string) {}
+	panic("not the builtin") // a local function shadowing panic: allowed
+}

@@ -1,0 +1,6 @@
+package panicfree
+
+// Test files may panic freely.
+func failNow() {
+	panic("test helper")
+}

@@ -1,0 +1,7 @@
+// Fixture for the panicfree package-main exemption: commands and examples
+// may panic at top level, so nothing here is flagged.
+package main
+
+func main() {
+	panic("commands may panic")
+}

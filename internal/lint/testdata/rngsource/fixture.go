@@ -1,0 +1,21 @@
+// Fixture for the rngsource analyzer: global-source draws and direct
+// stream construction are flagged; methods on an injected stream are not.
+package rngsource
+
+import "math/rand"
+
+func build(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed)) // want "rngsource" "rngsource"
+}
+
+func drawGlobal() float64 {
+	return rand.Float64() // want "rngsource"
+}
+
+func drawInjected(rng *rand.Rand) float64 {
+	return rng.Float64() // method on a seeded stream: allowed
+}
+
+func shuffleAnnotated(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) //lint:allow rngsource fixture override
+}

@@ -1,0 +1,13 @@
+package rngsource
+
+import "math/rand"
+
+// Tests may build throwaway local streams...
+func localStream() *rand.Rand {
+	return rand.New(rand.NewSource(1))
+}
+
+// ...but global-source draws are non-reproducible everywhere.
+func globalInTest() float64 {
+	return rand.Float64() // want "rngsource"
+}

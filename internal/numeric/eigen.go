@@ -32,10 +32,10 @@ func Eigenvalues(a *Matrix) ([]complex128, error) {
 	// Sort by decreasing magnitude, then by real part for determinism.
 	sort.Slice(ev, func(i, j int) bool {
 		mi, mj := cmplx.Abs(ev[i]), cmplx.Abs(ev[j])
-		if mi != mj {
+		if mi != mj { //lint:allow floateq exact tie-break keeps the sort deterministic
 			return mi > mj
 		}
-		if real(ev[i]) != real(ev[j]) {
+		if real(ev[i]) != real(ev[j]) { //lint:allow floateq exact tie-break keeps the sort deterministic
 			return real(ev[i]) > real(ev[j])
 		}
 		return imag(ev[i]) > imag(ev[j])
@@ -75,7 +75,7 @@ func balance(a *Matrix) {
 					r += math.Abs(a.At(i, j))
 				}
 			}
-			if c == 0 || r == 0 {
+			if c == 0 || r == 0 { //lint:allow floateq balancing skips exactly-zero rows/columns
 				continue
 			}
 			g := r / radix
@@ -130,12 +130,12 @@ func hessenberg(a *Matrix) {
 				a.Set(i, m, t)
 			}
 		}
-		if x == 0 {
+		if x == 0 { //lint:allow floateq elimination skips an exactly-zero pivot column
 			continue
 		}
 		for i := m + 1; i < n; i++ {
 			y := a.At(i, m-1)
-			if y == 0 {
+			if y == 0 { //lint:allow floateq exactly-zero entry needs no elimination
 				continue
 			}
 			y /= x
@@ -168,7 +168,7 @@ func hqr(a *Matrix) ([]complex128, error) {
 			anorm += math.Abs(a.At(i, j))
 		}
 	}
-	if anorm == 0 {
+	if anorm == 0 { //lint:allow floateq the exactly-zero matrix has all-zero eigenvalues
 		for i := 0; i < n; i++ {
 			ev = append(ev, 0)
 		}
@@ -184,10 +184,10 @@ func hqr(a *Matrix) ([]complex128, error) {
 			// Look for a single small subdiagonal element.
 			for l = nn; l >= 1; l-- {
 				s = math.Abs(a.At(l-1, l-1)) + math.Abs(a.At(l, l))
-				if s == 0 {
+				if s == 0 { //lint:allow floateq scale fallback for an exactly-zero diagonal pair
 					s = anorm
 				}
-				if math.Abs(a.At(l, l-1))+s == s {
+				if math.Abs(a.At(l, l-1))+s == s { //lint:allow floateq classic machine-epsilon deflation test (NR hqr)
 					a.Set(l, l-1, 0)
 					break
 				}
@@ -215,7 +215,7 @@ func hqr(a *Matrix) ([]complex128, error) {
 						z = p - z
 					}
 					ev = append(ev, complex(x+z, 0))
-					if z != 0 {
+					if z != 0 { //lint:allow floateq division guard: any nonzero z is usable
 						ev = append(ev, complex(x-w/z, 0))
 					} else {
 						ev = append(ev, complex(x, 0))
@@ -261,7 +261,7 @@ func hqr(a *Matrix) ([]complex128, error) {
 				}
 				u = math.Abs(a.At(m, m-1)) * (math.Abs(q) + math.Abs(r))
 				v = math.Abs(p) * (math.Abs(a.At(m-1, m-1)) + math.Abs(z) + math.Abs(a.At(m+1, m+1)))
-				if u+v == v {
+				if u+v == v { //lint:allow floateq classic machine-epsilon smallness test (NR hqr)
 					break
 				}
 			}
@@ -281,14 +281,14 @@ func hqr(a *Matrix) ([]complex128, error) {
 						r = a.At(k+2, k-1)
 					}
 					x = math.Abs(p) + math.Abs(q) + math.Abs(r)
-					if x != 0 {
+					if x != 0 { //lint:allow floateq division guard: any nonzero scale is usable
 						p /= x
 						q /= x
 						r /= x
 					}
 				}
 				s = math.Copysign(math.Sqrt(p*p+q*q+r*r), p)
-				if s == 0 {
+				if s == 0 { //lint:allow floateq Householder reflector vanishes exactly; skip
 					continue
 				}
 				if k == m {
@@ -351,7 +351,7 @@ func PowerIteration(a *Matrix, iters int) float64 {
 	for k := 0; k < iters; k++ {
 		y := a.MulVec(x)
 		ny := VecNorm2(y)
-		if ny == 0 {
+		if ny == 0 { //lint:allow floateq exactly-zero iterate: matrix annihilates the start vector
 			return 0
 		}
 		if k >= iters-10 && ny > best {

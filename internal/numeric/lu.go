@@ -35,7 +35,7 @@ func Factor(a *Matrix) (*LU, error) {
 			}
 		}
 		pivot[k] = p
-		if mx == 0 {
+		if mx == 0 { //lint:allow floateq exactly-zero pivot means structurally singular
 			return nil, ErrSingular
 		}
 		if p != k {
@@ -50,7 +50,7 @@ func Factor(a *Matrix) (*LU, error) {
 		for i := k + 1; i < n; i++ {
 			m := lu.At(i, k) / d
 			lu.Set(i, k, m)
-			if m == 0 {
+			if m == 0 { //lint:allow floateq exactly-zero multiplier needs no elimination
 				continue
 			}
 			for j := k + 1; j < n; j++ {
@@ -89,7 +89,7 @@ func (f *LU) Solve(b []float64) ([]float64, error) {
 			s -= f.lu.At(i, j) * x[j]
 		}
 		d := f.lu.At(i, i)
-		if d == 0 {
+		if d == 0 { //lint:allow floateq division guard: exactly-zero diagonal means singular
 			return nil, ErrSingular
 		}
 		x[i] = s / d

@@ -15,7 +15,7 @@ type Matrix struct {
 // NewMatrix allocates a zero rows×cols matrix.
 func NewMatrix(rows, cols int) *Matrix {
 	if rows < 0 || cols < 0 {
-		panic("numeric: negative matrix dimension")
+		panic("numeric: negative matrix dimension") //lint:allow panicfree dimension invariant: negative size is a programmer error (gonum convention)
 	}
 	return &Matrix{rows: rows, cols: cols, data: make([]float64, rows*cols)}
 }
@@ -30,7 +30,7 @@ func MatrixFromRows(rows [][]float64) *Matrix {
 	m := NewMatrix(r, c)
 	for i, row := range rows {
 		if len(row) != c {
-			panic("numeric: ragged rows")
+			panic("numeric: ragged rows") //lint:allow panicfree shape invariant: ragged input is a programmer error (gonum convention)
 		}
 		copy(m.data[i*c:(i+1)*c], row)
 	}
@@ -73,13 +73,13 @@ func (m *Matrix) Row(i int) []float64 {
 // Mul returns the matrix product m·b.
 func (m *Matrix) Mul(b *Matrix) *Matrix {
 	if m.cols != b.rows {
-		panic(fmt.Sprintf("numeric: Mul dimension mismatch %dx%d · %dx%d", m.rows, m.cols, b.rows, b.cols))
+		panic(fmt.Sprintf("numeric: Mul dimension mismatch %dx%d · %dx%d", m.rows, m.cols, b.rows, b.cols)) //lint:allow panicfree shape invariant: mismatched product dims are a programmer error (gonum convention)
 	}
 	out := NewMatrix(m.rows, b.cols)
 	for i := 0; i < m.rows; i++ {
 		for k := 0; k < m.cols; k++ {
 			a := m.data[i*m.cols+k]
-			if a == 0 {
+			if a == 0 { //lint:allow floateq sparsity fast path skips exactly-zero entries
 				continue
 			}
 			brow := b.data[k*b.cols : (k+1)*b.cols]
@@ -95,7 +95,7 @@ func (m *Matrix) Mul(b *Matrix) *Matrix {
 // MulVec returns m·x.
 func (m *Matrix) MulVec(x []float64) []float64 {
 	if m.cols != len(x) {
-		panic("numeric: MulVec dimension mismatch")
+		panic("numeric: MulVec dimension mismatch") //lint:allow panicfree shape invariant: mismatched vector length is a programmer error (gonum convention)
 	}
 	out := make([]float64, m.rows)
 	for i := 0; i < m.rows; i++ {
@@ -190,7 +190,7 @@ func (m *Matrix) String() string {
 
 func (m *Matrix) assertSameShape(b *Matrix) {
 	if m.rows != b.rows || m.cols != b.cols {
-		panic(fmt.Sprintf("numeric: shape mismatch %dx%d vs %dx%d", m.rows, m.cols, b.rows, b.cols))
+		panic(fmt.Sprintf("numeric: shape mismatch %dx%d vs %dx%d", m.rows, m.cols, b.rows, b.cols)) //lint:allow panicfree shape invariant: mismatched operand shapes are a programmer error (gonum convention)
 	}
 }
 
@@ -217,7 +217,7 @@ func VecNorm2(x []float64) float64 {
 // VecSub returns a − b as a new slice.
 func VecSub(a, b []float64) []float64 {
 	if len(a) != len(b) {
-		panic("numeric: VecSub length mismatch")
+		panic("numeric: VecSub length mismatch") //lint:allow panicfree shape invariant: mismatched vector lengths are a programmer error (gonum convention)
 	}
 	out := make([]float64, len(a))
 	for i := range a {

@@ -109,10 +109,10 @@ func brentMin(f func(float64) float64, a, b, tol float64) (float64, float64) {
 			} else {
 				b = u
 			}
-			if fu <= fw || w == x {
+			if fu <= fw || w == x { //lint:allow floateq Brent bookkeeping tracks exact bracket-point identity
 				v, fv = w, fw
 				w, fw = u, fu
-			} else if fu <= fv || v == x || v == w {
+			} else if fu <= fv || v == x || v == w { //lint:allow floateq Brent bookkeeping tracks exact bracket-point identity
 				v, fv = u, fu
 			}
 		}

@@ -23,10 +23,10 @@ var ErrMaxIter = errors.New("numeric: maximum iterations exceeded")
 // within tol in the argument.
 func Bisect(f func(float64) float64, a, b, tol float64) (float64, error) {
 	fa, fb := f(a), f(b)
-	if fa == 0 {
+	if fa == 0 { //lint:allow floateq exact root at the endpoint needs no iteration
 		return a, nil
 	}
-	if fb == 0 {
+	if fb == 0 { //lint:allow floateq exact root at the endpoint needs no iteration
 		return b, nil
 	}
 	if math.Signbit(fa) == math.Signbit(fb) {
@@ -34,11 +34,11 @@ func Bisect(f func(float64) float64, a, b, tol float64) (float64, error) {
 	}
 	for i := 0; i < 200; i++ {
 		m := a + (b-a)/2
-		if b-a <= tol || m == a || m == b {
+		if b-a <= tol || m == a || m == b { //lint:allow floateq midpoint collapse: no representable point remains between a and b
 			return m, nil
 		}
 		fm := f(m)
-		if fm == 0 {
+		if fm == 0 { //lint:allow floateq exact root terminates bisection
 			return m, nil
 		}
 		if math.Signbit(fm) == math.Signbit(fa) {
@@ -55,10 +55,10 @@ func Bisect(f func(float64) float64, a, b, tol float64) (float64, error) {
 // converges superlinearly for smooth f and never leaves the bracket.
 func Brent(f func(float64) float64, a, b, tol float64) (float64, error) {
 	fa, fb := f(a), f(b)
-	if fa == 0 {
+	if fa == 0 { //lint:allow floateq exact root at the endpoint needs no iteration
 		return a, nil
 	}
-	if fb == 0 {
+	if fb == 0 { //lint:allow floateq exact root at the endpoint needs no iteration
 		return b, nil
 	}
 	if math.Signbit(fa) == math.Signbit(fb) {
@@ -72,11 +72,11 @@ func Brent(f func(float64) float64, a, b, tol float64) (float64, error) {
 	mflag := true
 	var d float64
 	for i := 0; i < 200; i++ {
-		if fb == 0 || math.Abs(b-a) <= tol {
+		if fb == 0 || math.Abs(b-a) <= tol { //lint:allow floateq exact root terminates Brent's method
 			return b, nil
 		}
 		var s float64
-		if fa != fc && fb != fc {
+		if fa != fc && fb != fc { //lint:allow floateq guards the inverse-quadratic denominators against exact zero
 			// Inverse quadratic interpolation.
 			s = a*fb*fc/((fa-fb)*(fa-fc)) +
 				b*fa*fc/((fb-fa)*(fb-fc)) +
@@ -128,7 +128,7 @@ func Newton1D(f, df func(float64) float64, x0, xtol, ftol float64, maxIter int) 
 			return x, nil
 		}
 		d := df(x)
-		if d == 0 || math.IsNaN(d) || math.IsInf(d, 0) {
+		if d == 0 || math.IsNaN(d) || math.IsInf(d, 0) { //lint:allow floateq division guard: any nonzero derivative is usable
 			return x, fmt.Errorf("%w: derivative unusable at x=%g", ErrMaxIter, x)
 		}
 		step := fx / d
@@ -146,7 +146,7 @@ func FindBracket(f func(float64) float64, a, b float64) (lo, hi float64, err err
 	const grow = 1.618033988749895
 	fa, fb := f(a), f(b)
 	for i := 0; i < 64; i++ {
-		if math.Signbit(fa) != math.Signbit(fb) || fa == 0 || fb == 0 {
+		if math.Signbit(fa) != math.Signbit(fb) || fa == 0 || fb == 0 { //lint:allow floateq exact zero at an endpoint is a valid bracket
 			return a, b, nil
 		}
 		if math.Abs(fa) < math.Abs(fb) {

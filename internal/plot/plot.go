@@ -109,7 +109,7 @@ func (c Chart) Render(series ...Series) string {
 	if maxLen == 0 || math.IsInf(lo, 1) {
 		return "(no data)\n"
 	}
-	if hi == lo {
+	if hi == lo { //lint:allow floateq degenerate exactly-flat range widened for display
 		hi = lo + 1
 	}
 	grid := make([][]byte, h)

@@ -11,10 +11,10 @@ package selfish
 
 import (
 	"math"
-	"math/rand"
 
 	"greednet/internal/core"
 	"greednet/internal/des"
+	"greednet/internal/randdist"
 )
 
 // DisciplineFactory builds a fresh simulator discipline for each
@@ -105,7 +105,7 @@ func Run(factory DisciplineFactory, us core.Profile, r0 []float64, opt Options) 
 	r := append([]float64(nil), r0...)
 	res := Result{}
 	res.Trajectory = append(res.Trajectory, append([]float64(nil), r...))
-	rng := rand.New(rand.NewSource(opt.Seed))
+	rng := randdist.NewRand(opt.Seed)
 	for round := 1; round <= opt.Rounds; round++ {
 		decay := 1 / math.Sqrt(float64(round))
 		delta := opt.Delta0 * decay

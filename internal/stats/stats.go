@@ -117,7 +117,7 @@ func (t *TimeAverage) Accumulate(value, dt float64) {
 
 // Value returns the time average so far (NaN with no elapsed time).
 func (t *TimeAverage) Value() float64 {
-	if t.duration == 0 {
+	if t.duration == 0 { //lint:allow floateq zero elapsed time has no average; exact guard
 		return math.NaN()
 	}
 	return t.integral / t.duration

@@ -130,7 +130,7 @@ func EfficiencyGap(gamma float64, ns []int) (Table, error) {
 		uN := u.Value(res.R[0], res.C[0])
 		uP := u.Value(rp, cp)
 		loss := 0.0
-		if uP != 0 {
+		if uP != 0 { //lint:allow floateq division guard: relative loss undefined at exactly-zero utility
 			loss = (uP - uN) / math.Abs(uP)
 		}
 		t.Rows = append(t.Rows, []float64{float64(n), res.R[0], rp, uN, uP, loss})

@@ -6,11 +6,11 @@ package workload
 
 import (
 	"fmt"
-	"math/rand"
 	"strconv"
 	"strings"
 
 	"greednet/internal/core"
+	"greednet/internal/randdist"
 	"greednet/internal/utility"
 )
 
@@ -101,7 +101,7 @@ func Mixed() Scenario {
 
 // Random draws a seeded random population of n users.
 func Random(n int, seed int64) Scenario {
-	rng := rand.New(rand.NewSource(seed))
+	rng := randdist.NewRand(seed)
 	s := Scenario{
 		Name:   fmt.Sprintf("random(n=%d, seed=%d)", n, seed),
 		Users:  utility.RandomProfile(rng, n),
