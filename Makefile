@@ -2,7 +2,7 @@ GO ?= go
 LINT := bin/greedlint
 FUZZTIME ?= 30s
 
-.PHONY: all build lint test race fuzz clean
+.PHONY: all build lint lint-golden test race fuzz clean
 
 all: build lint test
 
@@ -12,11 +12,19 @@ build:
 $(LINT): cmd/greedlint/*.go internal/lint/*.go
 	$(GO) build -o $(LINT) ./cmd/greedlint
 
-# go vet's standard checks, then the in-tree greedlint suite (floateq,
-# rngsource, panicfree, errdrop) through the same vettool protocol.
+# go vet's standard checks, then the full in-tree greedlint suite —
+# floateq, rngsource, panicfree, errdrop plus the dataflow-aware
+# feasguard, detorder, dimcheck, parsafe — through the vettool protocol
+# (covers test files), then once standalone for the sorted listing.
 lint: $(LINT)
 	$(GO) vet ./...
 	$(GO) vet -vettool=$(abspath $(LINT)) ./...
+	$(LINT) ./...
+
+# Regenerate cmd/greedlint/testdata/golden.txt after changing analyzer
+# messages or the golden fixture module.
+lint-golden:
+	$(GO) test ./cmd/greedlint -run TestGoldenStandalone -update
 
 test:
 	$(GO) test ./...

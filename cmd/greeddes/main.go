@@ -33,6 +33,9 @@ func main() {
 
 	rates, err := cliutil.ParseRates(*ratesStr)
 	fatalIf(err)
+	if !mm1.InDomain(rates) {
+		fatalIf(fmt.Errorf("rates %v are infeasible: need every r_i > 0 and Σr < 1", rates))
+	}
 
 	var tracer *des.Tracer
 	if *traceOut != "" {

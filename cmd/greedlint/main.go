@@ -1,5 +1,7 @@
 // Command greedlint runs greednet's in-tree static-analysis suite
-// (internal/lint): floateq, rngsource, panicfree, and errdrop.
+// (internal/lint): the syntactic analyzers floateq, rngsource, panicfree,
+// and errdrop, plus the dataflow-aware set feasguard, detorder, dimcheck,
+// and parsafe.
 //
 // It speaks the go command's (unpublished) vet driver protocol, so the
 // canonical invocation is through the build system, which supplies export
@@ -31,6 +33,7 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"sort"
 	"strings"
 
 	"greednet/internal/lint"
@@ -216,7 +219,11 @@ func runStandalone(patterns []string, analyzers []*lint.Analyzer) {
 		}
 	}
 
-	exit := 0
+	// Collect every diagnostic across all packages, then render one
+	// globally sorted listing: byte-stable across runs and machines (paths
+	// are reported relative to the working directory), so the output can
+	// serve directly as a golden file.
+	var all []renderedDiag
 	for _, p := range targets {
 		if len(p.CgoFiles) > 0 {
 			fmt.Fprintf(os.Stderr, "greedlint: skipping %s: cgo package\n", p.ImportPath)
@@ -238,11 +245,60 @@ func runStandalone(patterns []string, analyzers []*lint.Analyzer) {
 			fatal(err)
 		}
 		for _, d := range diags {
-			fmt.Fprintf(os.Stderr, "%s: %s [%s]\n", fset.Position(d.Pos), d.Message, d.Analyzer)
-			exit = 2
+			pos := fset.Position(d.Pos)
+			all = append(all, renderedDiag{
+				file:     relPath(pos.Filename),
+				line:     pos.Line,
+				col:      pos.Column,
+				message:  d.Message,
+				analyzer: d.Analyzer,
+			})
 		}
 	}
-	os.Exit(exit)
+	sort.Slice(all, func(i, j int) bool {
+		a, b := all[i], all[j]
+		if a.file != b.file {
+			return a.file < b.file
+		}
+		if a.line != b.line {
+			return a.line < b.line
+		}
+		if a.col != b.col {
+			return a.col < b.col
+		}
+		if a.analyzer != b.analyzer {
+			return a.analyzer < b.analyzer
+		}
+		return a.message < b.message
+	})
+	for _, d := range all {
+		fmt.Fprintf(os.Stderr, "%s:%d:%d: %s [%s]\n", d.file, d.line, d.col, d.message, d.analyzer)
+	}
+	if len(all) > 0 {
+		os.Exit(2)
+	}
+}
+
+// renderedDiag is one finding resolved to its printable position.
+type renderedDiag struct {
+	file      string
+	line, col int
+	message   string
+	analyzer  string
+}
+
+// relPath reports p relative to the working directory when it lies inside
+// it, keeping standalone output (and golden files) machine-independent.
+func relPath(p string) string {
+	wd, err := os.Getwd()
+	if err != nil {
+		return p
+	}
+	rel, err := filepath.Rel(wd, p)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return p
+	}
+	return rel
 }
 
 func fatal(err error) {

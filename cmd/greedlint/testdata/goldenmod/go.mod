@@ -1,0 +1,3 @@
+module goldenfixture
+
+go 1.24

@@ -1,0 +1,25 @@
+package queue
+
+// Load evaluates the congestion formula with no feasibility guard in
+// sight: a feasguard finding.
+func Load(r Rate) Congestion {
+	return G(r)
+}
+
+// Headroom mixes the two dimensions additively: a dimcheck finding.
+func Headroom(r Rate, c Congestion) float64 {
+	return c - r
+}
+
+// Converged compares floats exactly: a floateq finding.
+func Converged(prev, next float64) bool {
+	return prev == next
+}
+
+// Guarded is the clean shape of Load and produces no finding.
+func Guarded(r []Rate) Congestion {
+	if !InDomain(r) {
+		return 0
+	}
+	return G(Sum(r))
+}

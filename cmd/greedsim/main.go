@@ -65,6 +65,9 @@ func main() {
 			fatalIf(fmt.Errorf("start has %d rates for %d users", len(start), n))
 		}
 	}
+	if !core.Feasible(start) {
+		fatalIf(fmt.Errorf("start rates %v are infeasible: need every r_i > 0 and Σr < 1", start))
+	}
 
 	switch *mode {
 	case "nash":
@@ -150,8 +153,10 @@ func printPoint(title string, us core.Profile, p core.Point) {
 		fmt.Fprintf(tw, "%d\t%.6g\t%.6g\t%.6g\n", i, p.R[i], p.C[i], us[i].Value(p.R[i], p.C[i])) //lint:allow errdrop console tabwriter over stdout: best-effort like fmt.Printf
 	}
 	tw.Flush() //lint:allow errdrop console tabwriter over stdout: best-effort like fmt.Printf
+	// Diagnostic footer for whatever point the solver produced; an
+	// out-of-domain point prints ±Inf, which is the honest report.
 	fmt.Printf("total load %.4g, total queue %.4g (M/M/1 predicts %.4g)\n",
-		mm1.Sum(p.R), mm1.Sum(p.C), mm1.G(mm1.Sum(p.R)))
+		mm1.Sum(p.R), mm1.Sum(p.C), mm1.G(mm1.Sum(p.R))) //lint:allow feasguard diagnostic print of the solver's point; ±Inf is the honest rendering
 }
 
 func fatalIf(err error) {

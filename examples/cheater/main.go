@@ -7,6 +7,7 @@ package main
 
 import (
 	"fmt"
+	"sort"
 
 	"greednet"
 )
@@ -26,7 +27,9 @@ func main() {
 			greednet.NewProportional(),
 			greednet.NewFairShare(),
 		} {
-			c := disc.Congestion(rates)
+			// The attack deliberately pushes past server capacity (Σr > 1)
+			// to show FIFO's blowup vs Fair Share's protection bound.
+			c := disc.Congestion(rates) //lint:allow feasguard infeasible rates are the point of the demo
 			ok := c[0] <= bound+1e-9
 			fmt.Printf("%-10.2f %-12s %-14.4g %v\n", atk, disc.Name(), c[0], ok)
 		}
@@ -36,10 +39,17 @@ func main() {
 	// stable-but-hostile load.
 	rates := []float64{victimRate, victimRate, 0.75}
 	fmt.Printf("\nsimulated victim queues at attacker rate %.2f:\n", rates[2])
-	for name, d := range map[string]greednet.Discipline{
+	discs := map[string]greednet.Discipline{
 		"fifo":       &greednet.SimFIFO{},
 		"fair-share": &greednet.SimFairShare{},
-	} {
+	}
+	names := make([]string, 0, len(discs))
+	for name := range discs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		d := discs[name]
 		res, err := greednet.Simulate(greednet.SimConfig{
 			Rates:      rates,
 			Discipline: d,

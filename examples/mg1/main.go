@@ -28,6 +28,9 @@ func main() {
 		if err != nil || !res.Converged {
 			panic("solve failed")
 		}
+		if !greednet.Feasible(res.R) {
+			panic("equilibrium left the feasible region")
+		}
 		p := greednet.Point{R: res.R, C: res.C}
 		envy, _, _ := greednet.MaxEnvy(users, p)
 		fmt.Printf("\n%s equilibrium:\n", serial.Name())

@@ -95,7 +95,7 @@ type DisciplineFactory = selfish.DisciplineFactory
 
 // RunSelfish simulates users that hill-climb on congestion measured in the
 // discrete-event simulator (§2.2's knob-turning users).
-func RunSelfish(factory DisciplineFactory, us Profile, r0 []float64, opt SelfishOptions) SelfishResult {
+func RunSelfish(factory DisciplineFactory, us Profile, r0 []Rate, opt SelfishOptions) SelfishResult {
 	return selfish.Run(factory, us, r0, opt)
 }
 
@@ -106,12 +106,12 @@ type CoalitionDeviation = game.CoalitionDeviation
 
 // FindCoalitionDeviation searches for an improving joint deviation by the
 // given coalition from the point r.
-func FindCoalitionDeviation(a Allocation, us Profile, r []float64, coalition []int, rng *rand.Rand, samples int) *CoalitionDeviation {
+func FindCoalitionDeviation(a Allocation, us Profile, r []Rate, coalition []int, rng *rand.Rand, samples int) *CoalitionDeviation {
 	return game.FindCoalitionDeviation(a, us, r, coalition, rng, samples)
 }
 
 // StrongEquilibriumCheck searches every coalition for an improving joint
 // deviation; nil means r resisted all sampled coalitional manipulation.
-func StrongEquilibriumCheck(a Allocation, us Profile, r []float64, rng *rand.Rand, samplesPerCoalition int) *CoalitionDeviation {
+func StrongEquilibriumCheck(a Allocation, us Profile, r []Rate, rng *rand.Rand, samplesPerCoalition int) *CoalitionDeviation {
 	return game.StrongEquilibriumCheck(a, us, r, rng, samplesPerCoalition)
 }

@@ -49,6 +49,18 @@ import (
 
 // ---- Model vocabulary -------------------------------------------------
 
+// Rate is the dimension of a Poisson arrival rate (a float64 alias); the
+// greedlint dimcheck analyzer keeps it from mixing with Congestion.
+type Rate = core.Rate
+
+// Congestion is the dimension of an average queue length (a float64 alias).
+type Congestion = core.Congestion
+
+// Feasible reports whether rates lie inside the M/M/1 region Σr < 1 with
+// every r_i > 0 — the canonical guard before evaluating g(x) or an
+// allocation outside solver-controlled domains.
+func Feasible(r []Rate) bool { return core.Feasible(r) }
+
 // Allocation is a switch allocation function C(r); see core.Allocation.
 type Allocation = core.Allocation
 
@@ -62,24 +74,26 @@ type Profile = core.Profile
 type Point = core.Point
 
 // MarginalRate returns M = U_r/U_c, the paper's marginal-utility ratio.
-func MarginalRate(u Utility, r, c float64) float64 { return core.MarginalRate(u, r, c) }
+func MarginalRate(u Utility, r Rate, c Congestion) float64 { return core.MarginalRate(u, r, c) }
 
 // ---- M/M/1 analytics ---------------------------------------------------
 
-// G is the M/M/1 total-queue function g(x) = x/(1−x).
-func G(x float64) float64 { return mm1.G(x) }
+// G is the M/M/1 total-queue function g(x) = x/(1−x).  Like the internal
+// helper it wraps, it is only meaningful for x < 1; guard with Feasible.
+func G(x Rate) Congestion { return mm1.G(x) } //lint:allow feasguard thin facade re-export; the domain is the caller's contract
 
 // FeasibilityReport describes how an allocation relates to the
 // work-conserving feasible set.
 type FeasibilityReport = mm1.FeasibilityReport
 
 // CheckFeasible validates (r, c) against the Coffman–Mitrani feasible set.
-func CheckFeasible(r, c []float64, tol float64) FeasibilityReport {
+func CheckFeasible(r []Rate, c []Congestion, tol float64) FeasibilityReport {
 	return mm1.CheckFeasible(r, c, tol)
 }
 
-// ProtectionBound is the Definition-7 guarantee r/(1 − n·r).
-func ProtectionBound(n int, r float64) float64 { return mm1.ProtectionBound(n, r) }
+// ProtectionBound is the Definition-7 guarantee r/(1 − n·r), finite only
+// while n·r < 1; guard with Feasible.
+func ProtectionBound(n int, r Rate) Congestion { return mm1.ProtectionBound(n, r) } //lint:allow feasguard thin facade re-export; the domain is the caller's contract
 
 // ---- Allocation functions ----------------------------------------------
 
@@ -112,10 +126,10 @@ func NewProportional() Allocation { return alloc.Proportional{} }
 
 // JacobianOf returns ∂C_i/∂r_j for any allocation (analytic when
 // implemented, finite differences otherwise).
-func JacobianOf(a Allocation, r []float64) *numeric.Matrix { return alloc.JacobianOf(a, r) }
+func JacobianOf(a Allocation, r []Rate) *numeric.Matrix { return alloc.JacobianOf(a, r) }
 
 // CheckMAC verifies the paper's monotonicity (MAC) conditions at r.
-func CheckMAC(a Allocation, r []float64, tol float64) alloc.MACReport {
+func CheckMAC(a Allocation, r []Rate, tol float64) alloc.MACReport {
 	return alloc.CheckMAC(a, r, tol)
 }
 
@@ -170,23 +184,23 @@ const (
 )
 
 // BestResponse maximizes user i's utility over its own rate.
-func BestResponse(a Allocation, u Utility, r []float64, i int, opt BROptions) (x, val float64) {
+func BestResponse(a Allocation, u Utility, r []Rate, i int, opt BROptions) (x, val float64) {
 	return game.BestResponse(a, u, r, i, opt)
 }
 
 // SolveNash runs best-response iteration to a Nash equilibrium.
-func SolveNash(a Allocation, us Profile, r0 []float64, opt NashOptions) (NashResult, error) {
+func SolveNash(a Allocation, us Profile, r0 []Rate, opt NashOptions) (NashResult, error) {
 	return game.SolveNash(a, us, r0, opt)
 }
 
 // SolveStackelberg computes a leader-follower equilibrium.
-func SolveStackelberg(a Allocation, us Profile, leader int, r0 []float64, opt StackOptions) (StackelbergResult, error) {
+func SolveStackelberg(a Allocation, us Profile, leader int, r0 []Rate, opt StackOptions) (StackelbergResult, error) {
 	return game.SolveStackelberg(a, us, leader, r0, opt)
 }
 
 // NashResidual is the paper's E_i = M_i + ∂C_i/∂r_i distance from the Nash
 // first-derivative condition.
-func NashResidual(a Allocation, us Profile, r []float64) []float64 {
+func NashResidual(a Allocation, us Profile, r []Rate) []float64 {
 	return game.NashResidual(a, us, r)
 }
 
@@ -199,7 +213,7 @@ func MaxEnvy(us Profile, p Point) (amount float64, envier, envied int) {
 }
 
 // RelaxationMatrix builds the §4.2.3 synchronous-Newton relaxation matrix.
-func RelaxationMatrix(a Allocation, us Profile, r []float64, h float64) *numeric.Matrix {
+func RelaxationMatrix(a Allocation, us Profile, r []Rate, h float64) *numeric.Matrix {
 	return game.RelaxationMatrix(a, us, r, h)
 }
 

@@ -25,7 +25,7 @@ type Proportional struct{}
 func (Proportional) Name() string { return "proportional" }
 
 // Congestion implements core.Allocation.
-func (Proportional) Congestion(r []float64) []float64 {
+func (Proportional) Congestion(r []core.Rate) []core.Congestion {
 	s := mm1.Sum(r)
 	out := make([]float64, len(r))
 	if s >= 1 {
@@ -42,7 +42,7 @@ func (Proportional) Congestion(r []float64) []float64 {
 }
 
 // CongestionOf implements core.Allocation.
-func (Proportional) CongestionOf(r []float64, i int) float64 {
+func (Proportional) CongestionOf(r []core.Rate, i int) core.Congestion {
 	s := mm1.Sum(r)
 	if s >= 1 {
 		return math.Inf(1)
@@ -52,7 +52,7 @@ func (Proportional) CongestionOf(r []float64, i int) float64 {
 
 // OwnDerivs implements core.OwnDeriver:
 // ∂C_i/∂r_i = (1−s+r_i)/(1−s)², ∂²C_i/∂r_i² = 2(1−s+r_i)/(1−s)³.
-func (Proportional) OwnDerivs(r []float64, i int) (float64, float64) {
+func (Proportional) OwnDerivs(r []core.Rate, i int) (float64, float64) {
 	s := mm1.Sum(r)
 	if s >= 1 {
 		return math.Inf(1), math.Inf(1)
@@ -64,7 +64,7 @@ func (Proportional) OwnDerivs(r []float64, i int) (float64, float64) {
 
 // Jacobian implements core.Jacobianer:
 // ∂C_i/∂r_j = r_i/(1−s)² for j ≠ i, (1−s+r_i)/(1−s)² for j = i.
-func (Proportional) Jacobian(r []float64) [][]float64 {
+func (Proportional) Jacobian(r []core.Rate) [][]float64 {
 	n := len(r)
 	s := mm1.Sum(r)
 	out := make([][]float64, n)
@@ -97,7 +97,7 @@ type Square struct{}
 func (Square) Name() string { return "square" }
 
 // Congestion implements core.Allocation.
-func (Square) Congestion(r []float64) []float64 {
+func (Square) Congestion(r []core.Rate) []core.Congestion {
 	out := make([]float64, len(r))
 	for i, ri := range r {
 		out[i] = ri * ri
@@ -106,13 +106,13 @@ func (Square) Congestion(r []float64) []float64 {
 }
 
 // CongestionOf implements core.Allocation.
-func (Square) CongestionOf(r []float64, i int) float64 { return r[i] * r[i] }
+func (Square) CongestionOf(r []core.Rate, i int) core.Congestion { return r[i] * r[i] }
 
 // OwnDerivs implements core.OwnDeriver.
-func (Square) OwnDerivs(r []float64, i int) (float64, float64) { return 2 * r[i], 2 }
+func (Square) OwnDerivs(r []core.Rate, i int) (float64, float64) { return 2 * r[i], 2 }
 
 // Jacobian implements core.Jacobianer.
-func (Square) Jacobian(r []float64) [][]float64 {
+func (Square) Jacobian(r []core.Rate) [][]float64 {
 	n := len(r)
 	out := make([][]float64, n)
 	for i := range out {
@@ -136,7 +136,7 @@ type Blend struct {
 func (b Blend) Name() string { return "blend" }
 
 // Congestion implements core.Allocation.
-func (b Blend) Congestion(r []float64) []float64 {
+func (b Blend) Congestion(r []core.Rate) []core.Congestion {
 	fs := FairShare{}.Congestion(r)
 	pr := Proportional{}.Congestion(r)
 	out := make([]float64, len(r))
@@ -147,12 +147,12 @@ func (b Blend) Congestion(r []float64) []float64 {
 }
 
 // CongestionOf implements core.Allocation.
-func (b Blend) CongestionOf(r []float64, i int) float64 {
+func (b Blend) CongestionOf(r []core.Rate, i int) core.Congestion {
 	return b.Theta*FairShare{}.CongestionOf(r, i) + (1-b.Theta)*Proportional{}.CongestionOf(r, i)
 }
 
 // OwnDerivs implements core.OwnDeriver by combining the endpoints.
-func (b Blend) OwnDerivs(r []float64, i int) (float64, float64) {
+func (b Blend) OwnDerivs(r []core.Rate, i int) (float64, float64) {
 	f1, f2 := FairShare{}.OwnDerivs(r, i)
 	p1, p2 := Proportional{}.OwnDerivs(r, i)
 	return b.Theta*f1 + (1-b.Theta)*p1, b.Theta*f2 + (1-b.Theta)*p2
@@ -161,7 +161,7 @@ func (b Blend) OwnDerivs(r []float64, i int) (float64, float64) {
 // OwnDerivs returns (∂C_i/∂r_i, ∂²C_i/∂r_i²) for any allocation, using the
 // analytic implementation when available and central finite differences
 // otherwise.
-func OwnDerivs(a core.Allocation, r []float64, i int) (d1, d2 float64) {
+func OwnDerivs(a core.Allocation, r []core.Rate, i int) (d1, d2 float64) {
 	if od, ok := a.(core.OwnDeriver); ok {
 		return od.OwnDerivs(r, i)
 	}
@@ -174,7 +174,7 @@ func OwnDerivs(a core.Allocation, r []float64, i int) (d1, d2 float64) {
 
 // JacobianOf returns the full matrix ∂C_i/∂r_j for any allocation,
 // analytic when available, finite differences otherwise.
-func JacobianOf(a core.Allocation, r []float64) *numeric.Matrix {
+func JacobianOf(a core.Allocation, r []core.Rate) *numeric.Matrix {
 	if j, ok := a.(core.Jacobianer); ok {
 		return numeric.MatrixFromRows(j.Jacobian(r))
 	}
@@ -193,7 +193,7 @@ type MACReport struct {
 }
 
 // CheckMAC verifies MAC conditions (1) and (2) at r with tolerance tol.
-func CheckMAC(a core.Allocation, r []float64, tol float64) MACReport {
+func CheckMAC(a core.Allocation, r []core.Rate, tol float64) MACReport {
 	jac := JacobianOf(a, r)
 	rep := MACReport{MinOffDiag: math.Inf(1), MinOwn: math.Inf(1)}
 	n := len(r)

@@ -4,6 +4,8 @@ import (
 	"math"
 	"sort"
 
+	"greednet/internal/core"
+
 	"greednet/internal/mm1"
 )
 
@@ -25,7 +27,7 @@ type FairShare struct{}
 func (FairShare) Name() string { return "fair-share" }
 
 // ascending returns the indices of r sorted by ascending rate (stable).
-func ascending(r []float64) []int {
+func ascending(r []core.Rate) []int {
 	idx := make([]int, len(r))
 	for i := range idx {
 		idx[i] = i
@@ -35,7 +37,7 @@ func ascending(r []float64) []int {
 }
 
 // Congestion implements core.Allocation.
-func (FairShare) Congestion(r []float64) []float64 {
+func (FairShare) Congestion(r []core.Rate) []core.Congestion {
 	n := len(r)
 	out := make([]float64, n)
 	if n == 0 {
@@ -65,7 +67,7 @@ func (FairShare) Congestion(r []float64) []float64 {
 }
 
 // CongestionOf implements core.Allocation.
-func (fs FairShare) CongestionOf(r []float64, i int) float64 {
+func (fs FairShare) CongestionOf(r []core.Rate, i int) core.Congestion {
 	// Computing user i's share requires the shares of all smaller senders
 	// anyway, so delegate to the full evaluation.
 	return fs.Congestion(r)[i]
@@ -79,7 +81,7 @@ func (fs FairShare) CongestionOf(r []float64, i int) float64 {
 //	∂²C_k/∂r_k² = (N−k+1)·g''(x_k)
 //
 // Both formulas are continuous across rate ties.
-func (FairShare) OwnDerivs(r []float64, i int) (float64, float64) {
+func (FairShare) OwnDerivs(r []core.Rate, i int) (float64, float64) {
 	n := len(r)
 	idx := ascending(r)
 	prefix := 0.0
@@ -99,7 +101,7 @@ func (FairShare) OwnDerivs(r []float64, i int) (float64, float64) {
 // j < m, and 0 for j > m (ascending labels), the matrix is lower triangular
 // in the ascending order: small variations in r_j affect C_i only when
 // r_j ≤ r_i, the paper's partial-insulation structure.
-func (FairShare) Jacobian(r []float64) [][]float64 {
+func (FairShare) Jacobian(r []core.Rate) [][]float64 {
 	n := len(r)
 	idx := ascending(r)
 	// gp[k] = g'(x_k) for k = 1..n in ascending labels (index k−1).

@@ -4,6 +4,8 @@ import (
 	"math"
 	"sort"
 
+	"greednet/internal/core"
+
 	"greednet/internal/mm1"
 )
 
@@ -44,7 +46,7 @@ func (h HOLPriority) Name() string {
 
 // sortedIdx returns user indices in the discipline's priority order
 // (highest priority first).
-func (h HOLPriority) sortedIdx(r []float64) []int {
+func (h HOLPriority) sortedIdx(r []core.Rate) []int {
 	idx := make([]int, len(r))
 	for i := range idx {
 		idx[i] = i
@@ -58,7 +60,7 @@ func (h HOLPriority) sortedIdx(r []float64) []int {
 }
 
 // Congestion implements core.Allocation.
-func (h HOLPriority) Congestion(r []float64) []float64 {
+func (h HOLPriority) Congestion(r []core.Rate) []core.Congestion {
 	n := len(r)
 	out := make([]float64, n)
 	idx := h.sortedIdx(r)
@@ -91,7 +93,7 @@ func (h HOLPriority) Congestion(r []float64) []float64 {
 }
 
 // CongestionOf implements core.Allocation.
-func (h HOLPriority) CongestionOf(r []float64, i int) float64 {
+func (h HOLPriority) CongestionOf(r []core.Rate, i int) core.Congestion {
 	return h.Congestion(r)[i]
 }
 
@@ -99,7 +101,7 @@ func (h HOLPriority) CongestionOf(r []float64, i int) float64 {
 // ∂C_k/∂r_k = g'(σ_k) and ∂²C_k/∂r_k² = g”(σ_k) in priority labels.
 // At ties the allocation is only piecewise smooth; the returned value is
 // the derivative of the tie-group formula, adequate for the solvers.
-func (h HOLPriority) OwnDerivs(r []float64, i int) (float64, float64) {
+func (h HOLPriority) OwnDerivs(r []core.Rate, i int) (float64, float64) {
 	idx := h.sortedIdx(r)
 	sigma := 0.0
 	for k := 0; k < len(r); k++ {

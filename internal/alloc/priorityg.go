@@ -3,6 +3,7 @@ package alloc
 import (
 	"math"
 
+	"greednet/internal/core"
 	"greednet/internal/mm1"
 )
 
@@ -62,7 +63,7 @@ func (t TablePriorityG) Name() string { return "table-priority-" + t.Model.Name(
 // class m (1-based) has arrival rate (N−m+1)·(r_m − r_{m−1}) and each user
 // of rank ≥ m contributes equally, so user k's mean queue is
 // Σ_{m≤k} λ_m·T_m/(N−m+1) = Σ_{m≤k} (r_m − r_{m−1})·T_m.
-func (t TablePriorityG) Congestion(r []float64) []float64 {
+func (t TablePriorityG) Congestion(r []core.Rate) []core.Congestion {
 	n := len(r)
 	out := make([]float64, n)
 	if n == 0 {
@@ -97,7 +98,7 @@ func (t TablePriorityG) Congestion(r []float64) []float64 {
 }
 
 // CongestionOf implements core.Allocation.
-func (t TablePriorityG) CongestionOf(r []float64, i int) float64 {
+func (t TablePriorityG) CongestionOf(r []core.Rate, i int) core.Congestion {
 	return t.Congestion(r)[i]
 }
 
@@ -113,7 +114,7 @@ type HOLPriorityG struct {
 func (h HOLPriorityG) Name() string { return "hol-priority-" + h.Model.Name() }
 
 // Congestion implements core.Allocation.
-func (h HOLPriorityG) Congestion(r []float64) []float64 {
+func (h HOLPriorityG) Congestion(r []core.Rate) []core.Congestion {
 	n := len(r)
 	out := make([]float64, n)
 	if n == 0 {
@@ -132,6 +133,6 @@ func (h HOLPriorityG) Congestion(r []float64) []float64 {
 }
 
 // CongestionOf implements core.Allocation.
-func (h HOLPriorityG) CongestionOf(r []float64, i int) float64 {
+func (h HOLPriorityG) CongestionOf(r []core.Rate, i int) core.Congestion {
 	return h.Congestion(r)[i]
 }

@@ -3,6 +3,7 @@ package alloc
 import (
 	"math"
 
+	"greednet/internal/core"
 	"greednet/internal/mm1"
 )
 
@@ -20,7 +21,7 @@ func (s SerialG) Name() string { return "serial-" + s.Model.Name() }
 
 // Congestion implements core.Allocation using the serial recursion with
 // L in place of g.
-func (s SerialG) Congestion(r []float64) []float64 {
+func (s SerialG) Congestion(r []core.Rate) []core.Congestion {
 	n := len(r)
 	out := make([]float64, n)
 	if n == 0 {
@@ -49,13 +50,13 @@ func (s SerialG) Congestion(r []float64) []float64 {
 }
 
 // CongestionOf implements core.Allocation.
-func (s SerialG) CongestionOf(r []float64, i int) float64 {
+func (s SerialG) CongestionOf(r []core.Rate, i int) core.Congestion {
 	return s.Congestion(r)[i]
 }
 
 // OwnDerivs implements core.OwnDeriver: in ascending labels,
 // ∂C_k/∂r_k = L'(x_k) and ∂²C_k/∂r_k² = (N−k+1)·L”(x_k).
-func (s SerialG) OwnDerivs(r []float64, i int) (float64, float64) {
+func (s SerialG) OwnDerivs(r []core.Rate, i int) (float64, float64) {
 	n := len(r)
 	idx := ascending(r)
 	prefix := 0.0
@@ -82,7 +83,7 @@ type ProportionalG struct {
 func (p ProportionalG) Name() string { return "proportional-" + p.Model.Name() }
 
 // Congestion implements core.Allocation.
-func (p ProportionalG) Congestion(r []float64) []float64 {
+func (p ProportionalG) Congestion(r []core.Rate) []core.Congestion {
 	out := make([]float64, len(r))
 	s := mm1.Sum(r)
 	if s >= 1 {
@@ -104,7 +105,7 @@ func (p ProportionalG) Congestion(r []float64) []float64 {
 }
 
 // CongestionOf implements core.Allocation.
-func (p ProportionalG) CongestionOf(r []float64, i int) float64 {
+func (p ProportionalG) CongestionOf(r []core.Rate, i int) core.Congestion {
 	s := mm1.Sum(r)
 	if s >= 1 {
 		return math.Inf(1)
@@ -118,7 +119,7 @@ func (p ProportionalG) CongestionOf(r []float64, i int) float64 {
 // OwnDerivs implements core.OwnDeriver:
 // C_i = r_i·L(s)/s ⇒ ∂C_i/∂r_i = L(s)/s + r_i·d/ds[L(s)/s], and
 // ∂²C_i/∂r_i² = 2·d/ds[L(s)/s] + r_i·d²/ds²[L(s)/s].
-func (p ProportionalG) OwnDerivs(r []float64, i int) (float64, float64) {
+func (p ProportionalG) OwnDerivs(r []core.Rate, i int) (float64, float64) {
 	s := mm1.Sum(r)
 	if s >= 1 {
 		return math.Inf(1), math.Inf(1)

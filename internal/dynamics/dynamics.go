@@ -49,7 +49,7 @@ func (b Box) Mid() []float64 {
 }
 
 // Contains reports whether the rate vector lies in the box (within eps).
-func (b Box) Contains(r []float64, eps float64) bool {
+func (b Box) Contains(r []core.Rate, eps float64) bool {
 	if len(r) != len(b.Lo) {
 		return false
 	}
@@ -259,7 +259,7 @@ func (o HillClimbOptions) withDefaults(n int) HillClimbOptions {
 // its own period, probes its payoff derivative and takes a bounded step in
 // the uphill direction.  It returns the trajectory of rate vectors (one
 // entry per round, including the start).
-func HillClimb(a core.Allocation, us core.Profile, r0 []float64, opt HillClimbOptions) [][]float64 {
+func HillClimb(a core.Allocation, us core.Profile, r0 []core.Rate, opt HillClimbOptions) [][]float64 {
 	n := len(r0)
 	opt = opt.withDefaults(n)
 	r := append([]float64(nil), r0...)

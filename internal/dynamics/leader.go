@@ -53,7 +53,7 @@ type LeaderFollowerResult struct {
 // Stackelberg rate.  Under Fair Share that is the Nash rate (nothing to
 // exploit, Theorem 5); under FIFO the leader ends up better off than at
 // Nash without ever knowing the game.
-func LeaderFollower(a core.Allocation, us core.Profile, leader int, r0 []float64, opt LeaderFollowerOptions) LeaderFollowerResult {
+func LeaderFollower(a core.Allocation, us core.Profile, leader int, r0 []core.Rate, opt LeaderFollowerOptions) LeaderFollowerResult {
 	opt = opt.withDefaults()
 	n := len(r0)
 	free := make([]bool, n)

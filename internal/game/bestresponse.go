@@ -42,14 +42,14 @@ func (o BROptions) withDefaults() BROptions {
 }
 
 // Payoff returns user i's utility at rate vector r under allocation a.
-func Payoff(a core.Allocation, u core.Utility, r []float64, i int) float64 {
+func Payoff(a core.Allocation, u core.Utility, r []core.Rate, i int) float64 {
 	return u.Value(r[i], a.CongestionOf(r, i))
 }
 
 // BestResponse maximizes user i's utility over its own rate, holding the
 // other rates in r fixed.  It returns the maximizing rate and the utility
 // achieved.  The search is grid-seeded golden section over [Lo, Hi].
-func BestResponse(a core.Allocation, u core.Utility, r []float64, i int, opt BROptions) (x, val float64) {
+func BestResponse(a core.Allocation, u core.Utility, r []core.Rate, i int, opt BROptions) (x, val float64) {
 	opt = opt.withDefaults()
 	rr := append([]float64(nil), r...)
 	h := func(x float64) float64 {
@@ -104,7 +104,7 @@ func maximizeGrid(f func(float64) float64, a, b float64, n int, tol float64) (fl
 // payoffs, or iterates leaving the finite region).  For smooth concave
 // payoffs it is several times cheaper than the grid+golden search — the
 // DESIGN.md §6 solver ablation.
-func BestResponseNewton(a core.Allocation, us core.Profile, r []float64, i int, opt BROptions) (x, val float64) {
+func BestResponseNewton(a core.Allocation, us core.Profile, r []core.Rate, i int, opt BROptions) (x, val float64) {
 	opt = opt.withDefaults()
 	rr := append([]float64(nil), r...)
 	fdc := func(x float64) float64 {
@@ -162,7 +162,7 @@ func BestResponseNewton(a core.Allocation, us core.Profile, r []float64, i int, 
 // DeviationGain returns how much user i could gain by unilaterally
 // deviating from r: max_x U_i(x, C_i(r|x)) − U_i(r_i, C_i(r)).  A point is
 // an (ε-)Nash equilibrium iff every user's gain is ≤ ε.
-func DeviationGain(a core.Allocation, u core.Utility, r []float64, i int, opt BROptions) float64 {
+func DeviationGain(a core.Allocation, u core.Utility, r []core.Rate, i int, opt BROptions) float64 {
 	_, best := BestResponse(a, u, r, i, opt)
 	return best - Payoff(a, u, r, i)
 }
@@ -170,7 +170,7 @@ func DeviationGain(a core.Allocation, u core.Utility, r []float64, i int, opt BR
 // NashResidual returns the vector E with E_i = M_i(r_i, C_i(r)) + ∂C_i/∂r_i,
 // the paper's measure of distance from the Nash first-derivative condition.
 // All components vanish at an interior Nash equilibrium.
-func NashResidual(a core.Allocation, us core.Profile, r []float64) []float64 {
+func NashResidual(a core.Allocation, us core.Profile, r []core.Rate) []float64 {
 	c := a.Congestion(r)
 	out := make([]float64, len(r))
 	for i := range r {

@@ -27,7 +27,7 @@ type CoalitionDeviation struct {
 // equilibria resist coalitional manipulation); a non-nil result is a
 // constructive counterexample (as FIFO's overgrazing equilibria admit —
 // the whole population throttling back helps everyone).
-func FindCoalitionDeviation(a core.Allocation, us core.Profile, r []float64, coalition []int, rng *rand.Rand, samples int) *CoalitionDeviation {
+func FindCoalitionDeviation(a core.Allocation, us core.Profile, r []core.Rate, coalition []int, rng *rand.Rand, samples int) *CoalitionDeviation {
 	base := a.Congestion(r)
 	baseU := make([]float64, len(coalition))
 	for k, i := range coalition {
@@ -93,7 +93,7 @@ func FindCoalitionDeviation(a core.Allocation, us core.Profile, r []float64, coa
 // improving joint deviation from r.  It returns the first witness found,
 // or nil when every sampled deviation fails — evidence that r is a strong
 // equilibrium.
-func StrongEquilibriumCheck(a core.Allocation, us core.Profile, r []float64, rng *rand.Rand, samplesPerCoalition int) *CoalitionDeviation {
+func StrongEquilibriumCheck(a core.Allocation, us core.Profile, r []core.Rate, rng *rand.Rand, samplesPerCoalition int) *CoalitionDeviation {
 	n := len(r)
 	if n > 12 {
 		n = 12

@@ -51,7 +51,7 @@ func IsEnvyFree(us core.Profile, p core.Point, tol float64) bool {
 // the resulting point.  A discipline is unilaterally envy-free iff this is
 // ≤ 0 for every i, every r, and every admissible utility; Fair Share
 // guarantees it (Theorem 3).
-func UnilateralEnvy(a core.Allocation, us core.Profile, r []float64, i int, opt BROptions) float64 {
+func UnilateralEnvy(a core.Allocation, us core.Profile, r []core.Rate, i int, opt BROptions) float64 {
 	br, _ := BestResponse(a, us[i], r, i, opt)
 	rr := core.WithRate(r, i, br)
 	p := core.At(a, rr)

@@ -82,7 +82,7 @@ var ErrNoProfile = errors.New("game: profile and rate vector lengths differ")
 // utility profile us.  It converges for the Fair Share allocation from any
 // start (Theorems 4–5); for other disciplines it may cycle or diverge, in
 // which case Converged is false.
-func SolveNash(a core.Allocation, us core.Profile, r0 []float64, opt NashOptions) (NashResult, error) {
+func SolveNash(a core.Allocation, us core.Profile, r0 []core.Rate, opt NashOptions) (NashResult, error) {
 	n := len(r0)
 	if len(us) != n {
 		return NashResult{}, ErrNoProfile
@@ -130,7 +130,7 @@ func SolveNash(a core.Allocation, us core.Profile, r0 []float64, opt NashOptions
 	}
 	res := NashResult{
 		R:         r,
-		C:         a.Congestion(r),
+		C:         a.Congestion(r), //lint:allow feasguard reports C(r) at the solved point; the Allocation contract defines it (with +Inf) on all of R+^n
 		Converged: converged,
 		Iters:     iters,
 	}
@@ -148,7 +148,7 @@ func SolveNash(a core.Allocation, us core.Profile, r0 []float64, opt NashOptions
 // NashTrajectory records the rate vectors visited by best-response
 // iteration (including the start), up to maxRounds rounds, without any
 // convergence requirement.  Useful for plotting and stability experiments.
-func NashTrajectory(a core.Allocation, us core.Profile, r0 []float64, opt NashOptions, maxRounds int) [][]float64 {
+func NashTrajectory(a core.Allocation, us core.Profile, r0 []core.Rate, opt NashOptions, maxRounds int) [][]float64 {
 	n := len(r0)
 	opt = opt.withDefaults(n)
 	opt.MaxIter = 1
@@ -169,7 +169,7 @@ func NashTrajectory(a core.Allocation, us core.Profile, r0 []float64, opt NashOp
 // MultiStartNash solves from several starting points and reports the
 // distinct limits found (within tol in the ∞-norm).  For Fair Share the
 // result always has exactly one element (Theorem 4).
-func MultiStartNash(a core.Allocation, us core.Profile, starts [][]float64, opt NashOptions, tol float64) ([]NashResult, []NashResult) {
+func MultiStartNash(a core.Allocation, us core.Profile, starts [][]core.Rate, opt NashOptions, tol float64) ([]NashResult, []NashResult) {
 	var distinct, all []NashResult
 	for _, s := range starts {
 		res, err := SolveNash(a, us, s, opt)

@@ -19,7 +19,7 @@ import (
 // The returned point satisfies ‖E‖∞ ≤ ftol; callers should confirm
 // Nash-ness with DeviationGain if the start was far from equilibrium
 // (an FDC zero can be a corner or saddle for non-concave payoffs).
-func SolveNashNewton(a core.Allocation, us core.Profile, r0 []float64, maxIter int, ftol float64) (NashResult, error) {
+func SolveNashNewton(a core.Allocation, us core.Profile, r0 []core.Rate, maxIter int, ftol float64) (NashResult, error) {
 	n := len(r0)
 	if len(us) != n {
 		return NashResult{}, ErrNoProfile
@@ -39,7 +39,7 @@ func SolveNashNewton(a core.Allocation, us core.Profile, r0 []float64, maxIter i
 			return res, errors.New("game: Newton residual left the finite region")
 		}
 		if numeric.VecNormInf(e) <= ftol {
-			res = NashResult{R: r, C: a.Congestion(r), Converged: true, Iters: iter}
+			res = NashResult{R: r, C: a.Congestion(r), Converged: true, Iters: iter} //lint:allow feasguard reports C(r) at the converged point; the Allocation contract defines it on all of R+^n
 			for i := 0; i < n; i++ {
 				if g := DeviationGain(a, us[i], r, i, BROptions{}); g > res.MaxGain {
 					res.MaxGain = g
@@ -73,6 +73,6 @@ func SolveNashNewton(a core.Allocation, us core.Profile, r0 []float64, maxIter i
 			r[i] = core.Clamp(r[i]-lambda*step[i], 1e-9, 1-1e-9)
 		}
 	}
-	res = NashResult{R: r, C: a.Congestion(r), Converged: false, Iters: maxIter}
+	res = NashResult{R: r, C: a.Congestion(r), Converged: false, Iters: maxIter} //lint:allow feasguard failure-path report of C(r) at the last iterate; contract covers out-of-domain
 	return res, errors.New("game: Newton did not reach the FDC tolerance")
 }

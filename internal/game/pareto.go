@@ -47,7 +47,7 @@ func IsParetoFDC(us core.Profile, p core.Point, tol float64) bool {
 func SymmetricParetoRate(u core.Utility, n int) (r, c float64, ok bool) {
 	fn := func(r float64) float64 {
 		c := mm1.SymmetricCongestion(n, r)
-		return core.MarginalRate(u, r, c) + mm1.GPrime(float64(n)*r)
+		return core.MarginalRate(u, r, c) + mm1.GPrime(float64(n)*r) //lint:allow feasguard Brent bracket [1e-9, 1/n-1e-9] keeps n*r < 1 by construction
 	}
 	lo, hi := 1e-9, 1/float64(n)-1e-9
 	flo, fhi := fn(lo), fn(hi)
@@ -58,7 +58,7 @@ func SymmetricParetoRate(u core.Utility, n int) (r, c float64, ok bool) {
 	if err != nil {
 		return 0, 0, false
 	}
-	return r, mm1.SymmetricCongestion(n, r), true
+	return r, mm1.SymmetricCongestion(n, r), true //lint:allow feasguard root returned by Brent lies inside the feasible bracket
 }
 
 // DominanceWitness is a feasible allocation that Pareto-dominates a probe
@@ -87,7 +87,7 @@ func FindDominating(us core.Profile, p core.Point, rng *rand.Rand, samples int) 
 		alloc.HOLPriority{Order: alloc.SmallestFirst},
 		alloc.HOLPriority{Order: alloc.LargestFirst},
 	}
-	try := func(r []float64) *DominanceWitness {
+	try := func(r []core.Rate) *DominanceWitness {
 		if !mm1.InDomain(r) {
 			return nil
 		}

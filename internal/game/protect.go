@@ -11,12 +11,12 @@ import (
 // protection bound (Definition 7): r_i/(1 − N·r_i) − C_i(r).  Negative
 // slack means the bound is violated at r.  Fair Share keeps every slack
 // nonnegative for every r (Theorem 8); proportional allocations do not.
-func ProtectionSlack(a core.Allocation, r []float64) []float64 {
+func ProtectionSlack(a core.Allocation, r []core.Rate) []float64 {
 	n := len(r)
-	c := a.Congestion(r)
+	c := a.Congestion(r) //lint:allow feasguard Theorem-8 slack is defined for every r, feasible or not; the Allocation contract covers overload
 	out := make([]float64, n)
 	for i := range r {
-		out[i] = mm1.ProtectionBound(n, r[i]) - c[i]
+		out[i] = mm1.ProtectionBound(n, r[i]) - c[i] //lint:allow feasguard Definition-7 bound evaluated wherever the slack is probed; +Inf is the honest value past 1/N
 	}
 	return out
 }
@@ -49,7 +49,7 @@ func AttackProtection(a core.Allocation, rate float64, n int, maxLoad float64, r
 	res := AdversarialProtection{
 		Victim: 0,
 		Rate:   rate,
-		Bound:  mm1.ProtectionBound(n, rate),
+		Bound:  mm1.ProtectionBound(n, rate), //lint:allow feasguard the guarantee being attacked; its value at the victim rate is the test fixture
 	}
 	r := make([]float64, n)
 	best := append([]float64(nil), r...)
@@ -71,7 +71,7 @@ func AttackProtection(a core.Allocation, rate float64, n int, maxLoad float64, r
 		for i := range weights {
 			r[i+1] = budget * frac * weights[i] / sum
 		}
-		if c := a.CongestionOf(r, 0); c > bestC {
+		if c := a.CongestionOf(r, 0); c > bestC { //lint:allow feasguard adversarial search deliberately spans overload; FS protection under attack is the claim
 			bestC = c
 			copy(best, r)
 		}
@@ -87,7 +87,7 @@ func AttackProtection(a core.Allocation, rate float64, n int, maxLoad float64, r
 			d := lo + invPhi*(hi-lo)
 			eval := func(x float64) float64 {
 				r[i] = x
-				return a.CongestionOf(r, 0)
+				return a.CongestionOf(r, 0) //lint:allow feasguard golden-section probe of the attack space; overload evaluations are intended
 			}
 			fc, fd := eval(c), eval(d)
 			for hi-lo > 1e-9 {
@@ -102,7 +102,7 @@ func AttackProtection(a core.Allocation, rate float64, n int, maxLoad float64, r
 				}
 			}
 			r[i] = lo + (hi-lo)/2
-			if v := a.CongestionOf(r, 0); v > bestC {
+			if v := a.CongestionOf(r, 0); v > bestC { //lint:allow feasguard refinement step of the adversarial search; overload evaluations are intended
 				bestC = v
 				copy(best, r)
 			} else {

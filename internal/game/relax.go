@@ -11,7 +11,7 @@ import (
 // ResidualField evaluates the Nash residual E(r) as a vector field, for use
 // with finite-difference Jacobians.
 func ResidualField(a core.Allocation, us core.Profile) func([]float64) []float64 {
-	return func(r []float64) []float64 { return NashResidual(a, us, r) }
+	return func(r []core.Rate) []float64 { return NashResidual(a, us, r) }
 }
 
 // RelaxationMatrix builds the paper's §4.2.3 relaxation matrix at r:
@@ -22,7 +22,7 @@ func ResidualField(a core.Allocation, us core.Profile) func([]float64) []float64
 // The Jacobian of E is computed by central finite differences with step h
 // (pass h ≤ 0 for a scaled default).  Points where some ∂E_j/∂r_j vanishes
 // yield ±Inf entries; callers should avoid degenerate points.
-func RelaxationMatrix(a core.Allocation, us core.Profile, r []float64, h float64) *numeric.Matrix {
+func RelaxationMatrix(a core.Allocation, us core.Profile, r []core.Rate, h float64) *numeric.Matrix {
 	je := numeric.JacobianFD(ResidualField(a, us), r, h)
 	n := len(r)
 	A := numeric.NewMatrix(n, n)
@@ -42,7 +42,7 @@ func RelaxationMatrix(a core.Allocation, us core.Profile, r []float64, h float64
 // hill-climbing dynamics: r_i ← r_i − E_i/(∂E_i/∂r_i).  The derivative is a
 // scalar finite difference of E_i in its own coordinate.  Rates are clamped
 // to (lo, hi) to keep iterates inside the sampling region.
-func NewtonStep(a core.Allocation, us core.Profile, r []float64, lo, hi float64) []float64 {
+func NewtonStep(a core.Allocation, us core.Profile, r []core.Rate, lo, hi float64) []float64 {
 	n := len(r)
 	e := NashResidual(a, us, r)
 	out := make([]float64, n)
@@ -65,7 +65,7 @@ func NewtonStep(a core.Allocation, us core.Profile, r []float64, lo, hi float64)
 // Fair Share the relaxation matrix is nilpotent, so in the linear regime
 // the residual hits (numerical) zero within N steps (Theorem 7); for
 // proportional allocations with enough users it grows.
-func NewtonConvergence(a core.Allocation, us core.Profile, r0 []float64, steps int) []float64 {
+func NewtonConvergence(a core.Allocation, us core.Profile, r0 []core.Rate, steps int) []float64 {
 	r := append([]float64(nil), r0...)
 	out := make([]float64, 0, steps+1)
 	out = append(out, numeric.VecNormInf(NashResidual(a, us, r)))
@@ -84,7 +84,7 @@ func NewtonConvergence(a core.Allocation, us core.Profile, r0 []float64, steps i
 // allocation using its analytic triangular structure, valid at points with
 // pairwise-distinct rates.  It exists to cross-check RelaxationMatrix and
 // to exhibit the lower-triangular, zero-diagonal form directly.
-func FSRelaxationAnalytic(us core.Profile, r []float64) *numeric.Matrix {
+func FSRelaxationAnalytic(us core.Profile, r []core.Rate) *numeric.Matrix {
 	fs := alloc.FairShare{}
 	return RelaxationMatrix(fs, us, r, 0)
 }

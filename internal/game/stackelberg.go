@@ -48,7 +48,7 @@ func (o StackOptions) withDefaults() StackOptions {
 // induced outcome she likes best.  Under Fair Share the result coincides
 // with the Nash equilibrium (Theorem 5); under proportional allocations the
 // leader generally gains.
-func SolveStackelberg(a core.Allocation, us core.Profile, leader int, r0 []float64, opt StackOptions) (StackelbergResult, error) {
+func SolveStackelberg(a core.Allocation, us core.Profile, leader int, r0 []core.Rate, opt StackOptions) (StackelbergResult, error) {
 	opt = opt.withDefaults()
 	n := len(r0)
 	free := make([]bool, n)
@@ -86,7 +86,7 @@ func SolveStackelberg(a core.Allocation, us core.Profile, leader int, r0 []float
 	out := StackelbergResult{
 		Leader:             leader,
 		R:                  res.R,
-		C:                  a.Congestion(res.R),
+		C:                  a.Congestion(res.R), //lint:allow feasguard reports C(r) at the solved point; the Allocation contract defines it on all of R+^n
 		FollowersConverged: followersOK && res.Converged,
 	}
 	out.LeaderUtility = us[leader].Value(out.R[leader], out.C[leader])
@@ -96,7 +96,7 @@ func SolveStackelberg(a core.Allocation, us core.Profile, leader int, r0 []float
 // LeaderAdvantage compares the leader's Stackelberg utility to her Nash
 // utility and returns the difference (≥ 0 by definition up to solver
 // noise).  Theorem 5 says Fair Share makes the advantage exactly zero.
-func LeaderAdvantage(a core.Allocation, us core.Profile, leader int, r0 []float64, opt StackOptions) (float64, StackelbergResult, NashResult, error) {
+func LeaderAdvantage(a core.Allocation, us core.Profile, leader int, r0 []core.Rate, opt StackOptions) (float64, StackelbergResult, NashResult, error) {
 	st, err := SolveStackelberg(a, us, leader, r0, opt)
 	if err != nil {
 		return 0, StackelbergResult{}, NashResult{}, err

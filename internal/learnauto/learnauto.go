@@ -19,11 +19,11 @@ import (
 // PayoffFunc returns user i's payoff when the full action profile (actual
 // rates) is r.  Implementations may be the analytic allocation or a noisy
 // simulation measurement.
-type PayoffFunc func(r []float64, i int) float64
+type PayoffFunc func(r []core.Rate, i int) float64
 
 // AnalyticPayoff builds a PayoffFunc from an allocation and a profile.
 func AnalyticPayoff(a core.Allocation, us core.Profile) PayoffFunc {
-	return func(r []float64, i int) float64 {
+	return func(r []core.Rate, i int) float64 {
 		return us[i].Value(r[i], a.CongestionOf(r, i))
 	}
 }

@@ -1,0 +1,273 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+)
+
+// flowFixture typechecks one source file and returns the flow facts of the
+// function named fn, plus lookup helpers bound to the fixture.
+type flowFixture struct {
+	pass *Pass
+	fd   *ast.FuncDecl
+	ff   *funcFlow
+}
+
+func buildFlow(t *testing.T, src, fn string) *flowFixture {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "fixture.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{}
+	pkg, err := conf.Check("fixture", fset, []*ast.File{file}, info)
+	if err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+	pass := &Pass{Fset: fset, Files: []*ast.File{file}, Pkg: pkg, TypesInfo: info}
+	for _, decl := range file.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Name.Name != fn {
+			continue
+		}
+		sig, _ := info.TypeOf(fd.Name).(*types.Signature)
+		return &flowFixture{pass: pass, fd: fd, ff: newFuncFlow(pass, fd.Body, sig)}
+	}
+	t.Fatalf("no function %q in fixture", fn)
+	return nil
+}
+
+// varNamed finds the (unique) variable with the given name in the fixture.
+func (fx *flowFixture) varNamed(t *testing.T, name string) *types.Var {
+	t.Helper()
+	var found *types.Var
+	for id, obj := range fx.pass.TypesInfo.Defs {
+		if id.Name != name {
+			continue
+		}
+		if v, ok := obj.(*types.Var); ok {
+			if found != nil {
+				t.Fatalf("variable %q declared more than once in fixture", name)
+			}
+			found = v
+		}
+	}
+	if found == nil {
+		t.Fatalf("no variable %q in fixture", name)
+	}
+	return found
+}
+
+// usePos locates the marker comment and returns the position just before
+// it, i.e. of the code on the marked line.
+func (fx *flowFixture) usePos(t *testing.T, src, marker string) token.Pos {
+	t.Helper()
+	off := strings.Index(src, marker)
+	if off < 0 {
+		t.Fatalf("marker %q not in fixture source", marker)
+	}
+	return fx.pass.Fset.File(fx.fd.Pos()).Pos(off - 2)
+}
+
+func TestReachingDefsStraightLine(t *testing.T) {
+	src := `package fixture
+func f() float64 {
+	x := 1.0
+	x = 2.0
+	return x // use
+}`
+	fx := buildFlow(t, src, "f")
+	defs := fx.ff.reachingDefs(fx.varNamed(t, "x"), fx.usePos(t, src, "// use"))
+	if len(defs) != 1 {
+		t.Fatalf("got %d reaching defs, want 1 (the redefinition shadows)", len(defs))
+	}
+	if lit, ok := defs[0].rhs.(*ast.BasicLit); !ok || lit.Value != "2.0" {
+		t.Errorf("reaching def rhs = %v, want the literal 2.0", defs[0].rhs)
+	}
+}
+
+func TestReachingDefsBranchJoin(t *testing.T) {
+	src := `package fixture
+func f(c bool) float64 {
+	x := 1.0
+	if c {
+		x = 2.0
+	}
+	return x // use
+}`
+	fx := buildFlow(t, src, "f")
+	defs := fx.ff.reachingDefs(fx.varNamed(t, "x"), fx.usePos(t, src, "// use"))
+	if len(defs) != 2 {
+		t.Fatalf("got %d reaching defs, want 2 (both branches reach the join)", len(defs))
+	}
+}
+
+func TestReachingDefsLoopBackEdge(t *testing.T) {
+	src := `package fixture
+func f(n int) float64 {
+	x := 1.0
+	for i := 0; i < n; i++ {
+		x = x + 1
+	}
+	return x // use
+}`
+	fx := buildFlow(t, src, "f")
+	defs := fx.ff.reachingDefs(fx.varNamed(t, "x"), fx.usePos(t, src, "// use"))
+	if len(defs) != 2 {
+		t.Fatalf("got %d reaching defs, want 2 (initial and loop-carried)", len(defs))
+	}
+}
+
+func TestOpaqueDefsForAliasAndClosure(t *testing.T) {
+	src := `package fixture
+func g(p *float64) {}
+func f() (float64, float64) {
+	x := 1.0
+	g(&x)
+	y := 1.0
+	h := func() { y = 2.0 }
+	h()
+	return x, y
+}`
+	fx := buildFlow(t, src, "f")
+	for _, name := range []string{"x", "y"} {
+		v := fx.varNamed(t, name)
+		opaque := 0
+		for _, d := range fx.ff.defsOf[v] {
+			if d.rhs == nil {
+				opaque++
+			}
+		}
+		if opaque == 0 {
+			t.Errorf("variable %s has no opaque definition despite alias/closure write", name)
+		}
+	}
+}
+
+func TestParamsAreEntryDefs(t *testing.T) {
+	src := `package fixture
+func f(r float64) float64 {
+	return r // use
+}`
+	fx := buildFlow(t, src, "f")
+	defs := fx.ff.reachingDefs(fx.varNamed(t, "r"), fx.usePos(t, src, "// use"))
+	if len(defs) != 1 || defs[0].rhs != nil || defs[0].block != cfgEntry {
+		t.Fatalf("parameter defs = %+v, want one opaque entry definition", defs)
+	}
+}
+
+func TestDominatorNodesSeeGuardNotBranch(t *testing.T) {
+	src := `package fixture
+func guard(x float64) bool { return x < 1 }
+func f(x float64) float64 {
+	ok := guard(x)
+	if ok {
+		x = 0.5 // then-only
+	} else {
+		x = 0.9
+	}
+	return x // use
+}`
+	fx := buildFlow(t, src, "f")
+	nodes := fx.ff.dominatorNodes(fx.usePos(t, src, "// use"))
+	var sawGuard, sawThen bool
+	for _, n := range nodes {
+		ast.Inspect(n, func(m ast.Node) bool {
+			switch m := m.(type) {
+			case *ast.CallExpr:
+				if id, ok := m.Fun.(*ast.Ident); ok && id.Name == "guard" {
+					sawGuard = true
+				}
+			case *ast.BasicLit:
+				if m.Value == "0.5" {
+					sawThen = true
+				}
+			}
+			return true
+		})
+	}
+	if !sawGuard {
+		t.Errorf("dominator nodes do not include the guard call that every path crosses")
+	}
+	if sawThen {
+		t.Errorf("dominator nodes include a branch-only statement; branches do not dominate the join")
+	}
+}
+
+// The builder must not crash or mis-wire on the grabbier control shapes;
+// the dataflow answers below pin the interesting joins.
+func TestCFGControlShapes(t *testing.T) {
+	src := `package fixture
+func f(mode int, m map[int]float64) float64 {
+	x := 0.0
+	switch mode {
+	case 0:
+		x = 1.0
+	case 1:
+		x = 2.0
+		fallthrough
+	case 2:
+		x = x * 2
+	}
+	for _, v := range m {
+		if v > 3 {
+			continue
+		}
+		if v > 4 {
+			break
+		}
+		x = x + v
+	}
+loop:
+	for i := 0; i < mode; i++ {
+		if i == 2 {
+			break loop
+		}
+	}
+	if mode > 5 {
+		goto done
+	}
+	x = x + 1
+done:
+	return x // use
+}`
+	fx := buildFlow(t, src, "f")
+	defs := fx.ff.reachingDefs(fx.varNamed(t, "x"), fx.usePos(t, src, "// use"))
+	// At minimum: the initial def, the switch arms, the range accumulation,
+	// and the post-loop increment can all reach the final use (the goto
+	// skips the increment on one path, so earlier defs survive the join).
+	if len(defs) < 4 {
+		t.Fatalf("got %d reaching defs at the exit join, want at least 4", len(defs))
+	}
+	if fx.ff.cfg.blocks[cfgExit].succs != nil {
+		t.Errorf("exit block has successors %v, want none", fx.ff.cfg.blocks[cfgExit].succs)
+	}
+}
+
+func TestUnreachableCodeNeverDominated(t *testing.T) {
+	src := `package fixture
+func f(x float64) float64 {
+	if x < 1 {
+		return x
+	}
+	return 0 // use
+}`
+	fx := buildFlow(t, src, "f")
+	dom := fx.ff.dom
+	for bi := range dom {
+		if !dom[bi].has(cfgEntry) {
+			t.Errorf("block %d is not dominated by entry", bi)
+		}
+	}
+}

@@ -1,0 +1,199 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// DetOrder flags map iteration whose order can leak into observable
+// output.  Go randomizes map range order per run, so a `for k, v := range
+// m` that prints, writes a table row, logs, or appends into a result slice
+// produces different bytes on every invocation — the classic
+// nondeterministic-reproduction bug: experiment tables that cannot be
+// diffed against the paper's, golden files that flap, seeds that "work"
+// only sometimes.
+//
+// A loop is flagged when its body reaches an output or accumulation sink:
+// a call whose name starts with Print, Fprint, Sprint, Log, or Write (or
+// is the experiment table writers' `row`), or an append into a slice
+// declared outside the loop.  The append sink is exempt when the
+// destination is sorted after the loop — the canonical fix of collecting
+// keys, sorting, and ranging over the sorted slice never triggers the
+// analyzer.  Commutative accumulation (`sum += v`) is not a sink.
+//
+// Test files are skipped: t.Errorf inside a map range reports set
+// membership, where order is irrelevant.
+var DetOrder = &Analyzer{
+	Name: "detorder",
+	Doc: "flags range-over-map loops whose bodies reach output or " +
+		"accumulation sinks without sorting; collect keys, sort, then range",
+	Run: runDetOrder,
+}
+
+// sinkPrefixes match function or method names that emit observable bytes.
+var sinkPrefixes = []string{"Print", "Fprint", "Sprint", "Log", "Write"}
+
+// sinkExact are additional sink names (the experiment table row writer).
+var sinkExact = map[string]bool{"row": true}
+
+func runDetOrder(pass *Pass) error {
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				rs, ok := n.(*ast.RangeStmt)
+				if !ok {
+					return true
+				}
+				if _, isMap := types.Unalias(pass.TypesInfo.TypeOf(rs.X)).(*types.Map); !isMap {
+					return true
+				}
+				checkMapRange(pass, fd.Body, rs)
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// checkMapRange scans one map-range body for sinks and reports the first.
+func checkMapRange(pass *Pass, fn *ast.BlockStmt, rs *ast.RangeStmt) {
+	var sink string
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		if sink != "" {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if name, ok := outputSinkName(pass, n); ok {
+				sink = name
+				return false
+			}
+			if dest := appendDest(pass, n); dest != nil &&
+				dest.Pos() < rs.Pos() && !sortedAfter(pass, fn, rs, dest) {
+				sink = "append to " + dest.Name()
+				return false
+			}
+		}
+		return true
+	})
+	if sink != "" {
+		pass.Reportf(rs.For,
+			"map iteration order reaches %s; collect the keys, sort them, and range over the sorted slice (or annotate //lint:allow detorder)",
+			sink)
+	}
+}
+
+// outputSinkName reports whether the call emits observable output.
+func outputSinkName(pass *Pass, call *ast.CallExpr) (string, bool) {
+	var name string
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		name = fun.Name
+	case *ast.SelectorExpr:
+		name = fun.Sel.Name
+	default:
+		return "", false
+	}
+	if sinkExact[name] {
+		return name, true
+	}
+	for _, p := range sinkPrefixes {
+		if strings.HasPrefix(name, p) {
+			return name, true
+		}
+	}
+	return "", false
+}
+
+// appendDest returns the variable an `x = append(x, …)` call grows, if the
+// call is the builtin append with an identifier destination.
+func appendDest(pass *Pass, call *ast.CallExpr) *types.Var {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "append" {
+		return nil
+	}
+	if _, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); !isBuiltin {
+		return nil
+	}
+	if len(call.Args) == 0 {
+		return nil
+	}
+	dest, ok := call.Args[0].(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	v, _ := pass.TypesInfo.Uses[dest].(*types.Var)
+	return v
+}
+
+// sortedAfter reports whether the destination slice is passed to a sort
+// after the loop — the collect-then-sort idiom.
+func sortedAfter(pass *Pass, fn *ast.BlockStmt, rs *ast.RangeStmt, dest *types.Var) bool {
+	found := false
+	ast.Inspect(fn, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rs.End() {
+			return true
+		}
+		if !isSortCall(pass, call) {
+			return true
+		}
+		for _, arg := range call.Args {
+			mentioned := false
+			ast.Inspect(arg, func(m ast.Node) bool {
+				if id, ok := m.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == dest {
+					mentioned = true
+					return false
+				}
+				return !mentioned
+			})
+			if mentioned {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// isSortCall recognizes the sort/slices package entry points and anything
+// whose name starts with Sort.
+func isSortCall(pass *Pass, call *ast.CallExpr) bool {
+	var pkg, name string
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		name = fun.Name
+	case *ast.SelectorExpr:
+		name = fun.Sel.Name
+		if base, ok := fun.X.(*ast.Ident); ok {
+			if pn, ok := pass.TypesInfo.Uses[base].(*types.PkgName); ok {
+				pkg = pn.Imported().Path()
+			}
+		}
+	default:
+		return false
+	}
+	if strings.HasPrefix(name, "Sort") {
+		return true
+	}
+	switch pkg {
+	case "sort":
+		return name == "Strings" || name == "Ints" || name == "Float64s" ||
+			name == "Slice" || name == "SliceStable" || name == "Stable"
+	case "slices":
+		return strings.HasPrefix(name, "Sort")
+	}
+	return false
+}

@@ -1,0 +1,327 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// DimCheck enforces the Rate/Congestion dimensional convention.  core.Rate
+// and core.Congestion are float64 aliases, so the compiler happily adds a
+// throughput to a queue length — precisely the mix that silently corrupts
+// a feasibility argument (Σr < 1 guards rates; g(Σr) = Σc relates the two
+// only through g).  The analyzer computes a dimension for every expression
+// from declared alias (or defined) types named Rate and Congestion with
+// float64 underneath, propagates it through additive arithmetic and — via
+// the reaching-definitions pass — through plain float64 locals, and flags:
+//
+//   - additive arithmetic (+, -) or comparisons mixing the two dimensions,
+//   - converting one dimension directly into the other (Rate(c)),
+//   - passing one dimension to a parameter declared as the other,
+//   - returning or assigning one dimension into a slot declared as the other.
+//
+// Multiplication and division are dimension-erasing (ratios like c_i/r_i
+// and coefficient scaling are legitimate physics), as is an explicit
+// float64(x) conversion — that is the sanctioned way to say "I mean this
+// mix"; otherwise annotate //lint:allow dimcheck with a justification.
+var DimCheck = &Analyzer{
+	Name: "dimcheck",
+	Doc: "flags arithmetic, comparisons, conversions, and calls that mix " +
+		"the Rate and Congestion dimensions; erase a dimension explicitly " +
+		"with float64(x) or annotate //lint:allow dimcheck",
+	Run: runDimCheck,
+}
+
+// dim is an inferred physical dimension.
+type dim int
+
+const (
+	dimNone dim = iota
+	dimRate
+	dimCongestion
+)
+
+func (d dim) String() string {
+	switch d {
+	case dimRate:
+		return "rate"
+	case dimCongestion:
+		return "congestion"
+	}
+	return "dimensionless"
+}
+
+// dimOfType recognizes the dimensional types by name: an alias or defined
+// type called Rate or Congestion whose underlying type is float64 (or a
+// slice of one, for element lookups).  Matching by name rather than by
+// package keeps the rule portable to fixtures and future packages, the
+// same convention approvedToleranceHelpers uses.
+func dimOfType(t types.Type) dim {
+	switch t := t.(type) {
+	case *types.Alias:
+		return dimOfTypeName(t.Obj().Name(), types.Unalias(t))
+	case *types.Named:
+		return dimOfTypeName(t.Obj().Name(), t.Underlying())
+	}
+	return dimNone
+}
+
+func dimOfTypeName(name string, under types.Type) dim {
+	b, ok := under.(*types.Basic)
+	if !ok || b.Kind() != types.Float64 {
+		return dimNone
+	}
+	switch name {
+	case "Rate":
+		return dimRate
+	case "Congestion":
+		return dimCongestion
+	}
+	return dimNone
+}
+
+// elemDim returns the dimension of a slice/array element type.
+func elemDim(t types.Type) dim {
+	switch t := types.Unalias(t).(type) {
+	case *types.Slice:
+		return dimOfType(t.Elem())
+	case *types.Array:
+		return dimOfType(t.Elem())
+	}
+	return dimNone
+}
+
+// dimer resolves expression dimensions within one function, caching
+// through the function's dataflow facts.
+type dimer struct {
+	pass *Pass
+	ff   *funcFlow
+	// visiting guards against recursive definitions (x = x + y).
+	visiting map[*vdef]bool
+}
+
+// dimOf computes the dimension of e.  Conflicting dimensions inside e are
+// reported where they occur (by the main walk), so this returns dimNone
+// for mixed subtrees rather than cascading the conflict upward.
+func (dm *dimer) dimOf(e ast.Expr) dim {
+	switch e := e.(type) {
+	case *ast.ParenExpr:
+		return dm.dimOf(e.X)
+	case *ast.UnaryExpr:
+		if e.Op == token.ADD || e.Op == token.SUB {
+			return dm.dimOf(e.X)
+		}
+		return dimNone
+	case *ast.BinaryExpr:
+		if e.Op != token.ADD && e.Op != token.SUB {
+			return dimNone // *, /, … erase dimension (ratios, scaling)
+		}
+		dx, dy := dm.dimOf(e.X), dm.dimOf(e.Y)
+		switch {
+		case dx == dimNone:
+			return dy
+		case dy == dimNone || dx == dy:
+			return dx
+		default:
+			return dimNone // mixed: reported at the node itself
+		}
+	case *ast.CallExpr:
+		if tv, ok := dm.pass.TypesInfo.Types[e.Fun]; ok && tv.IsType() {
+			return dimOfType(tv.Type) // conversion: target type decides
+		}
+		if t := dm.pass.TypesInfo.TypeOf(e); t != nil {
+			return dimOfType(t) // single-result call: declared result type
+		}
+		return dimNone
+	case *ast.Ident:
+		return dm.dimOfIdent(e)
+	}
+	// Selector, index, and anything else: trust the static type, which
+	// carries the alias for declared fields, elements of []Rate, etc.
+	if tv, ok := dm.pass.TypesInfo.Types[e]; ok {
+		if tv.Value != nil {
+			return dimNone // constants are dimensionless
+		}
+		return dimOfType(tv.Type)
+	}
+	return dimNone
+}
+
+// dimOfIdent resolves an identifier: its declared type if dimensional,
+// otherwise the join of the definitions reaching this use (the dataflow
+// part — a plain float64 local fed only from rates is a rate).
+func (dm *dimer) dimOfIdent(id *ast.Ident) dim {
+	if tv, ok := dm.pass.TypesInfo.Types[id]; ok && tv.Value != nil {
+		return dimNone // named constants are dimensionless
+	}
+	if t := dm.pass.TypesInfo.TypeOf(id); t != nil {
+		if d := dimOfType(t); d != dimNone {
+			return d
+		}
+		// Only plain floating scalars can carry a hidden dimension.
+		if b, ok := types.Unalias(t).(*types.Basic); !ok || b.Info()&types.IsFloat == 0 {
+			return dimNone
+		}
+	}
+	v := dm.ff.objVar(id)
+	if v == nil {
+		return dimNone
+	}
+	joined := dimNone
+	for _, d := range dm.ff.reachingDefs(v, id.Pos()) {
+		if d.rhs == nil || dm.visiting[d] {
+			continue // opaque definition: no dimension evidence
+		}
+		dm.visiting[d] = true
+		dd := dm.dimOf(d.rhs)
+		delete(dm.visiting, d)
+		switch {
+		case dd == dimNone:
+		case joined == dimNone:
+			joined = dd
+		case joined != dd:
+			return dimNone // conflicting feeds: give up, don't guess
+		}
+	}
+	return joined
+}
+
+func runDimCheck(pass *Pass) error {
+	fc := newFlowCache(pass)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFuncDims(pass, fc, fd.Body, pass.TypesInfo.TypeOf(fd.Name))
+		}
+	}
+	return nil
+}
+
+// checkFuncDims walks one function body (function literals are visited as
+// part of their enclosing function's tree but get their own flow facts).
+func checkFuncDims(pass *Pass, fc *flowCache, body *ast.BlockStmt, ftyp types.Type) {
+	sig, _ := types.Unalias(ftyp).(*types.Signature)
+	dm := &dimer{pass: pass, ff: fc.flowFor(body, sig), visiting: make(map[*vdef]bool)}
+
+	var results *types.Tuple
+	if sig != nil {
+		results = sig.Results()
+	}
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			checkFuncDims(pass, fc, n.Body, pass.TypesInfo.TypeOf(n))
+			return false
+		case *ast.BinaryExpr:
+			checkBinaryDims(pass, dm, n)
+		case *ast.CallExpr:
+			checkCallDims(pass, dm, n)
+		case *ast.AssignStmt:
+			checkAssignDims(pass, dm, n)
+		case *ast.ReturnStmt:
+			checkReturnDims(pass, dm, n, results)
+		}
+		return true
+	})
+}
+
+func checkBinaryDims(pass *Pass, dm *dimer, n *ast.BinaryExpr) {
+	switch n.Op {
+	case token.ADD, token.SUB, token.LSS, token.LEQ, token.GTR, token.GEQ,
+		token.EQL, token.NEQ:
+	default:
+		return
+	}
+	dx, dy := dm.dimOf(n.X), dm.dimOf(n.Y)
+	if dx == dimNone || dy == dimNone || dx == dy {
+		return
+	}
+	pass.Reportf(n.OpPos,
+		"%s mixes %s and %s; convert through float64(x) if the mix is intended (or annotate //lint:allow dimcheck)",
+		n.Op, dx, dy)
+}
+
+func checkCallDims(pass *Pass, dm *dimer, n *ast.CallExpr) {
+	// Cross-dimension conversion: Rate(c) / Congestion(r).
+	if tv, ok := pass.TypesInfo.Types[n.Fun]; ok && tv.IsType() {
+		target := dimOfType(tv.Type)
+		if target == dimNone || len(n.Args) != 1 {
+			return
+		}
+		if src := dm.dimOf(n.Args[0]); src != dimNone && src != target {
+			pass.Reportf(n.Pos(),
+				"converting %s directly to %s; go through float64(x) if the relabeling is intended (or annotate //lint:allow dimcheck)",
+				src, target)
+		}
+		return
+	}
+	// Argument dimensions against declared parameter dimensions.
+	sig, ok := types.Unalias(pass.TypesInfo.TypeOf(n.Fun)).(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range n.Args {
+		if i >= params.Len() {
+			if !sig.Variadic() {
+				break
+			}
+			i = params.Len() - 1
+		}
+		pt := params.At(i).Type()
+		want := dimOfType(pt)
+		if want == dimNone && sig.Variadic() && i == params.Len()-1 {
+			want = elemDim(pt)
+		}
+		if want == dimNone {
+			continue
+		}
+		if got := dm.dimOf(arg); got != dimNone && got != want {
+			pass.Reportf(arg.Pos(),
+				"passing %s where parameter %s is declared %s (annotate //lint:allow dimcheck if intended)",
+				got, params.At(i).Name(), want)
+		}
+	}
+}
+
+func checkAssignDims(pass *Pass, dm *dimer, n *ast.AssignStmt) {
+	if n.Tok == token.DEFINE || len(n.Lhs) != len(n.Rhs) {
+		return // := infers the RHS dimension; multi-value RHS untracked
+	}
+	for i, lhs := range n.Lhs {
+		t := pass.TypesInfo.TypeOf(lhs)
+		if t == nil {
+			continue
+		}
+		want := dimOfType(t)
+		if want == dimNone {
+			continue
+		}
+		if got := dm.dimOf(n.Rhs[i]); got != dimNone && got != want {
+			pass.Reportf(n.Rhs[i].Pos(),
+				"assigning %s into a slot declared %s (annotate //lint:allow dimcheck if intended)",
+				got, want)
+		}
+	}
+}
+
+func checkReturnDims(pass *Pass, dm *dimer, n *ast.ReturnStmt, results *types.Tuple) {
+	if results == nil || len(n.Results) != results.Len() {
+		return
+	}
+	for i, e := range n.Results {
+		want := dimOfType(results.At(i).Type())
+		if want == dimNone {
+			continue
+		}
+		if got := dm.dimOf(e); got != dimNone && got != want {
+			pass.Reportf(e.Pos(),
+				"returning %s where the result is declared %s (annotate //lint:allow dimcheck if intended)",
+				got, want)
+		}
+	}
+}

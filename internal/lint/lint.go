@@ -212,9 +212,13 @@ func Run(analyzers []*Analyzer, fset *token.FileSet, files []*ast.File, pkg *typ
 	return kept, nil
 }
 
-// All returns the full greedlint analyzer suite.
+// All returns the full greedlint analyzer suite: the syntactic v1
+// analyzers plus the dataflow-aware v2 set built on the CFG pass.
 func All() []*Analyzer {
-	return []*Analyzer{FloatEq, RNGSource, PanicFree, ErrDrop}
+	return []*Analyzer{
+		FloatEq, RNGSource, PanicFree, ErrDrop,
+		FeasGuard, DetOrder, DimCheck, ParSafe,
+	}
 }
 
 // ByName resolves a comma-separated analyzer list; an empty spec means all.

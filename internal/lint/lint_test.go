@@ -36,6 +36,22 @@ func TestErrDrop(t *testing.T) {
 	linttest.Run(t, "testdata/errdrop", "fixture/errdrop", []*lint.Analyzer{lint.ErrDrop})
 }
 
+func TestFeasGuard(t *testing.T) {
+	linttest.Run(t, "testdata/feasguard", "fixture/feasguard", []*lint.Analyzer{lint.FeasGuard})
+}
+
+func TestDetOrder(t *testing.T) {
+	linttest.Run(t, "testdata/detorder", "fixture/detorder", []*lint.Analyzer{lint.DetOrder})
+}
+
+func TestDimCheck(t *testing.T) {
+	linttest.Run(t, "testdata/dimcheck", "fixture/dimcheck", []*lint.Analyzer{lint.DimCheck})
+}
+
+func TestParSafe(t *testing.T) {
+	linttest.Run(t, "testdata/parsafe", "fixture/parsafe", []*lint.Analyzer{lint.ParSafe})
+}
+
 func TestAllRegistersEveryAnalyzer(t *testing.T) {
 	names := make(map[string]bool)
 	for _, a := range lint.All() {
@@ -44,7 +60,10 @@ func TestAllRegistersEveryAnalyzer(t *testing.T) {
 		}
 		names[a.Name] = true
 	}
-	for _, want := range []string{"floateq", "rngsource", "panicfree", "errdrop"} {
+	for _, want := range []string{
+		"floateq", "rngsource", "panicfree", "errdrop",
+		"feasguard", "detorder", "dimcheck", "parsafe",
+	} {
 		if !names[want] {
 			t.Errorf("All() does not register %q", want)
 		}

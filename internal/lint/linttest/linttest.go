@@ -15,6 +15,7 @@
 package linttest
 
 import (
+	"fmt"
 	"go/ast"
 	"go/importer"
 	"go/parser"
@@ -95,10 +96,15 @@ func Run(t *testing.T, dir, importPath string, analyzers []*lint.Analyzer) {
 		t.Fatalf("lint %s: %v", dir, err)
 	}
 
+	// Index every finding by file:line so unmet expectations can say what
+	// the analyzers actually reported there.
+	byLine := make(map[string][]string)
 	used := make([]bool, len(wants))
 	for _, d := range diags {
 		pos := fset.Position(d.Pos)
 		full := d.Analyzer + ": " + d.Message
+		key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+		byLine[key] = append(byLine[key], full)
 		matched := false
 		for i, w := range wants {
 			if !used[i] && w.file == pos.Filename && w.line == pos.Line &&
@@ -109,12 +115,20 @@ func Run(t *testing.T, dir, importPath string, analyzers []*lint.Analyzer) {
 			}
 		}
 		if !matched {
-			t.Errorf("%s:%d: unexpected finding: %s", pos.Filename, pos.Line, full)
+			t.Errorf("%s: unexpected finding: %s", key, full)
 		}
 	}
 	for i, w := range wants {
-		if !used[i] {
-			t.Errorf("%s:%d: expected a finding matching %q, got none", w.file, w.line, w.pattern)
+		if used[i] {
+			continue
+		}
+		key := fmt.Sprintf("%s:%d", w.file, w.line)
+		if got := byLine[key]; len(got) > 0 {
+			t.Errorf("%s: expected a finding matching %q; the line's findings were:\n\t%s",
+				key, w.pattern, strings.Join(got, "\n\t"))
+		} else {
+			t.Errorf("%s: expected a finding matching %q, but no analyzer reported anything on this line",
+				key, w.pattern)
 		}
 	}
 }

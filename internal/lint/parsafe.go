@@ -1,0 +1,223 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// ParSafe flags data races on variables captured by goroutine literals:
+// a variable written inside a `go func() { … }()` body and also written
+// by the spawning function on the far side of the spawn — after the `go`
+// statement, or anywhere in a loop that re-executes the spawn — with no
+// visible synchronization.  Writes strictly before the spawn are safe
+// (the spawn is a happens-before edge); writes after it race with the
+// goroutine unless a lock or join orders them.
+//
+// The analyzer accepts any of the usual orderings as a guard: a
+// Lock/RLock call preceding the write on the goroutine side, one
+// preceding the conflicting write on the spawning side, or a Wait() join
+// between the spawn and the outer write.  Writes through pointers and
+// atomic.* calls are never ident writes, so they are out of scope (and
+// out of danger of false positives).
+//
+// The tree has no goroutines today; this analyzer is the lint gate for
+// the ROADMAP's parallel-sweep work, so that when hot paths fan out the
+// accumulators they share are already forced through sync.
+var ParSafe = &Analyzer{
+	Name: "parsafe",
+	Doc: "flags variables written both inside a go func literal and by " +
+		"the spawning function after (or around) the spawn without a " +
+		"sync guard",
+	Run: runParSafe,
+}
+
+// identWrite is one assignment/inc-dec to a plain identifier.
+type identWrite struct {
+	v   *types.Var
+	pos token.Pos
+}
+
+func runParSafe(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkGoSpawns(pass, fd.Body)
+		}
+	}
+	return nil
+}
+
+func checkGoSpawns(pass *Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		g, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		lit, ok := g.Call.Fun.(*ast.FuncLit)
+		if !ok {
+			return true
+		}
+		checkSpawn(pass, body, g, lit)
+		return true
+	})
+}
+
+func checkSpawn(pass *Pass, body *ast.BlockStmt, g *ast.GoStmt, lit *ast.FuncLit) {
+	inside := identWrites(pass, lit.Body)
+	if len(inside) == 0 {
+		return
+	}
+	var outside []identWrite
+	for _, w := range identWrites(pass, body) {
+		if w.pos < lit.Pos() || w.pos > lit.End() {
+			outside = append(outside, w)
+		}
+	}
+	loops := enclosingLoops(body, g)
+
+	reported := make(map[*types.Var]bool)
+	for _, in := range inside {
+		// Only variables captured from the enclosing scope can race; the
+		// literal's own locals and parameters are goroutine-private.
+		if in.v == nil || reported[in.v] || !capturedVar(in.v, lit) {
+			continue
+		}
+		for _, out := range outside {
+			if out.v != in.v || !conflicts(out.pos, g, loops) {
+				continue
+			}
+			if lockBefore(pass, lit.Body, in.pos) ||
+				lockBefore(pass, body, out.pos) && out.pos > g.End() ||
+				waitBetween(pass, body, g.End(), out.pos) {
+				continue
+			}
+			reported[in.v] = true
+			// The conflicting write is in the same function body, hence the
+			// same file: line:col alone identifies it without baking an
+			// absolute path into the message (which must stay byte-stable
+			// across machines for golden files).
+			outPos := pass.Fset.Position(out.pos)
+			pass.Reportf(in.pos,
+				"%s is written in this goroutine and by the spawning function at line %d:%d with no sync guard; protect both writes with a mutex or join the goroutine first (or annotate //lint:allow parsafe)",
+				in.v.Name(), outPos.Line, outPos.Column)
+			break
+		}
+	}
+}
+
+// capturedVar reports whether v is declared outside the literal (a true
+// capture, including package-level variables).
+func capturedVar(v *types.Var, lit *ast.FuncLit) bool {
+	return v.Pos() < lit.Pos() || v.Pos() > lit.End()
+}
+
+// conflicts reports whether an outer write at pos races with the spawn:
+// it follows the go statement, or shares a loop with it (a prior
+// iteration's goroutine is still live when the next iteration writes).
+func conflicts(pos token.Pos, g *ast.GoStmt, loops []ast.Node) bool {
+	if pos > g.End() {
+		return true
+	}
+	for _, l := range loops {
+		if l.Pos() <= pos && pos <= l.End() {
+			return true
+		}
+	}
+	return false
+}
+
+// enclosingLoops lists the for/range statements containing g.
+func enclosingLoops(body *ast.BlockStmt, g *ast.GoStmt) []ast.Node {
+	var loops []ast.Node
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			if n.Pos() <= g.Pos() && g.End() <= n.End() {
+				loops = append(loops, n)
+			}
+		}
+		return true
+	})
+	return loops
+}
+
+// identWrites collects assignments and inc/dec statements targeting plain
+// identifiers anywhere under n.
+func identWrites(pass *Pass, n ast.Node) []identWrite {
+	var out []identWrite
+	record := func(id *ast.Ident) {
+		if id.Name == "_" {
+			return
+		}
+		obj := pass.TypesInfo.Uses[id]
+		if obj == nil {
+			obj = pass.TypesInfo.Defs[id]
+		}
+		if v, ok := obj.(*types.Var); ok {
+			out = append(out, identWrite{v: v, pos: id.Pos()})
+		}
+	}
+	ast.Inspect(n, func(m ast.Node) bool {
+		switch m := m.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range m.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok {
+					record(id)
+				}
+			}
+		case *ast.IncDecStmt:
+			if id, ok := m.X.(*ast.Ident); ok {
+				record(id)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// lockBefore reports whether a Lock/RLock call precedes pos within scope.
+func lockBefore(pass *Pass, scope ast.Node, pos token.Pos) bool {
+	found := false
+	ast.Inspect(scope, func(m ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := m.(*ast.CallExpr)
+		if !ok || call.Pos() >= pos {
+			return true
+		}
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+			if sel.Sel.Name == "Lock" || sel.Sel.Name == "RLock" {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// waitBetween reports whether a Wait() join sits between the spawn and
+// the outer write, ordering the goroutine's writes before it.
+func waitBetween(pass *Pass, scope ast.Node, after, before token.Pos) bool {
+	found := false
+	ast.Inspect(scope, func(m ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := m.(*ast.CallExpr)
+		if !ok || call.Pos() <= after || call.Pos() >= before {
+			return true
+		}
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Wait" {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

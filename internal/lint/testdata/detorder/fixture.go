@@ -1,0 +1,84 @@
+// Fixture for the detorder analyzer: map-range loops whose bodies reach
+// output or accumulation sinks are flagged; the collect-keys-sort idiom,
+// commutative accumulation, and slice iteration are not.
+package detorder
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Printing inside a map range leaks iteration order into output.
+func printsInOrder(m map[string]float64) {
+	for k, v := range m { // want "detorder"
+		fmt.Println(k, v)
+	}
+}
+
+// Appending into a slice declared before the loop, never sorted: the
+// resulting slice order is random per run.
+func accumulatesUnsorted(m map[string]float64) []string {
+	var keys []string
+	for k := range m { // want "detorder"
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// The canonical fix: collect, sort, then range over the sorted slice.
+// The append sink is exempt because the destination is sorted after.
+func collectSortRange(m map[string]float64) {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Println(k, m[k])
+	}
+}
+
+// Commutative accumulation does not observe order.
+func sums(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// tableWriter mimics the experiment table writers: `row` is a sink by name.
+type tableWriter struct{}
+
+func (tableWriter) row(cells ...string) {}
+
+func writesRows(t tableWriter, m map[string]float64) {
+	for k := range m { // want "detorder"
+		t.row(k)
+	}
+}
+
+// Ranging over a slice is deterministic; sinks inside are fine.
+func sliceRangeIsFine(xs []string) {
+	for _, x := range xs {
+		fmt.Println(x)
+	}
+}
+
+// A sprint-family call is a sink even without direct I/O: the bytes it
+// builds are observable downstream.
+func buildsString(m map[string]int) string {
+	out := ""
+	for k := range m { // want "detorder"
+		out += fmt.Sprintf("%s,", k)
+	}
+	return out
+}
+
+// The escape hatch: annotated loops are suppressed.
+func annotated(m map[string]int) {
+	//lint:allow detorder fixture exercises the annotation escape
+	for k := range m {
+		fmt.Println(k)
+	}
+}

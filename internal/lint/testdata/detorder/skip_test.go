@@ -1,0 +1,11 @@
+package detorder
+
+import "fmt"
+
+// Test files are exempt: asserting set membership inside a map range is
+// order-independent reporting.
+func reportMembers(m map[string]int) {
+	for k := range m {
+		fmt.Println("member", k)
+	}
+}

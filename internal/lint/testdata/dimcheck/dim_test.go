@@ -1,0 +1,7 @@
+package dimcheck
+
+// Unlike most of the suite, dimcheck runs on test files too: a dimensional
+// mix in a test corrupts the expectation it encodes.
+func mixedExpectation(r Rate, c Congestion) float64 {
+	return r + c // want "dimcheck"
+}

@@ -1,0 +1,106 @@
+// Fixture for the dimcheck analyzer: the package declares its own Rate and
+// Congestion aliases (dimcheck recognizes the dimensional types by name),
+// then mixes them in every way the analyzer distinguishes.
+package dimcheck
+
+type Rate = float64
+
+type Congestion = float64
+
+// Additive arithmetic across dimensions is flagged at the operator.
+func addsMix(r Rate, c Congestion) float64 {
+	return r + c // want "dimcheck"
+}
+
+// So are comparisons: ordering a throughput against a queue length is a
+// category error.
+func comparesMix(r Rate, c Congestion) bool {
+	return r < c // want "dimcheck"
+}
+
+// Erasing the dimensions explicitly through float64 is the sanctioned mix.
+func sanctionedMix(r Rate, c Congestion) float64 {
+	return float64(r) + float64(c)
+}
+
+// Multiplication and division are dimension-erasing: ratios like c/r and
+// coefficient scaling are legitimate physics.
+func ratiosAreFine(r Rate, c Congestion) float64 {
+	return c / r * 2
+}
+
+// Converting one dimension straight into the other is flagged...
+func relabels(c Congestion) Rate {
+	return Rate(c) // want "dimcheck"
+}
+
+// ...unless laundered through float64, which states the intent.
+func relabelsExplicitly(c Congestion) Rate {
+	return Rate(float64(c))
+}
+
+func takesRate(r Rate) float64 { return float64(r) }
+
+// Passing a congestion where a rate parameter is declared is flagged at
+// the argument.
+func passesWrongDim(c Congestion) float64 {
+	return takesRate(c) // want "dimcheck"
+}
+
+func sumRates(vals ...Rate) Rate {
+	var s Rate
+	for _, v := range vals {
+		s += v
+	}
+	return s
+}
+
+// Variadic parameters check each argument against the element dimension.
+func variadicMix(r Rate, c Congestion) Rate {
+	return sumRates(r, c) // want "dimcheck"
+}
+
+// Returning across dimensions is flagged against the declared result.
+func returnsWrongDim(c Congestion) Rate {
+	return c // want "dimcheck"
+}
+
+// Assigning into a declared slot of the other dimension is flagged; plain
+// := is not (the new variable inherits the RHS dimension).
+func assignsWrongDim(r Rate, c Congestion) Rate {
+	var out Rate
+	out = c // want "dimcheck"
+	fresh := c
+	_ = fresh
+	return out
+}
+
+// The dataflow part: a plain float64 local fed only from rates carries the
+// rate dimension to its uses.
+func hiddenDimension(r Rate, c Congestion) bool {
+	var x float64
+	x = r + r
+	return x < c // want "dimcheck"
+}
+
+// Conflicting feeds make the analyzer give up on the local rather than
+// guess: no finding on the mixed use below.
+func conflictingFeeds(r Rate, c Congestion, swap bool) bool {
+	var x float64
+	if swap {
+		x = c + c
+	} else {
+		x = r + r
+	}
+	return x < c
+}
+
+// Untyped constants are dimensionless and combine with anything.
+func constantsAreFine(r Rate) Rate {
+	return r + 0.1
+}
+
+// The escape hatch: an annotated mix with a justification is suppressed.
+func annotated(r Rate, c Congestion) float64 {
+	return r + c //lint:allow dimcheck fixture exercises the annotation escape
+}

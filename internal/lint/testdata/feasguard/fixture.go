@@ -1,0 +1,132 @@
+// Fixture for the feasguard analyzer: congestion-formula calls (declared
+// in helpers.go) are flagged unless a dominating feasibility guard, an
+// inf-safe consumer, a result-inspection idiom, or static feasibility of
+// the argument covers them.
+package feasguard
+
+import "math"
+
+// Unguarded scalar evaluation: the canonical finding.
+func unguarded(r Rate) Congestion {
+	return G(r) // want "feasguard"
+}
+
+// Unguarded vector evaluation.
+func unguardedVec(r []Rate) Congestion {
+	return GTotal(r) // want "feasguard"
+}
+
+// Derivative helpers share the pole and are flagged by name even though
+// their result is a plain float64.
+func unguardedDeriv(r Rate) float64 {
+	return GPrime(r) // want "feasguard"
+}
+
+// A dominating guard call tied to the same rate data is clean.
+func guardedByCall(r []Rate) Congestion {
+	if !InDomain(r) {
+		return 0
+	}
+	return GTotal(r)
+}
+
+// A direct comparison against 1 on every path is also a guard.
+func guardedByComparison(r Rate) Congestion {
+	if r >= 1 {
+		return 0
+	}
+	return G(r)
+}
+
+// A guard and the call sharing one statement: the guard binds when it
+// appears before the call.
+func guardedSameStmt(r []Rate) Congestion {
+	if InDomain(r) && GTotal(r) < 10 {
+		return GTotal(r)
+	}
+	return 0
+}
+
+// Reading a *Feasible field of a report derived from the rates is a guard.
+func guardedByReport(r []Rate) Congestion {
+	rep := CheckFeasible(r)
+	if !rep.Feasible {
+		return 0
+	}
+	return GTotal(r)
+}
+
+// A guard over different data does not protect this rate vector.
+func guardedWrongData(r, other []Rate) Congestion {
+	if !InDomain(other) {
+		return 0
+	}
+	return GTotal(r) // want "feasguard"
+}
+
+// A guard that does not dominate (only one branch checks) does not count.
+func guardOnOneBranch(r []Rate, lucky bool) Congestion {
+	if lucky {
+		_ = InDomain(r)
+	}
+	return GTotal(r) // want "feasguard"
+}
+
+// Results fed directly into a Utility evaluation are inf-safe by the AU
+// contract.
+func consumedByUtility(u U, r Rate) float64 {
+	return u.Value(G(r))
+}
+
+// The result-inspection idiom: the caller assigns the result and checks it
+// for the out-of-domain sentinel.
+func resultInspected(r Rate) float64 {
+	c := G(r)
+	if math.IsInf(float64(c), 1) {
+		return -1
+	}
+	return float64(c)
+}
+
+// Statically feasible arguments need no guard: a constant in (0, 1)...
+func staticScalar() Congestion {
+	return G(0.5)
+}
+
+// ...a constant through a single reaching definition...
+func staticThroughVar() Congestion {
+	x := 0.3
+	return G(x)
+}
+
+// ...and a literal of positive constants summing below 1.
+func staticVector() Congestion {
+	return GTotal([]Rate{0.2, 0.3})
+}
+
+// A literal summing above 1 is statically infeasible and gets flagged.
+func staticInfeasibleVector() Congestion {
+	return GTotal([]Rate{0.7, 0.6}) // want "feasguard"
+}
+
+// Allocation-contract methods are defined on all of R+^n with +Inf outside
+// the domain; their bodies are exempt wholesale.
+type alloc struct{}
+
+func (alloc) Congestion(r []Rate) Congestion {
+	return GTotal(r)
+}
+
+// Same-file callees are internal layering and never targets.
+func viaLocalHelper(r Rate) Congestion {
+	return localFormula(r)
+}
+
+func localFormula(x Rate) Congestion {
+	return Congestion(x / (1 - x))
+}
+
+// The escape hatch: an annotated call with a justification is suppressed.
+func annotated(r Rate) Congestion {
+	return G(r) //lint:allow feasguard fixture exercises the annotation escape
+}

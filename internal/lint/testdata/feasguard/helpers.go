@@ -1,0 +1,71 @@
+// Helper declarations for the feasguard fixture.  They live in a separate
+// file from the call sites on purpose: feasguard exempts same-file callees
+// (a file's own formula helpers are its internal layering), so the targets
+// in fixture.go must resolve to another file to be visible at all.
+package feasguard
+
+import "math"
+
+type Rate = float64
+
+type Congestion = float64
+
+// G is the M/M/1 congestion formula: the dimensional fingerprint feasguard
+// looks for (Rate in, Congestion out).
+func G(x Rate) Congestion {
+	if x >= 1 {
+		return Congestion(math.Inf(1))
+	}
+	return Congestion(x / (1 - x))
+}
+
+// GTotal maps a rate vector to its total congestion.
+func GTotal(r []Rate) Congestion {
+	var s Rate
+	for _, v := range r {
+		s += v
+	}
+	return G(s)
+}
+
+// GPrime is a derivative helper: plain float64 result, but it shares G's
+// pole, so feasguard treats it as a target by name.
+func GPrime(x Rate) float64 {
+	d := 1 - x
+	return 1 / (d * d)
+}
+
+// InDomain is a recognized guard function.
+func InDomain(r []Rate) bool {
+	var s Rate
+	for _, v := range r {
+		if v <= 0 {
+			return false
+		}
+		s += v
+	}
+	return s < 1
+}
+
+// Report mimics core.FeasibilityReport: reading its Feasible field counts
+// as a guard.
+type Report struct {
+	Feasible bool
+}
+
+// CheckFeasible is a recognized guard function.
+func CheckFeasible(r []Rate) Report {
+	return Report{Feasible: InDomain(r)}
+}
+
+// U mimics the Utility contract: Value maps c = +Inf to -Inf, so results
+// fed directly into it are inf-safe by construction.
+type U struct{}
+
+// Value is a recognized inf-safe consumer.
+func (U) Value(c Congestion) float64 {
+	if math.IsInf(float64(c), 1) {
+		return math.Inf(-1)
+	}
+	return -float64(c)
+}

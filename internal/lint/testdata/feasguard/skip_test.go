@@ -1,0 +1,7 @@
+package feasguard
+
+// Test files are exempt: tests deliberately probe out-of-domain behavior
+// (the pole at 1, overload, negative rates).
+func probePole() Congestion {
+	return G(1.5)
+}

@@ -1,0 +1,102 @@
+// Fixture for the parsafe analyzer: variables written both inside a go
+// func literal and by the spawning function on the far side of the spawn
+// are flagged unless a lock or a join orders the writes.
+package parsafe
+
+import "sync"
+
+// The canonical race: the goroutine and the spawner both write total with
+// nothing ordering them.
+func racyWrite() int {
+	total := 0
+	go func() {
+		total++ // want "parsafe"
+	}()
+	total = 5
+	return total
+}
+
+// A spawn inside a loop races with writes anywhere in the loop: the
+// previous iteration's goroutine is still live when the next iteration
+// writes, even though the write precedes the go statement textually.
+func racyLoop(items []int) int {
+	n := 0
+	for range items {
+		n++
+		go func() {
+			n++ // want "parsafe"
+		}()
+	}
+	return n
+}
+
+// Writes strictly before the spawn are ordered by the spawn itself.
+func happensBefore() int {
+	total := 41
+	go func() {
+		total++
+	}()
+	return total
+}
+
+// A mutex held around both writes is a guard.
+func mutexGuarded() int {
+	var mu sync.Mutex
+	total := 0
+	go func() {
+		mu.Lock()
+		total++
+		mu.Unlock()
+	}()
+	mu.Lock()
+	total = 5
+	mu.Unlock()
+	return total
+}
+
+// A Wait() join between the spawn and the outer write orders them.
+func joined() int {
+	var wg sync.WaitGroup
+	total := 0
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		total++
+	}()
+	wg.Wait()
+	total = 5
+	return total
+}
+
+// Range variables are per-iteration; the goroutine's copy is private and
+// the header redefinition is not an outer write.
+func loopVarIsPrivate(items []int) {
+	for _, v := range items {
+		go func() {
+			v++
+			_ = v
+		}()
+	}
+}
+
+// The literal's own locals and parameters cannot race with the spawner.
+func localsArePrivate() int {
+	shared := 0
+	go func() {
+		private := 0
+		private++
+		_ = private
+	}()
+	shared = 5
+	return shared
+}
+
+// The escape hatch: an annotated write with a justification is suppressed.
+func annotated() int {
+	total := 0
+	go func() {
+		total++ //lint:allow parsafe fixture exercises the annotation escape
+	}()
+	total = 5
+	return total
+}

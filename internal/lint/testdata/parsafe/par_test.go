@@ -1,0 +1,12 @@
+package parsafe
+
+// parsafe runs on test files too: a racy test is flaky regardless of what
+// it asserts.
+func racyInTest() int {
+	total := 0
+	go func() {
+		total++ // want "parsafe"
+	}()
+	total = 5
+	return total
+}

@@ -18,12 +18,14 @@ package mm1
 import (
 	"math"
 	"sort"
+
+	"greednet/internal/core"
 )
 
 // G is the M/M/1 mean-queue-length function g(x) = x/(1−x).
 // For x ≥ 1 (an overloaded server) it returns +Inf; for x < 0 it returns
 // the analytic continuation, which callers should treat as out of domain.
-func G(x float64) float64 {
+func G(x core.Rate) core.Congestion {
 	if x >= 1 {
 		return math.Inf(1)
 	}
@@ -32,7 +34,7 @@ func G(x float64) float64 {
 
 // GPrime is g'(x) = 1/(1−x)², the marginal congestion of total load.
 // It returns +Inf for x ≥ 1.
-func GPrime(x float64) float64 {
+func GPrime(x core.Rate) float64 {
 	if x >= 1 {
 		return math.Inf(1)
 	}
@@ -41,7 +43,7 @@ func GPrime(x float64) float64 {
 }
 
 // GPrime2 is g”(x) = 2/(1−x)³.  It returns +Inf for x ≥ 1.
-func GPrime2(x float64) float64 {
+func GPrime2(x core.Rate) float64 {
 	if x >= 1 {
 		return math.Inf(1)
 	}
@@ -50,7 +52,7 @@ func GPrime2(x float64) float64 {
 }
 
 // GInverse solves g(y) = q for y given q ≥ 0: y = q/(1+q).
-func GInverse(q float64) float64 {
+func GInverse(q core.Congestion) core.Rate {
 	if math.IsInf(q, 1) {
 		return 1
 	}
@@ -58,8 +60,8 @@ func GInverse(q float64) float64 {
 }
 
 // Sum returns the total of the vector.
-func Sum(r []float64) float64 {
-	s := 0.0
+func Sum(r []core.Rate) core.Rate {
+	var s core.Rate
 	for _, v := range r {
 		s += v
 	}
@@ -68,8 +70,8 @@ func Sum(r []float64) float64 {
 
 // InDomain reports whether the rate vector lies in the natural domain
 // D = { r : r_i > 0 and Σ r_i < 1 } of the allocation functions.
-func InDomain(r []float64) bool {
-	s := 0.0
+func InDomain(r []core.Rate) bool {
+	var s core.Rate
 	for _, v := range r {
 		if v <= 0 || math.IsNaN(v) {
 			return false
@@ -81,7 +83,7 @@ func InDomain(r []float64) bool {
 
 // DomainSlack returns 1 − Σ r, the residual capacity.  Negative values mean
 // the server is overloaded.
-func DomainSlack(r []float64) float64 { return 1 - Sum(r) }
+func DomainSlack(r []core.Rate) core.Rate { return 1 - Sum(r) }
 
 // FeasibilityReport describes how a proposed allocation (r, c) relates to
 // the feasible set of work-conserving service disciplines.
@@ -105,7 +107,7 @@ type FeasibilityReport struct {
 // CheckFeasible validates the allocation (r, c) against the work-conserving
 // feasible set with absolute tolerance tol.  It requires len(r) == len(c)
 // and r in D; otherwise Feasible is false.
-func CheckFeasible(r, c []float64, tol float64) FeasibilityReport {
+func CheckFeasible(r []core.Rate, c []core.Congestion, tol float64) FeasibilityReport {
 	var rep FeasibilityReport
 	rep.MinPrefixSlack = math.Inf(1)
 	if len(r) != len(c) || len(r) == 0 || !InDomain(r) {
@@ -155,7 +157,7 @@ func CheckFeasible(r, c []float64, tol float64) FeasibilityReport {
 
 // SymmetricCongestion returns the per-user congestion at the completely
 // symmetric allocation where each of the n users sends rate r: g(n·r)/n.
-func SymmetricCongestion(n int, r float64) float64 {
+func SymmetricCongestion(n int, r core.Rate) core.Congestion {
 	if n <= 0 {
 		return math.NaN()
 	}
@@ -165,7 +167,7 @@ func SymmetricCongestion(n int, r float64) float64 {
 // ProtectionBound is the best symmetric out-of-equilibrium guarantee the
 // paper defines (Definition 7): the congestion user i would suffer if all n
 // users sent her rate, r/(1 − n·r).  For n·r ≥ 1 it is +Inf.
-func ProtectionBound(n int, r float64) float64 {
+func ProtectionBound(n int, r core.Rate) core.Congestion {
 	nr := float64(n) * r
 	if nr >= 1 {
 		return math.Inf(1)
@@ -175,7 +177,7 @@ func ProtectionBound(n int, r float64) float64 {
 
 // Z is the Pareto first-derivative quantity Z_i = −1/(1−Σr)² (the ratio of
 // constraint partials ∂F/∂r_i ÷ ∂F/∂c_i), identical for every user.
-func Z(r []float64) float64 {
+func Z(r []core.Rate) float64 {
 	s := Sum(r)
 	if s >= 1 {
 		return math.Inf(-1)

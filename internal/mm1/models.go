@@ -3,6 +3,8 @@ package mm1
 import (
 	"fmt"
 	"math"
+
+	"greednet/internal/core"
 )
 
 // ServerModel abstracts the total-congestion function of a work-conserving
@@ -14,11 +16,11 @@ type ServerModel interface {
 	// Name identifies the model, e.g. "mm1" or "mg1(cv2=2)".
 	Name() string
 	// L is the mean number in system at total rate x; +Inf for x ≥ 1.
-	L(x float64) float64
+	L(x core.Rate) core.Congestion
 	// LPrime is dL/dx.
-	LPrime(x float64) float64
+	LPrime(x core.Rate) float64
 	// LPrime2 is d²L/dx².
-	LPrime2(x float64) float64
+	LPrime2(x core.Rate) float64
 }
 
 // MM1 is the exponential-service station: L(x) = x/(1−x) — the paper's
@@ -29,13 +31,13 @@ type MM1 struct{}
 func (MM1) Name() string { return "mm1" }
 
 // L implements ServerModel.
-func (MM1) L(x float64) float64 { return G(x) }
+func (MM1) L(x core.Rate) core.Congestion { return G(x) }
 
 // LPrime implements ServerModel.
-func (MM1) LPrime(x float64) float64 { return GPrime(x) }
+func (MM1) LPrime(x core.Rate) float64 { return GPrime(x) }
 
 // LPrime2 implements ServerModel.
-func (MM1) LPrime2(x float64) float64 { return GPrime2(x) }
+func (MM1) LPrime2(x core.Rate) float64 { return GPrime2(x) }
 
 // MG1 is the Pollaczek–Khinchine station with unit-mean service times of
 // squared coefficient of variation CV2:
@@ -53,15 +55,17 @@ type MG1 struct {
 func (m MG1) Name() string { return fmt.Sprintf("mg1(cv2=%g)", m.CV2) }
 
 // L implements ServerModel.
-func (m MG1) L(x float64) float64 {
+func (m MG1) L(x core.Rate) core.Congestion {
 	if x >= 1 {
 		return math.Inf(1)
 	}
-	return x + x*x*(1+m.CV2)/(2*(1-x))
+	// Pollaczek–Khinchine: the utilization x doubles as the mean number in
+	// service, so it enters the queue-length sum as a dimensionless count.
+	return float64(x) + x*x*(1+m.CV2)/(2*(1-x))
 }
 
 // LPrime implements ServerModel.
-func (m MG1) LPrime(x float64) float64 {
+func (m MG1) LPrime(x core.Rate) float64 {
 	if x >= 1 {
 		return math.Inf(1)
 	}
@@ -72,7 +76,7 @@ func (m MG1) LPrime(x float64) float64 {
 }
 
 // LPrime2 implements ServerModel.
-func (m MG1) LPrime2(x float64) float64 {
+func (m MG1) LPrime2(x core.Rate) float64 {
 	if x >= 1 {
 		return math.Inf(1)
 	}
@@ -88,7 +92,7 @@ func MD1() MG1 { return MG1{CV2: 0} }
 // SymmetricCongestionG is the per-user congestion of the completely
 // symmetric allocation under an arbitrary server model: L(n·r)/n.  It is
 // also the generalized Definition-7 protection bound.
-func SymmetricCongestionG(m ServerModel, n int, r float64) float64 {
+func SymmetricCongestionG(m ServerModel, n int, r core.Rate) core.Congestion {
 	if n <= 0 {
 		return math.NaN()
 	}
@@ -98,7 +102,7 @@ func SymmetricCongestionG(m ServerModel, n int, r float64) float64 {
 // CheckFeasibleG validates (r, c) against the work-conserving feasible set
 // of an arbitrary server model (the Kleinrock conservation analogue of
 // CheckFeasible).
-func CheckFeasibleG(m ServerModel, r, c []float64, tol float64) FeasibilityReport {
+func CheckFeasibleG(m ServerModel, r []core.Rate, c []core.Congestion, tol float64) FeasibilityReport {
 	var rep FeasibilityReport
 	rep.MinPrefixSlack = math.Inf(1)
 	if len(r) != len(c) || len(r) == 0 || !InDomain(r) {

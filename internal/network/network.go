@@ -73,18 +73,18 @@ func (nw *Network) Name() string {
 
 // switchCongestion returns the per-user congestion vector of switch α
 // (indexed like usersAt[α]) for global rates r.
-func (nw *Network) switchCongestion(a int, r []float64) []float64 {
+func (nw *Network) switchCongestion(a int, r []core.Rate) []core.Congestion {
 	users := nw.usersAt[a]
-	local := make([]float64, len(users))
+	local := make([]core.Rate, len(users))
 	for k, u := range users {
 		local[k] = r[u]
 	}
-	return nw.Disc.Congestion(local)
+	return nw.Disc.Congestion(local) //lint:allow feasguard per-switch half of the Network Allocation contract, defined (with +Inf) on all of R+^n
 }
 
 // Congestion implements core.Allocation: summed per-route congestion.
-func (nw *Network) Congestion(r []float64) []float64 {
-	out := make([]float64, len(r))
+func (nw *Network) Congestion(r []core.Rate) []core.Congestion {
+	out := make([]core.Congestion, len(r))
 	for a := 0; a < nw.Switches; a++ {
 		if len(nw.usersAt[a]) == 0 {
 			continue
@@ -98,11 +98,11 @@ func (nw *Network) Congestion(r []float64) []float64 {
 }
 
 // CongestionOf implements core.Allocation.
-func (nw *Network) CongestionOf(r []float64, i int) float64 {
-	total := 0.0
+func (nw *Network) CongestionOf(r []core.Rate, i int) core.Congestion {
+	var total core.Congestion
 	for _, a := range nw.Routes[i] {
 		users := nw.usersAt[a]
-		local := make([]float64, len(users))
+		local := make([]core.Rate, len(users))
 		pos := -1
 		for k, u := range users {
 			local[k] = r[u]
@@ -122,10 +122,10 @@ func (nw *Network) CongestionOf(r []float64, i int) float64 {
 // on each switch α crossed by user i, Fair Share caps the congestion at
 // r_i/(1 − n_α·r_i) with n_α the number of users at that switch; the
 // route-level bound is the sum.
-func (nw *Network) ProtectionBound(i int, ri float64) float64 {
-	total := 0.0
+func (nw *Network) ProtectionBound(i int, ri core.Rate) core.Congestion {
+	var total core.Congestion
 	for _, a := range nw.Routes[i] {
-		total += mm1.ProtectionBound(len(nw.usersAt[a]), ri)
+		total += mm1.ProtectionBound(len(nw.usersAt[a]), ri) //lint:allow feasguard bound formula reported for any rate; +Inf past 1/n_alpha is the honest value
 	}
 	return total
 }

@@ -75,7 +75,7 @@ type Result struct {
 // measure runs one epoch and returns user i's utility at the current
 // rates, using the measured (not analytic) congestion.  Rates whose total
 // reaches the server capacity yield −Inf (the user experiences meltdown).
-func measure(factory DisciplineFactory, u core.Utility, r []float64, i int, epoch float64, seed int64) float64 {
+func measure(factory DisciplineFactory, u core.Utility, r []core.Rate, i int, epoch float64, seed int64) float64 {
 	total := 0.0
 	for _, v := range r {
 		total += v
@@ -99,7 +99,7 @@ func measure(factory DisciplineFactory, u core.Utility, r []float64, i int, epoc
 // its payoff at r_i ± δ with two measurement epochs and moves its rate by
 // a bounded step in the better direction (a Kiefer–Wolfowitz scheme with
 // decaying probe and step sizes).
-func Run(factory DisciplineFactory, us core.Profile, r0 []float64, opt Options) Result {
+func Run(factory DisciplineFactory, us core.Profile, r0 []core.Rate, opt Options) Result {
 	opt = opt.withDefaults()
 	n := len(r0)
 	r := append([]float64(nil), r0...)

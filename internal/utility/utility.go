@@ -25,7 +25,7 @@ type Linear struct {
 func NewLinear(a, gamma float64) Linear { return Linear{A: a, Gamma: gamma} }
 
 // Value implements core.Utility.
-func (u Linear) Value(r, c float64) float64 {
+func (u Linear) Value(r core.Rate, c core.Congestion) float64 {
 	if math.IsInf(c, 1) {
 		return math.Inf(-1)
 	}
@@ -33,7 +33,7 @@ func (u Linear) Value(r, c float64) float64 {
 }
 
 // Gradient implements core.Utility.
-func (u Linear) Gradient(r, c float64) (float64, float64) { return u.A, -u.Gamma }
+func (u Linear) Gradient(r core.Rate, c core.Congestion) (float64, float64) { return u.A, -u.Gamma }
 
 // String describes the utility.
 func (u Linear) String() string { return fmt.Sprintf("linear(a=%g, γ=%g)", u.A, u.Gamma) }
@@ -51,7 +51,7 @@ type Exponential struct {
 }
 
 // Value implements core.Utility.
-func (u Exponential) Value(r, c float64) float64 {
+func (u Exponential) Value(r core.Rate, c core.Congestion) float64 {
 	if math.IsInf(c, 1) {
 		return math.Inf(-1)
 	}
@@ -61,7 +61,7 @@ func (u Exponential) Value(r, c float64) float64 {
 }
 
 // Gradient implements core.Utility.
-func (u Exponential) Gradient(r, c float64) (float64, float64) {
+func (u Exponential) Gradient(r core.Rate, c core.Congestion) (float64, float64) {
 	dr := u.Alpha * math.Exp(-(u.Beta/u.Alpha)*(r-u.R0))
 	if math.IsInf(c, 1) {
 		return dr, math.Inf(-1)
@@ -93,7 +93,7 @@ type Log struct {
 }
 
 // Value implements core.Utility.
-func (u Log) Value(r, c float64) float64 {
+func (u Log) Value(r core.Rate, c core.Congestion) float64 {
 	if r <= 0 {
 		return math.Inf(-1)
 	}
@@ -104,7 +104,7 @@ func (u Log) Value(r, c float64) float64 {
 }
 
 // Gradient implements core.Utility.
-func (u Log) Gradient(r, c float64) (float64, float64) {
+func (u Log) Gradient(r core.Rate, c core.Congestion) (float64, float64) {
 	if r <= 0 {
 		return math.Inf(1), -u.Gamma
 	}
@@ -123,7 +123,7 @@ type Power struct {
 }
 
 // Value implements core.Utility.
-func (u Power) Value(r, c float64) float64 {
+func (u Power) Value(r core.Rate, c core.Congestion) float64 {
 	if math.IsInf(c, 1) {
 		return math.Inf(-1)
 	}
@@ -131,7 +131,7 @@ func (u Power) Value(r, c float64) float64 {
 }
 
 // Gradient implements core.Utility.
-func (u Power) Gradient(r, c float64) (float64, float64) {
+func (u Power) Gradient(r core.Rate, c core.Congestion) (float64, float64) {
 	if math.IsInf(c, 1) {
 		return u.A, math.Inf(-1)
 	}
@@ -148,7 +148,7 @@ type Sqrt struct {
 }
 
 // Value implements core.Utility.
-func (u Sqrt) Value(r, c float64) float64 {
+func (u Sqrt) Value(r core.Rate, c core.Congestion) float64 {
 	if r < 0 || math.IsInf(c, 1) {
 		return math.Inf(-1)
 	}
@@ -156,7 +156,7 @@ func (u Sqrt) Value(r, c float64) float64 {
 }
 
 // Gradient implements core.Utility.
-func (u Sqrt) Gradient(r, c float64) (float64, float64) {
+func (u Sqrt) Gradient(r core.Rate, c core.Congestion) (float64, float64) {
 	if r <= 0 {
 		return math.Inf(1), -u.Gamma
 	}
@@ -177,7 +177,7 @@ type DelaySensitive struct {
 }
 
 // Value implements core.Utility.
-func (u DelaySensitive) Value(r, c float64) float64 {
+func (u DelaySensitive) Value(r core.Rate, c core.Congestion) float64 {
 	if r <= 0 || math.IsInf(c, 1) {
 		return math.Inf(-1)
 	}
@@ -185,7 +185,7 @@ func (u DelaySensitive) Value(r, c float64) float64 {
 }
 
 // Gradient implements core.Utility.
-func (u DelaySensitive) Gradient(r, c float64) (float64, float64) {
+func (u DelaySensitive) Gradient(r core.Rate, c core.Congestion) (float64, float64) {
 	if r <= 0 {
 		return math.Inf(1), -math.Inf(1)
 	}
@@ -207,10 +207,12 @@ type Scaled struct {
 }
 
 // Value implements core.Utility.
-func (s Scaled) Value(r, c float64) float64 { return s.Scale*s.U.Value(r, c) + s.Shift }
+func (s Scaled) Value(r core.Rate, c core.Congestion) float64 {
+	return s.Scale*s.U.Value(r, c) + s.Shift
+}
 
 // Gradient implements core.Utility.
-func (s Scaled) Gradient(r, c float64) (float64, float64) {
+func (s Scaled) Gradient(r core.Rate, c core.Congestion) (float64, float64) {
 	dr, dc := s.U.Gradient(r, c)
 	return s.Scale * dr, s.Scale * dc
 }
