@@ -2,7 +2,7 @@ GO ?= go
 LINT := bin/greedlint
 FUZZTIME ?= 30s
 
-.PHONY: all build lint lint-golden test race fuzz clean
+.PHONY: all build lint lint-golden test race bench fuzz clean
 
 all: build lint test
 
@@ -31,6 +31,13 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# Suite benchmarks plus the perf-trajectory artifact: one sequential and
+# one pooled pass over the fast suite, archived as BENCH_parallel.json
+# (sequential vs parallel wall-clock, worker count, host cores).
+bench:
+	$(GO) test -run='^$$' -bench='BenchmarkSuite(Sequential|Parallel)$$' -benchtime=1x .
+	$(GO) run ./cmd/greedbench -fast -benchjson BENCH_parallel.json
 
 # Short fuzz smoke over the allocation invariants; CI runs this on every
 # push, longer local runs via FUZZTIME=5m make fuzz.

@@ -1,0 +1,36 @@
+// Suite-level benchmarks: the full fast experiment suite end to end,
+// sequential vs pooled — the repo's perf-trajectory datapoint for the
+// parallel driver (`make bench` archives the comparison as
+// BENCH_parallel.json via greedbench -benchjson).
+package greednet_test
+
+import (
+	"io"
+	"runtime"
+	"testing"
+
+	"greednet"
+)
+
+// benchSuite runs the whole registry through the parallel driver.
+func benchSuite(b *testing.B, workers int) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		outcomes, err := greednet.RunAllExperiments(io.Discard, greednet.ExperimentOptions{Fast: true}, workers)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, o := range outcomes {
+			if o.Err != nil {
+				b.Fatalf("%s errored: %v", o.Experiment.ID, o.Err)
+			}
+			if !o.Verdict.Match {
+				b.Fatalf("%s stopped reproducing the paper: %s", o.Experiment.ID, o.Verdict.Note)
+			}
+		}
+	}
+}
+
+func BenchmarkSuiteSequential(b *testing.B) { benchSuite(b, 1) }
+
+func BenchmarkSuiteParallel(b *testing.B) { benchSuite(b, runtime.GOMAXPROCS(0)) }

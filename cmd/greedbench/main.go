@@ -4,30 +4,51 @@
 //
 // Usage:
 //
-//	greedbench [-run E1,E8] [-fast] [-seed N] [-list]
+//	greedbench [-run E1,E8] [-fast] [-seed N] [-workers N] [-list]
+//
+// Experiments fan out across -workers goroutines (default: all cores),
+// each rendering into its own buffer; buffers are flushed in registry
+// order, so stdout is byte-identical for every worker count.  An explicit
+// -seed pins every experiment's seed — including -seed 0, which is a
+// real seed, not "use the defaults".
 //
 // Exit status is nonzero if any selected experiment fails to reproduce the
 // paper's shape.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"runtime"
 	"strings"
+	"time"
 
 	"greednet/internal/experiment"
 )
 
 func main() {
 	var (
-		runList = flag.String("run", "", "comma-separated experiment IDs (default: all)")
+		runList = flag.String("run", "", "comma-separated experiment IDs (default: all; repeats are deduped)")
 		fast    = flag.Bool("fast", false, "use reduced horizons and search budgets")
-		seed    = flag.Int64("seed", 0, "override the per-experiment default seeds")
+		seed    = flag.Int64("seed", 0, "pin every experiment's seed (an explicit -seed 0 is honored; default: per-experiment seeds)")
 		list    = flag.Bool("list", false, "list experiments and exit")
 		mdOut   = flag.String("md", "", "also write a Markdown verdict summary to this path")
+		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "parallel experiment runners (1 runs sequentially; output is identical either way)")
+		benchJS = flag.String("benchjson", "", "time the suite sequentially and at -workers, write the comparison as JSON to this path")
 	)
 	flag.Parse()
+	// The flag's zero value and an explicit -seed 0 must stay
+	// distinguishable, or seed 0 is unpinnable; Visit only walks flags
+	// that were actually set.
+	seedSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "seed" {
+			seedSet = true
+		}
+	})
 
 	if *list {
 		for _, e := range experiment.All() {
@@ -39,8 +60,13 @@ func main() {
 	selected := experiment.All()
 	if *runList != "" {
 		selected = selected[:0]
+		seen := make(map[string]bool)
 		for _, id := range strings.Split(*runList, ",") {
 			id = strings.TrimSpace(id)
+			if seen[id] {
+				continue // -run E1,E1 must not double-count in the summary
+			}
+			seen[id] = true
 			e, ok := experiment.ByID(id)
 			if !ok {
 				fmt.Fprintf(os.Stderr, "greedbench: unknown experiment %q (use -list)\n", id)
@@ -50,23 +76,29 @@ func main() {
 		}
 	}
 
-	opt := experiment.Options{Fast: *fast, Seed: *seed}
-	failures := 0
-	type outcome struct {
-		e  experiment.Experiment
-		v  experiment.Verdict
-		e2 error
+	opt := experiment.Options{Fast: *fast, Seed: *seed, SeedSet: seedSet}
+
+	if *benchJS != "" {
+		if err := writeBenchJSON(*benchJS, selected, opt, *workers); err != nil {
+			fmt.Fprintln(os.Stderr, "greedbench:", err)
+			os.Exit(2)
+		}
+		return
 	}
-	var outcomes []outcome
-	for _, e := range selected {
-		v, err := e.Run(os.Stdout, opt)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "greedbench: %s errored: %v\n", e.ID, err)
+
+	outcomes, err := experiment.RunSuite(os.Stdout, selected, opt, *workers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "greedbench:", err)
+		os.Exit(2)
+	}
+	failures := 0
+	for _, o := range outcomes {
+		if o.Err != nil {
+			fmt.Fprintf(os.Stderr, "greedbench: %s errored: %v\n", o.Experiment.ID, o.Err)
 			failures++
-		} else if !v.Match {
+		} else if !o.Verdict.Match {
 			failures++
 		}
-		outcomes = append(outcomes, outcome{e: e, v: v, e2: err})
 	}
 	fmt.Printf("suite: %d/%d experiments reproduce the paper\n",
 		len(selected)-failures, len(selected))
@@ -88,12 +120,12 @@ func main() {
 		for _, o := range outcomes {
 			verdict := "MATCH"
 			switch {
-			case o.e2 != nil:
+			case o.Err != nil:
 				verdict = "ERROR"
-			case !o.v.Match:
+			case !o.Verdict.Match:
 				verdict = "MISMATCH"
 			}
-			write(fmt.Fprintf(f, "| %s | %s | %s | %s |\n", o.e.ID, o.e.Source, o.e.Title, verdict))
+			write(fmt.Fprintf(f, "| %s | %s | %s | %s |\n", o.Experiment.ID, o.Experiment.Source, o.Experiment.Title, verdict))
 		}
 		if err := f.Close(); err != nil {
 			fmt.Fprintln(os.Stderr, "greedbench:", err)
@@ -103,4 +135,64 @@ func main() {
 	if failures > 0 {
 		os.Exit(1)
 	}
+}
+
+// benchRecord is the perf-trajectory datapoint `make bench` archives as
+// BENCH_parallel.json.
+type benchRecord struct {
+	Benchmark    string  `json:"benchmark"`
+	Experiments  int     `json:"experiments"`
+	Fast         bool    `json:"fast"`
+	Workers      int     `json:"workers"`
+	HostCores    int     `json:"host_cores"`
+	SequentialNS int64   `json:"sequential_ns"`
+	ParallelNS   int64   `json:"parallel_ns"`
+	Speedup      float64 `json:"speedup"`
+}
+
+// writeBenchJSON times the selected suite once sequentially and once at
+// the requested worker count, and writes the comparison as JSON.
+func writeBenchJSON(path string, selected []experiment.Experiment, opt experiment.Options, workers int) error {
+	run := func(w int) (time.Duration, error) {
+		start := time.Now()
+		outcomes, err := experiment.RunSuite(io.Discard, selected, opt, w)
+		if err != nil {
+			return 0, err
+		}
+		for _, o := range outcomes {
+			if o.Err != nil {
+				return 0, fmt.Errorf("%s errored: %w", o.Experiment.ID, o.Err)
+			}
+		}
+		return time.Since(start), nil
+	}
+	seq, err := run(1)
+	if err != nil {
+		return err
+	}
+	par, err := run(workers)
+	if err != nil {
+		return err
+	}
+	rec := benchRecord{
+		Benchmark:    "experiment-suite",
+		Experiments:  len(selected),
+		Fast:         opt.Fast,
+		Workers:      workers,
+		HostCores:    runtime.GOMAXPROCS(0),
+		SequentialNS: seq.Nanoseconds(),
+		ParallelNS:   par.Nanoseconds(),
+		Speedup:      float64(seq.Nanoseconds()) / float64(par.Nanoseconds()),
+	}
+	data, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("suite bench: sequential %v, %d workers %v (%.2fx), %d experiments -> %s\n",
+		seq.Round(time.Millisecond), workers, par.Round(time.Millisecond), rec.Speedup, len(selected), path)
+	return nil
 }

@@ -5,6 +5,7 @@
 //
 //	greedsweep -sweep eigen -n 5 -chart
 //	greedsweep -sweep protection -csv protection.csv
+//	greedsweep -sweep newton -workers 8
 //	greedsweep -list
 package main
 
@@ -12,6 +13,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"greednet/internal/alloc"
 	"greednet/internal/core"
@@ -22,11 +24,12 @@ import (
 
 func main() {
 	var (
-		name  = flag.String("sweep", "eigen", "eigen|gap|protection|ghc|delay|newton|reaction")
-		n     = flag.Int("n", 4, "number of users (eigen, gap upper bound, ghc, newton)")
-		out   = flag.String("csv", "", "write CSV to this path (default stdout)")
-		chart = flag.Bool("chart", false, "render an ASCII chart instead of CSV")
-		list  = flag.Bool("list", false, "list sweeps and exit")
+		name    = flag.String("sweep", "eigen", "eigen|gap|protection|ghc|delay|newton|reaction")
+		n       = flag.Int("n", 4, "number of users (eigen, gap upper bound, ghc, newton)")
+		out     = flag.String("csv", "", "write CSV to this path (default stdout)")
+		chart   = flag.Bool("chart", false, "render an ASCII chart instead of CSV")
+		list    = flag.Bool("list", false, "list sweeps and exit")
+		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "worker pool size for per-row sweep work (1 runs sequentially; output is identical either way)")
 	)
 	flag.Parse()
 
@@ -41,7 +44,7 @@ func main() {
 		return
 	}
 
-	tab, series, logY, err := build(*name, *n)
+	tab, series, logY, err := build(*name, *n, *workers)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "greedsweep:", err)
 		os.Exit(1)
@@ -76,18 +79,18 @@ func main() {
 }
 
 // build constructs the requested sweep plus chart series.
-func build(name string, n int) (sweep.Table, []plot.Series, bool, error) {
+func build(name string, n, workers int) (sweep.Table, []plot.Series, bool, error) {
 	switch name {
 	case "eigen":
 		gammas := []float64{0.8, 0.5, 0.3, 0.2, 0.1, 0.05, 0.02, 0.01, 0.004}
-		tab, err := sweep.Eigenvalue(n, gammas)
+		tab, err := sweep.Eigenvalue(workers, n, gammas)
 		return tab, []plot.Series{
 			{Name: "rho(A)", Y: tab.Column("rho")},
 			{Name: "limit N-1", Y: tab.Column("limit")},
 		}, false, err
 	case "gap":
 		ns := []int{2, 3, 4, 6, 8, 12, 16}
-		tab, err := sweep.EfficiencyGap(0.2, ns)
+		tab, err := sweep.EfficiencyGap(workers, 0.2, ns)
 		return tab, []plot.Series{
 			{Name: "relative loss", Y: tab.Column("relative_loss")},
 		}, false, err
@@ -119,7 +122,7 @@ func build(name string, n int) (sweep.Table, []plot.Series, bool, error) {
 			{Name: "Fair Share delay", Y: tab.Column("delay_fairshare")},
 		}, true, nil
 	case "newton":
-		tab, err := sweep.NewtonResiduals(n, 8)
+		tab, err := sweep.NewtonResiduals(workers, n, 8)
 		return tab, []plot.Series{
 			{Name: "Fair Share residual", Y: tab.Column("resid_fairshare")},
 			{Name: "FIFO residual", Y: tab.Column("resid_fifo")},

@@ -313,6 +313,17 @@ func RunExperiment(id string, w io.Writer, opt ExperimentOptions) (ExperimentVer
 	return e.Run(w, opt)
 }
 
+// ExperimentOutcome pairs an experiment with its run result.
+type ExperimentOutcome = experiment.Outcome
+
+// RunAllExperiments runs the full registry, fanning experiments across a
+// pool of workers (≤ 0 means all cores, 1 runs sequentially).  Each
+// experiment renders into its own buffer and buffers flush to w in
+// registry order, so the output is byte-identical for every worker count.
+func RunAllExperiments(w io.Writer, opt ExperimentOptions, workers int) ([]ExperimentOutcome, error) {
+	return experiment.RunAll(w, opt, workers)
+}
+
 type unknownExperimentError string
 
 func (e unknownExperimentError) Error() string {

@@ -96,6 +96,14 @@ type Result struct {
 // ErrBadConfig reports an unusable configuration.
 var ErrBadConfig = errors.New("des: bad config")
 
+// validSpan reports whether a Horizon/Warmup value is usable: NaN and
+// ±Inf would silently poison every time average (yielding all-NaN
+// statistics with a nil error), so they are rejected up front; negative
+// and zero values remain "use the default".
+func validSpan(x float64) bool {
+	return !math.IsNaN(x) && !math.IsInf(x, 0)
+}
+
 // Run simulates the switch and returns the measured statistics.
 func Run(cfg Config) (Result, error) {
 	n := len(cfg.Rates)
@@ -110,6 +118,9 @@ func Run(cfg Config) (Result, error) {
 		total += r
 	}
 	if total >= 1 {
+		return Result{}, ErrBadConfig
+	}
+	if !validSpan(cfg.Horizon) || !validSpan(cfg.Warmup) {
 		return Result{}, ErrBadConfig
 	}
 	if cfg.Horizon <= 0 {

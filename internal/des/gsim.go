@@ -210,6 +210,9 @@ func RunG(cfg GConfig) (Result, error) {
 	if total >= 1 {
 		return Result{}, ErrBadConfig
 	}
+	if !validSpan(cfg.Horizon) || !validSpan(cfg.Warmup) {
+		return Result{}, ErrBadConfig
+	}
 	if cfg.Service == nil {
 		cfg.Service = randdist.Exponential{}
 	}

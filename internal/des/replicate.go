@@ -1,0 +1,41 @@
+package des
+
+import (
+	"fmt"
+
+	"greednet/internal/parallel"
+)
+
+// RunReplications fans independent replications of cfg across a worker
+// pool, one replication per seed, and returns the results in seed order.
+// Each replication owns its rng stream (randdist.NewRand(seed)) and a
+// fresh Discipline from newDisc — Discipline implementations are
+// stateful and single-goroutine, so cfg.Discipline is ignored here and
+// newDisc must build a new instance per call.  Determinism is free:
+// replication i's result depends only on cfg and seeds[i], so the output
+// is identical for every worker count (≤ 0 means runtime.GOMAXPROCS(0)).
+//
+// cfg.OnDeparture must be nil: a shared callback would be invoked from
+// several replications at once.  On failure the lowest-index
+// replication's error is returned.
+func RunReplications(cfg Config, newDisc func() Discipline, seeds []int64, workers int) ([]Result, error) {
+	if newDisc == nil || len(seeds) == 0 || cfg.OnDeparture != nil {
+		return nil, ErrBadConfig
+	}
+	results := make([]Result, len(seeds))
+	err := parallel.MapOrderedErr(workers, len(seeds), func(i int) error {
+		c := cfg
+		c.Discipline = newDisc()
+		c.Seed = seeds[i]
+		res, err := Run(c)
+		if err != nil {
+			return fmt.Errorf("des: replication %d (seed %d): %w", i, seeds[i], err)
+		}
+		results[i] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return results, nil
+}

@@ -195,6 +195,9 @@ func RunSched(cfg SchedConfig) (Result, error) {
 	if total >= 1 {
 		return Result{}, ErrBadConfig
 	}
+	if !validSpan(cfg.Horizon) || !validSpan(cfg.Warmup) {
+		return Result{}, ErrBadConfig
+	}
 	if cfg.Service == nil {
 		cfg.Service = randdist.Exponential{}
 	}

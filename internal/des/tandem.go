@@ -56,25 +56,28 @@ func RunTandem(cfg TandemConfig) (TandemResult, error) {
 	}
 	sumLong := 0.0
 	for _, r := range cfg.LongRates {
-		if r <= 0 {
+		if r <= 0 || math.IsNaN(r) {
 			return TandemResult{}, ErrBadConfig
 		}
 		sumLong += r
 	}
 	loadA, loadB := sumLong, sumLong
 	for _, r := range cfg.CrossA {
-		if r <= 0 {
+		if r <= 0 || math.IsNaN(r) {
 			return TandemResult{}, ErrBadConfig
 		}
 		loadA += r
 	}
 	for _, r := range cfg.CrossB {
-		if r <= 0 {
+		if r <= 0 || math.IsNaN(r) {
 			return TandemResult{}, ErrBadConfig
 		}
 		loadB += r
 	}
 	if loadA >= 1 || loadB >= 1 {
+		return TandemResult{}, ErrBadConfig
+	}
+	if !validSpan(cfg.Horizon) || !validSpan(cfg.Warmup) {
 		return TandemResult{}, ErrBadConfig
 	}
 	if cfg.Horizon <= 0 {

@@ -43,10 +43,7 @@ func E10FTPTelnet() Experiment {
 		if opt.Fast {
 			horizon = 3e4
 		}
-		seed := opt.Seed
-		if seed == 0 {
-			seed = 1010
-		}
+		seed := opt.SeedOr(1010)
 
 		type row struct {
 			name                string

@@ -26,10 +26,7 @@ func E11Separable() Experiment {
 		if err := header(w, e); err != nil {
 			return Verdict{}, err
 		}
-		seed := opt.Seed
-		if seed == 0 {
-			seed = 1111
-		}
+		seed := opt.SeedOr(1111)
 		rng := randdist.NewRand(seed)
 		profiles := 10
 		if opt.Fast {

@@ -28,10 +28,7 @@ func E13FairQueueing() Experiment {
 		if opt.Fast {
 			horizon = 4e4
 		}
-		seed := opt.Seed
-		if seed == 0 {
-			seed = 1313
-		}
+		seed := opt.SeedOr(1313)
 		sim, err := des.Run(des.Config{
 			Rates:      rates,
 			Discipline: &des.HOLProcessorSharing{},

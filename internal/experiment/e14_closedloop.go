@@ -27,10 +27,7 @@ func E14ClosedLoop() Experiment {
 		if err := header(w, e); err != nil {
 			return Verdict{}, err
 		}
-		seed := opt.Seed
-		if seed == 0 {
-			seed = 1414
-		}
+		seed := opt.SeedOr(1414)
 		n := 3
 		gamma := 0.25
 		us := utility.Identical(utility.NewLinear(1, gamma), n)

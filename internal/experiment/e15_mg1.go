@@ -31,10 +31,7 @@ func E15GeneralService() Experiment {
 		if err := header(w, e); err != nil {
 			return Verdict{}, err
 		}
-		seed := opt.Seed
-		if seed == 0 {
-			seed = 1515
-		}
+		seed := opt.SeedOr(1515)
 		match := true
 		models := []mm1.MG1{{CV2: 0}, {CV2: 2}}
 

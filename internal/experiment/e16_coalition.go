@@ -26,10 +26,7 @@ func E16Coalition() Experiment {
 		if err := header(w, e); err != nil {
 			return Verdict{}, err
 		}
-		seed := opt.Seed
-		if seed == 0 {
-			seed = 1616
-		}
+		seed := opt.SeedOr(1616)
 		samples := 1200
 		if opt.Fast {
 			samples = 300

@@ -23,10 +23,7 @@ func E17Automata() Experiment {
 		if err := header(w, e); err != nil {
 			return Verdict{}, err
 		}
-		seed := opt.Seed
-		if seed == 0 {
-			seed = 1717
-		}
+		seed := opt.SeedOr(1717)
 		n := 3
 		gamma := 0.25
 		us := utility.Identical(utility.NewLinear(1, gamma), n)

@@ -28,10 +28,7 @@ func E18DKSFairQueueing() Experiment {
 		if opt.Fast {
 			horizon = 5e4
 		}
-		seed := opt.Seed
-		if seed == 0 {
-			seed = 1818
-		}
+		seed := opt.SeedOr(1818)
 		match := true
 
 		run := func(rates []float64, sched des.Scheduler, sd int64) (des.Result, error) {

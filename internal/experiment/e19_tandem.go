@@ -29,10 +29,7 @@ func E19Tandem() Experiment {
 		if opt.Fast {
 			horizon = 6e4
 		}
-		seed := opt.Seed
-		if seed == 0 {
-			seed = 1919
-		}
+		seed := opt.SeedOr(1919)
 		long, crossA, crossB := 0.15, 0.35, 0.3
 		rates := []float64{long, crossA, crossB}
 		routes := [][]int{{0, 1}, {0}, {1}}

@@ -27,10 +27,7 @@ func E1Table1() Experiment {
 		if opt.Fast {
 			horizon = 4e4
 		}
-		seed := opt.Seed
-		if seed == 0 {
-			seed = 101
-		}
+		seed := opt.SeedOr(101)
 		want := alloc.FairShare{}.Congestion(rates)
 		res, err := des.Run(des.Config{
 			Rates:      rates,

@@ -26,10 +26,7 @@ func E20OnlyFairShare() Experiment {
 		if err := header(w, e); err != nil {
 			return Verdict{}, err
 		}
-		seed := opt.Seed
-		if seed == 0 {
-			seed = 2020
-		}
+		seed := opt.SeedOr(2020)
 		thetas := []float64{0, 0.25, 0.5, 0.75, 0.9, 1}
 		if opt.Fast {
 			thetas = []float64{0, 0.5, 0.9, 1}

@@ -26,10 +26,7 @@ func E2Efficiency() Experiment {
 		if err := header(w, e); err != nil {
 			return Verdict{}, err
 		}
-		seed := opt.Seed
-		if seed == 0 {
-			seed = 202
-		}
+		seed := opt.SeedOr(202)
 		rng := randdist.NewRand(seed)
 		gamma := 0.2
 		u := utility.NewLinear(1, gamma)

@@ -24,10 +24,7 @@ func E4Envy() Experiment {
 		if err := header(w, e); err != nil {
 			return Verdict{}, err
 		}
-		seed := opt.Seed
-		if seed == 0 {
-			seed = 404
-		}
+		seed := opt.SeedOr(404)
 		rng := randdist.NewRand(seed)
 		match := true
 

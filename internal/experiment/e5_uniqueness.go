@@ -24,10 +24,7 @@ func E5Uniqueness() Experiment {
 		if err := header(w, e); err != nil {
 			return Verdict{}, err
 		}
-		seed := opt.Seed
-		if seed == 0 {
-			seed = 505
-		}
+		seed := opt.SeedOr(505)
 		rng := randdist.NewRand(seed)
 		starts := 24
 		profiles := 8

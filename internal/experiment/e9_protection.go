@@ -25,10 +25,7 @@ func E9Protection() Experiment {
 		if err := header(w, e); err != nil {
 			return Verdict{}, err
 		}
-		seed := opt.Seed
-		if seed == 0 {
-			seed = 909
-		}
+		seed := opt.SeedOr(909)
 		iters := 600
 		if opt.Fast {
 			iters = 120

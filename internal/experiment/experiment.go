@@ -9,6 +9,7 @@ import (
 	"io"
 	"math"
 	"sort"
+	"sync"
 	"text/tabwriter"
 )
 
@@ -18,8 +19,21 @@ type Options struct {
 	// benchmarks and smoke tests.
 	Fast bool
 	// Seed makes randomized searches reproducible; 0 means the per-
-	// experiment default.
+	// experiment default unless SeedSet marks the zero as intentional.
 	Seed int64
+	// SeedSet marks Seed as explicitly chosen, which makes seed 0
+	// pinnable (cmd/greedbench sets it whenever -seed appears on the
+	// command line, whatever its value).
+	SeedSet bool
+}
+
+// SeedOr resolves the run's seed: Seed when pinned (nonzero, or zero
+// with SeedSet), otherwise the experiment's default def.
+func (o Options) SeedOr(def int64) int64 {
+	if o.SeedSet || o.Seed != 0 {
+		return o.Seed
+	}
+	return def
 }
 
 // Experiment is one reproducible claim from the paper.
@@ -69,14 +83,25 @@ func All() []Experiment {
 	}
 }
 
+// registryByID is the one-time ID index over All(); constructors run
+// once instead of once per lookup.  All() itself still materializes a
+// fresh slice per call, so callers remain free to reslice it.
+var (
+	registryOnce sync.Once
+	registryByID map[string]Experiment
+)
+
 // ByID returns the experiment with the given ID, or false.
 func ByID(id string) (Experiment, bool) {
-	for _, e := range All() {
-		if e.ID == id {
-			return e, true
+	registryOnce.Do(func() {
+		all := All()
+		registryByID = make(map[string]Experiment, len(all))
+		for _, e := range all {
+			registryByID[e.ID] = e
 		}
-	}
-	return Experiment{}, false
+	})
+	e, ok := registryByID[id]
+	return e, ok
 }
 
 // IDs returns all registered IDs sorted.

@@ -1,0 +1,46 @@
+package experiment
+
+import (
+	"bytes"
+	"io"
+
+	"greednet/internal/parallel"
+)
+
+// Outcome pairs an experiment with its run result.
+type Outcome struct {
+	// Experiment is the registry entry that ran.
+	Experiment Experiment
+	// Verdict is the paper-vs-measured comparison (zero when Err != nil).
+	Verdict Verdict
+	// Err is the run's error, if any; a failed experiment does not stop
+	// the rest of the suite.
+	Err error
+}
+
+// RunSuite executes the given experiments, fanning the runs across a
+// worker pool.  Each experiment renders into its own buffer and the
+// buffers are flushed to w in the given order, so the combined output is
+// byte-identical for every worker count (workers ≤ 0 means
+// runtime.GOMAXPROCS(0), 1 runs on the calling goroutine).  The returned
+// outcomes are in the same order as es; the error is the first failure
+// writing to w, not an experiment failure — those live in the outcomes.
+func RunSuite(w io.Writer, es []Experiment, opt Options, workers int) ([]Outcome, error) {
+	bufs := make([]bytes.Buffer, len(es))
+	out := make([]Outcome, len(es))
+	parallel.MapOrdered(workers, len(es), func(i int) {
+		v, err := es[i].Run(&bufs[i], opt)
+		out[i] = Outcome{Experiment: es[i], Verdict: v, Err: err}
+	})
+	for i := range bufs {
+		if _, err := w.Write(bufs[i].Bytes()); err != nil {
+			return out, err
+		}
+	}
+	return out, nil
+}
+
+// RunAll runs the full registry in presentation order; see RunSuite.
+func RunAll(w io.Writer, opt Options, workers int) ([]Outcome, error) {
+	return RunSuite(w, All(), opt, workers)
+}

@@ -1,0 +1,43 @@
+package game
+
+import (
+	"testing"
+
+	"greednet/internal/alloc"
+	"greednet/internal/utility"
+)
+
+// TestMultiStartNashWorkerCountInvariant checks the pooled solver is a
+// pure speedup: distinct limits and per-start results must be identical
+// (bitwise — the solves are deterministic) for every worker count.
+func TestMultiStartNashWorkerCountInvariant(t *testing.T) {
+	us := utility.Identical(utility.NewLinear(1, 0.25), 3)
+	var starts [][]float64
+	for _, s := range []float64{0.05, 0.1, 0.2, 0.3, 0.08, 0.15} {
+		starts = append(starts, []float64{s, s / 2, s / 3})
+	}
+
+	refDistinct, refAll := MultiStartNashWorkers(1, alloc.FairShare{}, us, starts, NashOptions{}, 1e-6)
+	if len(refAll) != len(starts) {
+		t.Fatalf("reference: %d/%d starts converged", len(refAll), len(starts))
+	}
+	if len(refDistinct) != 1 {
+		t.Fatalf("Fair Share must have one distinct limit (Theorem 4), got %d", len(refDistinct))
+	}
+
+	for _, workers := range []int{2, 8, 0} {
+		distinct, all := MultiStartNashWorkers(workers, alloc.FairShare{}, us, starts, NashOptions{}, 1e-6)
+		if len(distinct) != len(refDistinct) || len(all) != len(refAll) {
+			t.Fatalf("workers=%d: %d distinct / %d all, want %d / %d",
+				workers, len(distinct), len(all), len(refDistinct), len(refAll))
+		}
+		for k := range all {
+			for i := range all[k].R {
+				if all[k].R[i] != refAll[k].R[i] { //lint:allow floateq deterministic solves must agree bitwise across worker counts
+					t.Errorf("workers=%d: start %d rate %d = %v, want %v",
+						workers, k, i, all[k].R[i], refAll[k].R[i])
+				}
+			}
+		}
+	}
+}

@@ -6,6 +6,7 @@ import (
 
 	"greednet/internal/core"
 	"greednet/internal/numeric"
+	"greednet/internal/parallel"
 )
 
 // UpdateScheme selects how best responses are applied during Nash
@@ -168,14 +169,34 @@ func NashTrajectory(a core.Allocation, us core.Profile, r0 []core.Rate, opt Nash
 
 // MultiStartNash solves from several starting points and reports the
 // distinct limits found (within tol in the ∞-norm).  For Fair Share the
-// result always has exactly one element (Theorem 4).
+// result always has exactly one element (Theorem 4).  The independent
+// solves fan out across runtime.GOMAXPROCS(0) workers; use
+// MultiStartNashWorkers to bound the pool.
 func MultiStartNash(a core.Allocation, us core.Profile, starts [][]core.Rate, opt NashOptions, tol float64) ([]NashResult, []NashResult) {
-	var distinct, all []NashResult
-	for _, s := range starts {
-		res, err := SolveNash(a, us, s, opt)
+	return MultiStartNashWorkers(0, a, us, starts, opt, tol)
+}
+
+// MultiStartNashWorkers is MultiStartNash on a pool of the given size
+// (≤ 0 means runtime.GOMAXPROCS(0)).  Each start's solve is independent
+// and deterministic, and deduplication walks the solved starts in input
+// order, so the result is identical for every worker count.
+func MultiStartNashWorkers(workers int, a core.Allocation, us core.Profile, starts [][]core.Rate, opt NashOptions, tol float64) ([]NashResult, []NashResult) {
+	solved := make([]NashResult, len(starts))
+	converged := make([]bool, len(starts))
+	parallel.MapOrdered(workers, len(starts), func(k int) {
+		res, err := SolveNash(a, us, starts[k], opt)
 		if err != nil || !res.Converged {
+			return
+		}
+		solved[k] = res
+		converged[k] = true
+	})
+	var distinct, all []NashResult
+	for k := range starts {
+		if !converged[k] {
 			continue
 		}
+		res := solved[k]
 		all = append(all, res)
 		dup := false
 		for _, d := range distinct {

@@ -21,9 +21,11 @@ import (
 // atomic.* calls are never ident writes, so they are out of scope (and
 // out of danger of false positives).
 //
-// The tree has no goroutines today; this analyzer is the lint gate for
-// the ROADMAP's parallel-sweep work, so that when hot paths fan out the
-// accumulators they share are already forced through sync.
+// The tree's goroutines all live in internal/parallel's worker pool
+// (tasks write through per-index slice slots and join on a WaitGroup,
+// which is exactly the shape this analyzer wants); the analyzer remains
+// the gate that keeps any future direct spawn honest about the
+// accumulators it shares.
 var ParSafe = &Analyzer{
 	Name: "parsafe",
 	Doc: "flags variables written both inside a go func literal and by " +

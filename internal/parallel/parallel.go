@@ -1,0 +1,124 @@
+// Package parallel is the repo's fan-out primitive: a fixed-size worker
+// pool executing n indexed tasks with order-preserving semantics.  Results
+// land at their task's index and errors are reported lowest-index-first,
+// so for deterministic task functions every observable output — returned
+// error included — is identical for any worker count.  That invariant is
+// what lets the experiment suite, the multi-start Nash solver, the figure
+// sweeps, and DES replications fan out while staying byte-reproducible.
+//
+// The package is stdlib-only and contains the tree's only `go` statements
+// outside tests; the greedlint parsafe analyzer gates the goroutine
+// bodies (workers write exclusively through per-index slice slots and
+// join on a WaitGroup, so there is nothing for it to flag).
+package parallel
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers clamps a requested worker count to [1, n]: non-positive
+// requests mean "use the hardware" (runtime.GOMAXPROCS(0)), and a pool
+// never holds more workers than tasks.
+func Workers(workers, n int) int {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// MapOrdered runs fn(0), …, fn(n-1) on a pool of workers and returns
+// once every call has finished.  Tasks are claimed in index order but may
+// complete in any order; callers record results by index (into
+// preallocated slots) so the aggregate is independent of scheduling.  A
+// panicking task does not take down its worker: the panic is contained,
+// the remaining tasks still run, and the lowest-index panic is re-raised
+// on the calling goroutine with the task index and original stack.
+func MapOrdered(workers, n int, fn func(i int)) {
+	// The wrapped fn never errors, so the only non-nil outcome is a
+	// contained panic, which mustRun re-raises before returning.
+	_ = mustRun(workers, n, func(i int) error {
+		fn(i)
+		return nil
+	})
+}
+
+// MapOrderedErr is MapOrdered for fallible tasks: every task runs to
+// completion (an error does not cancel the rest, matching sequential
+// collect-then-report semantics), and the error of the lowest-index
+// failing task is returned — deterministic whatever the completion order.
+func MapOrderedErr(workers, n int, fn func(i int) error) error {
+	return mustRun(workers, n, fn)
+}
+
+// contained is one captured task panic.
+type contained struct {
+	val   interface{}
+	stack []byte
+}
+
+// runTask executes one task, converting a panic into a contained record
+// so a worker survives to claim its next index.
+func runTask(fn func(int) error, i int, errs []error, panics []*contained) {
+	defer func() {
+		if r := recover(); r != nil {
+			panics[i] = &contained{val: r, stack: debug.Stack()}
+		}
+	}()
+	errs[i] = fn(i)
+}
+
+// mustRun drives the pool and re-raises the lowest-index contained panic
+// (the "must" prefix marks the deliberate re-panic: a task panic is the
+// caller's bug surfacing, not a pool failure to downgrade into an error).
+func mustRun(workers, n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	errs := make([]error, n)
+	panics := make([]*contained, n)
+	w := Workers(workers, n)
+	if w == 1 {
+		// Degenerate pool: run on the calling goroutine, same containment.
+		for i := 0; i < n; i++ {
+			runTask(fn, i, errs, panics)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for k := 0; k < w; k++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= n {
+						return
+					}
+					runTask(fn, i, errs, panics)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	for i, p := range panics {
+		if p != nil {
+			panic(fmt.Sprintf("parallel: task %d panicked: %v\n%s", i, p.val, p.stack))
+		}
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -19,6 +19,7 @@ import (
 	"greednet/internal/game"
 	"greednet/internal/mm1"
 	"greednet/internal/numeric"
+	"greednet/internal/parallel"
 	"greednet/internal/utility"
 )
 
@@ -76,12 +77,19 @@ func (t Table) Column(name string) []float64 {
 // Eigenvalue sweeps the proportional relaxation spectral radius against
 // the congestion sensitivity γ for N identical linear users, with the
 // analytic prediction and the 1−N limit (the paper's §4.2.3 claim).
-func Eigenvalue(n int, gammas []float64) (Table, error) {
+// Rows are computed independently on a pool of workers (≤ 0 means
+// runtime.GOMAXPROCS(0)) and assembled in γ order, so the table is
+// identical for every worker count; on error the table holds the rows
+// that precede the first failing γ, matching the sequential contract.
+func Eigenvalue(workers, n int, gammas []float64) (Table, error) {
 	t := Table{
 		Name:   "eigenvalue",
 		Header: []string{"gamma", "load", "rho", "rho_analytic", "limit"},
 	}
-	for _, gamma := range gammas {
+	rows := make([][]float64, len(gammas))
+	errs := make([]error, len(gammas))
+	parallel.MapOrdered(workers, len(gammas), func(k int) {
+		gamma := gammas[k]
 		us := utility.Identical(utility.NewLinear(1, gamma), n)
 		r0 := make([]float64, n)
 		for i := range r0 {
@@ -89,34 +97,48 @@ func Eigenvalue(n int, gammas []float64) (Table, error) {
 		}
 		res, err := game.SolveNash(alloc.Proportional{}, us, r0, game.NashOptions{})
 		if err != nil || !res.Converged {
-			return t, fmt.Errorf("sweep: proportional Nash failed at γ=%v", gamma)
+			errs[k] = fmt.Errorf("sweep: proportional Nash failed at γ=%v", gamma)
+			return
 		}
 		A := game.RelaxationMatrix(alloc.Proportional{}, us, res.R, 1e-6)
 		rho, err := numeric.SpectralRadius(A)
 		if err != nil {
-			return t, err
+			errs[k] = err
+			return
 		}
 		s := mm1.Sum(res.R)
 		tt := 1 - s
 		analytic := float64(n-1) * (tt + 2*res.R[0]) / (2 * (tt + res.R[0]))
-		t.Rows = append(t.Rows, []float64{gamma, s, rho, analytic, float64(n - 1)})
+		rows[k] = []float64{gamma, s, rho, analytic, float64(n - 1)}
+	})
+	for k := range gammas {
+		if errs[k] != nil {
+			return t, errs[k]
+		}
+		t.Rows = append(t.Rows, rows[k])
 	}
 	return t, nil
 }
 
 // EfficiencyGap sweeps the per-user utility loss of the FIFO Nash
 // equilibrium relative to the symmetric Pareto point as the population
-// grows (the tragedy-of-the-commons curve of §4.1.1).
-func EfficiencyGap(gamma float64, ns []int) (Table, error) {
+// grows (the tragedy-of-the-commons curve of §4.1.1).  Per-population
+// rows run on a pool of workers and assemble in input order; see
+// Eigenvalue for the determinism contract.
+func EfficiencyGap(workers int, gamma float64, ns []int) (Table, error) {
 	t := Table{
 		Name:   "efficiency-gap",
 		Header: []string{"n", "nash_rate", "pareto_rate", "u_nash", "u_pareto", "relative_loss"},
 	}
 	u := utility.NewLinear(1, gamma)
-	for _, n := range ns {
+	rows := make([][]float64, len(ns))
+	errs := make([]error, len(ns))
+	parallel.MapOrdered(workers, len(ns), func(k int) {
+		n := ns[k]
 		rp, cp, ok := game.SymmetricParetoRate(u, n)
 		if !ok {
-			return t, fmt.Errorf("sweep: no Pareto rate for n=%d", n)
+			errs[k] = fmt.Errorf("sweep: no Pareto rate for n=%d", n)
+			return
 		}
 		us := utility.Identical(u, n)
 		r0 := make([]float64, n)
@@ -125,7 +147,8 @@ func EfficiencyGap(gamma float64, ns []int) (Table, error) {
 		}
 		res, err := game.SolveNash(alloc.Proportional{}, us, r0, game.NashOptions{})
 		if err != nil || !res.Converged {
-			return t, fmt.Errorf("sweep: FIFO Nash failed at n=%d", n)
+			errs[k] = fmt.Errorf("sweep: FIFO Nash failed at n=%d", n)
+			return
 		}
 		uN := u.Value(res.R[0], res.C[0])
 		uP := u.Value(rp, cp)
@@ -133,7 +156,13 @@ func EfficiencyGap(gamma float64, ns []int) (Table, error) {
 		if uP != 0 { //lint:allow floateq division guard: relative loss undefined at exactly-zero utility
 			loss = (uP - uN) / math.Abs(uP)
 		}
-		t.Rows = append(t.Rows, []float64{float64(n), res.R[0], rp, uN, uP, loss})
+		rows[k] = []float64{float64(n), res.R[0], rp, uN, uP, loss}
+	})
+	for k := range ns {
+		if errs[k] != nil {
+			return t, errs[k]
+		}
+		t.Rows = append(t.Rows, rows[k])
 	}
 	return t, nil
 }
@@ -231,7 +260,10 @@ func ReactionCurves(a core.Allocation, us core.Profile, points int) (Table, erro
 
 // NewtonResiduals sweeps synchronous-Newton residuals per step under both
 // disciplines near their equilibria (the Theorem-7 convergence curve).
-func NewtonResiduals(n int, steps int) (Table, error) {
+// The two disciplines' solves run concurrently on the pool, and results
+// are kept positionally — column i belongs to allocs[i] by construction,
+// so a renamed Name() can never silently turn a column into all-NaN.
+func NewtonResiduals(workers, n, steps int) (Table, error) {
 	t := Table{
 		Name:   "newton-residuals",
 		Header: []string{"step", "resid_fairshare", "resid_fifo"},
@@ -240,23 +272,32 @@ func NewtonResiduals(n int, steps int) (Table, error) {
 	for i := range us {
 		us[i] = utility.NewLinear(1, 0.12+0.08*float64(i))
 	}
-	hist := map[string][]float64{}
-	for _, a := range []core.Allocation{alloc.FairShare{}, alloc.Proportional{}} {
+	allocs := []core.Allocation{alloc.FairShare{}, alloc.Proportional{}}
+	resids := make([][]float64, len(allocs))
+	errs := make([]error, len(allocs))
+	parallel.MapOrdered(workers, len(allocs), func(j int) {
+		a := allocs[j]
 		r0 := make([]float64, n)
 		for i := range r0 {
 			r0[i] = 0.3 / float64(n)
 		}
 		res, err := game.SolveNash(a, us, r0, game.NashOptions{})
 		if err != nil || !res.Converged {
-			return t, fmt.Errorf("sweep: Nash failed for %s", a.Name())
+			errs[j] = fmt.Errorf("sweep: Nash failed for %s", a.Name())
+			return
 		}
 		start := append([]float64(nil), res.R...)
 		for i := range start {
 			start[i] *= 1.02
 		}
-		hist[a.Name()] = game.NewtonConvergence(a, us, start, steps)
+		resids[j] = game.NewtonConvergence(a, us, start, steps)
+	})
+	for _, err := range errs {
+		if err != nil {
+			return t, err
+		}
 	}
-	fs, pr := hist["fair-share"], hist["proportional"]
+	fs, pr := resids[0], resids[1]
 	for k := 0; k <= steps; k++ {
 		row := []float64{float64(k), math.NaN(), math.NaN()}
 		if k < len(fs) {

@@ -12,7 +12,7 @@ import (
 )
 
 func TestEigenvalueSweepShape(t *testing.T) {
-	tab, err := Eigenvalue(4, []float64{0.5, 0.1, 0.02})
+	tab, err := Eigenvalue(0, 4, []float64{0.5, 0.1, 0.02})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -38,7 +38,7 @@ func TestEigenvalueSweepShape(t *testing.T) {
 }
 
 func TestEfficiencyGapGrowsWithN(t *testing.T) {
-	tab, err := EfficiencyGap(0.2, []int{2, 4, 8})
+	tab, err := EfficiencyGap(0, 0.2, []int{2, 4, 8})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -98,7 +98,7 @@ func TestInteractiveDelaySweep(t *testing.T) {
 }
 
 func TestNewtonResidualsSweep(t *testing.T) {
-	tab, err := NewtonResiduals(3, 6)
+	tab, err := NewtonResiduals(0, 3, 6)
 	if err != nil {
 		t.Fatal(err)
 	}
