@@ -30,7 +30,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -timeout 5m ./...
 
 # Suite benchmarks plus the perf-trajectory artifact: one sequential and
 # one pooled pass over the fast suite, archived as BENCH_parallel.json
@@ -44,6 +44,7 @@ bench:
 fuzz:
 	$(GO) test ./internal/alloc -run='^$$' -fuzz=FuzzFairShareInvariants -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/alloc -run='^$$' -fuzz=FuzzTablePriorityGMatchesFairShareAtCV1 -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/chaos -run='^$$' -fuzz=FuzzAllocationPassThrough -fuzztime=$(FUZZTIME)
 
 clean:
 	rm -rf bin

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	greedbench [-run E1,E8] [-fast] [-seed N] [-workers N] [-list]
+//	greedbench [-run E1,E8] [-fast] [-seed N] [-workers N] [-timeout D] [-chaos] [-list]
 //
 // Experiments fan out across -workers goroutines (default: all cores),
 // each rendering into its own buffer; buffers are flushed in registry
@@ -12,12 +12,20 @@
 // -seed pins every experiment's seed — including -seed 0, which is a
 // real seed, not "use the defaults".
 //
-// Exit status is nonzero if any selected experiment fails to reproduce the
-// paper's shape.
+// With -timeout each experiment runs under a watchdog: one that exceeds
+// it renders a deterministic FAILED(deadline) block in its slot while
+// the rest of the suite completes normally.  -chaos appends the
+// deliberately misbehaving chaos experiments (EX1 hangs, EX2 panics) to
+// the selection — use with -timeout to exercise the degradation paths.
+//
+// Exit status: 1 if any selected experiment fails, times out, panics, or
+// mismatches the paper's shape; 2 on infrastructure errors (bad flags,
+// write failures).
 package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -38,6 +46,8 @@ func main() {
 		mdOut   = flag.String("md", "", "also write a Markdown verdict summary to this path")
 		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "parallel experiment runners (1 runs sequentially; output is identical either way)")
 		benchJS = flag.String("benchjson", "", "time the suite sequentially and at -workers, write the comparison as JSON to this path")
+		timeout = flag.Duration("timeout", 0, "per-experiment watchdog; a run exceeding it renders FAILED(deadline) in its slot (0 disables)")
+		chaosOn = flag.Bool("chaos", false, "append the fault-injection chaos experiments (EX1 hangs; EX2 panics) to the selection")
 	)
 	flag.Parse()
 	// The flag's zero value and an explicit -seed 0 must stay
@@ -53,6 +63,11 @@ func main() {
 	if *list {
 		for _, e := range experiment.All() {
 			fmt.Printf("%-4s %-28s %s\n", e.ID, e.Source, e.Title)
+		}
+		if *chaosOn {
+			for _, e := range experiment.ChaosExperiments() {
+				fmt.Printf("%-4s %-28s %s\n", e.ID, e.Source, e.Title)
+			}
 		}
 		return
 	}
@@ -76,7 +91,11 @@ func main() {
 		}
 	}
 
-	opt := experiment.Options{Fast: *fast, Seed: *seed, SeedSet: seedSet}
+	if *chaosOn {
+		selected = append(selected, experiment.ChaosExperiments()...)
+	}
+
+	opt := experiment.Options{Fast: *fast, Seed: *seed, SeedSet: seedSet, Timeout: *timeout}
 
 	if *benchJS != "" {
 		if err := writeBenchJSON(*benchJS, selected, opt, *workers); err != nil {
@@ -87,7 +106,10 @@ func main() {
 	}
 
 	outcomes, err := experiment.RunSuite(os.Stdout, selected, opt, *workers)
-	if err != nil {
+	var suiteErr *experiment.SuiteError
+	if err != nil && !errors.As(err, &suiteErr) {
+		// Infrastructure failure (e.g. stdout write error); experiment
+		// failures are *SuiteError and are summarized from the outcomes.
 		fmt.Fprintln(os.Stderr, "greedbench:", err)
 		os.Exit(2)
 	}
@@ -156,9 +178,12 @@ func writeBenchJSON(path string, selected []experiment.Experiment, opt experimen
 	run := func(w int) (time.Duration, error) {
 		start := time.Now()
 		outcomes, err := experiment.RunSuite(io.Discard, selected, opt, w)
-		if err != nil {
+		var se *experiment.SuiteError
+		if err != nil && !errors.As(err, &se) {
 			return 0, err
 		}
+		// A verdict mismatch (SuiteError with no outcome errors) still
+		// times fine; only hard experiment errors invalidate the bench.
 		for _, o := range outcomes {
 			if o.Err != nil {
 				return 0, fmt.Errorf("%s errored: %w", o.Experiment.ID, o.Err)

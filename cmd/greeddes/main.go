@@ -5,13 +5,22 @@
 // Example:
 //
 //	greeddes -rates 0.1,0.15,0.2,0.25 -disc fairshare -horizon 4e5
+//
+// With -timeout the simulation runs under a wall-clock deadline; a run
+// that exceeds it prints FAILED(deadline) and exits non-zero (no partial
+// statistics are reported — truncated time averages are biased).
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"text/tabwriter"
+	"time"
+
+	"greednet/internal/core"
 
 	"greednet/internal/alloc"
 	"greednet/internal/cliutil"
@@ -28,8 +37,16 @@ func main() {
 		seed     = flag.Int64("seed", 1, "random seed")
 		cv2      = flag.Float64("cv2", -1, "service-time CV² for the general-service engine (−1 = exponential fast path)")
 		traceOut = flag.String("trace", "", "write a per-packet CSV trace to this path (memoryless engine only)")
+		timeout  = flag.Duration("timeout", 0, "wall-clock deadline for the simulation; exceeding it prints FAILED(deadline) and exits 1 (0 disables)")
 	)
 	flag.Parse()
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	rates, err := cliutil.ParseRates(*ratesStr)
 	fatalIf(err)
@@ -61,14 +78,14 @@ func main() {
 			fatalIf(fmt.Errorf("general-service engine supports fifo|fairshare|ratepriority, not %q", *discName))
 		}
 		discLabel = fmt.Sprintf("%s (M/G/1, cv²=%g)", cls.Name(), *cv2)
-		res, err = des.RunG(des.GConfig{
+		res, err = des.RunGCtx(ctx, des.GConfig{
 			Rates:    rates,
 			Service:  randdist.FromCV2(*cv2),
 			Classify: cls,
 			Horizon:  *horizon,
 			Seed:     *seed,
 		})
-		fatalIf(err)
+		fatalSim(err, *timeout)
 	} else {
 		disc, err := cliutil.ParseDiscipline(*discName)
 		fatalIf(err)
@@ -82,8 +99,8 @@ func main() {
 		if tracer != nil {
 			cfg.OnDeparture = tracer.Observe
 		}
-		res, err = des.Run(cfg)
-		fatalIf(err)
+		res, err = des.RunCtx(ctx, cfg)
+		fatalSim(err, *timeout)
 	}
 	if tracer != nil {
 		f, err := os.Create(*traceOut)
@@ -113,6 +130,23 @@ func main() {
 	tw.Flush() //lint:allow errdrop console tabwriter over stdout: best-effort like fmt.Printf
 	fmt.Printf("total queue %.5g (station model predicts %.5g)\n",
 		res.TotalAvgQueue, model.L(mm1.Sum(rates)))
+}
+
+// fatalSim reports a simulation error; deadline and cancellation errors
+// get the FAILED(...) rendering so scripts can grep for them.
+func fatalSim(err error, timeout time.Duration) {
+	if err == nil {
+		return
+	}
+	switch {
+	case errors.Is(err, core.ErrDeadline):
+		fmt.Fprintf(os.Stderr, "greeddes: FAILED(deadline): simulation exceeded the %v deadline\n", timeout)
+	case errors.Is(err, core.ErrCanceled):
+		fmt.Fprintf(os.Stderr, "greeddes: FAILED(canceled): %v\n", err)
+	default:
+		fmt.Fprintln(os.Stderr, "greeddes:", err)
+	}
+	os.Exit(1)
 }
 
 func fatalIf(err error) {

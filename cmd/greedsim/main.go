@@ -8,13 +8,23 @@
 //	greedsim -disc fair-share -profile "linear:1,0.2;linear:1,0.3"
 //	greedsim -disc fifo -profile "linear:1,0.2;linear:1,0.2" -mode stackelberg -leader 0
 //	greedsim -disc fair-share -profile "linear:1,0.25;log:0.3,1" -mode envy
+//	greedsim -disc fair-share -mode nash -multistart 32 -seed 7
+//
+// With -timeout the cooperative modes (nash, pareto, envy, dynamics,
+// coalition) run their solves under a deadline; a solve that exceeds it
+// prints FAILED(deadline) and exits non-zero.  -multistart N solves from
+// N random starting points (seeded by -seed) and reports the distinct
+// equilibria found plus the number of starts dropped for non-convergence.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"text/tabwriter"
+	"time"
 
 	"greednet/internal/cliutil"
 	"greednet/internal/core"
@@ -36,8 +46,18 @@ func main() {
 		startStr = flag.String("start", "", "starting rates (default 0.1 each)")
 		rounds   = flag.Int("rounds", 400, "rounds for -mode dynamics")
 		scenario = flag.String("scenario", "", "named scenario overriding -profile: symmetric:N,γ | ftptelnet | cheater:V,R | mixed | random:N,SEED")
+		timeout  = flag.Duration("timeout", 0, "deadline for the solve; exceeding it prints FAILED(deadline) and exits 1 (0 disables)")
+		nstarts  = flag.Int("multistart", 0, "solve -mode nash from N random starts and report distinct equilibria and dropped starts (0 disables)")
+		msSeed   = flag.Int64("seed", 1, "RNG seed for the -multistart starting points")
 	)
 	flag.Parse()
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	a, err := cliutil.ParseAlloc(*discName)
 	fatalIf(err)
@@ -71,8 +91,12 @@ func main() {
 
 	switch *mode {
 	case "nash":
-		res, err := game.SolveNash(a, us, start, game.NashOptions{Free: free})
-		fatalIf(err)
+		if *nstarts > 0 {
+			runMultiStart(ctx, a, us, free, *nstarts, *msSeed, *timeout)
+			return
+		}
+		res, err := game.SolveNashCtx(ctx, a, us, start, game.NashOptions{Free: free})
+		fatalSolve(err, *timeout)
 		printPoint(a.Name()+" Nash equilibrium", us, core.Point{R: res.R, C: res.C})
 		fmt.Printf("converged=%v iters=%d maxDeviationGain=%.3g\n",
 			res.Converged, res.Iters, res.MaxGain)
@@ -84,16 +108,16 @@ func main() {
 			us, core.Point{R: st.R, C: st.C})
 		fmt.Printf("leader advantage over Nash: %.6g\n", adv)
 	case "pareto":
-		res, err := game.SolveNash(a, us, start, game.NashOptions{Free: free})
-		fatalIf(err)
+		res, err := game.SolveNashCtx(ctx, a, us, start, game.NashOptions{Free: free})
+		fatalSolve(err, *timeout)
 		p := core.Point{R: res.R, C: res.C}
 		printPoint(a.Name()+" Nash equilibrium", us, p)
 		resid := game.ParetoResidual(us, p)
 		fmt.Printf("Pareto FDC residual: %v (‖·‖∞ = %.3g; zero ⇒ candidate Pareto point)\n",
 			resid, numeric.VecNormInf(resid))
 	case "envy":
-		res, err := game.SolveNash(a, us, start, game.NashOptions{Free: free})
-		fatalIf(err)
+		res, err := game.SolveNashCtx(ctx, a, us, start, game.NashOptions{Free: free})
+		fatalSolve(err, *timeout)
 		p := core.Point{R: res.R, C: res.C}
 		printPoint(a.Name()+" Nash equilibrium", us, p)
 		amount, i, j := game.MaxEnvy(us, p)
@@ -113,10 +137,11 @@ func main() {
 		}
 		tw.Flush() //lint:allow errdrop console tabwriter over stdout: best-effort like fmt.Printf
 	case "dynamics":
-		traj := dynamics.HillClimb(a, us, start, dynamics.HillClimbOptions{
+		traj, err := dynamics.HillClimbCtx(ctx, a, us, start, dynamics.HillClimbOptions{
 			Rounds: *rounds,
 			Step:   0.005,
 		})
+		fatalSolve(err, *timeout)
 		series := make([]plot.Series, n)
 		for i := 0; i < n; i++ {
 			series[i] = plot.Series{
@@ -129,8 +154,8 @@ func main() {
 		final := traj[len(traj)-1]
 		printPoint("final point", us, core.At(a, final))
 	case "coalition":
-		res, err := game.SolveNash(a, us, start, game.NashOptions{Free: free})
-		fatalIf(err)
+		res, err := game.SolveNashCtx(ctx, a, us, start, game.NashOptions{Free: free})
+		fatalSolve(err, *timeout)
 		printPoint(a.Name()+" Nash equilibrium", us, core.Point{R: res.R, C: res.C})
 		rng := randdist.NewRand(1)
 		w := game.StrongEquilibriumCheck(a, us, res.R, rng, 1000)
@@ -157,6 +182,61 @@ func printPoint(title string, us core.Profile, p core.Point) {
 	// out-of-domain point prints ±Inf, which is the honest report.
 	fmt.Printf("total load %.4g, total queue %.4g (M/M/1 predicts %.4g)\n",
 		mm1.Sum(p.R), mm1.Sum(p.C), mm1.G(mm1.Sum(p.R))) //lint:allow feasguard diagnostic print of the solver's point; ±Inf is the honest rendering
+}
+
+// runMultiStart solves from n random feasible starting points and
+// reports the distinct equilibria plus the starts dropped for
+// non-convergence (or abandoned to the deadline).
+func runMultiStart(ctx context.Context, a core.Allocation, us core.Profile, free []bool, n int, seed int64, timeout time.Duration) {
+	rng := randdist.NewRand(seed)
+	users := len(us)
+	sts := make([][]float64, n)
+	for m := range sts {
+		s := make([]float64, users)
+		for i := range s {
+			// Scaled so Σs < users/(users+1) < 1: every start is feasible.
+			s[i] = (0.01 + 0.98*rng.Float64()) / float64(users+1)
+		}
+		sts[m] = s
+	}
+	ms, err := game.MultiStartNashCtx(ctx, 0, a, us, sts, game.NashOptions{Free: free}, 1e-4)
+	fatalSolve(err, timeout)
+	fmt.Printf("%s multi-start: %d starts (seed %d), %d converged, %d distinct equilibria, %d dropped\n",
+		a.Name(), n, seed, len(ms.All), len(ms.Distinct), ms.Dropped)
+	for i, res := range ms.Distinct {
+		printPoint(fmt.Sprintf("equilibrium %d (reached by first start at iters=%d)", i, res.Iters),
+			us, core.Point{R: res.R, C: res.C})
+	}
+	if ms.Dropped > 0 {
+		fmt.Fprintf(os.Stderr, "greedsim: %d of %d starts dropped (solver error or non-convergence)\n",
+			ms.Dropped, n)
+		os.Exit(1)
+	}
+}
+
+// fatalSolve reports a solve error; deadline and cancellation errors get
+// the FAILED(...) rendering so scripts can grep for them.
+func fatalSolve(err error, timeout time.Duration) {
+	if err == nil {
+		return
+	}
+	switch {
+	case errors.Is(err, core.ErrDeadline) && timeout > 0:
+		fmt.Fprintf(os.Stderr, "greedsim: FAILED(deadline): solve exceeded the %v deadline\n", timeout)
+	case errors.Is(err, core.ErrDeadline) || errors.Is(err, core.ErrCanceled):
+		fmt.Fprintf(os.Stderr, "greedsim: FAILED(%s): %v\n", reasonOf(err), err)
+	default:
+		fmt.Fprintln(os.Stderr, "greedsim:", err)
+	}
+	os.Exit(1)
+}
+
+// reasonOf maps a context-flavored error to its FAILED tag.
+func reasonOf(err error) string {
+	if errors.Is(err, core.ErrDeadline) {
+		return "deadline"
+	}
+	return "canceled"
 }
 
 func fatalIf(err error) {

@@ -7,9 +7,15 @@
 //	greedsweep -sweep protection -csv protection.csv
 //	greedsweep -sweep newton -workers 8
 //	greedsweep -list
+//
+// With -timeout the sweep runs under a deadline; one that exceeds it
+// prints FAILED(deadline) and exits non-zero (partial rows are
+// discarded — a truncated figure is worse than none).
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -30,8 +36,16 @@ func main() {
 		chart   = flag.Bool("chart", false, "render an ASCII chart instead of CSV")
 		list    = flag.Bool("list", false, "list sweeps and exit")
 		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "worker pool size for per-row sweep work (1 runs sequentially; output is identical either way)")
+		timeout = flag.Duration("timeout", 0, "deadline for the sweep; exceeding it prints FAILED(deadline) and exits 1 (0 disables)")
 	)
 	flag.Parse()
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	if *list {
 		fmt.Println("eigen       ρ(A) vs γ under FIFO (§4.2.3 instability)")
@@ -44,9 +58,15 @@ func main() {
 		return
 	}
 
-	tab, series, logY, err := build(*name, *n, *workers)
+	tab, series, logY, err := build(ctx, *name, *n, *workers)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "greedsweep:", err)
+		if errors.Is(err, core.ErrDeadline) && *timeout > 0 {
+			fmt.Fprintf(os.Stderr, "greedsweep: FAILED(deadline): sweep exceeded the %v deadline\n", *timeout)
+		} else if errors.Is(err, core.ErrDeadline) || errors.Is(err, core.ErrCanceled) {
+			fmt.Fprintf(os.Stderr, "greedsweep: FAILED: %v\n", err)
+		} else {
+			fmt.Fprintln(os.Stderr, "greedsweep:", err)
+		}
 		os.Exit(1)
 	}
 
@@ -79,18 +99,18 @@ func main() {
 }
 
 // build constructs the requested sweep plus chart series.
-func build(name string, n, workers int) (sweep.Table, []plot.Series, bool, error) {
+func build(ctx context.Context, name string, n, workers int) (sweep.Table, []plot.Series, bool, error) {
 	switch name {
 	case "eigen":
 		gammas := []float64{0.8, 0.5, 0.3, 0.2, 0.1, 0.05, 0.02, 0.01, 0.004}
-		tab, err := sweep.Eigenvalue(workers, n, gammas)
+		tab, err := sweep.EigenvalueCtx(ctx, workers, n, gammas)
 		return tab, []plot.Series{
 			{Name: "rho(A)", Y: tab.Column("rho")},
 			{Name: "limit N-1", Y: tab.Column("limit")},
 		}, false, err
 	case "gap":
 		ns := []int{2, 3, 4, 6, 8, 12, 16}
-		tab, err := sweep.EfficiencyGap(workers, 0.2, ns)
+		tab, err := sweep.EfficiencyGapCtx(ctx, workers, 0.2, ns)
 		return tab, []plot.Series{
 			{Name: "relative loss", Y: tab.Column("relative_loss")},
 		}, false, err
@@ -99,30 +119,30 @@ func build(name string, n, workers int) (sweep.Table, []plot.Series, bool, error
 		for a := 0.05; a <= 2.0; a += 0.05 {
 			atk = append(atk, a)
 		}
-		tab := sweep.Protection(0.1, 2, atk)
+		tab, err := sweep.ProtectionCtx(ctx, 0.1, 2, atk)
 		return tab, []plot.Series{
 			{Name: "victim under FIFO", Y: tab.Column("victim_c_fifo")},
 			{Name: "victim under Fair Share", Y: tab.Column("victim_c_fairshare")},
 			{Name: "bound", Y: tab.Column("bound")},
-		}, true, nil
+		}, true, err
 	case "ghc":
-		tab := sweep.GHCWidths(n, 0.25, 14)
+		tab, err := sweep.GHCWidthsCtx(ctx, n, 0.25, 14)
 		return tab, []plot.Series{
 			{Name: "Fair Share box width", Y: tab.Column("width_fairshare")},
 			{Name: "FIFO box width", Y: tab.Column("width_fifo")},
-		}, true, nil
+		}, true, err
 	case "delay":
 		var bulk []float64
 		for b := 0.05; b <= 0.95; b += 0.05 {
 			bulk = append(bulk, b)
 		}
-		tab := sweep.InteractiveDelay(0.02, bulk)
+		tab, err := sweep.InteractiveDelayCtx(ctx, 0.02, bulk)
 		return tab, []plot.Series{
 			{Name: "FIFO delay", Y: tab.Column("delay_fifo")},
 			{Name: "Fair Share delay", Y: tab.Column("delay_fairshare")},
-		}, true, nil
+		}, true, err
 	case "newton":
-		tab, err := sweep.NewtonResiduals(workers, n, 8)
+		tab, err := sweep.NewtonResidualsCtx(ctx, workers, n, 8)
 		return tab, []plot.Series{
 			{Name: "Fair Share residual", Y: tab.Column("resid_fairshare")},
 			{Name: "FIFO residual", Y: tab.Column("resid_fifo")},
@@ -132,11 +152,11 @@ func build(name string, n, workers int) (sweep.Table, []plot.Series, bool, error
 			utility.NewLinear(1, 0.25),
 			utility.NewLinear(1, 0.25),
 		}
-		tab, err := sweep.ReactionCurves(alloc.FairShare{}, us, 40)
+		tab, err := sweep.ReactionCurvesCtx(ctx, alloc.FairShare{}, us, 40)
 		if err != nil {
 			return tab, nil, false, err
 		}
-		tabF, err := sweep.ReactionCurves(alloc.Proportional{}, us, 40)
+		tabF, err := sweep.ReactionCurvesCtx(ctx, alloc.Proportional{}, us, 40)
 		if err != nil {
 			return tab, nil, false, err
 		}

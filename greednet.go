@@ -32,6 +32,7 @@
 package greednet
 
 import (
+	"context"
 	"io"
 
 	"greednet/internal/alloc"
@@ -192,6 +193,22 @@ func BestResponse(a Allocation, u Utility, r []Rate, i int, opt BROptions) (x, v
 func SolveNash(a Allocation, us Profile, r0 []Rate, opt NashOptions) (NashResult, error) {
 	return game.SolveNash(a, us, r0, opt)
 }
+
+// SolveNashCtx is SolveNash under a context: the solver polls ctx once
+// per best-response round and gives up with ErrCanceled / ErrDeadline.
+func SolveNashCtx(ctx context.Context, a Allocation, us Profile, r0 []Rate, opt NashOptions) (NashResult, error) {
+	return game.SolveNashCtx(ctx, a, us, r0, opt)
+}
+
+// Typed cancellation sentinels: every cooperative loop in the tree (Nash
+// solvers, dynamics, sweeps, DES engines, the experiment suite) reports
+// giving up to a context with one of these, so callers can distinguish
+// "gave up" from "diverged" with errors.Is.  They unwrap to the stdlib
+// context causes.
+var (
+	ErrCanceled = core.ErrCanceled
+	ErrDeadline = core.ErrDeadline
+)
 
 // SolveStackelberg computes a leader-follower equilibrium.
 func SolveStackelberg(a Allocation, us Profile, leader int, r0 []Rate, opt StackOptions) (StackelbergResult, error) {

@@ -1,0 +1,124 @@
+// Package chaos holds deterministic, seedable fault injectors used to
+// prove the tree's degradation paths actually fire: a congestion-function
+// wrapper that injects NaNs, divergent congestion, or never-converging
+// best-response landscapes; a wall-clock slowdown wrapper for exercising
+// deadlines; and a service-discipline wrapper that perturbs the service
+// order.  Everything here is driven only by its configuration and its
+// seed — two runs with the same knobs produce the same faults — so chaos
+// tests are as reproducible as ordinary ones.
+//
+// The injectors live in the library tree (not under _test.go) so CLI
+// smoke tests and the experiment harness can reach them, but nothing in
+// the production paths imports them.
+package chaos
+
+import (
+	"math"
+	"time"
+
+	"greednet/internal/core"
+)
+
+// Allocation wraps an inner allocation and perturbs its congestion
+// reports according to the enabled knobs.  With every knob at its zero
+// value it is an exact pass-through (the fuzz suite pins this).  The
+// wrapper keeps a per-instance call counter, so like the disciplines it
+// decorates it is single-goroutine; give each concurrent run its own
+// instance.
+type Allocation struct {
+	// Inner is the allocation being perturbed.
+	Inner core.Allocation
+	// NaNAfter, when positive, makes every congestion report after the
+	// NaNAfter-th call return NaN entries — the "analytic model left its
+	// domain silently" failure.
+	NaNAfter int
+	// Diverge, when positive, inflates every congestion entry by
+	// (1 + Diverge·calls): reports grow without bound, the signature of a
+	// divergent fixed-point iteration.
+	Diverge float64
+	// Oscillate, when in (0, 1), multiplies the k-th congestion report by
+	// 1 + Oscillate·sin(k).  The perturbation is bounded and fully
+	// deterministic but quasi-periodic — its period is irrational in
+	// calls — so it can never phase-lock with a solver's per-round call
+	// pattern: any solver chasing a fixed point through this wrapper sees
+	// a target that never stops moving.  (A period-2 flip would be
+	// invisible to a solver making an even number of calls per round.)
+	Oscillate float64
+
+	calls int
+}
+
+// Name identifies the wrapper and its inner discipline.
+func (a *Allocation) Name() string { return "chaos(" + a.Inner.Name() + ")" }
+
+// quiet reports whether every injection knob is off, i.e. the wrapper is
+// an exact pass-through.
+func (a *Allocation) quiet() bool {
+	return a.NaNAfter <= 0 && a.Diverge <= 0 && a.Oscillate <= 0
+}
+
+// factor returns the multiplicative perturbation for the current call and
+// advances the call counter; NaN means "poison the report".
+func (a *Allocation) factor() float64 {
+	a.calls++
+	if a.NaNAfter > 0 && a.calls > a.NaNAfter {
+		return math.NaN()
+	}
+	f := 1.0
+	if a.Diverge > 0 {
+		f *= 1 + a.Diverge*float64(a.calls)
+	}
+	if a.Oscillate > 0 {
+		f *= 1 + a.Oscillate*math.Sin(float64(a.calls))
+	}
+	return f
+}
+
+// Congestion returns the inner congestion vector under the configured
+// perturbation.
+func (a *Allocation) Congestion(r []core.Rate) []core.Congestion {
+	c := a.Inner.Congestion(r)
+	if a.quiet() {
+		return c
+	}
+	f := a.factor()
+	for i := range c {
+		c[i] *= f
+	}
+	return c
+}
+
+// CongestionOf returns the inner C_i(r) under the configured perturbation.
+func (a *Allocation) CongestionOf(r []core.Rate, i int) core.Congestion {
+	c := a.Inner.CongestionOf(r, i)
+	if a.quiet() {
+		return c
+	}
+	return c * core.Congestion(a.factor())
+}
+
+// SlowAllocation wraps an inner allocation and sleeps before every
+// congestion evaluation.  It exists to make wall-clock deadlines fire
+// deterministically in tests: a solver that evaluates congestion in its
+// inner loop becomes arbitrarily slow without any busy-waiting.
+type SlowAllocation struct {
+	// Inner is the allocation being slowed down.
+	Inner core.Allocation
+	// Delay is the per-call sleep.
+	Delay time.Duration
+}
+
+// Name identifies the wrapper and its inner discipline.
+func (s *SlowAllocation) Name() string { return "slow(" + s.Inner.Name() + ")" }
+
+// Congestion sleeps, then delegates.
+func (s *SlowAllocation) Congestion(r []core.Rate) []core.Congestion {
+	time.Sleep(s.Delay)
+	return s.Inner.Congestion(r)
+}
+
+// CongestionOf sleeps, then delegates.
+func (s *SlowAllocation) CongestionOf(r []core.Rate, i int) core.Congestion {
+	time.Sleep(s.Delay)
+	return s.Inner.CongestionOf(r, i)
+}

@@ -1,0 +1,158 @@
+package chaos
+
+import (
+	"context"
+	"errors"
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"greednet/internal/alloc"
+	"greednet/internal/core"
+	"greednet/internal/des"
+	"greednet/internal/game"
+	"greednet/internal/utility"
+)
+
+// TestPassThroughWhenQuiet pins the all-knobs-zero contract bitwise.
+func TestPassThroughWhenQuiet(t *testing.T) {
+	inner := alloc.FairShare{}
+	wrapped := &Allocation{Inner: inner}
+	r := []float64{0.2, 0.3, 0.1}
+	for trial := 0; trial < 3; trial++ { // repeated calls must stay quiet too
+		want := inner.Congestion(r)
+		got := wrapped.Congestion(r)
+		for i := range want {
+			if got[i] != want[i] { //lint:allow floateq pass-through must be exact, not approximate
+				t.Fatalf("trial %d: Congestion[%d] = %v, want %v", trial, i, got[i], want[i])
+			}
+		}
+		for i := range r {
+			if wrapped.CongestionOf(r, i) != inner.CongestionOf(r, i) { //lint:allow floateq pass-through must be exact, not approximate
+				t.Fatalf("trial %d: CongestionOf(%d) differs", trial, i)
+			}
+		}
+	}
+}
+
+// TestNaNInjectionIsRejected proves the Newton solver's finite-region
+// guard fires on a NaN-poisoned congestion function instead of iterating
+// on garbage.
+func TestNaNInjectionIsRejected(t *testing.T) {
+	us := utility.Identical(utility.NewLinear(1, 0.25), 2)
+	poisoned := &Allocation{Inner: alloc.FairShare{}, NaNAfter: 3}
+	_, err := game.SolveNashNewton(poisoned, us, []float64{0.1, 0.1}, 0, 0)
+	if err == nil {
+		t.Fatal("NaN-poisoned allocation must not solve cleanly")
+	}
+	if !strings.Contains(err.Error(), "finite") {
+		t.Errorf("want the finite-region rejection, got: %v", err)
+	}
+}
+
+// TestNaNInjectionFires sanity-checks the injector itself.
+func TestNaNInjectionFires(t *testing.T) {
+	a := &Allocation{Inner: alloc.FairShare{}, NaNAfter: 2}
+	r := []float64{0.2, 0.3}
+	if c := a.Congestion(r); math.IsNaN(c[0]) {
+		t.Fatal("call 1 should still be clean")
+	}
+	if c := a.Congestion(r); math.IsNaN(c[0]) {
+		t.Fatal("call 2 should still be clean")
+	}
+	if c := a.Congestion(r); !math.IsNaN(c[0]) {
+		t.Fatal("call 3 should be poisoned")
+	}
+}
+
+// TestOscillationPreventsConvergence proves a never-settling congestion
+// target drives the best-response solver to its MaxIter budget with
+// Converged == false — the "gave up by iteration count" path, which must
+// stay distinguishable from cancellation.
+func TestOscillationPreventsConvergence(t *testing.T) {
+	us := utility.Identical(utility.NewLinear(1, 0.25), 2)
+	wobble := &Allocation{Inner: alloc.FairShare{}, Oscillate: 0.3}
+	res, err := game.SolveNash(wobble, us, []float64{0.1, 0.1}, game.NashOptions{MaxIter: 20, Tol: 1e-12})
+	if err != nil {
+		t.Fatalf("oscillation is not an error condition, got: %v", err)
+	}
+	if res.Converged {
+		t.Fatal("a never-settling target must not report convergence")
+	}
+	if res.Iters < 20 {
+		t.Errorf("Iters = %d, want the full MaxIter budget spent", res.Iters)
+	}
+}
+
+// TestDivergenceGrowsReports sanity-checks the Diverge knob: successive
+// reports at the same point must strictly grow.
+func TestDivergenceGrowsReports(t *testing.T) {
+	a := &Allocation{Inner: alloc.FairShare{}, Diverge: 0.5}
+	r := []float64{0.2, 0.3}
+	prev := a.CongestionOf(r, 0)
+	for k := 0; k < 5; k++ {
+		next := a.CongestionOf(r, 0)
+		if next <= prev {
+			t.Fatalf("call %d: report %v did not grow past %v", k+2, next, prev)
+		}
+		prev = next
+	}
+}
+
+// TestSlowAllocationTriggersDeadline proves the deadline path end to end:
+// a solver whose congestion oracle sleeps must return core.ErrDeadline
+// under a short context, not run to completion.
+func TestSlowAllocationTriggersDeadline(t *testing.T) {
+	us := utility.Identical(utility.NewLinear(1, 0.25), 2)
+	slow := &SlowAllocation{Inner: alloc.FairShare{}, Delay: 2 * time.Millisecond}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	_, err := game.SolveNashCtx(ctx, slow, us, []float64{0.1, 0.1}, game.NashOptions{MaxIter: 1 << 20, Tol: 0})
+	if !errors.Is(err, core.ErrDeadline) {
+		t.Fatalf("got %v, want core.ErrDeadline", err)
+	}
+}
+
+// TestChaosDisciplineConservesWork proves the swap wrapper degrades
+// per-user order without breaking the work-conservation law the DES
+// validates: the total queue still matches g(Σr) = Σr/(1−Σr).
+func TestChaosDisciplineConservesWork(t *testing.T) {
+	rates := []float64{0.25, 0.25}
+	res, err := des.Run(des.Config{
+		Rates:      rates,
+		Discipline: &Discipline{Inner: &des.FIFO{}, Seed: 11, SwapEvery: 3},
+		Horizon:    5e4,
+		Seed:       42,
+	})
+	if err != nil {
+		t.Fatalf("chaos run failed: %v", err)
+	}
+	want := 0.5 / (1 - 0.5)
+	if math.Abs(res.TotalAvgQueue-want) > 0.1 {
+		t.Errorf("TotalAvgQueue = %v, want ≈ %v (work conservation must survive the swaps)", res.TotalAvgQueue, want)
+	}
+}
+
+// TestChaosDisciplineDeterministic pins reproducibility: same seeds, same
+// faults, same statistics.
+func TestChaosDisciplineDeterministic(t *testing.T) {
+	run := func() des.Result {
+		res, err := des.Run(des.Config{
+			Rates:      []float64{0.2, 0.3},
+			Discipline: &Discipline{Inner: &des.FIFO{}, Seed: 7, SwapEvery: 2},
+			Horizon:    1e4,
+			Seed:       13,
+		})
+		if err != nil {
+			t.Fatalf("run failed: %v", err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	for i := range a.AvgQueue {
+		if a.AvgQueue[i] != b.AvgQueue[i] { //lint:allow floateq identical seeds must reproduce identical fault sequences bitwise
+			t.Fatalf("AvgQueue[%d]: %v vs %v", i, a.AvgQueue[i], b.AvgQueue[i])
+		}
+	}
+}

@@ -1,0 +1,61 @@
+package chaos
+
+import (
+	"math/rand"
+
+	"greednet/internal/des"
+	"greednet/internal/randdist"
+)
+
+// Discipline wraps an inner service discipline and perturbs its service
+// order: every SwapEvery-th dequeue (jittered by the wrapper's own seeded
+// rng) it pulls TWO packets from the inner discipline, serves the second,
+// and re-enqueues the first.  The perturbation preserves the packet
+// population — nothing is lost or duplicated — so work conservation and
+// the total-queue law still hold, but per-user service guarantees of the
+// inner discipline degrade.  Chaos tests use it to confirm the DES
+// validators actually detect a discipline that misbehaves.
+//
+// The wrapper owns its rng (derived from Seed at Reset), deliberately NOT
+// the simulator's shared stream: injecting faults must not shift the
+// arrival process, so a chaos run stays event-for-event comparable with
+// its clean twin.
+type Discipline struct {
+	// Inner is the discipline being perturbed.
+	Inner des.Discipline
+	// Seed derives the wrapper's private rng at Reset.
+	Seed int64
+	// SwapEvery is the mean number of dequeues between perturbations;
+	// values < 1 disable the wrapper (exact pass-through).
+	SwapEvery int
+
+	rng *rand.Rand
+}
+
+// Name identifies the wrapper and its inner discipline.
+func (d *Discipline) Name() string { return "chaos(" + d.Inner.Name() + ")" }
+
+// Reset prepares the inner discipline and the wrapper's private rng.
+func (d *Discipline) Reset(rates []float64, rng *rand.Rand) {
+	d.Inner.Reset(rates, rng)
+	d.rng = randdist.NewRand(d.Seed)
+}
+
+// Enqueue delegates to the inner discipline.
+func (d *Discipline) Enqueue(p des.Packet) { d.Inner.Enqueue(p) }
+
+// Len delegates to the inner discipline.
+func (d *Discipline) Len() int { return d.Inner.Len() }
+
+// Dequeue serves the inner discipline's choice, except at perturbation
+// epochs (when at least two packets are queued), where it serves the
+// inner discipline's SECOND choice and puts the first back.
+func (d *Discipline) Dequeue() des.Packet {
+	if d.SwapEvery >= 1 && d.Inner.Len() >= 2 && d.rng.Intn(d.SwapEvery) == 0 {
+		first := d.Inner.Dequeue()
+		second := d.Inner.Dequeue()
+		d.Inner.Enqueue(first)
+		return second
+	}
+	return d.Inner.Dequeue()
+}

@@ -1,0 +1,53 @@
+package chaos
+
+import (
+	"math"
+	"testing"
+
+	"greednet/internal/alloc"
+)
+
+// FuzzAllocationPassThrough fuzzes the disabled-injection contract: with
+// every knob off the chaos wrapper must be bitwise transparent for ANY
+// rate vector — feasible, infeasible, or degenerate — and repeated calls
+// must stay transparent (the call counter must not leak into reports).
+func FuzzAllocationPassThrough(f *testing.F) {
+	f.Add(0.2, 0.3, 0.1)
+	f.Add(0.5, 0.5, 0.5)   // infeasible: Σr > 1
+	f.Add(1e-12, 0.9, 0.0) // zero rate
+	f.Add(2.0, 3.0, 4.0)   // far outside the domain
+	f.Fuzz(func(t *testing.T, r0, r1, r2 float64) {
+		for _, v := range []float64{r0, r1, r2} {
+			if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 || v > 10 {
+				t.Skip("the Allocation contract covers finite nonnegative rates")
+			}
+		}
+		r := []float64{r0, r1, r2}
+		for _, inner := range []interface {
+			Name() string
+			Congestion([]float64) []float64
+			CongestionOf([]float64, int) float64
+		}{alloc.FairShare{}, alloc.Proportional{}} {
+			wrapped := &Allocation{Inner: inner}
+			for trial := 0; trial < 2; trial++ {
+				want := inner.Congestion(r)
+				got := wrapped.Congestion(r)
+				if len(got) != len(want) {
+					t.Fatalf("%s: length %d, want %d", inner.Name(), len(got), len(want))
+				}
+				for i := range want {
+					same := got[i] == want[i] || (math.IsNaN(got[i]) && math.IsNaN(want[i])) //lint:allow floateq pass-through must be exact, not approximate
+					if !same {
+						t.Errorf("%s: Congestion(%v)[%d] = %v, want %v", inner.Name(), r, i, got[i], want[i])
+					}
+					single := wrapped.CongestionOf(r, i)
+					direct := inner.CongestionOf(r, i)
+					sameSingle := single == direct || (math.IsNaN(single) && math.IsNaN(direct)) //lint:allow floateq pass-through must be exact, not approximate
+					if !sameSingle {
+						t.Errorf("%s: CongestionOf(%v, %d) = %v, want %v", inner.Name(), r, i, single, direct)
+					}
+				}
+			}
+		}
+	})
+}

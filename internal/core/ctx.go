@@ -1,0 +1,53 @@
+package core
+
+import (
+	"context"
+	"errors"
+)
+
+// CtxError is the typed cancellation error returned by every long-running
+// loop in the tree (the Nash solvers, the dynamics iterators, the sweeps,
+// the DES engines, the parallel pool).  It distinguishes "the caller gave
+// up" from "the computation diverged": a solver that runs out of MaxIter
+// reports Converged == false with a nil (or domain-specific) error, while
+// a solver stopped by its context returns ErrCanceled or ErrDeadline.
+//
+// Both sentinels unwrap to the corresponding context error, so
+// errors.Is(err, context.DeadlineExceeded) and errors.Is(err,
+// core.ErrDeadline) agree.
+type CtxError struct {
+	reason string
+	cause  error
+}
+
+// Error implements error.
+func (e *CtxError) Error() string { return e.reason }
+
+// Unwrap links the sentinel to its context cause.
+func (e *CtxError) Unwrap() error { return e.cause }
+
+var (
+	// ErrCanceled reports a run stopped by context cancellation.
+	ErrCanceled = &CtxError{reason: "core: run canceled", cause: context.Canceled}
+	// ErrDeadline reports a run stopped by a context deadline.
+	ErrDeadline = &CtxError{reason: "core: run exceeded its deadline", cause: context.DeadlineExceeded}
+)
+
+// CtxErr polls a context without blocking: nil while ctx is live (or nil,
+// or uncancelable), otherwise the matching typed sentinel.  The
+// uncancelable fast path (ctx.Done() == nil, e.g. context.Background())
+// costs one comparison, so hot loops can call it every iteration.
+func CtxErr(ctx context.Context) error {
+	if ctx == nil || ctx.Done() == nil {
+		return nil
+	}
+	select {
+	case <-ctx.Done():
+		if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+			return ErrDeadline
+		}
+		return ErrCanceled
+	default:
+		return nil
+	}
+}

@@ -1,0 +1,53 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestCtxErrLiveAndNil(t *testing.T) {
+	if err := CtxErr(nil); err != nil {
+		t.Errorf("nil ctx: got %v, want nil", err)
+	}
+	if err := CtxErr(context.Background()); err != nil {
+		t.Errorf("background ctx: got %v, want nil", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if err := CtxErr(ctx); err != nil {
+		t.Errorf("live cancelable ctx: got %v, want nil", err)
+	}
+}
+
+func TestCtxErrCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := CtxErr(ctx)
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("canceled ctx: got %v, want ErrCanceled", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("ErrCanceled should unwrap to context.Canceled")
+	}
+	if errors.Is(err, ErrDeadline) {
+		t.Errorf("canceled ctx must not read as a deadline")
+	}
+}
+
+func TestCtxErrDeadline(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Nanosecond)
+	defer cancel()
+	<-ctx.Done()
+	err := CtxErr(ctx)
+	if !errors.Is(err, ErrDeadline) {
+		t.Fatalf("expired ctx: got %v, want ErrDeadline", err)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("ErrDeadline should unwrap to context.DeadlineExceeded")
+	}
+	if errors.Is(err, ErrCanceled) {
+		t.Errorf("deadline must not read as a plain cancellation")
+	}
+}

@@ -1,0 +1,33 @@
+package des
+
+import (
+	"context"
+
+	"greednet/internal/core"
+)
+
+// ctxGateEvery is how many events pass between context polls in the DES
+// event loops.  A power of two keeps the gate a mask-and-compare; 4096
+// events is ~microseconds of simulation work, so cancellation latency is
+// negligible while the poll cost is amortized to nothing.
+const ctxGateEvery = 4096
+
+// ctxGate polls a context once every ctxGateEvery calls.  The zero-ish
+// value (ctx set, n zero) is ready to use; a nil ctx never fires.
+type ctxGate struct {
+	ctx context.Context
+	n   uint
+}
+
+// Err reports the typed core.ErrCanceled / core.ErrDeadline once the
+// context fires, checking at the gate cadence.  The very first call polls
+// (so a dead-on-arrival context stops a run before any event), then every
+// ctxGateEvery-th call after that.
+func (g *ctxGate) Err() error {
+	open := g.n&(ctxGateEvery-1) == 0
+	g.n++
+	if !open {
+		return nil
+	}
+	return core.CtxErr(g.ctx)
+}

@@ -1,0 +1,102 @@
+package des
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"greednet/internal/core"
+)
+
+// TestRunCtxCanceledAllEngines checks every engine stops at its event
+// gate on a dead-on-arrival context and returns the typed error with a
+// zero result (partial time averages are not unbiased estimates, so none
+// may leak out).
+func TestRunCtxCanceledAllEngines(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	rates := []float64{0.2, 0.3}
+
+	res, err := RunCtx(ctx, Config{Rates: rates, Discipline: &FIFO{}, Horizon: 1e4, Seed: 1})
+	if !errors.Is(err, core.ErrCanceled) {
+		t.Errorf("RunCtx: got %v, want core.ErrCanceled", err)
+	}
+	if res.AvgQueue != nil {
+		t.Errorf("RunCtx: canceled run leaked statistics: %+v", res)
+	}
+
+	if _, err := RunGCtx(ctx, GConfig{Rates: rates, Horizon: 1e4, Seed: 1}); !errors.Is(err, core.ErrCanceled) {
+		t.Errorf("RunGCtx: got %v, want core.ErrCanceled", err)
+	}
+	if _, err := RunSchedCtx(ctx, SchedConfig{Rates: rates, Horizon: 1e4, Seed: 1}); !errors.Is(err, core.ErrCanceled) {
+		t.Errorf("RunSchedCtx: got %v, want core.ErrCanceled", err)
+	}
+	tcfg := TandemConfig{
+		LongRates: []float64{0.2},
+		CrossA:    []float64{0.1},
+		CrossB:    []float64{0.1},
+		NewDisc:   func() Discipline { return &FIFO{} },
+		Horizon:   1e4,
+		Seed:      1,
+	}
+	if _, err := RunTandemCtx(ctx, tcfg); !errors.Is(err, core.ErrCanceled) {
+		t.Errorf("RunTandemCtx: got %v, want core.ErrCanceled", err)
+	}
+}
+
+// TestRunCtxDeadlineMidRun gives a long simulation a few milliseconds and
+// checks the gate notices mid-run (the horizon would take far longer) and
+// reports the deadline flavor.
+func TestRunCtxDeadlineMidRun(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	_, err := RunCtx(ctx, Config{Rates: []float64{0.45, 0.45}, Discipline: &FIFO{}, Horizon: 1e9, Seed: 7})
+	if !errors.Is(err, core.ErrDeadline) {
+		t.Fatalf("got %v, want core.ErrDeadline", err)
+	}
+}
+
+// TestRunCtxLiveMatchesPlain pins the wrapper contract: a live context
+// changes nothing — bitwise — about the simulated statistics.
+func TestRunCtxLiveMatchesPlain(t *testing.T) {
+	cfg := Config{Rates: []float64{0.2, 0.3}, Discipline: &FIFO{}, Horizon: 5e3, Seed: 42}
+	plain, err := Run(withFreshFIFO(cfg))
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	viaCtx, err := RunCtx(context.Background(), withFreshFIFO(cfg))
+	if err != nil {
+		t.Fatalf("RunCtx: %v", err)
+	}
+	for i := range plain.AvgQueue {
+		if plain.AvgQueue[i] != viaCtx.AvgQueue[i] { //lint:allow floateq same seed and engine must agree bitwise with and without a live ctx
+			t.Errorf("AvgQueue[%d]: %v vs %v", i, plain.AvgQueue[i], viaCtx.AvgQueue[i])
+		}
+	}
+	if plain.Departures != viaCtx.Departures {
+		t.Errorf("Departures: %d vs %d", plain.Departures, viaCtx.Departures)
+	}
+}
+
+// TestRunReplicationsCtxCanceled checks a canceled replication fan
+// returns no partial result set.
+func TestRunReplicationsCtxCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	cfg := Config{Rates: []float64{0.2, 0.3}, Horizon: 1e3}
+	results, err := RunReplicationsCtx(ctx, cfg, func() Discipline { return &FIFO{} }, []int64{1, 2, 3}, 2)
+	if !errors.Is(err, core.ErrCanceled) {
+		t.Fatalf("got %v, want core.ErrCanceled", err)
+	}
+	if results != nil {
+		t.Errorf("canceled fan leaked a partial result set")
+	}
+}
+
+// withFreshFIFO hands each run its own discipline instance (disciplines
+// are stateful and single-run).
+func withFreshFIFO(cfg Config) Config {
+	cfg.Discipline = &FIFO{}
+	return cfg
+}

@@ -13,6 +13,7 @@
 package des
 
 import (
+	"context"
 	"errors"
 	"math"
 	"math/rand"
@@ -106,6 +107,14 @@ func validSpan(x float64) bool {
 
 // Run simulates the switch and returns the measured statistics.
 func Run(cfg Config) (Result, error) {
+	return RunCtx(context.Background(), cfg)
+}
+
+// RunCtx is Run under a context, polled every few thousand events (see
+// ctxGate).  A canceled run returns a zero Result with the typed
+// core.ErrCanceled / core.ErrDeadline: partial time averages from a
+// truncated horizon are not unbiased estimates, so none are reported.
+func RunCtx(ctx context.Context, cfg Config) (Result, error) {
 	n := len(cfg.Rates)
 	if n == 0 || cfg.Discipline == nil {
 		return Result{}, ErrBadConfig
@@ -157,7 +166,11 @@ func Run(cfg Config) (Result, error) {
 
 	t := 0.0
 	inSystem := 0
+	gate := ctxGate{ctx: ctx}
 	for t < end {
+		if err := gate.Err(); err != nil {
+			return Result{}, err
+		}
 		rate := total
 		if inSystem > 0 {
 			rate += 1

@@ -2,6 +2,7 @@ package des
 
 import (
 	"container/heap"
+	"context"
 	"math"
 	"math/rand"
 	"sort"
@@ -196,6 +197,12 @@ func (d *deque) len() int { return len(d.items) }
 
 // RunG simulates the general-service preemptive-priority station.
 func RunG(cfg GConfig) (Result, error) {
+	return RunGCtx(context.Background(), cfg)
+}
+
+// RunGCtx is RunG under a context; see RunCtx for the cancellation
+// contract (typed error, no partial statistics).
+func RunGCtx(ctx context.Context, cfg GConfig) (Result, error) {
 	n := len(cfg.Rates)
 	if n == 0 {
 		return Result{}, ErrBadConfig
@@ -277,7 +284,11 @@ func RunG(cfg GConfig) (Result, error) {
 		}
 	}
 
+	gate := ctxGate{ctx: ctx}
 	for events.Len() > 0 {
+		if err := gate.Err(); err != nil {
+			return Result{}, err
+		}
 		ev := heap.Pop(&events).(gevent)
 		now := ev.t
 		if now > end {

@@ -1,6 +1,7 @@
 package des
 
 import (
+	"context"
 	"fmt"
 
 	"greednet/internal/parallel"
@@ -19,15 +20,25 @@ import (
 // several replications at once.  On failure the lowest-index
 // replication's error is returned.
 func RunReplications(cfg Config, newDisc func() Discipline, seeds []int64, workers int) ([]Result, error) {
+	return RunReplicationsCtx(context.Background(), cfg, newDisc, seeds, workers)
+}
+
+// RunReplicationsCtx is RunReplications under a context: the pool stops
+// claiming new seeds once ctx fires, in-flight replications stop at their
+// next event gate, and the typed core.ErrCanceled / core.ErrDeadline is
+// returned with a nil result slice (replication sets are all-or-nothing —
+// a partial set would silently shrink the confidence intervals built on
+// it).
+func RunReplicationsCtx(ctx context.Context, cfg Config, newDisc func() Discipline, seeds []int64, workers int) ([]Result, error) {
 	if newDisc == nil || len(seeds) == 0 || cfg.OnDeparture != nil {
 		return nil, ErrBadConfig
 	}
 	results := make([]Result, len(seeds))
-	err := parallel.MapOrderedErr(workers, len(seeds), func(i int) error {
+	err := parallel.MapOrderedCtx(ctx, workers, len(seeds), func(i int) error {
 		c := cfg
 		c.Discipline = newDisc()
 		c.Seed = seeds[i]
-		res, err := Run(c)
+		res, err := RunCtx(ctx, c)
 		if err != nil {
 			return fmt.Errorf("des: replication %d (seed %d): %w", i, seeds[i], err)
 		}

@@ -2,6 +2,7 @@ package des
 
 import (
 	"container/heap"
+	"context"
 	"math"
 
 	"greednet/internal/randdist"
@@ -181,6 +182,12 @@ type SchedConfig struct {
 
 // RunSched simulates the non-preemptive scheduler.
 func RunSched(cfg SchedConfig) (Result, error) {
+	return RunSchedCtx(context.Background(), cfg)
+}
+
+// RunSchedCtx is RunSched under a context; see RunCtx for the
+// cancellation contract (typed error, no partial statistics).
+func RunSchedCtx(ctx context.Context, cfg SchedConfig) (Result, error) {
 	n := len(cfg.Rates)
 	if n == 0 {
 		return Result{}, ErrBadConfig
@@ -242,7 +249,11 @@ func RunSched(cfg SchedConfig) (Result, error) {
 	inSystem := 0
 	prev := 0.0
 
+	gate := ctxGate{ctx: ctx}
 	for events.Len() > 0 {
+		if err := gate.Err(); err != nil {
+			return Result{}, err
+		}
 		ev := heap.Pop(&events).(gevent)
 		now := ev.t
 		if now > end {

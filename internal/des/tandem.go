@@ -1,6 +1,7 @@
 package des
 
 import (
+	"context"
 	"math"
 
 	"greednet/internal/randdist"
@@ -49,6 +50,12 @@ type TandemResult struct {
 // RunTandem simulates the tandem.  Both stations must be stable:
 // Σ(long)+Σ(crossA) < 1 and Σ(long)+Σ(crossB) < 1.
 func RunTandem(cfg TandemConfig) (TandemResult, error) {
+	return RunTandemCtx(context.Background(), cfg)
+}
+
+// RunTandemCtx is RunTandem under a context; see RunCtx for the
+// cancellation contract (typed error, no partial statistics).
+func RunTandemCtx(ctx context.Context, cfg TandemConfig) (TandemResult, error) {
 	nLong, nA, nB := len(cfg.LongRates), len(cfg.CrossA), len(cfg.CrossB)
 	nUsers := nLong + nA + nB
 	if nUsers == 0 || cfg.NewDisc == nil || nLong == 0 {
@@ -132,7 +139,11 @@ func RunTandem(cfg TandemConfig) (TandemResult, error) {
 	busyA, busyB := 0, 0
 
 	t := 0.0
+	gate := ctxGate{ctx: ctx}
 	for t < end {
+		if err := gate.Err(); err != nil {
+			return TandemResult{}, err
+		}
 		rate := extTotal
 		if busyA > 0 {
 			rate++

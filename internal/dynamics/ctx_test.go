@@ -1,0 +1,68 @@
+package dynamics
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"greednet/internal/alloc"
+	"greednet/internal/core"
+	"greednet/internal/utility"
+)
+
+// TestGHCCtxCanceled checks an abandoned elimination run reports the
+// typed cancellation error without claiming a verdict: the partial box is
+// returned, but neither Converged nor Stalled is set.
+func TestGHCCtxCanceled(t *testing.T) {
+	n := 3
+	us := utility.Identical(utility.NewLinear(1, 0.25), n)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := GeneralizedHillClimbCtx(ctx, alloc.FairShare{}, us, NewBox(n, 1e-6, 1-1e-6),
+		EliminationOptions{Tol: 1e-3})
+	if !errors.Is(err, core.ErrCanceled) {
+		t.Fatalf("got %v, want core.ErrCanceled", err)
+	}
+	if res.Converged || res.Stalled {
+		t.Errorf("abandoned run must not claim a verdict (converged=%v stalled=%v)",
+			res.Converged, res.Stalled)
+	}
+	if res.Rounds != 0 {
+		t.Errorf("pre-canceled ctx should stop before any round, got %d", res.Rounds)
+	}
+	if len(res.Final.Lo) != n {
+		t.Errorf("partial result should still carry the box")
+	}
+}
+
+// TestGHCCtxLiveMatchesPlain pins the wrapper contract: under a live
+// context the Ctx variant is the plain function.
+func TestGHCCtxLiveMatchesPlain(t *testing.T) {
+	n := 2
+	us := utility.Identical(utility.NewLinear(1, 0.25), n)
+	opt := EliminationOptions{Tol: 1e-3}
+	plain := GeneralizedHillClimb(alloc.FairShare{}, us, NewBox(n, 1e-6, 1-1e-6), opt)
+	viaCtx, err := GeneralizedHillClimbCtx(context.Background(), alloc.FairShare{}, us, NewBox(n, 1e-6, 1-1e-6), opt)
+	if err != nil {
+		t.Fatalf("background ctx errored: %v", err)
+	}
+	if plain.Rounds != viaCtx.Rounds || plain.Converged != viaCtx.Converged {
+		t.Errorf("ctx and plain disagree: %+v vs %+v", viaCtx, plain)
+	}
+}
+
+// TestHillClimbCtxCanceled checks the gradient dynamics return the
+// truncated trajectory (here just the start) plus the typed error.
+func TestHillClimbCtxCanceled(t *testing.T) {
+	us := utility.Identical(utility.NewLinear(1, 0.25), 2)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	traj, err := HillClimbCtx(ctx, alloc.FairShare{}, us, []float64{0.1, 0.1},
+		HillClimbOptions{Rounds: 500})
+	if !errors.Is(err, core.ErrCanceled) {
+		t.Fatalf("got %v, want core.ErrCanceled", err)
+	}
+	if len(traj) != 1 {
+		t.Errorf("pre-canceled run should return only the start, got %d entries", len(traj))
+	}
+}

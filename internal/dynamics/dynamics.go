@@ -6,6 +6,7 @@
 package dynamics
 
 import (
+	"context"
 	"math"
 
 	"greednet/internal/core"
@@ -191,28 +192,44 @@ func RoundEliminate(a core.Allocation, us core.Profile, b Box, opt EliminationOp
 // a small positive width (the relaxation floor) instead of a point.  The
 // Nash equilibrium always remains inside the box; Contains can certify it.
 func GeneralizedHillClimb(a core.Allocation, us core.Profile, start Box, opt EliminationOptions) EliminationResult {
+	// The background context cannot fire, so the error path is dead.
+	res, _ := GeneralizedHillClimbCtx(context.Background(), a, us, start, opt)
+	return res
+}
+
+// GeneralizedHillClimbCtx is GeneralizedHillClimb under a context, polled
+// once per elimination round (each round grids every user's interval, so
+// the poll is amortized to nothing).  On cancellation it returns the box
+// as eliminated so far — still a sound enclosure of the equilibrium —
+// with the typed core.ErrCanceled / core.ErrDeadline; Converged and
+// Stalled both stay false, so an abandoned run cannot be mistaken for a
+// verdict about the discipline.
+func GeneralizedHillClimbCtx(ctx context.Context, a core.Allocation, us core.Profile, start Box, opt EliminationOptions) (EliminationResult, error) {
 	opt = opt.withDefaults()
 	res := EliminationResult{Final: start.clone()}
 	prev := res.Final.Width()
 	for res.Rounds = 0; res.Rounds < opt.MaxRounds; res.Rounds++ {
+		if err := core.CtxErr(ctx); err != nil {
+			return res, err
+		}
 		res.Final = RoundEliminate(a, us, res.Final, opt)
 		w := res.Final.Width()
 		res.Widths = append(res.Widths, w)
 		if w <= opt.Tol {
 			res.Converged = true
 			res.Rounds++
-			return res
+			return res, nil
 		}
 		// A full grid refinement halves the effective resolution each
 		// round; require at least 1% relative progress to continue.
 		if w > prev*0.999 {
 			res.Stalled = true
 			res.Rounds++
-			return res
+			return res, nil
 		}
 		prev = w
 	}
-	return res
+	return res, nil
 }
 
 // HillClimbOptions configures the incremental gradient dynamics.
@@ -260,12 +277,25 @@ func (o HillClimbOptions) withDefaults(n int) HillClimbOptions {
 // the uphill direction.  It returns the trajectory of rate vectors (one
 // entry per round, including the start).
 func HillClimb(a core.Allocation, us core.Profile, r0 []core.Rate, opt HillClimbOptions) [][]float64 {
+	// The background context cannot fire, so the error path is dead.
+	traj, _ := HillClimbCtx(context.Background(), a, us, r0, opt)
+	return traj
+}
+
+// HillClimbCtx is HillClimb under a context, polled once per round.  On
+// cancellation it returns the trajectory simulated so far (every entry is
+// real dynamics, just truncated) with the typed core.ErrCanceled /
+// core.ErrDeadline.
+func HillClimbCtx(ctx context.Context, a core.Allocation, us core.Profile, r0 []core.Rate, opt HillClimbOptions) ([][]float64, error) {
 	n := len(r0)
 	opt = opt.withDefaults(n)
 	r := append([]float64(nil), r0...)
 	traj := make([][]float64, 0, opt.Rounds+1)
 	traj = append(traj, append([]float64(nil), r...))
 	for round := 1; round <= opt.Rounds; round++ {
+		if err := core.CtxErr(ctx); err != nil {
+			return traj, err
+		}
 		next := append([]float64(nil), r...)
 		for i := 0; i < n; i++ {
 			if round%opt.Period[i] != 0 {
@@ -286,5 +316,5 @@ func HillClimb(a core.Allocation, us core.Profile, r0 []core.Rate, opt HillClimb
 		r = next
 		traj = append(traj, append([]float64(nil), r...))
 	}
-	return traj
+	return traj, nil
 }

@@ -1,0 +1,83 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"greednet/internal/alloc"
+	"greednet/internal/chaos"
+	"greednet/internal/game"
+	"greednet/internal/utility"
+)
+
+// Chaos experiments: deliberately misbehaving registry entries used to
+// prove the suite's degradation paths (watchdog, panic containment,
+// non-zero exits) end to end.  They are NOT part of All() — greedbench
+// appends them only under -chaos, and the robustness tests use them
+// directly.
+
+// ChaosExperiments returns the fault-injection registry.
+func ChaosExperiments() []Experiment {
+	return []Experiment{ChaosHang(), ChaosPanic()}
+}
+
+// ChaosHang is an experiment that never finishes on its own: it solves a
+// Nash system through a slowed, never-settling congestion oracle with an
+// effectively unbounded iteration budget.  It is cooperative — it polls
+// opt.Context() through SolveNashCtx — so a watchdog or suite
+// cancellation stops it at the next best-response round; without one it
+// runs for (practical) ever.  Exists to prove FAILED(deadline) fires.
+func ChaosHang() Experiment {
+	e := Experiment{
+		ID:     "EX1",
+		Source: "chaos",
+		Title:  "hanging experiment (never-converging slowed solve)",
+	}
+	e.Run = func(w io.Writer, opt Options) (Verdict, error) {
+		if err := header(w, e); err != nil {
+			return Verdict{}, err
+		}
+		us := utility.Identical(utility.NewLinear(1, 0.25), 2)
+		a := &chaos.SlowAllocation{
+			Inner: &chaos.Allocation{Inner: alloc.FairShare{}, Oscillate: 0.5},
+			Delay: 200 * time.Microsecond, // ≈ tens of ms per best-response round
+		}
+		res, err := game.SolveNashCtx(opt.Context(), a, us, []float64{0.1, 0.1},
+			game.NashOptions{MaxIter: 1 << 30, Tol: 1e-300})
+		if err != nil {
+			return Verdict{}, err
+		}
+		if _, err := fmt.Fprintf(w, "unexpectedly finished after %d rounds\n\n", res.Iters); err != nil {
+			return Verdict{}, err
+		}
+		return Verdict{Match: false, Note: "the hang experiment must not finish"}, nil
+	}
+	return e
+}
+
+// ChaosPanic is an experiment that dies of a genuine runtime panic (an
+// out-of-range index, not a panic() call), with a deterministic panic
+// message.  Exists to prove the suite's containment renders FAILED(panic)
+// and keeps sibling experiments alive.
+func ChaosPanic() Experiment {
+	e := Experiment{
+		ID:     "EX2",
+		Source: "chaos",
+		Title:  "panicking experiment (runtime out-of-range)",
+	}
+	e.Run = func(w io.Writer, opt Options) (Verdict, error) {
+		if err := header(w, e); err != nil {
+			return Verdict{}, err
+		}
+		empty := make([]int, 0)
+		i := 3
+		// The index expression panics while building the arguments, so the
+		// write never happens; the error path exists for the analyzer's sake.
+		if _, err := fmt.Fprintf(w, "this line is unreachable: %d\n", empty[i]); err != nil {
+			return Verdict{}, err
+		}
+		return Verdict{Match: false, Note: "the panic experiment must not finish"}, nil
+	}
+	return e
+}

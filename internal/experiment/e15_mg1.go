@@ -50,10 +50,10 @@ func E15GeneralService() Experiment {
 				}
 				starts[k] = s
 			}
-			distinct, all := game.MultiStartNash(a, us, starts, game.NashOptions{}, 1e-4)
+			ms := game.MultiStartNash(a, us, starts, game.NashOptions{}, 1e-4)
 			envy := 0.0
-			if len(all) > 0 {
-				envy, _, _ = game.MaxEnvy(us, core.Point{R: all[0].R, C: all[0].C})
+			if len(ms.All) > 0 {
+				envy, _, _ = game.MaxEnvy(us, core.Point{R: ms.All[0].R, C: ms.All[0].C})
 			}
 			// Adversarial protection probe with the generalized bound.
 			violations := 0
@@ -75,11 +75,11 @@ func E15GeneralService() Experiment {
 					}
 				}
 			}
-			ok := len(all) == len(starts) && len(distinct) == 1 && envy <= 1e-7 && violations == 0
+			ok := len(ms.All) == len(starts) && len(ms.Distinct) == 1 && envy <= 1e-7 && violations == 0
 			if !ok {
 				match = false
 			}
-			tb.row(m.Name(), len(distinct), envy, violations, yesno(ok))
+			tb.row(m.Name(), len(ms.Distinct), envy, violations, yesno(ok))
 		}
 		if err := tb.flush(); err != nil {
 			return Verdict{}, err

@@ -46,18 +46,18 @@ func E5Uniqueness() Experiment {
 				sts[m] = s
 			}
 			for _, a := range []core.Allocation{alloc.FairShare{}, alloc.Proportional{}} {
-				distinct, all := game.MultiStartNash(a, us, sts, game.NashOptions{}, 1e-4)
+				ms := game.MultiStartNash(a, us, sts, game.NashOptions{}, 1e-4)
 				maxDist := 0.0
-				for i := range all {
-					for j := i + 1; j < len(all); j++ {
-						if d := numeric.VecDist(all[i].R, all[j].R); d > maxDist {
+				for i := range ms.All {
+					for j := i + 1; j < len(ms.All); j++ {
+						if d := numeric.VecDist(ms.All[i].R, ms.All[j].R); d > maxDist {
 							maxDist = d
 						}
 					}
 				}
-				tb.row(k, n, a.Name(), len(all), len(distinct), maxDist)
+				tb.row(k, n, a.Name(), len(ms.All), len(ms.Distinct), maxDist)
 				if _, isFS := a.(alloc.FairShare); isFS {
-					if len(all) != starts || len(distinct) != 1 {
+					if len(ms.All) != starts || len(ms.Distinct) != 1 {
 						match = false
 					}
 				}

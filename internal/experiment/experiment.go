@@ -5,12 +5,14 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
 	"sort"
 	"sync"
 	"text/tabwriter"
+	"time"
 )
 
 // Options tunes a run.
@@ -25,6 +27,23 @@ type Options struct {
 	// pinnable (cmd/greedbench sets it whenever -seed appears on the
 	// command line, whatever its value).
 	SeedSet bool
+	// Timeout, when positive, arms a per-experiment watchdog in RunSuite:
+	// an experiment still running after Timeout is abandoned and its slot
+	// renders a deterministic FAILED(deadline) block.  Zero (the default)
+	// disables the watchdog.
+	Timeout time.Duration
+	// Ctx, when non-nil, cancels the whole run: the suite driver stops
+	// starting experiments once it fires, and cooperative experiments
+	// observe it via Context().  Nil means context.Background().
+	Ctx context.Context
+}
+
+// Context resolves the run's context, never nil.
+func (o Options) Context() context.Context {
+	if o.Ctx != nil {
+		return o.Ctx
+	}
+	return context.Background()
 }
 
 // SeedOr resolves the run's seed: Seed when pinned (nonzero, or zero

@@ -122,12 +122,12 @@ func TestFairShareUniqueness(t *testing.T) {
 		}
 		starts[k] = s
 	}
-	distinct, all := MultiStartNash(alloc.FairShare{}, us, starts, NashOptions{}, 1e-5)
-	if len(all) != len(starts) {
-		t.Fatalf("only %d/%d starts converged", len(all), len(starts))
+	ms := MultiStartNash(alloc.FairShare{}, us, starts, NashOptions{}, 1e-5)
+	if len(ms.All) != len(starts) {
+		t.Fatalf("only %d/%d starts converged", len(ms.All), len(starts))
 	}
-	if len(distinct) != 1 {
-		t.Fatalf("found %d distinct FS equilibria, want 1", len(distinct))
+	if len(ms.Distinct) != 1 {
+		t.Fatalf("found %d distinct FS equilibria, want 1", len(ms.Distinct))
 	}
 }
 

@@ -73,13 +73,19 @@ func TestMultiStartRejectsNonConverged(t *testing.T) {
 	us := utility.Identical(utility.NewLinear(1, 0.25), 2)
 	starts := [][]float64{{0.1, 0.1}, {0.2, 0.2}}
 	opt := NashOptions{MaxIter: 1} // too few rounds to converge from far away
-	_, all := MultiStartNash(alloc.FairShare{}, us, [][]float64{{0.45, 0.45}}, opt, 1e-6)
-	if len(all) != 0 {
-		t.Errorf("non-converged starts should be dropped, got %d", len(all))
+	res := MultiStartNash(alloc.FairShare{}, us, [][]float64{{0.45, 0.45}}, opt, 1e-6)
+	if len(res.All) != 0 {
+		t.Errorf("non-converged starts should be dropped, got %d", len(res.All))
 	}
-	_, all = MultiStartNash(alloc.FairShare{}, us, starts, NashOptions{}, 1e-6)
-	if len(all) != 2 {
-		t.Errorf("expected 2 converged runs, got %d", len(all))
+	if res.Dropped != 1 {
+		t.Errorf("Dropped = %d, want 1 (the drop must be counted, not silent)", res.Dropped)
+	}
+	res = MultiStartNash(alloc.FairShare{}, us, starts, NashOptions{}, 1e-6)
+	if len(res.All) != 2 {
+		t.Errorf("expected 2 converged runs, got %d", len(res.All))
+	}
+	if res.Dropped != 0 {
+		t.Errorf("Dropped = %d, want 0 on an all-converged set", res.Dropped)
 	}
 }
 

@@ -17,25 +17,25 @@ func TestMultiStartNashWorkerCountInvariant(t *testing.T) {
 		starts = append(starts, []float64{s, s / 2, s / 3})
 	}
 
-	refDistinct, refAll := MultiStartNashWorkers(1, alloc.FairShare{}, us, starts, NashOptions{}, 1e-6)
-	if len(refAll) != len(starts) {
-		t.Fatalf("reference: %d/%d starts converged", len(refAll), len(starts))
+	ref := MultiStartNashWorkers(1, alloc.FairShare{}, us, starts, NashOptions{}, 1e-6)
+	if len(ref.All) != len(starts) || ref.Dropped != 0 {
+		t.Fatalf("reference: %d/%d starts converged (%d dropped)", len(ref.All), len(starts), ref.Dropped)
 	}
-	if len(refDistinct) != 1 {
-		t.Fatalf("Fair Share must have one distinct limit (Theorem 4), got %d", len(refDistinct))
+	if len(ref.Distinct) != 1 {
+		t.Fatalf("Fair Share must have one distinct limit (Theorem 4), got %d", len(ref.Distinct))
 	}
 
 	for _, workers := range []int{2, 8, 0} {
-		distinct, all := MultiStartNashWorkers(workers, alloc.FairShare{}, us, starts, NashOptions{}, 1e-6)
-		if len(distinct) != len(refDistinct) || len(all) != len(refAll) {
-			t.Fatalf("workers=%d: %d distinct / %d all, want %d / %d",
-				workers, len(distinct), len(all), len(refDistinct), len(refAll))
+		res := MultiStartNashWorkers(workers, alloc.FairShare{}, us, starts, NashOptions{}, 1e-6)
+		if len(res.Distinct) != len(ref.Distinct) || len(res.All) != len(ref.All) || res.Dropped != ref.Dropped {
+			t.Fatalf("workers=%d: %d distinct / %d all / %d dropped, want %d / %d / %d",
+				workers, len(res.Distinct), len(res.All), res.Dropped, len(ref.Distinct), len(ref.All), ref.Dropped)
 		}
-		for k := range all {
-			for i := range all[k].R {
-				if all[k].R[i] != refAll[k].R[i] { //lint:allow floateq deterministic solves must agree bitwise across worker counts
+		for k := range res.All {
+			for i := range res.All[k].R {
+				if res.All[k].R[i] != ref.All[k].R[i] { //lint:allow floateq deterministic solves must agree bitwise across worker counts
 					t.Errorf("workers=%d: start %d rate %d = %v, want %v",
-						workers, k, i, all[k].R[i], refAll[k].R[i])
+						workers, k, i, res.All[k].R[i], ref.All[k].R[i])
 				}
 			}
 		}

@@ -1,6 +1,7 @@
 package game
 
 import (
+	"context"
 	"errors"
 	"math"
 
@@ -84,6 +85,17 @@ var ErrNoProfile = errors.New("game: profile and rate vector lengths differ")
 // start (Theorems 4–5); for other disciplines it may cycle or diverge, in
 // which case Converged is false.
 func SolveNash(a core.Allocation, us core.Profile, r0 []core.Rate, opt NashOptions) (NashResult, error) {
+	return SolveNashCtx(context.Background(), a, us, r0, opt)
+}
+
+// SolveNashCtx is SolveNash under a context, polled once per best-response
+// round (each round performs n inner line searches, so the poll is
+// amortized to nothing).  On cancellation it returns the last iterate —
+// R/C/Iters describe real partial progress — together with the typed
+// core.ErrCanceled / core.ErrDeadline, which distinguishes "the caller
+// gave up" from "the dynamics diverged" (the latter is a nil error with
+// Converged == false at MaxIter).
+func SolveNashCtx(ctx context.Context, a core.Allocation, us core.Profile, r0 []core.Rate, opt NashOptions) (NashResult, error) {
 	n := len(r0)
 	if len(us) != n {
 		return NashResult{}, ErrNoProfile
@@ -94,6 +106,12 @@ func SolveNash(a core.Allocation, us core.Profile, r0 []core.Rate, opt NashOptio
 	iters := 0
 	converged := false
 	for iters = 1; iters <= opt.MaxIter; iters++ {
+		if err := core.CtxErr(ctx); err != nil {
+			// Abandoned mid-solve: report the last iterate's rates and the
+			// rounds completed; C stays nil (the point was never accepted,
+			// so no congestion report is owed for it).
+			return NashResult{R: r, Iters: iters - 1}, err
+		}
 		maxDelta := 0.0
 		switch opt.Scheme {
 		case Jacobi:
@@ -167,12 +185,28 @@ func NashTrajectory(a core.Allocation, us core.Profile, r0 []core.Rate, opt Nash
 	return traj
 }
 
+// MultiStartResult reports a multi-start Nash search.  Dropped makes the
+// failure mode visible: a sweep where 0 of N starts converged (Dropped ==
+// N, All empty) is distinguishable from a sweep that was handed no starts
+// (Dropped == 0, All empty) — under the proportional allocation whole
+// start sets legitimately fail to converge, and silently thin results
+// used to read as "fewer starts".
+type MultiStartResult struct {
+	// Distinct holds one representative per distinct limit (within tol in
+	// the ∞-norm), in first-seen start order.
+	Distinct []NashResult
+	// All holds every converged solve, in start order.
+	All []NashResult
+	// Dropped counts starts whose solve errored or failed to converge.
+	Dropped int
+}
+
 // MultiStartNash solves from several starting points and reports the
-// distinct limits found (within tol in the ∞-norm).  For Fair Share the
-// result always has exactly one element (Theorem 4).  The independent
+// distinct limits found (within tol in the ∞-norm).  For Fair Share
+// Distinct always has exactly one element (Theorem 4).  The independent
 // solves fan out across runtime.GOMAXPROCS(0) workers; use
 // MultiStartNashWorkers to bound the pool.
-func MultiStartNash(a core.Allocation, us core.Profile, starts [][]core.Rate, opt NashOptions, tol float64) ([]NashResult, []NashResult) {
+func MultiStartNash(a core.Allocation, us core.Profile, starts [][]core.Rate, opt NashOptions, tol float64) MultiStartResult {
 	return MultiStartNashWorkers(0, a, us, starts, opt, tol)
 }
 
@@ -180,34 +214,47 @@ func MultiStartNash(a core.Allocation, us core.Profile, starts [][]core.Rate, op
 // (≤ 0 means runtime.GOMAXPROCS(0)).  Each start's solve is independent
 // and deterministic, and deduplication walks the solved starts in input
 // order, so the result is identical for every worker count.
-func MultiStartNashWorkers(workers int, a core.Allocation, us core.Profile, starts [][]core.Rate, opt NashOptions, tol float64) ([]NashResult, []NashResult) {
+func MultiStartNashWorkers(workers int, a core.Allocation, us core.Profile, starts [][]core.Rate, opt NashOptions, tol float64) MultiStartResult {
+	// The background context cannot fire, so the error path is dead.
+	res, _ := MultiStartNashCtx(context.Background(), workers, a, us, starts, opt, tol)
+	return res
+}
+
+// MultiStartNashCtx is MultiStartNashWorkers under a context: the pool
+// stops claiming new starts once ctx fires and the typed core.ErrCanceled
+// / core.ErrDeadline is returned.  A canceled search's MultiStartResult
+// covers only the starts that completed (never-claimed starts count as
+// Dropped), so it is a lower bound, not a verdict.
+func MultiStartNashCtx(ctx context.Context, workers int, a core.Allocation, us core.Profile, starts [][]core.Rate, opt NashOptions, tol float64) (MultiStartResult, error) {
 	solved := make([]NashResult, len(starts))
 	converged := make([]bool, len(starts))
-	parallel.MapOrdered(workers, len(starts), func(k int) {
-		res, err := SolveNash(a, us, starts[k], opt)
+	ctxErr := parallel.MapOrderedCtx(ctx, workers, len(starts), func(k int) error {
+		res, err := SolveNashCtx(ctx, a, us, starts[k], opt)
 		if err != nil || !res.Converged {
-			return
+			return nil // dropped, not fatal: the count reports it
 		}
 		solved[k] = res
 		converged[k] = true
+		return nil
 	})
-	var distinct, all []NashResult
+	var out MultiStartResult
 	for k := range starts {
 		if !converged[k] {
+			out.Dropped++
 			continue
 		}
 		res := solved[k]
-		all = append(all, res)
+		out.All = append(out.All, res)
 		dup := false
-		for _, d := range distinct {
+		for _, d := range out.Distinct {
 			if numeric.VecDist(d.R, res.R) <= tol {
 				dup = true
 				break
 			}
 		}
 		if !dup {
-			distinct = append(distinct, res)
+			out.Distinct = append(out.Distinct, res)
 		}
 	}
-	return distinct, all
+	return out, ctxErr
 }

@@ -1,6 +1,7 @@
 package game
 
 import (
+	"context"
 	"errors"
 	"math"
 
@@ -20,6 +21,15 @@ import (
 // Nash-ness with DeviationGain if the start was far from equilibrium
 // (an FDC zero can be a corner or saddle for non-concave payoffs).
 func SolveNashNewton(a core.Allocation, us core.Profile, r0 []core.Rate, maxIter int, ftol float64) (NashResult, error) {
+	return SolveNashNewtonCtx(context.Background(), a, us, r0, maxIter, ftol)
+}
+
+// SolveNashNewtonCtx is SolveNashNewton under a context, polled once per
+// Newton step (each step builds an n×n finite-difference Jacobian, so the
+// poll is amortized to nothing).  On cancellation it returns the last
+// iterate's rates with the typed core.ErrCanceled / core.ErrDeadline —
+// distinct from "ran out of iterations", which stays a domain error.
+func SolveNashNewtonCtx(ctx context.Context, a core.Allocation, us core.Profile, r0 []core.Rate, maxIter int, ftol float64) (NashResult, error) {
 	n := len(r0)
 	if len(us) != n {
 		return NashResult{}, ErrNoProfile
@@ -34,6 +44,12 @@ func SolveNashNewton(a core.Allocation, us core.Profile, r0 []core.Rate, maxIter
 	field := ResidualField(a, us)
 	var res NashResult
 	for iter := 1; iter <= maxIter; iter++ {
+		if err := core.CtxErr(ctx); err != nil {
+			// Abandoned mid-solve: the rates are real partial progress; C
+			// stays nil (the point was never accepted, so no congestion
+			// report is owed for it).
+			return NashResult{R: r, Iters: iter - 1}, err
+		}
 		e := field(r)
 		if !core.IsFiniteVec(e) {
 			return res, errors.New("game: Newton residual left the finite region")

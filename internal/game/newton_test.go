@@ -75,3 +75,37 @@ func TestNewtonProfileMismatch(t *testing.T) {
 		t.Error("length mismatch should error")
 	}
 }
+
+// TestNewtonNonConvergence pins the ran-out-of-iterations contract: with
+// maxIter far too small the solver must return the LAST ITERATE with
+// Converged == false and a domain error — not a zero NashResult, and not
+// a context-typed error (nothing canceled it).
+func TestNewtonNonConvergence(t *testing.T) {
+	us := core.Profile{
+		utility.NewLinear(1, 0.2),
+		utility.NewLinear(1, 0.35),
+		utility.Log{W: 0.3, Gamma: 1},
+	}
+	start := []float64{0.4, 0.4, 0.1}
+	res, err := SolveNashNewton(alloc.FairShare{}, us, start, 1, 1e-14)
+	if err == nil {
+		t.Fatal("1 iteration at ftol 1e-14 should not converge")
+	}
+	if res.Converged {
+		t.Error("Converged must be false on the maxIter path")
+	}
+	if res.Iters != 1 {
+		t.Errorf("Iters = %d, want 1 (the budget it spent)", res.Iters)
+	}
+	if len(res.R) != len(start) {
+		t.Fatalf("last iterate missing: R has %d entries, want %d", len(res.R), len(start))
+	}
+	for i, v := range res.R {
+		if v <= 0 || math.IsNaN(v) {
+			t.Errorf("r[%d] = %v: the last iterate must be a real point, not a zero value", i, v)
+		}
+	}
+	if len(res.C) != len(start) {
+		t.Errorf("failure-path result should still report C at the last iterate, got %d entries", len(res.C))
+	}
+}

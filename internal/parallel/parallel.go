@@ -13,11 +13,14 @@
 package parallel
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"runtime/debug"
 	"sync"
 	"sync/atomic"
+
+	"greednet/internal/core"
 )
 
 // Workers clamps a requested worker count to [1, n]: non-positive
@@ -46,7 +49,7 @@ func Workers(workers, n int) int {
 func MapOrdered(workers, n int, fn func(i int)) {
 	// The wrapped fn never errors, so the only non-nil outcome is a
 	// contained panic, which mustRun re-raises before returning.
-	_ = mustRun(workers, n, func(i int) error {
+	_ = mustRun(nil, workers, n, func(i int) error {
 		fn(i)
 		return nil
 	})
@@ -57,7 +60,21 @@ func MapOrdered(workers, n int, fn func(i int)) {
 // collect-then-report semantics), and the error of the lowest-index
 // failing task is returned — deterministic whatever the completion order.
 func MapOrderedErr(workers, n int, fn func(i int) error) error {
-	return mustRun(workers, n, fn)
+	return mustRun(nil, workers, n, fn)
+}
+
+// MapOrderedCtx is MapOrderedErr under a context: workers stop claiming
+// new indices once ctx is done, while tasks already claimed run to
+// completion (a task is never interrupted mid-flight — cooperative tasks
+// observe the same ctx themselves).  The order-and-determinism contract
+// is preserved on the only deterministic axis a cancellation leaves: an
+// uncanceled run behaves exactly like MapOrderedErr, and a canceled run
+// always returns the typed core.ErrCanceled / core.ErrDeadline — never a
+// task error, since which tasks got to run (and hence which errors exist)
+// depends on scheduling.  Contained task panics still re-raise first:
+// a panic is the caller's bug surfacing, cancellation or not.
+func MapOrderedCtx(ctx context.Context, workers, n int, fn func(i int) error) error {
+	return mustRun(ctx, workers, n, fn)
 }
 
 // contained is one captured task panic.
@@ -80,16 +97,22 @@ func runTask(fn func(int) error, i int, errs []error, panics []*contained) {
 // mustRun drives the pool and re-raises the lowest-index contained panic
 // (the "must" prefix marks the deliberate re-panic: a task panic is the
 // caller's bug surfacing, not a pool failure to downgrade into an error).
-func mustRun(workers, n int, fn func(i int) error) error {
+// A nil ctx means "never cancel"; with a live ctx, workers poll it before
+// claiming each index and stop claiming once it fires.
+func mustRun(ctx context.Context, workers, n int, fn func(i int) error) error {
 	if n <= 0 {
-		return nil
+		return core.CtxErr(ctx)
 	}
 	errs := make([]error, n)
 	panics := make([]*contained, n)
 	w := Workers(workers, n)
 	if w == 1 {
-		// Degenerate pool: run on the calling goroutine, same containment.
+		// Degenerate pool: run on the calling goroutine, same containment
+		// and the same claim-time cancellation point.
 		for i := 0; i < n; i++ {
+			if core.CtxErr(ctx) != nil {
+				break
+			}
 			runTask(fn, i, errs, panics)
 		}
 	} else {
@@ -100,6 +123,9 @@ func mustRun(workers, n int, fn func(i int) error) error {
 			go func() {
 				defer wg.Done()
 				for {
+					if core.CtxErr(ctx) != nil {
+						return
+					}
 					i := int(next.Add(1)) - 1
 					if i >= n {
 						return
@@ -114,6 +140,11 @@ func mustRun(workers, n int, fn func(i int) error) error {
 		if p != nil {
 			panic(fmt.Sprintf("parallel: task %d panicked: %v\n%s", i, p.val, p.stack))
 		}
+	}
+	if err := core.CtxErr(ctx); err != nil {
+		// Canceled: the set of executed tasks is scheduling-dependent, so
+		// the typed ctx error is the only deterministic report.
+		return err
 	}
 	for _, err := range errs {
 		if err != nil {

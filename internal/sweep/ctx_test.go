@@ -1,0 +1,93 @@
+package sweep
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"greednet/internal/alloc"
+	"greednet/internal/core"
+	"greednet/internal/utility"
+)
+
+// TestSweepCtxCanceled checks every sweep's Ctx variant reports the typed
+// cancellation error on a pre-canceled context (the sweeps poll at
+// claim/row granularity, so a dead-on-arrival ctx must stop all of them
+// before any work).
+func TestSweepCtxCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	us2 := utility.Identical(utility.NewLinear(1, 0.25), 2)
+	checks := []struct {
+		name string
+		run  func() error
+	}{
+		{"Eigenvalue", func() error {
+			_, err := EigenvalueCtx(ctx, 1, 3, []float64{0.2, 0.3})
+			return err
+		}},
+		{"EfficiencyGap", func() error {
+			_, err := EfficiencyGapCtx(ctx, 1, 0.25, []int{2, 3})
+			return err
+		}},
+		{"Protection", func() error {
+			_, err := ProtectionCtx(ctx, 0.1, 2, []float64{0.1, 0.5})
+			return err
+		}},
+		{"GHCWidths", func() error {
+			_, err := GHCWidthsCtx(ctx, 2, 0.25, 5)
+			return err
+		}},
+		{"InteractiveDelay", func() error {
+			_, err := InteractiveDelayCtx(ctx, 0.05, []float64{0.1, 0.5})
+			return err
+		}},
+		{"ReactionCurves", func() error {
+			_, err := ReactionCurvesCtx(ctx, alloc.FairShare{}, us2, 4)
+			return err
+		}},
+		{"NewtonResiduals", func() error {
+			_, err := NewtonResidualsCtx(ctx, 1, 2, 3)
+			return err
+		}},
+	}
+	for _, c := range checks {
+		if err := c.run(); !errors.Is(err, core.ErrCanceled) {
+			t.Errorf("%s: got %v, want core.ErrCanceled", c.name, err)
+		}
+	}
+}
+
+// TestSweepCtxLiveMatchesPlain checks the wrapper contract on one pooled
+// and one sequential sweep: under a live context the Ctx variant produces
+// the same table as the plain function.
+func TestSweepCtxLiveMatchesPlain(t *testing.T) {
+	gammas := []float64{0.2, 0.3}
+	plain, err := Eigenvalue(1, 3, gammas)
+	if err != nil {
+		t.Fatalf("Eigenvalue: %v", err)
+	}
+	viaCtx, err := EigenvalueCtx(context.Background(), 1, 3, gammas)
+	if err != nil {
+		t.Fatalf("EigenvalueCtx: %v", err)
+	}
+	if len(plain.Rows) != len(viaCtx.Rows) {
+		t.Fatalf("row counts differ: %d vs %d", len(plain.Rows), len(viaCtx.Rows))
+	}
+	for k := range plain.Rows {
+		for i := range plain.Rows[k] {
+			if plain.Rows[k][i] != viaCtx.Rows[k][i] { //lint:allow floateq deterministic sweeps must agree bitwise with and without a live ctx
+				t.Errorf("row %d col %d: %v vs %v", k, i, plain.Rows[k][i], viaCtx.Rows[k][i])
+			}
+		}
+	}
+	bulk := []float64{0.1, 0.4}
+	p2 := InteractiveDelay(0.05, bulk)
+	c2, err := InteractiveDelayCtx(context.Background(), 0.05, bulk)
+	if err != nil {
+		t.Fatalf("InteractiveDelayCtx: %v", err)
+	}
+	if len(p2.Rows) != len(c2.Rows) {
+		t.Fatalf("row counts differ: %d vs %d", len(p2.Rows), len(c2.Rows))
+	}
+}

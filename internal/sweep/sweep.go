@@ -7,6 +7,7 @@
 package sweep
 
 import (
+	"context"
 	"encoding/csv"
 	"fmt"
 	"io"
@@ -82,35 +83,56 @@ func (t Table) Column(name string) []float64 {
 // identical for every worker count; on error the table holds the rows
 // that precede the first failing γ, matching the sequential contract.
 func Eigenvalue(workers, n int, gammas []float64) (Table, error) {
+	return EigenvalueCtx(context.Background(), workers, n, gammas)
+}
+
+// EigenvalueCtx is Eigenvalue under a context: the pool stops claiming new
+// γ rows once ctx fires and the typed core.ErrCanceled / core.ErrDeadline
+// is returned with whatever prefix of rows completed (assembly stops at
+// the first missing row, so the partial table is still a clean prefix).
+func EigenvalueCtx(ctx context.Context, workers, n int, gammas []float64) (Table, error) {
 	t := Table{
 		Name:   "eigenvalue",
 		Header: []string{"gamma", "load", "rho", "rho_analytic", "limit"},
 	}
 	rows := make([][]float64, len(gammas))
 	errs := make([]error, len(gammas))
-	parallel.MapOrdered(workers, len(gammas), func(k int) {
+	ctxErr := parallel.MapOrderedCtx(ctx, workers, len(gammas), func(k int) error {
 		gamma := gammas[k]
 		us := utility.Identical(utility.NewLinear(1, gamma), n)
 		r0 := make([]float64, n)
 		for i := range r0 {
 			r0[i] = 0.5 / float64(n)
 		}
-		res, err := game.SolveNash(alloc.Proportional{}, us, r0, game.NashOptions{})
+		res, err := game.SolveNashCtx(ctx, alloc.Proportional{}, us, r0, game.NashOptions{})
 		if err != nil || !res.Converged {
 			errs[k] = fmt.Errorf("sweep: proportional Nash failed at γ=%v", gamma)
-			return
+			return nil
 		}
 		A := game.RelaxationMatrix(alloc.Proportional{}, us, res.R, 1e-6)
 		rho, err := numeric.SpectralRadius(A)
 		if err != nil {
 			errs[k] = err
-			return
+			return nil
 		}
 		s := mm1.Sum(res.R)
 		tt := 1 - s
 		analytic := float64(n-1) * (tt + 2*res.R[0]) / (2 * (tt + res.R[0]))
 		rows[k] = []float64{gamma, s, rho, analytic, float64(n - 1)}
+		return nil
 	})
+	if ctxErr != nil {
+		// Canceled: which rows ran (and hence which row errors exist) is
+		// scheduling-dependent, so report the typed ctx error with the
+		// clean prefix of completed rows.
+		for k := range gammas {
+			if rows[k] == nil {
+				break
+			}
+			t.Rows = append(t.Rows, rows[k])
+		}
+		return t, ctxErr
+	}
 	for k := range gammas {
 		if errs[k] != nil {
 			return t, errs[k]
@@ -126,6 +148,12 @@ func Eigenvalue(workers, n int, gammas []float64) (Table, error) {
 // rows run on a pool of workers and assemble in input order; see
 // Eigenvalue for the determinism contract.
 func EfficiencyGap(workers int, gamma float64, ns []int) (Table, error) {
+	return EfficiencyGapCtx(context.Background(), workers, gamma, ns)
+}
+
+// EfficiencyGapCtx is EfficiencyGap under a context; see EigenvalueCtx
+// for the cancellation contract (typed error, clean prefix of rows).
+func EfficiencyGapCtx(ctx context.Context, workers int, gamma float64, ns []int) (Table, error) {
 	t := Table{
 		Name:   "efficiency-gap",
 		Header: []string{"n", "nash_rate", "pareto_rate", "u_nash", "u_pareto", "relative_loss"},
@@ -133,22 +161,22 @@ func EfficiencyGap(workers int, gamma float64, ns []int) (Table, error) {
 	u := utility.NewLinear(1, gamma)
 	rows := make([][]float64, len(ns))
 	errs := make([]error, len(ns))
-	parallel.MapOrdered(workers, len(ns), func(k int) {
+	ctxErr := parallel.MapOrderedCtx(ctx, workers, len(ns), func(k int) error {
 		n := ns[k]
 		rp, cp, ok := game.SymmetricParetoRate(u, n)
 		if !ok {
 			errs[k] = fmt.Errorf("sweep: no Pareto rate for n=%d", n)
-			return
+			return nil
 		}
 		us := utility.Identical(u, n)
 		r0 := make([]float64, n)
 		for i := range r0 {
 			r0[i] = 0.5 / float64(n)
 		}
-		res, err := game.SolveNash(alloc.Proportional{}, us, r0, game.NashOptions{})
+		res, err := game.SolveNashCtx(ctx, alloc.Proportional{}, us, r0, game.NashOptions{})
 		if err != nil || !res.Converged {
 			errs[k] = fmt.Errorf("sweep: FIFO Nash failed at n=%d", n)
-			return
+			return nil
 		}
 		uN := u.Value(res.R[0], res.C[0])
 		uP := u.Value(rp, cp)
@@ -157,7 +185,17 @@ func EfficiencyGap(workers int, gamma float64, ns []int) (Table, error) {
 			loss = (uP - uN) / math.Abs(uP)
 		}
 		rows[k] = []float64{float64(n), res.R[0], rp, uN, uP, loss}
+		return nil
 	})
+	if ctxErr != nil {
+		for k := range ns {
+			if rows[k] == nil {
+				break
+			}
+			t.Rows = append(t.Rows, rows[k])
+		}
+		return t, ctxErr
+	}
 	for k := range ns {
 		if errs[k] != nil {
 			return t, errs[k]
@@ -171,6 +209,15 @@ func EfficiencyGap(workers int, gamma float64, ns []int) (Table, error) {
 // under FIFO and Fair Share, with the Definition-7 bound (the cheater
 // curve).
 func Protection(victimRate float64, victims int, attackRates []float64) Table {
+	// The background context cannot fire, so the error path is dead.
+	t, _ := ProtectionCtx(context.Background(), victimRate, victims, attackRates)
+	return t
+}
+
+// ProtectionCtx is Protection under a context, polled once per attack
+// rate; a canceled sweep returns the rows computed so far with the typed
+// core.ErrCanceled / core.ErrDeadline.
+func ProtectionCtx(ctx context.Context, victimRate float64, victims int, attackRates []float64) (Table, error) {
 	t := Table{
 		Name:   "protection",
 		Header: []string{"attack_rate", "victim_c_fifo", "victim_c_fairshare", "bound"},
@@ -178,6 +225,9 @@ func Protection(victimRate float64, victims int, attackRates []float64) Table {
 	n := victims + 1
 	bound := mm1.ProtectionBound(n, victimRate) //lint:allow feasguard Definition-7 bound is the reference curve; finite whenever the victim rate is
 	for _, atk := range attackRates {
+		if err := core.CtxErr(ctx); err != nil {
+			return t, err
+		}
 		r := make([]float64, n)
 		for i := 0; i < victims; i++ {
 			r[i] = victimRate
@@ -187,21 +237,37 @@ func Protection(victimRate float64, victims int, attackRates []float64) Table {
 		cs := alloc.FairShare{}.CongestionOf(r, 0)    //lint:allow feasguard the cheater sweep pushes the attacker past capacity by design
 		t.Rows = append(t.Rows, []float64{atk, cf, cs, bound})
 	}
-	return t
+	return t, nil
 }
 
 // GHCWidths sweeps the generalized-hill-climbing candidate-box width per
 // elimination round under both disciplines (the Theorem-5 collapse curve).
 // Rows are padded with the terminal width once a run stops.
 func GHCWidths(n int, gamma float64, rounds int) Table {
+	// The background context cannot fire, so the error path is dead.
+	t, _ := GHCWidthsCtx(context.Background(), n, gamma, rounds)
+	return t
+}
+
+// GHCWidthsCtx is GHCWidths under a context, threaded through both
+// elimination runs; a canceled sweep returns an empty-rowed table with
+// the typed core.ErrCanceled / core.ErrDeadline (per-round widths from a
+// truncated run would silently flatten the collapse curve).
+func GHCWidthsCtx(ctx context.Context, n int, gamma float64, rounds int) (Table, error) {
 	t := Table{
 		Name:   "ghc-widths",
 		Header: []string{"round", "width_fairshare", "width_fifo"},
 	}
 	us := utility.Identical(utility.NewLinear(1, gamma), n)
 	opt := dynamics.EliminationOptions{MaxRounds: rounds, Tol: 1e-9}
-	fs := dynamics.GeneralizedHillClimb(alloc.FairShare{}, us, dynamics.NewBox(n, 1e-6, 1-1e-6), opt)
-	pr := dynamics.GeneralizedHillClimb(alloc.Proportional{}, us, dynamics.NewBox(n, 1e-6, 1-1e-6), opt)
+	fs, err := dynamics.GeneralizedHillClimbCtx(ctx, alloc.FairShare{}, us, dynamics.NewBox(n, 1e-6, 1-1e-6), opt)
+	if err != nil {
+		return t, err
+	}
+	pr, err := dynamics.GeneralizedHillClimbCtx(ctx, alloc.Proportional{}, us, dynamics.NewBox(n, 1e-6, 1-1e-6), opt)
+	if err != nil {
+		return t, err
+	}
 	get := func(ws []float64, k int) float64 {
 		if k < len(ws) {
 			return ws[k]
@@ -214,24 +280,36 @@ func GHCWidths(n int, gamma float64, rounds int) Table {
 	for k := 0; k < rounds; k++ {
 		t.Rows = append(t.Rows, []float64{float64(k + 1), get(fs.Widths, k), get(pr.Widths, k)})
 	}
-	return t
+	return t, nil
 }
 
 // InteractiveDelay sweeps the analytic delay of a fixed light flow as a
 // bulk flow's offered rate grows, under FIFO and Fair Share (the §5.2
 // FTP-vs-Telnet curve).
 func InteractiveDelay(lightRate float64, bulkRates []float64) Table {
+	// The background context cannot fire, so the error path is dead.
+	t, _ := InteractiveDelayCtx(context.Background(), lightRate, bulkRates)
+	return t
+}
+
+// InteractiveDelayCtx is InteractiveDelay under a context, polled once
+// per bulk rate; a canceled sweep returns the rows computed so far with
+// the typed core.ErrCanceled / core.ErrDeadline.
+func InteractiveDelayCtx(ctx context.Context, lightRate float64, bulkRates []float64) (Table, error) {
 	t := Table{
 		Name:   "interactive-delay",
 		Header: []string{"bulk_rate", "delay_fifo", "delay_fairshare"},
 	}
 	for _, b := range bulkRates {
+		if err := core.CtxErr(ctx); err != nil {
+			return t, err
+		}
 		r := []float64{lightRate, b}
 		df := alloc.Proportional{}.CongestionOf(r, 0) / lightRate //lint:allow feasguard the FTP-vs-Telnet sweep drives the bulk flow toward saturation by design
 		ds := alloc.FairShare{}.CongestionOf(r, 0) / lightRate    //lint:allow feasguard the FTP-vs-Telnet sweep drives the bulk flow toward saturation by design
 		t.Rows = append(t.Rows, []float64{b, df, ds})
 	}
-	return t
+	return t, nil
 }
 
 // ReactionCurves samples the two users' best-reply functions on a grid —
@@ -239,6 +317,13 @@ func InteractiveDelay(lightRate float64, bulkRates []float64) Table {
 // Columns: the opponent's rate, user 1's best reply to it, and user 0's
 // best reply to it.
 func ReactionCurves(a core.Allocation, us core.Profile, points int) (Table, error) {
+	return ReactionCurvesCtx(context.Background(), a, us, points)
+}
+
+// ReactionCurvesCtx is ReactionCurves under a context, polled once per
+// grid point; a canceled sweep returns the rows computed so far with the
+// typed core.ErrCanceled / core.ErrDeadline.
+func ReactionCurvesCtx(ctx context.Context, a core.Allocation, us core.Profile, points int) (Table, error) {
 	t := Table{
 		Name:   "reaction-curves",
 		Header: []string{"opponent_rate", "br_user1", "br_user0"},
@@ -250,6 +335,9 @@ func ReactionCurves(a core.Allocation, us core.Profile, points int) (Table, erro
 		points = 2
 	}
 	for k := 0; k < points; k++ {
+		if err := core.CtxErr(ctx); err != nil {
+			return t, err
+		}
 		x := 0.01 + 0.9*float64(k)/float64(points-1)
 		br1, _ := game.BestResponse(a, us[1], []float64{x, 0.1}, 1, game.BROptions{})
 		br0, _ := game.BestResponse(a, us[0], []float64{0.1, x}, 0, game.BROptions{})
@@ -264,6 +352,14 @@ func ReactionCurves(a core.Allocation, us core.Profile, points int) (Table, erro
 // are kept positionally — column i belongs to allocs[i] by construction,
 // so a renamed Name() can never silently turn a column into all-NaN.
 func NewtonResiduals(workers, n, steps int) (Table, error) {
+	return NewtonResidualsCtx(context.Background(), workers, n, steps)
+}
+
+// NewtonResidualsCtx is NewtonResiduals under a context; a canceled
+// sweep returns an empty-rowed table with the typed core.ErrCanceled /
+// core.ErrDeadline (a single missing discipline would leave an all-NaN
+// column that reads as divergence).
+func NewtonResidualsCtx(ctx context.Context, workers, n, steps int) (Table, error) {
 	t := Table{
 		Name:   "newton-residuals",
 		Header: []string{"step", "resid_fairshare", "resid_fifo"},
@@ -275,23 +371,27 @@ func NewtonResiduals(workers, n, steps int) (Table, error) {
 	allocs := []core.Allocation{alloc.FairShare{}, alloc.Proportional{}}
 	resids := make([][]float64, len(allocs))
 	errs := make([]error, len(allocs))
-	parallel.MapOrdered(workers, len(allocs), func(j int) {
+	ctxErr := parallel.MapOrderedCtx(ctx, workers, len(allocs), func(j int) error {
 		a := allocs[j]
 		r0 := make([]float64, n)
 		for i := range r0 {
 			r0[i] = 0.3 / float64(n)
 		}
-		res, err := game.SolveNash(a, us, r0, game.NashOptions{})
+		res, err := game.SolveNashCtx(ctx, a, us, r0, game.NashOptions{})
 		if err != nil || !res.Converged {
 			errs[j] = fmt.Errorf("sweep: Nash failed for %s", a.Name())
-			return
+			return nil
 		}
 		start := append([]float64(nil), res.R...)
 		for i := range start {
 			start[i] *= 1.02
 		}
 		resids[j] = game.NewtonConvergence(a, us, start, steps)
+		return nil
 	})
+	if ctxErr != nil {
+		return t, ctxErr
+	}
 	for _, err := range errs {
 		if err != nil {
 			return t, err
