@@ -2,7 +2,7 @@ GO ?= go
 LINT := bin/greedlint
 FUZZTIME ?= 30s
 
-.PHONY: all build lint lint-golden test race bench fuzz clean
+.PHONY: all build lint lint-golden test race bench bench-micro fuzz clean
 
 all: build lint test
 
@@ -38,6 +38,13 @@ race:
 bench:
 	$(GO) test -run='^$$' -bench='BenchmarkSuite(Sequential|Parallel)$$' -benchtime=1x .
 	$(GO) run ./cmd/greedbench -fast -benchjson BENCH_parallel.json
+
+# Hot-path micro-benchmarks (internal/hotpath): ns/op, allocs/op and
+# bytes/op for the five hottest paths plus their legacy baselines,
+# archived as BENCH_hotpath.json.  Exits 1 if a gated zero-allocation
+# path regressed to allocating.
+bench-micro:
+	$(GO) run ./cmd/greedbench -hotpath BENCH_hotpath.json
 
 # Short fuzz smoke over the allocation invariants; CI runs this on every
 # push, longer local runs via FUZZTIME=5m make fuzz.

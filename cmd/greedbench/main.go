@@ -18,9 +18,15 @@
 // deliberately misbehaving chaos experiments (EX1 hangs, EX2 panics) to
 // the selection — use with -timeout to exercise the degradation paths.
 //
+// With -hotpath the experiment suite is skipped entirely: the hot-path
+// micro-benchmarks (internal/hotpath) run instead and their ns/op,
+// allocs/op and bytes/op land in the given JSON file; a gated case that
+// allocates exits 1.  -cpuprofile and -memprofile write pprof profiles
+// of whatever work the invocation did.
+//
 // Exit status: 1 if any selected experiment fails, times out, panics, or
-// mismatches the paper's shape; 2 on infrastructure errors (bad flags,
-// write failures).
+// mismatches the paper's shape (or, under -hotpath, a gated benchmark
+// allocates); 2 on infrastructure errors (bad flags, write failures).
 package main
 
 import (
@@ -31,13 +37,22 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
+	"testing"
 	"time"
 
 	"greednet/internal/experiment"
+	"greednet/internal/hotpath"
 )
 
+// main delegates to run so that deferred cleanups — in particular
+// pprof.StopCPUProfile — execute before the process exits.
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	var (
 		runList = flag.String("run", "", "comma-separated experiment IDs (default: all; repeats are deduped)")
 		fast    = flag.Bool("fast", false, "use reduced horizons and search budgets")
@@ -48,8 +63,54 @@ func main() {
 		benchJS = flag.String("benchjson", "", "time the suite sequentially and at -workers, write the comparison as JSON to this path")
 		timeout = flag.Duration("timeout", 0, "per-experiment watchdog; a run exceeding it renders FAILED(deadline) in its slot (0 disables)")
 		chaosOn = flag.Bool("chaos", false, "append the fault-injection chaos experiments (EX1 hangs; EX2 panics) to the selection")
+		cpuProf = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this path")
+		memProf = flag.String("memprofile", "", "write a pprof heap profile (after the run) to this path")
+		hotOut  = flag.String("hotpath", "", "run the hot-path micro-benchmarks instead of the suite, write ns/op+allocs/op JSON to this path; exit 1 if a gated path allocates")
 	)
 	flag.Parse()
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "greedbench:", err)
+			return 2
+		}
+		defer func() {
+			if cerr := f.Close(); cerr != nil {
+				fmt.Fprintln(os.Stderr, "greedbench:", cerr)
+			}
+		}()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "greedbench:", err)
+			return 2
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "greedbench:", err)
+				return
+			}
+			runtime.GC() // settle the heap so the profile shows live objects
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "greedbench:", err)
+			}
+			if cerr := f.Close(); cerr != nil {
+				fmt.Fprintln(os.Stderr, "greedbench:", cerr)
+			}
+		}()
+	}
+
+	if *hotOut != "" {
+		code, err := writeHotpathJSON(*hotOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "greedbench:", err)
+			return 2
+		}
+		return code
+	}
 	// The flag's zero value and an explicit -seed 0 must stay
 	// distinguishable, or seed 0 is unpinnable; Visit only walks flags
 	// that were actually set.
@@ -69,7 +130,7 @@ func main() {
 				fmt.Printf("%-4s %-28s %s\n", e.ID, e.Source, e.Title)
 			}
 		}
-		return
+		return 0
 	}
 
 	selected := experiment.All()
@@ -85,7 +146,7 @@ func main() {
 			e, ok := experiment.ByID(id)
 			if !ok {
 				fmt.Fprintf(os.Stderr, "greedbench: unknown experiment %q (use -list)\n", id)
-				os.Exit(2)
+				return 2
 			}
 			selected = append(selected, e)
 		}
@@ -100,9 +161,9 @@ func main() {
 	if *benchJS != "" {
 		if err := writeBenchJSON(*benchJS, selected, opt, *workers); err != nil {
 			fmt.Fprintln(os.Stderr, "greedbench:", err)
-			os.Exit(2)
+			return 2
 		}
-		return
+		return 0
 	}
 
 	outcomes, err := experiment.RunSuite(os.Stdout, selected, opt, *workers)
@@ -111,7 +172,7 @@ func main() {
 		// Infrastructure failure (e.g. stdout write error); experiment
 		// failures are *SuiteError and are summarized from the outcomes.
 		fmt.Fprintln(os.Stderr, "greedbench:", err)
-		os.Exit(2)
+		return 2
 	}
 	failures := 0
 	for _, o := range outcomes {
@@ -126,37 +187,94 @@ func main() {
 		len(selected)-failures, len(selected))
 
 	if *mdOut != "" {
-		f, err := os.Create(*mdOut)
-		if err != nil {
+		if err := writeMarkdown(*mdOut, outcomes); err != nil {
 			fmt.Fprintln(os.Stderr, "greedbench:", err)
-			os.Exit(2)
-		}
-		write := func(_ int, err error) {
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "greedbench:", err)
-				os.Exit(2)
-			}
-		}
-		write(fmt.Fprintln(f, "| ID | Paper source | Claim | Verdict |"))
-		write(fmt.Fprintln(f, "|----|--------------|-------|---------|"))
-		for _, o := range outcomes {
-			verdict := "MATCH"
-			switch {
-			case o.Err != nil:
-				verdict = "ERROR"
-			case !o.Verdict.Match:
-				verdict = "MISMATCH"
-			}
-			write(fmt.Fprintf(f, "| %s | %s | %s | %s |\n", o.Experiment.ID, o.Experiment.Source, o.Experiment.Title, verdict))
-		}
-		if err := f.Close(); err != nil {
-			fmt.Fprintln(os.Stderr, "greedbench:", err)
-			os.Exit(2)
+			return 2
 		}
 	}
 	if failures > 0 {
-		os.Exit(1)
+		return 1
 	}
+	return 0
+}
+
+// writeMarkdown renders the verdict summary table for -md.
+func writeMarkdown(path string, outcomes []experiment.Outcome) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	write := func(_ int, werr error) {
+		if werr != nil && err == nil {
+			err = werr
+		}
+	}
+	write(fmt.Fprintln(f, "| ID | Paper source | Claim | Verdict |"))
+	write(fmt.Fprintln(f, "|----|--------------|-------|---------|"))
+	for _, o := range outcomes {
+		verdict := "MATCH"
+		switch {
+		case o.Err != nil:
+			verdict = "ERROR"
+		case !o.Verdict.Match:
+			verdict = "MISMATCH"
+		}
+		write(fmt.Fprintf(f, "| %s | %s | %s | %s |\n", o.Experiment.ID, o.Experiment.Source, o.Experiment.Title, verdict))
+	}
+	if cerr := f.Close(); cerr != nil && err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// hotpathRecord is one micro-benchmark datapoint in BENCH_hotpath.json.
+type hotpathRecord struct {
+	Name        string  `json:"name"`
+	Gated       bool    `json:"gated"`
+	Baseline    string  `json:"baseline,omitempty"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// writeHotpathJSON benchmarks every hot-path case with testing.Benchmark
+// and writes the records — including the legacy baselines, so the file
+// carries the before/after comparison — to path.  The returned exit code
+// is 1 when a gated case allocated (a zero-allocation fast path regressed
+// to the heap), else 0.
+func writeHotpathJSON(path string) (int, error) {
+	cases := hotpath.Cases()
+	recs := make([]hotpathRecord, 0, len(cases))
+	code := 0
+	for _, c := range cases {
+		r := testing.Benchmark(c.Bench)
+		rec := hotpathRecord{
+			Name:        c.Name,
+			Gated:       c.Gated,
+			Baseline:    c.Baseline,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		}
+		recs = append(recs, rec)
+		status := ""
+		if c.Gated && rec.AllocsPerOp > 0 {
+			status = "  REGRESSION(gated path allocates)"
+			code = 1
+		}
+		fmt.Printf("hotpath %-36s %12.1f ns/op %6d allocs/op %8d B/op%s\n",
+			c.Name, rec.NsPerOp, rec.AllocsPerOp, rec.BytesPerOp, status)
+	}
+	data, err := json.MarshalIndent(recs, "", "  ")
+	if err != nil {
+		return 0, err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return 0, err
+	}
+	fmt.Printf("hotpath bench: %d cases -> %s\n", len(recs), path)
+	return code, nil
 }
 
 // benchRecord is the perf-trajectory datapoint `make bench` archives as

@@ -24,21 +24,26 @@ type Proportional struct{}
 // Name implements core.Allocation.
 func (Proportional) Name() string { return "proportional" }
 
-// Congestion implements core.Allocation.
-func (Proportional) Congestion(r []core.Rate) []core.Congestion {
+// Congestion implements core.Allocation by delegating to CongestionInto,
+// the single source of the arithmetic.
+func (p Proportional) Congestion(r []core.Rate) []core.Congestion {
+	return p.CongestionInto(nil, make([]float64, len(r)), r)
+}
+
+// CongestionInto implements core.AllocationInto.
+func (Proportional) CongestionInto(ws *core.Workspace, dst []core.Congestion, r []core.Rate) []core.Congestion {
 	s := mm1.Sum(r)
-	out := make([]float64, len(r))
 	if s >= 1 {
-		for i := range out {
-			out[i] = math.Inf(1)
+		for i := range dst {
+			dst[i] = math.Inf(1)
 		}
-		return out
+		return dst
 	}
 	d := 1 - s
 	for i, ri := range r {
-		out[i] = ri / d
+		dst[i] = ri / d
 	}
-	return out
+	return dst
 }
 
 // CongestionOf implements core.Allocation.
@@ -60,6 +65,12 @@ func (Proportional) OwnDerivs(r []core.Rate, i int) (float64, float64) {
 	d := 1 - s
 	num := d + r[i]
 	return num / (d * d), 2 * num / (d * d * d)
+}
+
+// OwnDerivsInto implements core.WorkspaceOwnDeriver; the closed form needs
+// no scratch, so it simply forwards.
+func (p Proportional) OwnDerivsInto(ws *core.Workspace, r []core.Rate, i int) (float64, float64) {
+	return p.OwnDerivs(r, i)
 }
 
 // Jacobian implements core.Jacobianer:
@@ -97,12 +108,16 @@ type Square struct{}
 func (Square) Name() string { return "square" }
 
 // Congestion implements core.Allocation.
-func (Square) Congestion(r []core.Rate) []core.Congestion {
-	out := make([]float64, len(r))
+func (sq Square) Congestion(r []core.Rate) []core.Congestion {
+	return sq.CongestionInto(nil, make([]float64, len(r)), r)
+}
+
+// CongestionInto implements core.AllocationInto.
+func (Square) CongestionInto(ws *core.Workspace, dst []core.Congestion, r []core.Rate) []core.Congestion {
 	for i, ri := range r {
-		out[i] = ri * ri
+		dst[i] = ri * ri
 	}
-	return out
+	return dst
 }
 
 // CongestionOf implements core.Allocation.
@@ -137,13 +152,20 @@ func (b Blend) Name() string { return "blend" }
 
 // Congestion implements core.Allocation.
 func (b Blend) Congestion(r []core.Rate) []core.Congestion {
-	fs := FairShare{}.Congestion(r)
-	pr := Proportional{}.Congestion(r)
-	out := make([]float64, len(r))
-	for i := range out {
-		out[i] = b.Theta*fs[i] + (1-b.Theta)*pr[i]
+	return b.CongestionInto(nil, make([]float64, len(r)), r)
+}
+
+// CongestionInto implements core.AllocationInto, evaluating both endpoint
+// allocations into workspace scratch.  dst must not alias the workspace's
+// VecA/VecB vectors.
+func (b Blend) CongestionInto(ws *core.Workspace, dst []core.Congestion, r []core.Rate) []core.Congestion {
+	n := len(r)
+	fs := FairShare{}.CongestionInto(ws, ws.VecA(n), r)
+	pr := Proportional{}.CongestionInto(ws, ws.VecB(n), r)
+	for i := range dst {
+		dst[i] = b.Theta*fs[i] + (1-b.Theta)*pr[i]
 	}
-	return out
+	return dst
 }
 
 // CongestionOf implements core.Allocation.
@@ -153,7 +175,12 @@ func (b Blend) CongestionOf(r []core.Rate, i int) core.Congestion {
 
 // OwnDerivs implements core.OwnDeriver by combining the endpoints.
 func (b Blend) OwnDerivs(r []core.Rate, i int) (float64, float64) {
-	f1, f2 := FairShare{}.OwnDerivs(r, i)
+	return b.OwnDerivsInto(nil, r, i)
+}
+
+// OwnDerivsInto implements core.WorkspaceOwnDeriver; see OwnDerivs.
+func (b Blend) OwnDerivsInto(ws *core.Workspace, r []core.Rate, i int) (float64, float64) {
+	f1, f2 := FairShare{}.OwnDerivsInto(ws, r, i)
 	p1, p2 := Proportional{}.OwnDerivs(r, i)
 	return b.Theta*f1 + (1-b.Theta)*p1, b.Theta*f2 + (1-b.Theta)*p2
 }
@@ -162,6 +189,17 @@ func (b Blend) OwnDerivs(r []core.Rate, i int) (float64, float64) {
 // analytic implementation when available and central finite differences
 // otherwise.
 func OwnDerivs(a core.Allocation, r []core.Rate, i int) (d1, d2 float64) {
+	return OwnDerivsInto(a, nil, r, i)
+}
+
+// OwnDerivsInto is OwnDerivs with workspace reuse: allocations providing
+// the scratch-reusing fast path are called through it (bit-identical by
+// the delegation contract); analytic implementations without one are used
+// directly; everything else falls back to central finite differences.
+func OwnDerivsInto(a core.Allocation, ws *core.Workspace, r []core.Rate, i int) (d1, d2 float64) {
+	if od, ok := a.(core.WorkspaceOwnDeriver); ok {
+		return od.OwnDerivsInto(ws, r, i)
+	}
 	if od, ok := a.(core.OwnDeriver); ok {
 		return od.OwnDerivs(r, i)
 	}
@@ -170,6 +208,30 @@ func OwnDerivs(a core.Allocation, r []core.Rate, i int) (d1, d2 float64) {
 	}
 	h := 1e-6 * (math.Abs(r[i]) + 1e-3)
 	return numeric.Derivative(f, r[i], h), numeric.SecondDerivative(f, r[i], 0)
+}
+
+// CongestionInto evaluates C(r) into dst for any allocation: through the
+// core.AllocationInto fast path when the discipline provides one, and by
+// copying the slow path's freshly allocated result otherwise.  dst must
+// have len(r) elements.
+func CongestionInto(a core.Allocation, ws *core.Workspace, dst []core.Congestion, r []core.Rate) []core.Congestion {
+	if ai, ok := a.(core.AllocationInto); ok {
+		return ai.CongestionInto(ws, dst, r)
+	}
+	copy(dst, a.Congestion(r))
+	return dst
+}
+
+// CongestionOfInto returns C_i(r) alone, reusing ws and dst (len(r)
+// elements of scratch) when the allocation has a fast path and falling
+// back to CongestionOf otherwise.  Values are bit-identical to
+// a.CongestionOf(r, i) for the in-tree disciplines, whose CongestionOf is
+// defined as Congestion(r)[i] arithmetic.
+func CongestionOfInto(a core.Allocation, ws *core.Workspace, dst []core.Congestion, r []core.Rate, i int) core.Congestion {
+	if ai, ok := a.(core.AllocationInto); ok {
+		return ai.CongestionInto(ws, dst, r)[i]
+	}
+	return a.CongestionOf(r, i)
 }
 
 // JacobianOf returns the full matrix ∂C_i/∂r_j for any allocation,

@@ -36,14 +36,22 @@ func ascending(r []core.Rate) []int {
 	return idx
 }
 
-// Congestion implements core.Allocation.
-func (FairShare) Congestion(r []core.Rate) []core.Congestion {
+// Congestion implements core.Allocation by delegating to CongestionInto
+// with transient scratch; the fast path is the single source of the
+// arithmetic, which is what makes the two bit-identical.
+func (fs FairShare) Congestion(r []core.Rate) []core.Congestion {
+	return fs.CongestionInto(nil, make([]float64, len(r)), r)
+}
+
+// CongestionInto implements core.AllocationInto.  The arithmetic — relabel,
+// prefix accumulation, incremental cost shares — runs in exactly the order
+// Congestion historically used, so results are bit-identical.
+func (FairShare) CongestionInto(ws *core.Workspace, dst []core.Congestion, r []core.Rate) []core.Congestion {
 	n := len(r)
-	out := make([]float64, n)
 	if n == 0 {
-		return out
+		return dst
 	}
-	idx := ascending(r)
+	idx := ws.Ascending(r)
 	prefix := 0.0 // σ_{k−1}
 	prevG := 0.0  // g(x_{k−1}), with g(x_0) = 0
 	c := 0.0
@@ -54,16 +62,16 @@ func (FairShare) Congestion(r []core.Rate) []core.Congestion {
 		if math.IsInf(gk, 1) {
 			// This and all larger senders are flooded.
 			for m := k; m <= n; m++ {
-				out[idx[m-1]] = math.Inf(1)
+				dst[idx[m-1]] = math.Inf(1)
 			}
-			return out
+			return dst
 		}
 		c += (gk - prevG) / float64(n-k+1)
-		out[i] = c
+		dst[i] = c
 		prevG = gk
 		prefix += r[i]
 	}
-	return out
+	return dst
 }
 
 // CongestionOf implements core.Allocation.
@@ -81,9 +89,14 @@ func (fs FairShare) CongestionOf(r []core.Rate, i int) core.Congestion {
 //	∂²C_k/∂r_k² = (N−k+1)·g''(x_k)
 //
 // Both formulas are continuous across rate ties.
-func (FairShare) OwnDerivs(r []core.Rate, i int) (float64, float64) {
+func (fs FairShare) OwnDerivs(r []core.Rate, i int) (float64, float64) {
+	return fs.OwnDerivsInto(nil, r, i)
+}
+
+// OwnDerivsInto implements core.WorkspaceOwnDeriver; see OwnDerivs.
+func (FairShare) OwnDerivsInto(ws *core.Workspace, r []core.Rate, i int) (float64, float64) {
 	n := len(r)
-	idx := ascending(r)
+	idx := ws.Ascending(r)
 	prefix := 0.0
 	for k := 1; k <= n; k++ {
 		j := idx[k-1]
@@ -101,20 +114,32 @@ func (FairShare) OwnDerivs(r []core.Rate, i int) (float64, float64) {
 // j < m, and 0 for j > m (ascending labels), the matrix is lower triangular
 // in the ascending order: small variations in r_j affect C_i only when
 // r_j ≤ r_i, the paper's partial-insulation structure.
-func (FairShare) Jacobian(r []core.Rate) [][]float64 {
+func (fs FairShare) Jacobian(r []core.Rate) [][]float64 {
 	n := len(r)
-	idx := ascending(r)
+	dst := make([][]float64, n)
+	for i := range dst {
+		dst[i] = make([]float64, n)
+	}
+	return fs.JacobianInto(nil, dst, r)
+}
+
+// JacobianInto implements core.WorkspaceJacobianer; see Jacobian.
+func (FairShare) JacobianInto(ws *core.Workspace, dst [][]float64, r []core.Rate) [][]float64 {
+	n := len(r)
+	idx := ws.Ascending(r)
 	// gp[k] = g'(x_k) for k = 1..n in ascending labels (index k−1).
-	gp := make([]float64, n)
+	gp := ws.VecA(n)
 	prefix := 0.0
 	for k := 1; k <= n; k++ {
 		xk := float64(n-k+1)*r[idx[k-1]] + prefix
 		gp[k-1] = mm1.GPrime(xk)
 		prefix += r[idx[k-1]]
 	}
-	out := make([][]float64, n)
-	for i := range out {
-		out[i] = make([]float64, n)
+	for i := range dst {
+		row := dst[i]
+		for j := range row {
+			row[j] = 0
+		}
 	}
 	// dSorted[k][j]: derivative of C_(k) wrt r_(j) in ascending labels.
 	for k := 1; k <= n; k++ {
@@ -147,8 +172,8 @@ func (FairShare) Jacobian(r []core.Rate) [][]float64 {
 				}
 				d += (gm*dxm - gm1*dxm1) / float64(n-m+1)
 			}
-			out[rowUser][colUser] = d
+			dst[rowUser][colUser] = d
 		}
 	}
-	return out
+	return dst
 }

@@ -1,0 +1,184 @@
+package alloc
+
+import (
+	"math"
+
+	"greednet/internal/core"
+	"greednet/internal/mm1"
+)
+
+// FairShareBR is a reusable evaluator of one user's Fair Share congestion
+// as that user's rate varies with the other N−1 rates held fixed — the
+// exact access pattern of a best-response line search, which probes ~64
+// grid points plus a golden-section tail at every call.
+//
+// The serial cost shares have a structure the generic evaluator wastes:
+// with the others stably sorted ascending, every prefix position m that
+// precedes user i's insertion point has load x_m = (N−m+1)·o_m + σ_{m−1}
+// and cost share increments that do not depend on i's rate at all (the
+// multiplier uses the total N, not the insertion point).  Reset therefore
+// sorts the others and precomputes the prefix sums σ, the g(x_m) chain,
+// and the accumulated cost C through each prefix position once in
+// O(N log N); each CongestionOf(x) then finds i's insertion point by
+// binary search and finishes with O(1) arithmetic — O(log N) per probe
+// instead of O(N log N) sort + O(N) vector work, with zero allocations
+// after the first Reset at a given N.
+//
+// Bit-identity: the stable sort permutation of a key vector is unique, the
+// insertion point reproduces it (ties break by original index, exactly as
+// sort stability orders them), and σ/g/C accumulate in the same order with
+// the same expressions as FairShare.CongestionInto, so CongestionOf(x) and
+// OwnDerivs(x) equal FairShare{}.CongestionOf(r|ⁱx, i) and
+// FairShare{}.OwnDerivs(r|ⁱx, i) bit for bit.  The differential fuzz tests
+// pin this.
+type FairShareBR struct {
+	n int // total number of users, including i
+	i int // the varying user's original index
+
+	keys    []float64 // scratch: others' rates in original-index order
+	others  []float64 // others' rates, stably sorted ascending
+	origIdx []int     // original user index of each sorted other
+
+	// sigma[k] = sum of the first k sorted others, accumulated in sorted
+	// order (so sigma[k−1] is the σ_{k−1} a full evaluation would hold on
+	// reaching position k with user i inserted there).  Filled for every
+	// k even past the flood point: OwnDerivs needs the prefix regardless.
+	sigma []float64
+	// gx[m−1] = g(x_m) and cacc[m−1] = C accumulated through prefix
+	// position m, for the others-only prefix chain; valid for m < flood.
+	gx   []float64
+	cacc []float64
+	// flood is the first 1-based prefix position whose load saturates
+	// (g = +Inf) in the others-only chain; len(others)+1 when none does.
+	// User i inserting at position k > flood is behind a flooded sender
+	// and receives +Inf without evaluation.
+	flood int
+
+	ws core.Workspace
+}
+
+// Reset prepares the evaluator for user i of rate vector r.  O(N log N);
+// allocation-free once the internal buffers have reached len(r)'s size.
+// The rates of the other users are copied, so r is not retained.
+func (b *FairShareBR) Reset(r []core.Rate, i int) {
+	n := len(r)
+	m := n - 1
+	b.n, b.i = n, i
+	if cap(b.keys) < m {
+		b.keys = make([]float64, m)
+		b.others = make([]float64, m)
+		b.origIdx = make([]int, m)
+		b.gx = make([]float64, m)
+		b.cacc = make([]float64, m)
+	}
+	if cap(b.sigma) < m+1 {
+		b.sigma = make([]float64, m+1)
+	}
+	b.keys = b.keys[:m]
+	b.others = b.others[:m]
+	b.origIdx = b.origIdx[:m]
+	b.gx = b.gx[:m]
+	b.cacc = b.cacc[:m]
+	b.sigma = b.sigma[:m+1]
+
+	for j := 0; j < i; j++ {
+		b.keys[j] = r[j]
+	}
+	for j := i + 1; j < n; j++ {
+		b.keys[j-1] = r[j]
+	}
+	// Stable argsort of the others: ties keep original-index order, which
+	// is exactly how a stable sort of the full vector orders them.
+	perm := b.ws.Ascending(b.keys)
+	for k, p := range perm {
+		b.others[k] = b.keys[p]
+		if p < i {
+			b.origIdx[k] = p
+		} else {
+			b.origIdx[k] = p + 1
+		}
+	}
+
+	b.sigma[0] = 0
+	prefix := 0.0
+	for k := 1; k <= m; k++ {
+		prefix += b.others[k-1]
+		b.sigma[k] = prefix
+	}
+
+	b.flood = m + 1
+	prevG := 0.0
+	c := 0.0
+	for k := 1; k <= m; k++ {
+		xk := float64(n-k+1)*b.others[k-1] + b.sigma[k-1]
+		gk := mm1.G(xk)
+		if math.IsInf(gk, 1) {
+			b.flood = k
+			break
+		}
+		c += (gk - prevG) / float64(n-k+1)
+		b.gx[k-1] = gk
+		b.cacc[k-1] = c
+		prevG = gk
+	}
+}
+
+// precedes reports whether the j-th sorted other comes before user i in
+// the stable ascending order of the full vector when i sends x.  Ties
+// break by original index — sort stability — written as two < comparisons
+// so no raw float equality is needed.  The predicate is monotone in j
+// (true then false), which is what makes it binary-searchable.
+func (b *FairShareBR) precedes(j int, x float64) bool {
+	o := b.others[j]
+	if o < x {
+		return true
+	}
+	if x < o {
+		return false
+	}
+	return b.origIdx[j] < b.i
+}
+
+// position returns user i's 1-based insertion position in the full stable
+// ascending order when i sends x, by binary search over the sorted others.
+func (b *FairShareBR) position(x float64) int {
+	lo, hi := 0, b.n-1
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if b.precedes(mid, x) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo + 1
+}
+
+// CongestionOf returns user i's Fair Share congestion when i sends x and
+// the others hold their Reset rates — bit-identical to
+// FairShare{}.CongestionOf(r|ⁱx, i), in O(log N) with zero allocations.
+func (b *FairShareBR) CongestionOf(x core.Rate) core.Congestion {
+	k := b.position(x)
+	if k > b.flood {
+		// A sender before i already saturated the prefix chain.
+		return math.Inf(1)
+	}
+	xk := float64(b.n-k+1)*x + b.sigma[k-1]
+	gk := mm1.G(xk)
+	if math.IsInf(gk, 1) {
+		return math.Inf(1)
+	}
+	prevG, prevC := 0.0, 0.0
+	if k >= 2 {
+		prevG, prevC = b.gx[k-2], b.cacc[k-2]
+	}
+	return prevC + (gk-prevG)/float64(b.n-k+1)
+}
+
+// OwnDerivs returns (∂C_i/∂r_i, ∂²C_i/∂r_i²) at r|ⁱx — bit-identical to
+// FairShare{}.OwnDerivs(r|ⁱx, i), in O(log N) with zero allocations.
+func (b *FairShareBR) OwnDerivs(x core.Rate) (float64, float64) {
+	k := b.position(x)
+	xk := float64(b.n-k+1)*x + b.sigma[k-1]
+	return mm1.GPrime(xk), float64(b.n-k+1) * mm1.GPrime2(xk)
+}

@@ -1,0 +1,94 @@
+package core
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// Ascending must reproduce the unique stable argsort permutation —
+// including across ties, where stability is what makes the fast paths
+// bit-identical to the sort.SliceStable-based slow paths.
+func TestAscendingMatchesSliceStable(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var ws Workspace
+	for trial := 0; trial < 200; trial++ {
+		n := rng.Intn(12)
+		keys := make([]float64, n)
+		for i := range keys {
+			// Coarse quantization forces frequent ties.
+			keys[i] = float64(rng.Intn(5)) / 10
+		}
+		want := make([]int, n)
+		for i := range want {
+			want[i] = i
+		}
+		sort.SliceStable(want, func(a, b int) bool { return keys[want[a]] < keys[want[b]] })
+		got := ws.Ascending(keys)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: len %d, want %d", trial, len(got), len(want))
+		}
+		for k := range want {
+			if got[k] != want[k] {
+				t.Fatalf("trial %d: keys %v: got %v, want %v", trial, keys, got, want)
+			}
+		}
+	}
+}
+
+func TestWorkspaceNilSafe(t *testing.T) {
+	var ws *Workspace
+	idx := ws.Ascending([]float64{0.3, 0.1, 0.2})
+	if idx[0] != 1 || idx[1] != 2 || idx[2] != 0 {
+		t.Fatalf("nil-workspace Ascending = %v", idx)
+	}
+	if got := len(ws.VecA(4)); got != 4 {
+		t.Fatalf("nil-workspace VecA len = %d", got)
+	}
+	if got := len(ws.VecB(7)); got != 7 {
+		t.Fatalf("nil-workspace VecB len = %d", got)
+	}
+}
+
+// Scratch vectors must be independent of each other and resize without
+// losing capacity.
+func TestWorkspaceVecsIndependent(t *testing.T) {
+	var ws Workspace
+	a := ws.VecA(3)
+	b := ws.VecB(3)
+	for i := range a {
+		a[i] = 1
+		b[i] = 2
+	}
+	for i := range a {
+		if ApproxEq(a[i], b[i], 0) {
+			t.Fatalf("VecA and VecB alias at %d", i)
+		}
+	}
+	big := ws.VecA(8)
+	if len(big) != 8 {
+		t.Fatalf("VecA regrow len = %d", len(big))
+	}
+	small := ws.VecA(2)
+	if len(small) != 2 || cap(small) < 2 {
+		t.Fatalf("VecA shrink len=%d cap=%d", len(small), cap(small))
+	}
+}
+
+// A warm workspace must service Ascending and the scratch vectors without
+// allocating — this is the property every fast path builds on.
+func TestWorkspaceZeroAllocSteadyState(t *testing.T) {
+	var ws Workspace
+	keys := []float64{0.4, 0.1, 0.1, 0.3, 0.2, 0.25, 0.05, 0.15}
+	ws.Ascending(keys) // warm
+	ws.VecA(len(keys))
+	ws.VecB(len(keys))
+	allocs := testing.AllocsPerRun(100, func() {
+		ws.Ascending(keys)
+		ws.VecA(len(keys))
+		ws.VecB(len(keys))
+	})
+	if allocs != 0 {
+		t.Fatalf("warm workspace allocated %v per run, want 0", allocs)
+	}
+}

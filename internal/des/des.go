@@ -149,13 +149,9 @@ func RunCtx(ctx context.Context, cfg Config) (Result, error) {
 	end := cfg.Warmup + cfg.Horizon
 	batchLen := cfg.Horizon / float64(cfg.Batches)
 
-	counts := make([]int, n) // packets in system per user
-	queueAvg := make([]stats.TimeAverage, n)
+	lq := newLazyQueues(n, cfg.Batches, cfg.Warmup, end, batchLen)
 	var totalAvg stats.TimeAverage
-	batchInt := make([][]float64, n) // per-user, per-batch integrals
-	for i := range batchInt {
-		batchInt[i] = make([]float64, cfg.Batches)
-	}
+	cum := cumRates(cfg.Rates) // prefix sums for O(log N) source picks
 	delaySum := make([]float64, n)
 	departed := make([]int64, n)
 	var res Result
@@ -177,22 +173,14 @@ func RunCtx(ctx context.Context, cfg Config) (Result, error) {
 		}
 		dt := rng.ExpFloat64() / rate
 		// Split the elapsed interval across warmup/measurement boundary.
+		// Only the O(1) total-queue average advances per event; the per-user
+		// integrals advance lazily at count changes (lq.bump below).
 		tNext := t + dt
 		if tNext > cfg.Warmup {
 			lo := math.Max(t, cfg.Warmup)
 			hi := math.Min(tNext, end)
 			if hi > lo {
-				span := hi - lo
-				for i := 0; i < n; i++ {
-					if counts[i] > 0 {
-						queueAvg[i].Accumulate(float64(counts[i]), span)
-					} else {
-						queueAvg[i].Accumulate(0, span)
-					}
-				}
-				totalAvg.Accumulate(float64(inSystem), span)
-				// Batch integrals (piecewise across batch boundaries).
-				accumulateBatches(batchInt, counts, lo-cfg.Warmup, hi-cfg.Warmup, batchLen, cfg.Batches)
+				totalAvg.Accumulate(float64(inSystem), hi-lo)
 			}
 		}
 		t = tNext
@@ -202,22 +190,18 @@ func RunCtx(ctx context.Context, cfg Config) (Result, error) {
 		// Choose the event type.
 		u := rng.Float64() * rate
 		if u < total {
-			// Arrival: pick the source.
-			i := 0
-			acc := cfg.Rates[0]
-			for u > acc && i < n-1 {
-				i++
-				acc += cfg.Rates[i]
-			}
+			// Arrival: pick the source by binary search on the rate prefix
+			// sums (the same source the linear scan chose for this draw).
+			i := pickSource(cum, u)
 			d.Enqueue(Packet{User: i, Arrive: t})
-			counts[i]++
+			lq.bump(i, t, 1)
 			inSystem++
 			if t >= cfg.Warmup {
 				res.Arrivals++
 			}
 		} else if inSystem > 0 {
 			p := d.Dequeue()
-			counts[p.User]--
+			lq.bump(p.User, t, -1)
 			inSystem--
 			if t >= cfg.Warmup {
 				res.Departures++
@@ -229,11 +213,12 @@ func RunCtx(ctx context.Context, cfg Config) (Result, error) {
 			}
 		}
 	}
+	lq.finish()
 
 	res.Duration = cfg.Horizon
 	for i := 0; i < n; i++ {
-		res.AvgQueue[i] = queueAvg[i].Value()
-		res.QueueCI95[i] = batchCI(batchInt[i], batchLen)
+		res.AvgQueue[i] = lq.avgQueue(i)
+		res.QueueCI95[i] = batchCI(lq.batchInt[i], batchLen)
 		if departed[i] > 0 {
 			res.AvgDelay[i] = delaySum[i] / float64(departed[i])
 		} else {
@@ -243,28 +228,6 @@ func RunCtx(ctx context.Context, cfg Config) (Result, error) {
 	}
 	res.TotalAvgQueue = totalAvg.Value()
 	return res, nil
-}
-
-// accumulateBatches spreads the interval [lo, hi) of constant per-user
-// counts over the batch buckets.
-func accumulateBatches(batchInt [][]float64, counts []int, lo, hi, batchLen float64, batches int) {
-	for lo < hi {
-		b := int(lo / batchLen)
-		if b >= batches {
-			b = batches - 1
-		}
-		bEnd := float64(b+1) * batchLen
-		seg := math.Min(hi, bEnd) - lo
-		if seg <= 0 {
-			seg = hi - lo
-		}
-		for i, c := range counts {
-			if c > 0 {
-				batchInt[i][b] += float64(c) * seg
-			}
-		}
-		lo += seg
-	}
 }
 
 // batchCI converts per-batch queue integrals into a 95% half-width for the

@@ -243,13 +243,8 @@ func RunGCtx(ctx context.Context, cfg GConfig) (Result, error) {
 	end := cfg.Warmup + cfg.Horizon
 	batchLen := cfg.Horizon / float64(cfg.Batches)
 
-	counts := make([]int, n)
-	queueAvg := make([]stats.TimeAverage, n)
+	lq := newLazyQueues(n, cfg.Batches, cfg.Warmup, end, batchLen)
 	var totalAvg stats.TimeAverage
-	batchInt := make([][]float64, n)
-	for i := range batchInt {
-		batchInt[i] = make([]float64, cfg.Batches)
-	}
 	delaySum := make([]float64, n)
 	departed := make([]int64, n)
 	var res Result
@@ -294,16 +289,13 @@ func RunGCtx(ctx context.Context, cfg GConfig) (Result, error) {
 		if now > end {
 			now = end
 		}
-		// Accumulate piecewise-constant statistics over [prev, now).
+		// Accumulate the O(1) total-queue average over [prev, now); the
+		// per-user integrals advance lazily at count changes (lq.bump).
 		if now > cfg.Warmup && now > prev {
 			lo := math.Max(prev, cfg.Warmup)
 			span := now - lo
 			if span > 0 {
-				for i := 0; i < n; i++ {
-					queueAvg[i].Accumulate(float64(counts[i]), span)
-				}
 				totalAvg.Accumulate(float64(inSystem), span)
-				accumulateBatches(batchInt, counts, lo-cfg.Warmup, now-cfg.Warmup, batchLen, cfg.Batches)
 			}
 		}
 		prev = now
@@ -319,7 +311,7 @@ func RunGCtx(ctx context.Context, cfg GConfig) (Result, error) {
 				arrive:    ev.t,
 				remaining: cfg.Service.Sample(rng),
 			}
-			counts[u]++
+			lq.bump(u, ev.t, 1)
 			inSystem++
 			if ev.t >= cfg.Warmup {
 				res.Arrivals++
@@ -345,7 +337,7 @@ func RunGCtx(ctx context.Context, cfg GConfig) (Result, error) {
 				continue // stale completion from a preempted service
 			}
 			p := serving
-			counts[p.user]--
+			lq.bump(p.user, ev.t, -1)
 			inSystem--
 			if ev.t >= cfg.Warmup {
 				res.Departures++
@@ -356,10 +348,12 @@ func RunGCtx(ctx context.Context, cfg GConfig) (Result, error) {
 		}
 	}
 
+	lq.finish()
+
 	res.Duration = cfg.Horizon
 	for i := 0; i < n; i++ {
-		res.AvgQueue[i] = queueAvg[i].Value()
-		res.QueueCI95[i] = batchCI(batchInt[i], batchLen)
+		res.AvgQueue[i] = lq.avgQueue(i)
+		res.QueueCI95[i] = batchCI(lq.batchInt[i], batchLen)
 		if departed[i] > 0 {
 			res.AvgDelay[i] = delaySum[i] / float64(departed[i])
 		} else {

@@ -1,0 +1,141 @@
+package des
+
+import "math"
+
+// lazyQueues tracks the per-user time-averaged queue statistics with lazy
+// accumulation.  The historical event loop touched every user at every
+// event — an O(N) scan per event just to record that N−1 counts had not
+// changed.  Each user's count is piecewise constant between its own
+// arrivals and departures, so the integral ∫ counts_i(t) dt only needs
+// advancing when counts_i actually changes (bump) and once at the end of
+// the measurement window (finish): O(1) amortized per event, with the
+// same piecewise-constant integrand as the eager scan.
+//
+// Segments are clamped to the measurement window [warmup, end] at flush
+// time, and zero-count segments are skipped — they contribute nothing to
+// either the run integral or the batch-means integrals.
+type lazyQueues struct {
+	counts   []int       // current per-user packets in system
+	lastT    []float64   // start of user i's open constant-count segment
+	integral []float64   // ∫ counts_i over [warmup, end] so far
+	batchInt [][]float64 // per-user, per-batch integrals for batch means
+
+	warmup, end, batchLen float64
+	batches               int
+}
+
+func newLazyQueues(n, batches int, warmup, end, batchLen float64) *lazyQueues {
+	lq := &lazyQueues{
+		counts:   make([]int, n),
+		lastT:    make([]float64, n),
+		integral: make([]float64, n),
+		batchInt: make([][]float64, n),
+		warmup:   warmup,
+		end:      end,
+		batchLen: batchLen,
+		batches:  batches,
+	}
+	for i := range lq.batchInt {
+		lq.batchInt[i] = make([]float64, batches)
+	}
+	return lq
+}
+
+// flush closes user i's open constant-count segment at time now.
+func (lq *lazyQueues) flush(i int, now float64) {
+	if c := lq.counts[i]; c > 0 {
+		lo := math.Max(lq.lastT[i], lq.warmup)
+		hi := math.Min(now, lq.end)
+		if hi > lo {
+			lq.integral[i] += float64(c) * (hi - lo)
+			accumulateBatchUser(lq.batchInt[i], c, lo-lq.warmup, hi-lq.warmup, lq.batchLen, lq.batches)
+		}
+	}
+	lq.lastT[i] = now
+}
+
+// bump records that user i's count changes by delta at time now, closing
+// the constant-count segment that ends here.
+func (lq *lazyQueues) bump(i int, now float64, delta int) {
+	lq.flush(i, now)
+	lq.counts[i] += delta
+}
+
+// finish closes every user's open segment at the end of measurement.
+// Statistics are complete only after finish.
+func (lq *lazyQueues) finish() {
+	for i := range lq.counts {
+		lq.flush(i, lq.end)
+	}
+}
+
+// avgQueue returns the time-averaged queue of user i over the window.
+func (lq *lazyQueues) avgQueue(i int) float64 {
+	if dur := lq.end - lq.warmup; dur > 0 {
+		return lq.integral[i] / dur
+	}
+	return math.NaN()
+}
+
+// accumulateBatchUser spreads one user's constant-count segment [lo, hi)
+// (times relative to warmup) over the batch buckets.
+//
+// Boundary care: after lo advances to a batch boundary, int(lo/batchLen)
+// can round down to the batch just finished (the division need not be
+// exact), leaving bEnd ≤ lo.  The historical splitter's fallback dumped
+// the whole remaining interval into that earlier batch — a small-bias bug
+// while intervals were single event spans, a large one for the long
+// constant-count segments flushed here — so the boundary case steps to
+// the next batch instead.
+func accumulateBatchUser(batchInt []float64, c int, lo, hi, batchLen float64, batches int) {
+	for lo < hi {
+		b := int(lo / batchLen)
+		if b >= batches {
+			b = batches - 1
+		}
+		bEnd := float64(b+1) * batchLen
+		if bEnd <= lo && b < batches-1 {
+			b++
+			bEnd = float64(b+1) * batchLen
+		}
+		seg := math.Min(hi, bEnd) - lo
+		if seg <= 0 {
+			// Only reachable in the clamped last batch, where the
+			// remainder belongs anyway.
+			seg = hi - lo
+		}
+		batchInt[b] += float64(c) * seg
+		lo += seg
+	}
+}
+
+// cumRates builds the left-to-right prefix sums of the arrival rates, the
+// table behind the O(log N) arrival-source pick.  The summation order is
+// the same as the historical linear scan's running accumulator, so the
+// table entries equal the scan's intermediate sums bit for bit.
+func cumRates(rates []float64) []float64 {
+	cum := make([]float64, len(rates))
+	acc := 0.0
+	for i, r := range rates {
+		acc += r
+		cum[i] = acc
+	}
+	return cum
+}
+
+// pickSource returns the arrival source for the uniform draw u: the
+// smallest i with u ≤ cum[i], clamped to the last source.  This is the
+// binary-search form of the historical linear scan (advance while
+// u > acc), choosing the identical source for every draw.
+func pickSource(cum []float64, u float64) int {
+	lo, hi := 0, len(cum)-1
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if u > cum[mid] {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}

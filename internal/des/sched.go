@@ -226,13 +226,8 @@ func RunSchedCtx(ctx context.Context, cfg SchedConfig) (Result, error) {
 
 	end := cfg.Warmup + cfg.Horizon
 	batchLen := cfg.Horizon / float64(cfg.Batches)
-	counts := make([]int, n)
-	queueAvg := make([]stats.TimeAverage, n)
+	lq := newLazyQueues(n, cfg.Batches, cfg.Warmup, end, batchLen)
 	var totalAvg stats.TimeAverage
-	batchInt := make([][]float64, n)
-	for i := range batchInt {
-		batchInt[i] = make([]float64, cfg.Batches)
-	}
 	delaySum := make([]float64, n)
 	departed := make([]int64, n)
 	var res Result
@@ -259,15 +254,13 @@ func RunSchedCtx(ctx context.Context, cfg SchedConfig) (Result, error) {
 		if now > end {
 			now = end
 		}
+		// O(1) total-queue average per event; per-user integrals advance
+		// lazily at count changes (lq.bump).
 		if now > cfg.Warmup && now > prev {
 			lo := math.Max(prev, cfg.Warmup)
 			span := now - lo
 			if span > 0 {
-				for i := 0; i < n; i++ {
-					queueAvg[i].Accumulate(float64(counts[i]), span)
-				}
 				totalAvg.Accumulate(float64(inSystem), span)
-				accumulateBatches(batchInt, counts, lo-cfg.Warmup, now-cfg.Warmup, batchLen, cfg.Batches)
 			}
 		}
 		prev = now
@@ -278,7 +271,7 @@ func RunSchedCtx(ctx context.Context, cfg SchedConfig) (Result, error) {
 			u := ev.user
 			heap.Push(&events, gevent{t: ev.t + rng.ExpFloat64()/cfg.Rates[u], user: u, isArr: true})
 			p := &gpacket{user: u, arrive: ev.t, remaining: cfg.Service.Sample(rng)}
-			counts[u]++
+			lq.bump(u, ev.t, 1)
 			inSystem++
 			if ev.t >= cfg.Warmup {
 				res.Arrivals++
@@ -294,7 +287,7 @@ func RunSchedCtx(ctx context.Context, cfg SchedConfig) (Result, error) {
 				continue
 			}
 			p := serving
-			counts[p.user]--
+			lq.bump(p.user, ev.t, -1)
 			inSystem--
 			if ev.t >= cfg.Warmup {
 				res.Departures++
@@ -309,10 +302,12 @@ func RunSchedCtx(ctx context.Context, cfg SchedConfig) (Result, error) {
 		}
 	}
 
+	lq.finish()
+
 	res.Duration = cfg.Horizon
 	for i := 0; i < n; i++ {
-		res.AvgQueue[i] = queueAvg[i].Value()
-		res.QueueCI95[i] = batchCI(batchInt[i], batchLen)
+		res.AvgQueue[i] = lq.avgQueue(i)
+		res.QueueCI95[i] = batchCI(lq.batchInt[i], batchLen)
 		if departed[i] > 0 {
 			res.AvgDelay[i] = delaySum[i] / float64(departed[i])
 		} else {

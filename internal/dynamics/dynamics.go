@@ -9,6 +9,7 @@ import (
 	"context"
 	"math"
 
+	"greednet/internal/alloc"
 	"greednet/internal/core"
 )
 
@@ -118,6 +119,31 @@ type EliminationResult struct {
 	Stalled bool
 }
 
+// elimCand is one sampled candidate rate with its payoff bracket over the
+// box: umin is the payoff guaranteed against any surviving profile, umax
+// the best case.
+type elimCand struct{ s, umin, umax float64 }
+
+// elimWorkspace holds the per-round scratch of interval elimination: the
+// two corner rate vectors that bracket C_i over the box, the candidate
+// list, and the allocation layer's workspace.  One elimWorkspace serves
+// every round of a GeneralizedHillClimb run; a nil workspace means
+// transient scratch.  Not safe for concurrent use.
+type elimWorkspace struct {
+	rLo, rHi []float64
+	cands    []elimCand
+	cdst     []float64
+	aws      core.Workspace
+}
+
+// growVec resizes buf to n, reusing capacity when possible.
+func growVec(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	return buf[:n]
+}
+
 // RoundEliminate performs one sound elimination round on the box: for each
 // user it discards candidate rates whose best possible payoff against any
 // profile in the box is worse than the guaranteed payoff of some other
@@ -126,34 +152,53 @@ type EliminationResult struct {
 // U_i is decreasing in congestion.  The returned box is the interval hull
 // of the surviving grid values (padded by one grid cell).
 func RoundEliminate(a core.Allocation, us core.Profile, b Box, opt EliminationOptions) Box {
+	return roundEliminateWS(nil, a, us, b, opt)
+}
+
+// roundEliminateWS is RoundEliminate on caller-owned scratch, bit-identical
+// to it (the public entry point delegates here with nil).  The corner
+// probes go through alloc.CongestionOfInto, so disciplines with a fast
+// path evaluate without per-probe allocation.
+func roundEliminateWS(ws *elimWorkspace, a core.Allocation, us core.Profile, b Box, opt EliminationOptions) Box {
 	opt = opt.withDefaults()
 	n := len(b.Lo)
+	if ws == nil {
+		ws = &elimWorkspace{}
+	}
 	out := b.clone()
+	// Corner rate vectors for bracketing C_i: others at box-lo / box-hi,
+	// slot i overwritten per candidate and restored per user.
+	rLo := growVec(ws.rLo, n)
+	rHi := growVec(ws.rHi, n)
+	ws.rLo, ws.rHi = rLo, rHi
+	copy(rLo, b.Lo)
+	copy(rHi, b.Hi)
+	cdst := growVec(ws.cdst, n)
+	ws.cdst = cdst
 	for i := 0; i < n; i++ {
 		lo, hi := b.Lo[i], b.Hi[i]
 		if hi-lo <= 0 {
 			continue
 		}
 		step := (hi - lo) / float64(opt.Grid)
-		// Corner rate vectors for bracketing C_i.
-		rLo := append([]float64(nil), b.Lo...)
-		rHi := append([]float64(nil), b.Hi...)
-		type cand struct{ s, umin, umax float64 }
-		cands := make([]cand, 0, opt.Grid+1)
+		cands := ws.cands[:0]
 		bestMin := math.Inf(-1)
 		for k := 0; k <= opt.Grid; k++ {
 			s := lo + float64(k)*step
 			rLo[i] = s
 			rHi[i] = s
-			cLo := a.CongestionOf(rLo, i) // least congestion over the box
-			cHi := a.CongestionOf(rHi, i) // greatest congestion over the box
+			cLo := alloc.CongestionOfInto(a, &ws.aws, cdst, rLo, i) // least congestion over the box
+			cHi := alloc.CongestionOfInto(a, &ws.aws, cdst, rHi, i) // greatest congestion over the box
 			umin := us[i].Value(s, cHi)
 			umax := us[i].Value(s, cLo)
-			cands = append(cands, cand{s, umin, umax})
+			cands = append(cands, elimCand{s, umin, umax})
 			if umin > bestMin {
 				bestMin = umin
 			}
 		}
+		ws.cands = cands
+		rLo[i] = b.Lo[i]
+		rHi[i] = b.Hi[i]
 		newLo, newHi := math.Inf(1), math.Inf(-1)
 		for _, c := range cands {
 			if c.umax >= bestMin-opt.Slack {
@@ -208,11 +253,12 @@ func GeneralizedHillClimbCtx(ctx context.Context, a core.Allocation, us core.Pro
 	opt = opt.withDefaults()
 	res := EliminationResult{Final: start.clone()}
 	prev := res.Final.Width()
+	ws := &elimWorkspace{} // one scratch set for every round
 	for res.Rounds = 0; res.Rounds < opt.MaxRounds; res.Rounds++ {
 		if err := core.CtxErr(ctx); err != nil {
 			return res, err
 		}
-		res.Final = RoundEliminate(a, us, res.Final, opt)
+		res.Final = roundEliminateWS(ws, a, us, res.Final, opt)
 		w := res.Final.Width()
 		res.Widths = append(res.Widths, w)
 		if w <= opt.Tol {
@@ -292,17 +338,29 @@ func HillClimbCtx(ctx context.Context, a core.Allocation, us core.Profile, r0 []
 	r := append([]float64(nil), r0...)
 	traj := make([][]float64, 0, opt.Rounds+1)
 	traj = append(traj, append([]float64(nil), r...))
+	// Round scratch, hoisted out of the loop: next accumulates the round's
+	// updates, rr is the probe vector r|ⁱ(r_i±probe) that historically was
+	// two fresh core.WithRate copies per probing user per round.  The
+	// trajectory still appends fresh copies — it is the output.
+	next := make([]float64, n)
+	rr := make([]float64, n)
+	cdst := make([]float64, n)
+	var aws core.Workspace
 	for round := 1; round <= opt.Rounds; round++ {
 		if err := core.CtxErr(ctx); err != nil {
 			return traj, err
 		}
-		next := append([]float64(nil), r...)
+		copy(next, r)
+		copy(rr, r)
 		for i := 0; i < n; i++ {
 			if round%opt.Period[i] != 0 {
 				continue
 			}
-			up := us[i].Value(r[i]+opt.Probe, a.CongestionOf(core.WithRate(r, i, r[i]+opt.Probe), i))
-			dn := us[i].Value(r[i]-opt.Probe, a.CongestionOf(core.WithRate(r, i, r[i]-opt.Probe), i))
+			rr[i] = r[i] + opt.Probe
+			up := us[i].Value(rr[i], alloc.CongestionOfInto(a, &aws, cdst, rr, i))
+			rr[i] = r[i] - opt.Probe
+			dn := us[i].Value(rr[i], alloc.CongestionOfInto(a, &aws, cdst, rr, i))
+			rr[i] = r[i]
 			grad := (up - dn) / (2 * opt.Probe)
 			step := opt.Step * grad
 			// Bound the move to one Step per round for stability.
@@ -313,7 +371,7 @@ func HillClimbCtx(ctx context.Context, a core.Allocation, us core.Profile, r0 []
 			}
 			next[i] = core.Clamp(r[i]+step, opt.Lo, opt.Hi)
 		}
-		r = next
+		copy(r, next)
 		traj = append(traj, append([]float64(nil), r...))
 	}
 	return traj, nil

@@ -1,6 +1,9 @@
 package dynamics
 
 import (
+	"context"
+
+	"greednet/internal/alloc"
 	"greednet/internal/core"
 	"greednet/internal/game"
 )
@@ -66,17 +69,23 @@ func LeaderFollower(a core.Allocation, us core.Profile, leader int, r0 []core.Ra
 	res := LeaderFollowerResult{Converged: true}
 	warm := append([]float64(nil), r0...)
 	// settle equilibrates the followers at leader rate x and returns the
-	// leader's achieved utility.
+	// leader's achieved utility.  One game workspace and one start buffer
+	// serve every epoch's probes: the inner solver copies the start vector
+	// before iterating, so the buffer is free again on return.
+	ws := game.NewWorkspace()
+	start := make([]float64, n)
+	cdst := make([]float64, n)
+	var aws core.Workspace
 	settle := func(x float64) float64 {
-		start := append([]float64(nil), warm...)
+		copy(start, warm)
 		start[leader] = x
-		nr, err := game.SolveNash(a, us, start, inner)
+		nr, err := game.SolveNashWS(context.Background(), ws, a, us, start, inner)
 		if err != nil || !nr.Converged {
 			res.Converged = false
-			return us[leader].Value(x, a.CongestionOf(start, leader))
+			return us[leader].Value(x, alloc.CongestionOfInto(a, &aws, cdst, start, leader))
 		}
 		copy(warm, nr.R)
-		return us[leader].Value(x, a.CongestionOf(nr.R, leader))
+		return us[leader].Value(x, alloc.CongestionOfInto(a, &aws, cdst, nr.R, leader))
 	}
 
 	x := r0[leader]

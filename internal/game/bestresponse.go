@@ -50,14 +50,50 @@ func Payoff(a core.Allocation, u core.Utility, r []core.Rate, i int) float64 {
 // other rates in r fixed.  It returns the maximizing rate and the utility
 // achieved.  The search is grid-seeded golden section over [Lo, Hi].
 func BestResponse(a core.Allocation, u core.Utility, r []core.Rate, i int, opt BROptions) (x, val float64) {
+	return BestResponseWS(nil, a, u, r, i, opt)
+}
+
+// BestResponseWS is BestResponse with solver-owned scratch (nil ws means
+// allocate transient scratch).  Results are bit-identical to BestResponse
+// for every allocation:
+//
+//   - Under Fair Share the ~64 grid + golden-section probes go through the
+//     incremental evaluator — one O(N log N) Reset, then O(log N) per probe
+//     instead of a full sort + vector evaluation — whose values equal the
+//     full evaluation bit for bit (see alloc.FairShareBR).
+//   - Disciplines providing core.AllocationInto evaluate into the
+//     workspace's congestion buffer with the same arithmetic as their
+//     allocating path.
+//   - Everything else runs the historical CongestionOf probe, with only
+//     the r|ⁱx copy hoisted into the workspace.
+func BestResponseWS(ws *Workspace, a core.Allocation, u core.Utility, r []core.Rate, i int, opt BROptions) (x, val float64) {
 	opt = opt.withDefaults()
-	rr := append([]float64(nil), r...)
+	if ws == nil {
+		ws = NewWorkspace()
+	}
+	if _, ok := a.(alloc.FairShare); ok {
+		br := &ws.fsbr
+		br.Reset(r, i)
+		h := func(x float64) float64 {
+			return u.Value(x, br.CongestionOf(x))
+		}
+		return maximizeGrid(h, opt.Lo, opt.Hi, opt.GridPoints, opt.Tol)
+	}
+	rr := ws.rates(len(r))
+	copy(rr, r)
+	if ai, ok := a.(core.AllocationInto); ok {
+		dst := ws.congestion(len(r))
+		h := func(x float64) float64 {
+			rr[i] = x
+			return u.Value(x, ai.CongestionInto(&ws.aws, dst, rr)[i])
+		}
+		return maximizeGrid(h, opt.Lo, opt.Hi, opt.GridPoints, opt.Tol)
+	}
 	h := func(x float64) float64 {
 		rr[i] = x
 		return u.Value(x, a.CongestionOf(rr, i))
 	}
-	x, val = maximizeGrid(h, opt.Lo, opt.Hi, opt.GridPoints, opt.Tol)
-	return x, val
+	return maximizeGrid(h, opt.Lo, opt.Hi, opt.GridPoints, opt.Tol)
 }
 
 // maximizeGrid is a local copy of the robust grid+golden maximizer to keep
@@ -105,16 +141,48 @@ func maximizeGrid(f func(float64) float64, a, b float64, n int, tol float64) (fl
 // payoffs it is several times cheaper than the grid+golden search — the
 // DESIGN.md §6 solver ablation.
 func BestResponseNewton(a core.Allocation, us core.Profile, r []core.Rate, i int, opt BROptions) (x, val float64) {
+	return BestResponseNewtonWS(nil, a, us, r, i, opt)
+}
+
+// BestResponseNewtonWS is BestResponseNewton with solver-owned scratch;
+// see BestResponseWS for the fast-path structure and the bit-identity
+// argument.
+func BestResponseNewtonWS(ws *Workspace, a core.Allocation, us core.Profile, r []core.Rate, i int, opt BROptions) (x, val float64) {
 	opt = opt.withDefaults()
-	rr := append([]float64(nil), r...)
-	fdc := func(x float64) float64 {
-		rr[i] = x
-		c := a.CongestionOf(rr, i)
-		if math.IsInf(c, 1) {
-			return math.Inf(-1) // way past the optimum
+	if ws == nil {
+		ws = NewWorkspace()
+	}
+	var fdc, payoffAt func(x float64) float64
+	if _, ok := a.(alloc.FairShare); ok {
+		br := &ws.fsbr
+		br.Reset(r, i)
+		fdc = func(x float64) float64 {
+			c := br.CongestionOf(x)
+			if math.IsInf(c, 1) {
+				return math.Inf(-1) // way past the optimum
+			}
+			d1, _ := br.OwnDerivs(x)
+			return core.MarginalRate(us[i], x, c) + d1
 		}
-		d1, _ := alloc.OwnDerivs(a, rr, i)
-		return core.MarginalRate(us[i], x, c) + d1
+		payoffAt = func(x float64) float64 {
+			return us[i].Value(x, br.CongestionOf(x))
+		}
+	} else {
+		rr := ws.rates(len(r))
+		copy(rr, r)
+		fdc = func(x float64) float64 {
+			rr[i] = x
+			c := alloc.CongestionOfInto(a, &ws.aws, ws.congestion(len(rr)), rr, i)
+			if math.IsInf(c, 1) {
+				return math.Inf(-1) // way past the optimum
+			}
+			d1, _ := alloc.OwnDerivsInto(a, &ws.aws, rr, i)
+			return core.MarginalRate(us[i], x, c) + d1
+		}
+		payoffAt = func(x float64) float64 {
+			rr[i] = x
+			return us[i].Value(x, alloc.CongestionOfInto(a, &ws.aws, ws.congestion(len(rr)), rr, i))
+		}
 	}
 	// Newton with numeric derivative, seeded at the current rate.
 	x = core.Clamp(r[i], opt.Lo, opt.Hi)
@@ -146,25 +214,33 @@ func BestResponseNewton(a core.Allocation, us core.Profile, r []core.Rate, i int
 		x = nx
 	}
 	if ok {
-		rr[i] = x
-		val = us[i].Value(x, a.CongestionOf(rr, i))
+		val = payoffAt(x)
 		// Guard against converging to a stationary point that is not the
 		// maximum: accept only if a coarse grid finds nothing better.
-		gx, gval := BestResponse(a, us[i], r, i, BROptions{GridPoints: 16, Tol: 1e-6})
+		gx, gval := BestResponseWS(ws, a, us[i], r, i, BROptions{GridPoints: 16, Tol: 1e-6})
 		if gval <= val+1e-9 {
 			return x, val
 		}
 		return gx, gval
 	}
-	return BestResponse(a, us[i], r, i, opt)
+	return BestResponseWS(ws, a, us[i], r, i, opt)
 }
 
 // DeviationGain returns how much user i could gain by unilaterally
 // deviating from r: max_x U_i(x, C_i(r|x)) − U_i(r_i, C_i(r)).  A point is
 // an (ε-)Nash equilibrium iff every user's gain is ≤ ε.
 func DeviationGain(a core.Allocation, u core.Utility, r []core.Rate, i int, opt BROptions) float64 {
-	_, best := BestResponse(a, u, r, i, opt)
-	return best - Payoff(a, u, r, i)
+	return deviationGainWS(nil, a, u, r, i, opt)
+}
+
+// deviationGainWS is DeviationGain on solver-owned scratch, bit-identical
+// through the same fast paths as BestResponseWS.
+func deviationGainWS(ws *Workspace, a core.Allocation, u core.Utility, r []core.Rate, i int, opt BROptions) float64 {
+	if ws == nil {
+		ws = NewWorkspace()
+	}
+	_, best := BestResponseWS(ws, a, u, r, i, opt)
+	return best - u.Value(r[i], alloc.CongestionOfInto(a, &ws.aws, ws.congestion(len(r)), r, i))
 }
 
 // NashResidual returns the vector E with E_i = M_i(r_i, C_i(r)) + ∂C_i/∂r_i,

@@ -96,13 +96,28 @@ func SolveNash(a core.Allocation, us core.Profile, r0 []core.Rate, opt NashOptio
 // gave up" from "the dynamics diverged" (the latter is a nil error with
 // Converged == false at MaxIter).
 func SolveNashCtx(ctx context.Context, a core.Allocation, us core.Profile, r0 []core.Rate, opt NashOptions) (NashResult, error) {
+	return SolveNashWS(ctx, nil, a, us, r0, opt)
+}
+
+// SolveNashWS is SolveNashCtx with a caller-owned workspace (nil means
+// allocate transient scratch): the fixed-point iterate, the Jacobi round
+// buffer, and every inner best-response search reuse ws across rounds —
+// and across solves when the caller runs many (trajectories, sweeps,
+// Stackelberg inner loops).  The returned R and C are freshly allocated;
+// only scratch lives in the workspace.  Results are bit-identical to
+// SolveNashCtx, which delegates here.
+func SolveNashWS(ctx context.Context, ws *Workspace, a core.Allocation, us core.Profile, r0 []core.Rate, opt NashOptions) (NashResult, error) {
 	n := len(r0)
 	if len(us) != n {
 		return NashResult{}, ErrNoProfile
 	}
+	if ws == nil {
+		ws = NewWorkspace()
+	}
 	opt = opt.withDefaults(n)
-	r := append([]float64(nil), r0...)
-	next := make([]float64, n)
+	r := ws.iterate(n)
+	copy(r, r0)
+	next := ws.nextVec(n)
 	iters := 0
 	converged := false
 	for iters = 1; iters <= opt.MaxIter; iters++ {
@@ -110,7 +125,7 @@ func SolveNashCtx(ctx context.Context, a core.Allocation, us core.Profile, r0 []
 			// Abandoned mid-solve: report the last iterate's rates and the
 			// rounds completed; C stays nil (the point was never accepted,
 			// so no congestion report is owed for it).
-			return NashResult{R: r, Iters: iters - 1}, err
+			return NashResult{R: append([]float64(nil), r...), Iters: iters - 1}, err
 		}
 		maxDelta := 0.0
 		switch opt.Scheme {
@@ -120,7 +135,7 @@ func SolveNashCtx(ctx context.Context, a core.Allocation, us core.Profile, r0 []
 				if !opt.Free[i] {
 					continue
 				}
-				br, _ := BestResponse(a, us[i], r, i, opt.BR)
+				br, _ := BestResponseWS(ws, a, us[i], r, i, opt.BR)
 				next[i] = (1-opt.Damping)*r[i] + opt.Damping*br
 			}
 			for i := 0; i < n; i++ {
@@ -134,7 +149,7 @@ func SolveNashCtx(ctx context.Context, a core.Allocation, us core.Profile, r0 []
 				if !opt.Free[i] {
 					continue
 				}
-				br, _ := BestResponse(a, us[i], r, i, opt.BR)
+				br, _ := BestResponseWS(ws, a, us[i], r, i, opt.BR)
 				nr := (1-opt.Damping)*r[i] + opt.Damping*br
 				if d := math.Abs(nr - r[i]); d > maxDelta {
 					maxDelta = d
@@ -148,7 +163,7 @@ func SolveNashCtx(ctx context.Context, a core.Allocation, us core.Profile, r0 []
 		}
 	}
 	res := NashResult{
-		R:         r,
+		R:         append([]float64(nil), r...),
 		C:         a.Congestion(r), //lint:allow feasguard reports C(r) at the solved point; the Allocation contract defines it (with +Inf) on all of R+^n
 		Converged: converged,
 		Iters:     iters,
@@ -157,7 +172,7 @@ func SolveNashCtx(ctx context.Context, a core.Allocation, us core.Profile, r0 []
 		if !opt.Free[i] {
 			continue
 		}
-		if g := DeviationGain(a, us[i], r, i, opt.BR); g > res.MaxGain {
+		if g := deviationGainWS(ws, a, us[i], res.R, i, opt.BR); g > res.MaxGain {
 			res.MaxGain = g
 		}
 	}
@@ -171,16 +186,20 @@ func NashTrajectory(a core.Allocation, us core.Profile, r0 []core.Rate, opt Nash
 	n := len(r0)
 	opt = opt.withDefaults(n)
 	opt.MaxIter = 1
+	// One workspace serves every round; each round's SolveNashWS returns a
+	// freshly allocated R, so the trajectory can keep it directly instead
+	// of re-copying (the per-round append+copy this loop historically did).
+	ws := NewWorkspace()
 	traj := make([][]float64, 0, maxRounds+1)
 	traj = append(traj, append([]float64(nil), r0...))
 	r := r0
 	for k := 0; k < maxRounds; k++ {
-		res, err := SolveNash(a, us, r, opt)
+		res, err := SolveNashWS(context.Background(), ws, a, us, r, opt)
 		if err != nil {
 			break
 		}
 		r = res.R
-		traj = append(traj, append([]float64(nil), r...))
+		traj = append(traj, r)
 	}
 	return traj
 }

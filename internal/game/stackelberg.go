@@ -1,8 +1,10 @@
 package game
 
 import (
+	"context"
 	"math"
 
+	"greednet/internal/alloc"
 	"greednet/internal/core"
 )
 
@@ -60,12 +62,17 @@ func SolveStackelberg(a core.Allocation, us core.Profile, leader int, r0 []core.
 
 	followersOK := true
 	// value evaluates the leader's utility when committing to rate x,
-	// equilibrating the followers from the warm start.
+	// equilibrating the followers from the warm start.  One workspace and
+	// one start buffer serve every leader-rate probe: the inner solver
+	// copies the start vector before iterating, so the buffer is free for
+	// reuse as soon as SolveNashWS is entered.
+	ws := NewWorkspace()
 	warm := append([]float64(nil), r0...)
+	start := make([]float64, n)
 	value := func(x float64) float64 {
-		start := append([]float64(nil), warm...)
+		copy(start, warm)
 		start[leader] = x
-		res, err := SolveNash(a, us, start, inner)
+		res, err := SolveNashWS(context.Background(), ws, a, us, start, inner)
 		if err != nil {
 			return math.Inf(-1)
 		}
@@ -73,13 +80,13 @@ func SolveStackelberg(a core.Allocation, us core.Profile, leader int, r0 []core.
 			followersOK = false
 		}
 		copy(warm, res.R)
-		return us[leader].Value(x, a.CongestionOf(res.R, leader))
+		return us[leader].Value(x, alloc.CongestionOfInto(a, &ws.aws, ws.congestion(n), res.R, leader))
 	}
 	x, _ := maximizeGrid(value, 1e-6, 1-1e-6, opt.Grid, opt.Tol)
 
-	finalStart := append([]float64(nil), warm...)
-	finalStart[leader] = x
-	res, err := SolveNash(a, us, finalStart, inner)
+	copy(start, warm)
+	start[leader] = x
+	res, err := SolveNashWS(context.Background(), ws, a, us, start, inner)
 	if err != nil {
 		return StackelbergResult{}, err
 	}

@@ -1,0 +1,59 @@
+package game
+
+import (
+	"greednet/internal/alloc"
+	"greednet/internal/core"
+)
+
+// Workspace is the solver-owned scratch behind the WS entry points
+// (BestResponseWS, BestResponseNewtonWS, SolveNashWS).  One workspace
+// amortizes every per-call allocation of a solve — the r|ⁱx probe vector,
+// the congestion destination, the Nash iterate buffers, the allocation
+// layer's sort permutations, and the incremental Fair Share evaluator —
+// so a warm best-response search performs zero heap allocations.
+//
+// A nil *Workspace means "allocate transient scratch"; the plain entry
+// points (BestResponse, SolveNash, …) delegate with nil, which keeps one
+// arithmetic path and makes WS results bit-identical by construction.
+// Workspaces are not safe for concurrent use: parallel drivers own one per
+// solve (MultiStartNash) or per worker.
+type Workspace struct {
+	rr   []float64 // the r|ⁱx probe vector of a best-response search
+	cong []float64 // congestion destination for AllocationInto
+	iter []float64 // Nash fixed-point iterate
+	next []float64 // Jacobi round buffer
+	aws  core.Workspace
+	fsbr alloc.FairShareBR
+}
+
+// NewWorkspace returns an empty workspace; buffers grow on first use and
+// are reused thereafter.
+func NewWorkspace() *Workspace { return &Workspace{} }
+
+// growFloats resizes buf to n, reusing capacity when possible.
+func growFloats(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	return buf[:n]
+}
+
+func (w *Workspace) rates(n int) []float64 {
+	w.rr = growFloats(w.rr, n)
+	return w.rr
+}
+
+func (w *Workspace) congestion(n int) []float64 {
+	w.cong = growFloats(w.cong, n)
+	return w.cong
+}
+
+func (w *Workspace) iterate(n int) []float64 {
+	w.iter = growFloats(w.iter, n)
+	return w.iter
+}
+
+func (w *Workspace) nextVec(n int) []float64 {
+	w.next = growFloats(w.next, n)
+	return w.next
+}

@@ -1,0 +1,256 @@
+// Package hotpath pins the performance of the repository's hottest code
+// paths.  Each Case is a named micro-benchmark runnable both by `go test
+// -bench` (see hotpath_test.go) and programmatically by greedbench's
+// -hotpath flag, which times every case with testing.Benchmark and writes
+// the results — ns/op, allocs/op, bytes/op — to BENCH_hotpath.json.
+//
+// Cases marked Gated are the workspace fast paths whose warm steady state
+// must stay at zero allocations per operation; a gated case measuring
+// above zero is a perf regression and fails the emitter.  Cases with a
+// Baseline name the legacy implementation benchmarked alongside them, so
+// the JSON artifact carries the before/after comparison (the ≥5×
+// allocs/op acceptance criterion) instead of a bare number.
+package hotpath
+
+import (
+	"context"
+	"math"
+	"sort"
+	"testing"
+
+	"greednet/internal/alloc"
+	"greednet/internal/core"
+	"greednet/internal/des"
+	"greednet/internal/game"
+	"greednet/internal/mm1"
+	"greednet/internal/utility"
+)
+
+// Case is one named micro-benchmark.
+type Case struct {
+	// Name is the stable identifier recorded in BENCH_hotpath.json.
+	Name string
+	// Gated marks the zero-allocation fast paths: allocs/op must be 0.
+	Gated bool
+	// Baseline, when non-empty, names the legacy case this one replaced.
+	Baseline string
+	// Bench runs the benchmark; it must call b.ReportAllocs so the
+	// programmatic testing.Benchmark results carry allocation counts.
+	Bench func(b *testing.B)
+}
+
+// rates64 is the fixed 64-user profile the allocation benches share:
+// feasible (Σ < 1), unsorted, with exact ties to exercise the stable
+// argsort's tie-breaking.
+func rates64() []float64 {
+	r := make([]float64, 64)
+	for i := range r {
+		r[i] = (0.3 + 0.5*float64(i%7)/7) / 64
+	}
+	return r
+}
+
+// Cases returns the hot-path benchmark suite in emission order.
+func Cases() []Case {
+	return []Case{
+		{
+			Name:     "fairshare_congestion_into_n64",
+			Gated:    true,
+			Baseline: "fairshare_congestion_legacy_n64",
+			Bench: func(b *testing.B) {
+				r := rates64()
+				if !core.Feasible(r) {
+					b.Fatal("hotpath: rates64 profile is infeasible")
+				}
+				dst := make([]float64, len(r))
+				var ws core.Workspace
+				(alloc.FairShare{}).CongestionInto(&ws, dst, r) // warm
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					(alloc.FairShare{}).CongestionInto(&ws, dst, r)
+				}
+			},
+		},
+		{
+			Name: "fairshare_congestion_legacy_n64",
+			Bench: func(b *testing.B) {
+				r := rates64()
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					legacyFairShareCongestion(r)
+				}
+			},
+		},
+		{
+			Name:  "proportional_congestion_into_n64",
+			Gated: true,
+			Bench: func(b *testing.B) {
+				r := rates64()
+				if !core.Feasible(r) {
+					b.Fatal("hotpath: rates64 profile is infeasible")
+				}
+				dst := make([]float64, len(r))
+				var ws core.Workspace
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					(alloc.Proportional{}).CongestionInto(&ws, dst, r)
+				}
+			},
+		},
+		{
+			Name:     "bestresponse_fairshare_ws_n64",
+			Gated:    true,
+			Baseline: "bestresponse_fairshare_legacy_n64",
+			Bench: func(b *testing.B) {
+				r := rates64()
+				var u core.Utility = utility.NewLinear(1, 0.25)
+				ws := game.NewWorkspace()
+				game.BestResponseWS(ws, alloc.FairShare{}, u, r, 5, game.BROptions{}) // warm
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					game.BestResponseWS(ws, alloc.FairShare{}, u, r, 5, game.BROptions{})
+				}
+			},
+		},
+		{
+			Name: "bestresponse_fairshare_legacy_n64",
+			Bench: func(b *testing.B) {
+				r := rates64()
+				var u core.Utility = utility.NewLinear(1, 0.25)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					legacyBestResponse(u, r, 5)
+				}
+			},
+		},
+		{
+			Name: "solvenash_fairshare_n8",
+			Bench: func(b *testing.B) {
+				us := utility.Identical(utility.NewLinear(1, 0.25), 8)
+				r0 := make([]float64, 8)
+				for i := range r0 {
+					r0[i] = 0.4 / 8
+				}
+				ws := game.NewWorkspace()
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := game.SolveNashWS(context.Background(), ws, alloc.FairShare{}, us, r0, game.NashOptions{}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			},
+		},
+		{
+			Name: "des_run",
+			Bench: func(b *testing.B) {
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					cfg := des.Config{
+						Rates:      []float64{0.2, 0.3, 0.2},
+						Discipline: &des.FIFO{},
+						Horizon:    2000,
+						Seed:       11,
+					}
+					if _, err := des.Run(cfg); err != nil {
+						b.Fatal(err)
+					}
+				}
+			},
+		},
+	}
+}
+
+// legacyFairShareCongestion is the pre-workspace Fair Share evaluation,
+// kept as the benchmark baseline: fresh sort.SliceStable argsort plus a
+// fresh output vector per call.
+func legacyFairShareCongestion(r []float64) []float64 {
+	n := len(r)
+	out := make([]float64, n)
+	if n == 0 {
+		return out
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return r[idx[a]] < r[idx[b]] })
+	prefix := 0.0
+	prevG := 0.0
+	c := 0.0
+	for k := 1; k <= n; k++ {
+		i := idx[k-1]
+		xk := float64(n-k+1)*r[i] + prefix
+		gk := mm1.G(xk)
+		if math.IsInf(gk, 1) {
+			for m := k; m <= n; m++ {
+				out[idx[m-1]] = math.Inf(1)
+			}
+			return out
+		}
+		c += (gk - prevG) / float64(n-k+1)
+		out[i] = c
+		prevG = gk
+		prefix += r[i]
+	}
+	return out
+}
+
+// legacyBestResponse is the pre-workspace best-response search, kept as
+// the benchmark baseline: a fresh r|ⁱx copy per call and a full Fair
+// Share evaluation (fresh sort, fresh vectors) per probe, with the same
+// grid+golden schedule and defaults as the live solver.
+func legacyBestResponse(u core.Utility, r []core.Rate, i int) (float64, float64) {
+	rr := append([]float64(nil), r...)
+	h := func(x float64) float64 {
+		rr[i] = x
+		return u.Value(x, legacyFairShareCongestion(rr)[i])
+	}
+	const lo, hi = 1e-9, 1 - 1e-9
+	const grid = 64
+	const tol = 1e-10
+	return maximizeGrid(h, lo, hi, grid, tol)
+}
+
+// maximizeGrid is the grid-seeded golden-section maximizer, copied from
+// the solver so the legacy baseline probes on the identical schedule.
+func maximizeGrid(f func(float64) float64, a, b float64, n int, tol float64) (float64, float64) {
+	h := (b - a) / float64(n)
+	bestI, bestF := 0, math.Inf(-1)
+	for i := 0; i <= n; i++ {
+		if v := f(a + float64(i)*h); v > bestF {
+			bestF, bestI = v, i
+		}
+	}
+	lo := a + float64(bestI-1)*h
+	if bestI == 0 {
+		lo = a
+	}
+	hi := a + float64(bestI+1)*h
+	if bestI == n {
+		hi = b
+	}
+	const invPhi = 0.6180339887498949
+	c := hi - invPhi*(hi-lo)
+	d := lo + invPhi*(hi-lo)
+	fc, fd := f(c), f(d)
+	for hi-lo > tol {
+		if fc > fd {
+			hi, d, fd = d, c, fc
+			c = hi - invPhi*(hi-lo)
+			fc = f(c)
+		} else {
+			lo, c, fc = c, d, fd
+			d = lo + invPhi*(hi-lo)
+			fd = f(d)
+		}
+	}
+	x := lo + (hi-lo)/2
+	return x, f(x)
+}

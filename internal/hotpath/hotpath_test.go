@@ -1,0 +1,100 @@
+package hotpath
+
+import (
+	"math"
+	"testing"
+
+	"greednet/internal/alloc"
+	"greednet/internal/core"
+	"greednet/internal/game"
+	"greednet/internal/utility"
+)
+
+// BenchmarkHotpaths runs every registered case as a sub-benchmark, so
+// `go test -bench Hotpaths ./internal/hotpath` reports the same numbers
+// greedbench -hotpath writes to BENCH_hotpath.json.
+func BenchmarkHotpaths(b *testing.B) {
+	for _, c := range Cases() {
+		b.Run(c.Name, c.Bench)
+	}
+}
+
+// Every gated case must measure zero allocations per operation once its
+// workspace is warm.  This is the regression gate behind greedbench
+// -hotpath's exit status, run here directly so a plain `go test` catches
+// a fast path that started escaping to the heap.
+func TestGatedCasesZeroAllocs(t *testing.T) {
+	r := rates64()
+	dst := make([]float64, len(r))
+	var ws core.Workspace
+	var u core.Utility = utility.NewLinear(1, 0.25)
+	gws := game.NewWorkspace()
+	game.BestResponseWS(gws, alloc.FairShare{}, u, r, 5, game.BROptions{}) // warm
+
+	checks := map[string]func(){
+		"fairshare_congestion_into_n64": func() {
+			(alloc.FairShare{}).CongestionInto(&ws, dst, r)
+		},
+		"proportional_congestion_into_n64": func() {
+			(alloc.Proportional{}).CongestionInto(&ws, dst, r)
+		},
+		"bestresponse_fairshare_ws_n64": func() {
+			game.BestResponseWS(gws, alloc.FairShare{}, u, r, 5, game.BROptions{})
+		},
+	}
+	for _, c := range Cases() {
+		if !c.Gated {
+			continue
+		}
+		fn, ok := checks[c.Name]
+		if !ok {
+			t.Fatalf("gated case %q has no AllocsPerRun check; add one", c.Name)
+		}
+		fn() // warm outside the measured runs
+		if allocs := testing.AllocsPerRun(200, fn); allocs > 0 {
+			t.Errorf("%s: %.1f allocs/op, want 0", c.Name, allocs)
+		}
+	}
+}
+
+// The legacy baselines must still compute the same answers as the live
+// fast paths — a baseline that drifted would make the before/after
+// comparison in BENCH_hotpath.json meaningless.
+func TestLegacyBaselinesStillAgree(t *testing.T) {
+	r := rates64()
+
+	want := (alloc.FairShare{}).Congestion(r)
+	got := legacyFairShareCongestion(r)
+	for i := range want {
+		if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+			t.Fatalf("fair share congestion[%d]: legacy %v, live %v", i, got[i], want[i])
+		}
+	}
+
+	var u core.Utility = utility.NewLinear(1, 0.25)
+	wx, wv := game.BestResponse(alloc.FairShare{}, u, r, 5, game.BROptions{})
+	gx, gv := legacyBestResponse(u, r, 5)
+	if math.Float64bits(gx) != math.Float64bits(wx) || math.Float64bits(gv) != math.Float64bits(wv) {
+		t.Fatalf("best response: legacy (%v, %v), live (%v, %v)", gx, gv, wx, wv)
+	}
+}
+
+// Case metadata must be coherent: names unique and non-empty, and every
+// Baseline reference must resolve to a registered case.
+func TestCaseMetadata(t *testing.T) {
+	names := make(map[string]bool)
+	for _, c := range Cases() {
+		if c.Name == "" || c.Bench == nil {
+			t.Fatalf("case %+v missing name or bench", c)
+		}
+		if names[c.Name] {
+			t.Fatalf("duplicate case name %q", c.Name)
+		}
+		names[c.Name] = true
+	}
+	for _, c := range Cases() {
+		if c.Baseline != "" && !names[c.Baseline] {
+			t.Fatalf("case %q references unknown baseline %q", c.Name, c.Baseline)
+		}
+	}
+}

@@ -29,8 +29,10 @@ import (
 //   - callees declared in the same file (a file's own formula helpers are
 //     its internal layering; the file guards at its boundary);
 //   - bodies of allocation-contract methods (Congestion, CongestionOf,
-//     OwnDerivs, Jacobian, JacobianOf, L, LPrime, LPrime2): the Allocation
-//     contract defines them on all of R⁺ⁿ with +Inf outside the domain;
+//     OwnDerivs, Jacobian, JacobianOf, L, LPrime, LPrime2, and their
+//     workspace fast paths CongestionInto, CongestionOfInto, OwnDerivsInto,
+//     JacobianInto): the Allocation contract defines them on all of R⁺ⁿ
+//     with +Inf outside the domain;
 //   - results fed directly to Utility.Value/Gradient/MarginalRate, which
 //     the AU contract requires to map c = +Inf to −Inf, so out-of-domain
 //     probes are well ordered by construction;
@@ -54,14 +56,18 @@ var FeasGuard = &Analyzer{
 // contractMethods are enclosing functions whose own contract covers
 // out-of-domain evaluation.
 var contractMethods = map[string]bool{
-	"Congestion":   true,
-	"CongestionOf": true,
-	"OwnDerivs":    true,
-	"Jacobian":     true,
-	"JacobianOf":   true,
-	"L":            true,
-	"LPrime":       true,
-	"LPrime2":      true,
+	"Congestion":       true,
+	"CongestionOf":     true,
+	"CongestionInto":   true,
+	"CongestionOfInto": true,
+	"OwnDerivs":        true,
+	"OwnDerivsInto":    true,
+	"Jacobian":         true,
+	"JacobianInto":     true,
+	"JacobianOf":       true,
+	"L":                true,
+	"LPrime":           true,
+	"LPrime2":          true,
 }
 
 // guardFuncs are callables whose invocation constitutes a feasibility

@@ -334,13 +334,20 @@ func ReactionCurvesCtx(ctx context.Context, a core.Allocation, us core.Profile, 
 	if points < 2 {
 		points = 2
 	}
+	// One solver workspace and two reusable profile vectors serve every
+	// grid point; only the opponent slot changes between points.
+	ws := game.NewWorkspace()
+	r1 := []float64{0, 0.1} // user 1 replies to user 0 at x
+	r0 := []float64{0.1, 0} // user 0 replies to user 1 at x
 	for k := 0; k < points; k++ {
 		if err := core.CtxErr(ctx); err != nil {
 			return t, err
 		}
 		x := 0.01 + 0.9*float64(k)/float64(points-1)
-		br1, _ := game.BestResponse(a, us[1], []float64{x, 0.1}, 1, game.BROptions{})
-		br0, _ := game.BestResponse(a, us[0], []float64{0.1, x}, 0, game.BROptions{})
+		r1[0] = x
+		r0[1] = x
+		br1, _ := game.BestResponseWS(ws, a, us[1], r1, 1, game.BROptions{})
+		br0, _ := game.BestResponseWS(ws, a, us[0], r0, 0, game.BROptions{})
 		t.Rows = append(t.Rows, []float64{x, br1, br0})
 	}
 	return t, nil
