@@ -2,7 +2,7 @@ GO ?= go
 LINT := bin/greedlint
 FUZZTIME ?= 30s
 
-.PHONY: all build lint lint-golden test race bench bench-micro fuzz clean
+.PHONY: all build lint lint-json lint-golden test race bench bench-micro fuzz clean
 
 all: build lint test
 
@@ -13,18 +13,25 @@ $(LINT): cmd/greedlint/*.go internal/lint/*.go
 	$(GO) build -o $(LINT) ./cmd/greedlint
 
 # go vet's standard checks, then the full in-tree greedlint suite —
-# floateq, rngsource, panicfree, errdrop plus the dataflow-aware
-# feasguard, detorder, dimcheck, parsafe — through the vettool protocol
-# (covers test files), then once standalone for the sorted listing.
+# floateq, rngsource, panicfree, errdrop, the dataflow-aware feasguard,
+# detorder, dimcheck, parsafe, and the interprocedural allocfree,
+# ctxflow, wsalias — through the vettool protocol (covers test files,
+# flows call-graph facts through vetx), then once standalone for the
+# sorted listing.
 lint: $(LINT)
 	$(GO) vet ./...
 	$(GO) vet -vettool=$(abspath $(LINT)) ./...
 	$(LINT) ./...
 
-# Regenerate cmd/greedlint/testdata/golden.txt after changing analyzer
-# messages or the golden fixture module.
+# Machine-readable findings stream (CI archives it as an artifact).
+# Exit 0 writes [], so the artifact always exists and always parses.
+lint-json: $(LINT)
+	$(LINT) -json ./... > LINT.json || true
+
+# Regenerate cmd/greedlint/testdata/golden.{txt,json} after changing
+# analyzer messages or the golden fixture module.
 lint-golden:
-	$(GO) test ./cmd/greedlint -run TestGoldenStandalone -update
+	$(GO) test ./cmd/greedlint -run TestGolden -update
 
 test:
 	$(GO) test ./...

@@ -65,7 +65,7 @@ func run() int {
 		chaosOn = flag.Bool("chaos", false, "append the fault-injection chaos experiments (EX1 hangs; EX2 panics) to the selection")
 		cpuProf = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this path")
 		memProf = flag.String("memprofile", "", "write a pprof heap profile (after the run) to this path")
-		hotOut  = flag.String("hotpath", "", "run the hot-path micro-benchmarks instead of the suite, write ns/op+allocs/op JSON to this path; exit 1 if a gated path allocates")
+		hotOut  = flag.String("hotpath", "", "run the hot-path micro-benchmarks instead of the suite, write ns/op+allocs/op JSON to this path; exit 1 if a gated path exceeds its allocs/op budget")
 	)
 	flag.Parse()
 
@@ -231,6 +231,7 @@ func writeMarkdown(path string, outcomes []experiment.Outcome) error {
 type hotpathRecord struct {
 	Name        string  `json:"name"`
 	Gated       bool    `json:"gated"`
+	Budget      int64   `json:"allocs_budget,omitempty"`
 	Baseline    string  `json:"baseline,omitempty"`
 	NsPerOp     float64 `json:"ns_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
@@ -240,8 +241,9 @@ type hotpathRecord struct {
 // writeHotpathJSON benchmarks every hot-path case with testing.Benchmark
 // and writes the records — including the legacy baselines, so the file
 // carries the before/after comparison — to path.  The returned exit code
-// is 1 when a gated case allocated (a zero-allocation fast path regressed
-// to the heap), else 0.
+// is 1 when a gated case exceeded its allocation budget (zero for the
+// workspace fast paths, the audited result-allocation count for the
+// end-to-end cases), else 0.
 func writeHotpathJSON(path string) (int, error) {
 	cases := hotpath.Cases()
 	recs := make([]hotpathRecord, 0, len(cases))
@@ -251,6 +253,7 @@ func writeHotpathJSON(path string) (int, error) {
 		rec := hotpathRecord{
 			Name:        c.Name,
 			Gated:       c.Gated,
+			Budget:      c.Budget,
 			Baseline:    c.Baseline,
 			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
 			AllocsPerOp: r.AllocsPerOp(),
@@ -258,8 +261,12 @@ func writeHotpathJSON(path string) (int, error) {
 		}
 		recs = append(recs, rec)
 		status := ""
-		if c.Gated && rec.AllocsPerOp > 0 {
-			status = "  REGRESSION(gated path allocates)"
+		if c.Gated && rec.AllocsPerOp > c.Budget {
+			if c.Budget == 0 {
+				status = "  REGRESSION(gated path allocates)"
+			} else {
+				status = fmt.Sprintf("  REGRESSION(gated path exceeds %d allocs/op budget)", c.Budget)
+			}
 			code = 1
 		}
 		fmt.Printf("hotpath %-36s %12.1f ns/op %6d allocs/op %8d B/op%s\n",
@@ -288,6 +295,11 @@ type benchRecord struct {
 	SequentialNS int64   `json:"sequential_ns"`
 	ParallelNS   int64   `json:"parallel_ns"`
 	Speedup      float64 `json:"speedup"`
+	// SpeedupValid is false when the host has a single core: the pooled
+	// pass cannot physically run anything in parallel there, so Speedup
+	// measures scheduling overhead, not scaling, and downstream tooling
+	// must not trend it.
+	SpeedupValid bool `json:"speedup_valid"`
 }
 
 // writeBenchJSON times the selected suite once sequentially and once at
@@ -326,6 +338,7 @@ func writeBenchJSON(path string, selected []experiment.Experiment, opt experimen
 		SequentialNS: seq.Nanoseconds(),
 		ParallelNS:   par.Nanoseconds(),
 		Speedup:      float64(seq.Nanoseconds()) / float64(par.Nanoseconds()),
+		SpeedupValid: runtime.GOMAXPROCS(0) > 1,
 	}
 	data, err := json.MarshalIndent(rec, "", "  ")
 	if err != nil {

@@ -1,20 +1,26 @@
 // Command greedlint runs greednet's in-tree static-analysis suite
 // (internal/lint): the syntactic analyzers floateq, rngsource, panicfree,
-// and errdrop, plus the dataflow-aware set feasguard, detorder, dimcheck,
-// and parsafe.
+// and errdrop; the dataflow-aware set feasguard, detorder, dimcheck, and
+// parsafe; and the interprocedural set allocfree, ctxflow, and wsalias,
+// which flow per-function call-graph facts (who allocates, who carries a
+// Ctx sibling) across package boundaries.  A framework-level staleallow
+// check reports //lint:allow directives that no longer suppress anything.
 //
 // It speaks the go command's (unpublished) vet driver protocol, so the
 // canonical invocation is through the build system, which supplies export
-// data and caches results:
+// data, caches results, and forwards each dependency's facts through its
+// vetx file:
 //
 //	go build -o bin/greedlint ./cmd/greedlint
 //	go vet -vettool=bin/greedlint ./...
 //
-// It also runs standalone over package patterns, shelling out to `go list`
-// for file lists and export data (test files are only covered by the
+// It also runs standalone over package patterns, shelling out to `go list
+// -deps` for file lists and export data and analyzing in dependency order
+// so the facts flow the same way (test files are only covered by the
 // vettool form, which analyzes each package's test variants):
 //
 //	greedlint ./...
+//	greedlint -json ./...   # findings as a JSON array on stdout
 //
 // Suppress an intentional finding with a trailing or preceding comment:
 //
@@ -43,6 +49,7 @@ var (
 	analyzersFlag = flag.String("analyzers", "", "comma-separated analyzer subset to run (default: all)")
 	versionFlag   = flag.String("V", "", "print version and exit (use -V=full for the build-system form)")
 	flagsFlag     = flag.Bool("flags", false, "print analyzer flags in JSON (used by the go command)")
+	jsonFlag      = flag.Bool("json", false, "standalone mode: also emit findings as a JSON array on stdout")
 )
 
 func main() {
@@ -138,6 +145,14 @@ type vetConfig struct {
 }
 
 // runUnitchecker analyzes the single package described by a vet.cfg file.
+//
+// Facts protocol: the go command hands over each direct dependency's vetx
+// file in PackageVetx and names the file to write in VetxOutput.  Every
+// vetx file greedlint writes re-exports the merged transitive store (its
+// own package facts plus everything it imported), so summaries reach
+// dependents even though cmd/go only forwards direct dependencies.  A
+// VetxOnly pass computes and writes facts without running the reporting
+// analyzers.
 func runUnitchecker(cfgFile string, analyzers []*lint.Analyzer) {
 	data, err := os.ReadFile(cfgFile)
 	if err != nil {
@@ -147,27 +162,56 @@ func runUnitchecker(cfgFile string, analyzers []*lint.Analyzer) {
 	if err := json.Unmarshal(data, &cfg); err != nil {
 		fatal(fmt.Errorf("greedlint: parsing %s: %w", cfgFile, err))
 	}
-	// Always leave (possibly empty) vetx output behind: the go command
+	store := lint.NewFactStore()
+	for _, vetxFile := range cfg.PackageVetx {
+		payload, err := os.ReadFile(vetxFile)
+		if err != nil {
+			continue // missing dependency facts degrade, never fail the build
+		}
+		dep, err := lint.DecodeFacts(payload)
+		if err != nil {
+			continue
+		}
+		store.Merge(dep)
+	}
+
+	// Always leave vetx output behind, even on failure: the go command
 	// caches it and skips re-running the tool on unchanged dependencies.
-	if cfg.VetxOutput != "" {
-		if err := os.WriteFile(cfg.VetxOutput, []byte("greedlint\n"), 0o666); err != nil {
+	// The placeholder decodes as an empty store (header mismatch).
+	writeVetx := func(payload []byte) {
+		if cfg.VetxOutput == "" {
+			return
+		}
+		if err := os.WriteFile(cfg.VetxOutput, payload, 0o666); err != nil {
 			fatal(err)
 		}
 	}
+
+	run := analyzers
 	if cfg.VetxOnly {
-		return // dependency pass: facts only, and greedlint has no facts
+		run = nil // dependency pass: compute facts, report nothing
 	}
-	diags, fset, err := lint.Analyze(lint.LoadConfig{
+	diags, fset, facts, err := lint.AnalyzePkg(lint.LoadConfig{
 		ImportPath:  cfg.ImportPath,
 		GoFiles:     cfg.GoFiles,
 		ImportMap:   cfg.ImportMap,
 		PackageFile: cfg.PackageFile,
-	}, analyzers)
+	}, run, store)
 	if err != nil {
+		writeVetx([]byte("greedlint\n"))
 		if cfg.SucceedOnTypecheckFailure {
 			return
 		}
 		fatal(err)
+	}
+	store.Add(facts)
+	payload, err := lint.EncodeFacts(store)
+	if err != nil {
+		fatal(err)
+	}
+	writeVetx(payload)
+	if cfg.VetxOnly {
+		return
 	}
 	if len(diags) > 0 {
 		for _, d := range diags {
@@ -185,15 +229,20 @@ type listPackage struct {
 	Export     string
 	GoFiles    []string
 	CgoFiles   []string
+	Imports    []string
 	DepOnly    bool
 	Standard   bool
 }
 
-// runStandalone resolves package patterns with `go list` and analyzes each
-// non-dependency package against the build cache's export data.
+// runStandalone resolves package patterns with `go list` and analyzes the
+// module's packages in dependency order against the build cache's export
+// data, threading one shared fact store through the sequence so the
+// interprocedural analyzers see every dependency's summaries.  Findings
+// are reported only for the named targets; dependency-only packages are
+// analyzed for their facts alone.
 func runStandalone(patterns []string, analyzers []*lint.Analyzer) {
 	args := append([]string{"list", "-e", "-deps", "-export",
-		"-json=ImportPath,Dir,Export,GoFiles,CgoFiles,DepOnly,Standard"}, patterns...)
+		"-json=ImportPath,Dir,Export,GoFiles,CgoFiles,Imports,DepOnly,Standard"}, patterns...)
 	cmd := exec.Command("go", args...)
 	cmd.Stderr = os.Stderr
 	out, err := cmd.Output()
@@ -202,7 +251,7 @@ func runStandalone(patterns []string, analyzers []*lint.Analyzer) {
 	}
 
 	exports := make(map[string]string)
-	var targets []listPackage
+	var pkgs []listPackage
 	dec := json.NewDecoder(bytes.NewReader(out))
 	for {
 		var p listPackage
@@ -214,17 +263,18 @@ func runStandalone(patterns []string, analyzers []*lint.Analyzer) {
 		if p.Export != "" {
 			exports[p.ImportPath] = p.Export
 		}
-		if !p.DepOnly && !p.Standard {
-			targets = append(targets, p)
+		if !p.Standard {
+			pkgs = append(pkgs, p)
 		}
 	}
 
-	// Collect every diagnostic across all packages, then render one
+	// Collect every diagnostic across all target packages, then render one
 	// globally sorted listing: byte-stable across runs and machines (paths
 	// are reported relative to the working directory), so the output can
 	// serve directly as a golden file.
+	store := lint.NewFactStore()
 	var all []renderedDiag
-	for _, p := range targets {
+	for _, p := range topoOrder(pkgs) {
 		if len(p.CgoFiles) > 0 {
 			fmt.Fprintf(os.Stderr, "greedlint: skipping %s: cgo package\n", p.ImportPath)
 			continue
@@ -236,55 +286,111 @@ func runStandalone(patterns []string, analyzers []*lint.Analyzer) {
 		for i, f := range p.GoFiles {
 			files[i] = filepath.Join(p.Dir, f)
 		}
-		diags, fset, err := lint.Analyze(lint.LoadConfig{
+		run := analyzers
+		if p.DepOnly {
+			run = nil // facts only: not a named target
+		}
+		diags, fset, facts, err := lint.AnalyzePkg(lint.LoadConfig{
 			ImportPath:  p.ImportPath,
 			GoFiles:     files,
 			PackageFile: exports,
-		}, analyzers)
+		}, run, store)
 		if err != nil {
 			fatal(err)
+		}
+		store.Add(facts)
+		if p.DepOnly {
+			continue
 		}
 		for _, d := range diags {
 			pos := fset.Position(d.Pos)
 			all = append(all, renderedDiag{
-				file:     relPath(pos.Filename),
-				line:     pos.Line,
-				col:      pos.Column,
-				message:  d.Message,
-				analyzer: d.Analyzer,
+				File:     relPath(pos.Filename),
+				Line:     pos.Line,
+				Col:      pos.Column,
+				Message:  d.Message,
+				Analyzer: d.Analyzer,
 			})
 		}
 	}
 	sort.Slice(all, func(i, j int) bool {
 		a, b := all[i], all[j]
-		if a.file != b.file {
-			return a.file < b.file
+		if a.File != b.File {
+			return a.File < b.File
 		}
-		if a.line != b.line {
-			return a.line < b.line
+		if a.Line != b.Line {
+			return a.Line < b.Line
 		}
-		if a.col != b.col {
-			return a.col < b.col
+		if a.Col != b.Col {
+			return a.Col < b.Col
 		}
-		if a.analyzer != b.analyzer {
-			return a.analyzer < b.analyzer
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
 		}
-		return a.message < b.message
+		return a.Message < b.Message
 	})
 	for _, d := range all {
-		fmt.Fprintf(os.Stderr, "%s:%d:%d: %s [%s]\n", d.file, d.line, d.col, d.message, d.analyzer)
+		fmt.Fprintf(os.Stderr, "%s:%d:%d: %s [%s]\n", d.File, d.Line, d.Col, d.Message, d.Analyzer)
+	}
+	if *jsonFlag {
+		// The machine-readable artifact: same findings, same order, on
+		// stdout (the text listing stays on stderr, so the two streams can
+		// be captured independently).  An empty run emits [] rather than
+		// null so consumers can always range over the result.
+		if all == nil {
+			all = []renderedDiag{}
+		}
+		data, err := json.MarshalIndent(all, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(string(data))
 	}
 	if len(all) > 0 {
 		os.Exit(2)
 	}
 }
 
-// renderedDiag is one finding resolved to its printable position.
+// topoOrder sorts packages dependencies-first (imports restricted to the
+// listed set), so each package's analysis sees its dependencies' facts.
+// go list already emits mostly-sorted output, but the contract here must
+// not depend on that.
+func topoOrder(pkgs []listPackage) []listPackage {
+	byPath := make(map[string]*listPackage, len(pkgs))
+	for i := range pkgs {
+		byPath[pkgs[i].ImportPath] = &pkgs[i]
+	}
+	var out []listPackage
+	state := make(map[string]int) // 0 unvisited, 1 visiting, 2 done
+	var visit func(p *listPackage)
+	visit = func(p *listPackage) {
+		switch state[p.ImportPath] {
+		case 1, 2:
+			return // import cycles cannot happen in compiled Go code
+		}
+		state[p.ImportPath] = 1
+		for _, imp := range p.Imports {
+			if dep, ok := byPath[imp]; ok {
+				visit(dep)
+			}
+		}
+		state[p.ImportPath] = 2
+		out = append(out, *p)
+	}
+	for i := range pkgs {
+		visit(&pkgs[i])
+	}
+	return out
+}
+
+// renderedDiag is one finding resolved to its printable position; the
+// field names are the -json output schema.
 type renderedDiag struct {
-	file      string
-	line, col int
-	message   string
-	analyzer  string
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Message  string `json:"message"`
+	Analyzer string `json:"analyzer"`
 }
 
 // relPath reports p relative to the working directory when it lies inside

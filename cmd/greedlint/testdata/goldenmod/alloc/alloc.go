@@ -1,0 +1,39 @@
+// Package alloc is the dependency half of the interprocedural fixture:
+// it is analyzed first, and its exported function summaries — who
+// allocates, who carries a Ctx sibling — feed the solver package's pass
+// through the fact store.  Nothing in here is flagged; the findings land
+// in solver, at the call sites that consume these facts.
+package alloc
+
+import "context"
+
+// Grow allocates on every call; the exported summary records the make,
+// and solver's hot path pays for it at the call site.
+func Grow(n int) []float64 {
+	return make([]float64, n)
+}
+
+// Scale is allocation-free, so hot callers cross into it for free.
+func Scale(x float64) float64 { return 2 * x }
+
+// Run ignores cancellation; RunCtx below is its context-aware sibling,
+// and the summary records the pairing.
+func Run(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// RunCtx is the ctx-aware variant of Run.
+func RunCtx(ctx context.Context, xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		if ctx.Err() != nil {
+			return s
+		}
+		s += x
+	}
+	return s
+}

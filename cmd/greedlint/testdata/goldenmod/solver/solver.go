@@ -1,0 +1,65 @@
+// Package solver is the dependent half of the interprocedural fixture:
+// every finding below needs alloc's facts — cross-package allocation
+// summaries and Ctx-variant records — so the golden file proves the
+// dependency-ordered fact flow end to end.
+package solver
+
+import (
+	"context"
+
+	"goldenfixture/alloc"
+)
+
+// Workspace is the scratch type the goroutine-capture rule keys off.
+type Workspace struct{ buf []float64 }
+
+// HotScale stays allocation-free through the cross-package call: no
+// finding, because alloc.Scale's summary says it is clean.
+//
+//lint:hotpath
+func HotScale(x float64) float64 {
+	return alloc.Scale(x)
+}
+
+// HotGrow calls a cross-package allocator: an allocfree finding at the
+// call site, witnessed by alloc's exported summary.
+//
+//lint:hotpath
+func HotGrow(n int) []float64 {
+	return alloc.Grow(n)
+}
+
+// Relax holds a context but hands the work to the variant that ignores
+// it: a ctxflow finding steering toward alloc.RunCtx.
+func Relax(ctx context.Context, xs []float64) float64 {
+	return alloc.Run(xs)
+}
+
+// Iterate does per-round work through a function call and never polls
+// its context on the back-edge: a ctxflow finding.
+func Iterate(ctx context.Context, xs []float64, rounds int) float64 {
+	s := 0.0
+	for k := 0; k < rounds; k++ {
+		s += alloc.Scale(xs[k%len(xs)])
+	}
+	return s
+}
+
+// ScaleInto rebinds dst onto its input slice, so the "caller owns dst"
+// contract silently breaks: a wsalias finding.
+func ScaleInto(dst, rates []float64) []float64 {
+	dst = rates[:len(rates)]
+	for i := range dst {
+		dst[i] *= 2
+	}
+	return dst
+}
+
+// Spawn captures the shared Workspace inside a goroutine: a wsalias
+// finding (per-worker slices are the sanctioned shape).
+func Spawn(ws *Workspace, done chan struct{}) {
+	go func() {
+		ws.buf = ws.buf[:0]
+		close(done)
+	}()
+}

@@ -191,6 +191,7 @@ func runMultiStart(ctx context.Context, a core.Allocation, us core.Profile, free
 	rng := randdist.NewRand(seed)
 	users := len(us)
 	sts := make([][]float64, n)
+	//lint:allow ctxflow O(starts*users) RNG draws before any solve begins; the deadline governs the solve, not its setup
 	for m := range sts {
 		s := make([]float64, users)
 		for i := range s {
@@ -203,6 +204,7 @@ func runMultiStart(ctx context.Context, a core.Allocation, us core.Profile, free
 	fatalSolve(err, timeout)
 	fmt.Printf("%s multi-start: %d starts (seed %d), %d converged, %d distinct equilibria, %d dropped\n",
 		a.Name(), n, seed, len(ms.All), len(ms.Distinct), ms.Dropped)
+	//lint:allow ctxflow printing the handful of distinct equilibria after the solve finished; nothing left to cancel
 	for i, res := range ms.Distinct {
 		printPoint(fmt.Sprintf("equilibrium %d (reached by first start at iters=%d)", i, res.Iters),
 			us, core.Point{R: res.R, C: res.C})

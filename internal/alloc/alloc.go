@@ -31,6 +31,8 @@ func (p Proportional) Congestion(r []core.Rate) []core.Congestion {
 }
 
 // CongestionInto implements core.AllocationInto.
+//
+//lint:hotpath
 func (Proportional) CongestionInto(ws *core.Workspace, dst []core.Congestion, r []core.Rate) []core.Congestion {
 	s := mm1.Sum(r)
 	if s >= 1 {
@@ -69,6 +71,8 @@ func (Proportional) OwnDerivs(r []core.Rate, i int) (float64, float64) {
 
 // OwnDerivsInto implements core.WorkspaceOwnDeriver; the closed form needs
 // no scratch, so it simply forwards.
+//
+//lint:hotpath
 func (p Proportional) OwnDerivsInto(ws *core.Workspace, r []core.Rate, i int) (float64, float64) {
 	return p.OwnDerivs(r, i)
 }

@@ -46,6 +46,8 @@ func (fs FairShare) Congestion(r []core.Rate) []core.Congestion {
 // CongestionInto implements core.AllocationInto.  The arithmetic — relabel,
 // prefix accumulation, incremental cost shares — runs in exactly the order
 // Congestion historically used, so results are bit-identical.
+//
+//lint:hotpath
 func (FairShare) CongestionInto(ws *core.Workspace, dst []core.Congestion, r []core.Rate) []core.Congestion {
 	n := len(r)
 	if n == 0 {
@@ -94,6 +96,8 @@ func (fs FairShare) OwnDerivs(r []core.Rate, i int) (float64, float64) {
 }
 
 // OwnDerivsInto implements core.WorkspaceOwnDeriver; see OwnDerivs.
+//
+//lint:hotpath
 func (FairShare) OwnDerivsInto(ws *core.Workspace, r []core.Rate, i int) (float64, float64) {
 	n := len(r)
 	idx := ws.Ascending(r)
@@ -124,6 +128,8 @@ func (fs FairShare) Jacobian(r []core.Rate) [][]float64 {
 }
 
 // JacobianInto implements core.WorkspaceJacobianer; see Jacobian.
+//
+//lint:hotpath
 func (FairShare) JacobianInto(ws *core.Workspace, dst [][]float64, r []core.Rate) [][]float64 {
 	n := len(r)
 	idx := ws.Ascending(r)

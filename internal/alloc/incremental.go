@@ -60,6 +60,8 @@ type FairShareBR struct {
 // Reset prepares the evaluator for user i of rate vector r.  O(N log N);
 // allocation-free once the internal buffers have reached len(r)'s size.
 // The rates of the other users are copied, so r is not retained.
+//
+//lint:hotpath
 func (b *FairShareBR) Reset(r []core.Rate, i int) {
 	n := len(r)
 	m := n - 1
@@ -157,6 +159,8 @@ func (b *FairShareBR) position(x float64) int {
 // CongestionOf returns user i's Fair Share congestion when i sends x and
 // the others hold their Reset rates — bit-identical to
 // FairShare{}.CongestionOf(r|ⁱx, i), in O(log N) with zero allocations.
+//
+//lint:hotpath
 func (b *FairShareBR) CongestionOf(x core.Rate) core.Congestion {
 	k := b.position(x)
 	if k > b.flood {
@@ -177,6 +181,8 @@ func (b *FairShareBR) CongestionOf(x core.Rate) core.Congestion {
 
 // OwnDerivs returns (∂C_i/∂r_i, ∂²C_i/∂r_i²) at r|ⁱx — bit-identical to
 // FairShare{}.OwnDerivs(r|ⁱx, i), in O(log N) with zero allocations.
+//
+//lint:hotpath
 func (b *FairShareBR) OwnDerivs(x core.Rate) (float64, float64) {
 	k := b.position(x)
 	xk := float64(b.n-k+1)*x + b.sigma[k-1]

@@ -24,12 +24,12 @@ func TestPassThroughWhenQuiet(t *testing.T) {
 		want := inner.Congestion(r)
 		got := wrapped.Congestion(r)
 		for i := range want {
-			if got[i] != want[i] { //lint:allow floateq pass-through must be exact, not approximate
+			if got[i] != want[i] { // pass-through must be exact, not approximate
 				t.Fatalf("trial %d: Congestion[%d] = %v, want %v", trial, i, got[i], want[i])
 			}
 		}
 		for i := range r {
-			if wrapped.CongestionOf(r, i) != inner.CongestionOf(r, i) { //lint:allow floateq pass-through must be exact, not approximate
+			if wrapped.CongestionOf(r, i) != inner.CongestionOf(r, i) { // pass-through must be exact, not approximate
 				t.Fatalf("trial %d: CongestionOf(%d) differs", trial, i)
 			}
 		}
@@ -151,7 +151,7 @@ func TestChaosDisciplineDeterministic(t *testing.T) {
 	}
 	a, b := run(), run()
 	for i := range a.AvgQueue {
-		if a.AvgQueue[i] != b.AvgQueue[i] { //lint:allow floateq identical seeds must reproduce identical fault sequences bitwise
+		if a.AvgQueue[i] != b.AvgQueue[i] { // identical seeds must reproduce identical fault sequences bitwise
 			t.Fatalf("AvgQueue[%d]: %v vs %v", i, a.AvgQueue[i], b.AvgQueue[i])
 		}
 	}

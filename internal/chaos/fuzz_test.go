@@ -36,13 +36,13 @@ func FuzzAllocationPassThrough(f *testing.F) {
 					t.Fatalf("%s: length %d, want %d", inner.Name(), len(got), len(want))
 				}
 				for i := range want {
-					same := got[i] == want[i] || (math.IsNaN(got[i]) && math.IsNaN(want[i])) //lint:allow floateq pass-through must be exact, not approximate
+					same := got[i] == want[i] || (math.IsNaN(got[i]) && math.IsNaN(want[i])) // pass-through must be exact, not approximate
 					if !same {
 						t.Errorf("%s: Congestion(%v)[%d] = %v, want %v", inner.Name(), r, i, got[i], want[i])
 					}
 					single := wrapped.CongestionOf(r, i)
 					direct := inner.CongestionOf(r, i)
-					sameSingle := single == direct || (math.IsNaN(single) && math.IsNaN(direct)) //lint:allow floateq pass-through must be exact, not approximate
+					sameSingle := single == direct || (math.IsNaN(single) && math.IsNaN(direct)) // pass-through must be exact, not approximate
 					if !sameSingle {
 						t.Errorf("%s: CongestionOf(%v, %d) = %v, want %v", inner.Name(), r, i, single, direct)
 					}

@@ -43,7 +43,7 @@ func CtxErr(ctx context.Context) error {
 	}
 	select {
 	case <-ctx.Done():
-		if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+		if errors.Is(ctx.Err(), context.DeadlineExceeded) { //lint:allow allocfree runs once, after the context has already fired; the live-context path above is allocation-free
 			return ErrDeadline
 		}
 		return ErrCanceled

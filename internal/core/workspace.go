@@ -44,7 +44,7 @@ func (s *argSorter) Swap(a, b int)      { s.idx[a], s.idx[b] = s.idx[b], s.idx[a
 // Ascending call; keys is read but never retained.
 func (w *Workspace) Ascending(keys []float64) []int {
 	if w == nil {
-		w = new(Workspace)
+		w = new(Workspace) //lint:allow allocfree nil-workspace transient-scratch fallback; hot callers pass a real workspace (pinned by the allocs_per_op gate)
 	}
 	n := len(keys)
 	if cap(w.sorter.idx) < n {
@@ -66,7 +66,7 @@ func (w *Workspace) Ascending(keys []float64) []int {
 // call on the same workspace.
 func (w *Workspace) VecA(n int) []float64 {
 	if w == nil {
-		return make([]float64, n)
+		return make([]float64, n) //lint:allow allocfree nil-workspace transient-scratch fallback; hot callers pass a real workspace (pinned by the allocs_per_op gate)
 	}
 	if cap(w.vecA) < n {
 		w.vecA = make([]float64, n)

@@ -23,6 +23,8 @@ type ctxGate struct {
 // context fires, checking at the gate cadence.  The very first call polls
 // (so a dead-on-arrival context stops a run before any event), then every
 // ctxGateEvery-th call after that.
+//
+//lint:hotpath
 func (g *ctxGate) Err() error {
 	open := g.n&(ctxGateEvery-1) == 0
 	g.n++

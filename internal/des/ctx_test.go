@@ -70,7 +70,7 @@ func TestRunCtxLiveMatchesPlain(t *testing.T) {
 		t.Fatalf("RunCtx: %v", err)
 	}
 	for i := range plain.AvgQueue {
-		if plain.AvgQueue[i] != viaCtx.AvgQueue[i] { //lint:allow floateq same seed and engine must agree bitwise with and without a live ctx
+		if plain.AvgQueue[i] != viaCtx.AvgQueue[i] { // same seed and engine must agree bitwise with and without a live ctx
 			t.Errorf("AvgQueue[%d]: %v vs %v", i, plain.AvgQueue[i], viaCtx.AvgQueue[i])
 		}
 	}

@@ -56,6 +56,8 @@ func (lq *lazyQueues) flush(i int, now float64) {
 
 // bump records that user i's count changes by delta at time now, closing
 // the constant-count segment that ends here.
+//
+//lint:hotpath
 func (lq *lazyQueues) bump(i int, now float64, delta int) {
 	lq.flush(i, now)
 	lq.counts[i] += delta
@@ -127,6 +129,8 @@ func cumRates(rates []float64) []float64 {
 // smallest i with u ≤ cum[i], clamped to the last source.  This is the
 // binary-search form of the historical linear scan (advance while
 // u > acc), choosing the identical source for every draw.
+//
+//lint:hotpath
 func pickSource(cum []float64, u float64) int {
 	lo, hi := 0, len(cum)-1
 	for lo < hi {

@@ -72,7 +72,7 @@ func TestRunReplicationsMatchesSequentialRuns(t *testing.T) {
 		}
 		for i := range seeds {
 			for u := range cfg.Rates {
-				if got[i].AvgQueue[u] != want[i].AvgQueue[u] { //lint:allow floateq same seed, same stream: results must be bit-identical
+				if got[i].AvgQueue[u] != want[i].AvgQueue[u] { // same seed, same stream: results must be bit-identical
 					t.Errorf("workers=%d seed %d user %d: AvgQueue %v != sequential %v",
 						workers, seeds[i], u, got[i].AvgQueue[u], want[i].AvgQueue[u])
 				}

@@ -225,6 +225,7 @@ func RunTandemCtx(ctx context.Context, cfg TandemConfig) (TandemResult, error) {
 		EndToEndDelay: make([]float64, nUsers),
 		Departures:    departed,
 	}
+	//lint:allow ctxflow O(n) post-run stats assembly over per-user accumulators; the event loop above already honored the deadline
 	for u := 0; u < nUsers; u++ {
 		res.QueueA[u] = avgA[u].Value()
 		res.QueueB[u] = avgB[u].Value()

@@ -66,15 +66,17 @@ func BestResponse(a core.Allocation, u core.Utility, r []core.Rate, i int, opt B
 //     allocating path.
 //   - Everything else runs the historical CongestionOf probe, with only
 //     the r|ⁱx copy hoisted into the workspace.
+//
+//lint:hotpath
 func BestResponseWS(ws *Workspace, a core.Allocation, u core.Utility, r []core.Rate, i int, opt BROptions) (x, val float64) {
 	opt = opt.withDefaults()
 	if ws == nil {
-		ws = NewWorkspace()
+		ws = NewWorkspace() //lint:allow allocfree nil-workspace convenience fallback; hot callers (SolveNashWS, sweeps) pass a real workspace
 	}
 	if _, ok := a.(alloc.FairShare); ok {
 		br := &ws.fsbr
 		br.Reset(r, i)
-		h := func(x float64) float64 {
+		h := func(x float64) float64 { //lint:allow allocfree non-escaping closure: maximizeGrid only calls it, so it stays on the stack (the allocs_per_op gate pins this)
 			return u.Value(x, br.CongestionOf(x))
 		}
 		return maximizeGrid(h, opt.Lo, opt.Hi, opt.GridPoints, opt.Tol)
@@ -83,13 +85,13 @@ func BestResponseWS(ws *Workspace, a core.Allocation, u core.Utility, r []core.R
 	copy(rr, r)
 	if ai, ok := a.(core.AllocationInto); ok {
 		dst := ws.congestion(len(r))
-		h := func(x float64) float64 {
+		h := func(x float64) float64 { //lint:allow allocfree non-escaping closure: maximizeGrid only calls it, so it stays on the stack (the allocs_per_op gate pins this)
 			rr[i] = x
 			return u.Value(x, ai.CongestionInto(&ws.aws, dst, rr)[i])
 		}
 		return maximizeGrid(h, opt.Lo, opt.Hi, opt.GridPoints, opt.Tol)
 	}
-	h := func(x float64) float64 {
+	h := func(x float64) float64 { //lint:allow allocfree non-escaping closure: maximizeGrid only calls it, so it stays on the stack (the allocs_per_op gate pins this)
 		rr[i] = x
 		return u.Value(x, a.CongestionOf(rr, i))
 	}

@@ -33,7 +33,7 @@ func TestMultiStartNashWorkerCountInvariant(t *testing.T) {
 		}
 		for k := range res.All {
 			for i := range res.All[k].R {
-				if res.All[k].R[i] != ref.All[k].R[i] { //lint:allow floateq deterministic solves must agree bitwise across worker counts
+				if res.All[k].R[i] != ref.All[k].R[i] { // deterministic solves must agree bitwise across worker counts
 					t.Errorf("workers=%d: start %d rate %d = %v, want %v",
 						workers, k, i, res.All[k].R[i], ref.All[k].R[i])
 				}

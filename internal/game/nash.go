@@ -172,6 +172,13 @@ func SolveNashWS(ctx context.Context, ws *Workspace, a core.Allocation, us core.
 		if !opt.Free[i] {
 			continue
 		}
+		if err := core.CtxErr(ctx); err != nil {
+			// Abandoned mid-audit: each gain check runs a full best-response
+			// search, so this loop is as cancelable as the rounds above.  The
+			// solve itself finished — res is valid — but MaxGain covers only
+			// the players audited so far, so it is a lower bound.
+			return res, err
+		}
 		if g := deviationGainWS(ws, a, us[i], res.R, i, opt.BR); g > res.MaxGain {
 			res.MaxGain = g
 		}
@@ -257,6 +264,7 @@ func MultiStartNashCtx(ctx context.Context, workers int, a core.Allocation, us c
 		return nil
 	})
 	var out MultiStartResult
+	//lint:allow ctxflow O(starts*distinct) dedup of already-solved results; every cancelable solve is behind us and VecDist is ns-scale
 	for k := range starts {
 		if !converged[k] {
 			out.Dropped++

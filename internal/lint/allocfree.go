@@ -1,0 +1,120 @@
+package lint
+
+import (
+	"fmt"
+	"go/token"
+)
+
+// AllocFreeName is the analyzer's registered name (also the //lint:allow
+// token that suppresses its findings — including at fact-computation time,
+// where an allowed allocation site is excluded from the function summary
+// so it does not poison every caller).
+const AllocFreeName = "allocfree"
+
+// AllocFree statically enforces the zero-allocation hot-path contract that
+// PR 5 established dynamically through the BENCH_hotpath allocs gate:
+// a function annotated //lint:hotpath, and every function statically
+// reachable from it through the call graph, must contain no
+// heap-allocating construct — make, new, growing append, map writes,
+// composite literals, string concatenation or string<->[]byte conversion,
+// interface boxing of non-pointer-shaped values, capturing closures,
+// method values, and goroutine spawns.
+//
+// Two escape hatches keep the rule honest rather than noisy:
+//
+//   - The guarded-grow idiom `if cap(buf) < n { buf = make(...) }` is
+//     auto-exempt: it is the documented amortized warm-up path of every
+//     workspace in the tree.
+//   - `//lint:allow allocfree <reason>` marks an audited exception, e.g.
+//     a nil-workspace convenience fallback or a closure the compiler
+//     provably keeps on the stack (truth pinned by the benchmark gate).
+//     On an allocation line it exempts that site; on a call line it stops
+//     traversal into the callee — the audit covers everything behind the
+//     call, so a constructor invoked on a documented fallback path does
+//     not leak findings into every hot caller.
+//
+// Cross-package reachability rides on the call-graph facts: when a
+// hot-path function calls into an already-analyzed package, the callee's
+// exported summary says whether it (transitively) allocates, and the
+// finding is reported at the call site with the callee's own witness.
+// Calls through interfaces and function values are contract boundaries,
+// not edges — the implementations carry their own annotations (see
+// callgraph.go).
+var AllocFree = &Analyzer{
+	Name: AllocFreeName,
+	Doc: "functions reachable from a //lint:hotpath annotation must not " +
+		"heap-allocate; the guarded cap-grow idiom is exempt and " +
+		"//lint:allow allocfree marks audited exceptions",
+	Run: runAllocFree,
+}
+
+func runAllocFree(pass *Pass) error {
+	g := pass.Graph
+
+	// BFS the local call graph from the package's hot-path roots.  via
+	// remembers one call chain per function for the message; roots map to
+	// themselves.
+	type visit struct {
+		fi   *FuncInfo
+		root *FuncInfo
+	}
+	var queue []visit
+	seen := make(map[*FuncInfo]bool)
+	for _, fi := range g.Funcs {
+		if fi.Hotpath {
+			queue = append(queue, visit{fi, fi})
+			seen[fi] = true
+		}
+	}
+
+	// A site can be reachable from several roots; report it once.
+	reportedAt := make(map[token.Pos]bool)
+	report := func(pos token.Pos, format string, args ...interface{}) {
+		if reportedAt[pos] {
+			return
+		}
+		reportedAt[pos] = true
+		pass.Reportf(pos, format, args...)
+	}
+
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		fi, root := v.fi, v.root
+
+		where := ""
+		if fi != root {
+			where = fmt.Sprintf(" (in %s, reachable from it)", fi.Display)
+		}
+		for _, site := range fi.Allocs {
+			report(site.Pos,
+				"%s on the zero-alloc hot path rooted at //lint:hotpath %s%s; hoist it into a workspace, use the guarded cap-grow idiom, or annotate //lint:allow allocfree with the audit reason",
+				site.What, root.Display, where)
+		}
+		for _, c := range fi.Calls {
+			if c.Iface || c.Callee == nil {
+				continue // contract boundary: implementations are annotated directly
+			}
+			if pass.Allowed(c.Pos, AllocFreeName) {
+				// An audited call-site allow stops traversal: the reviewer
+				// accepted everything behind this call (the nil-workspace
+				// constructor fallback is the canonical case), so findings
+				// inside the callee are not re-reported against this root.
+				continue
+			}
+			if c.Local != nil {
+				if !seen[c.Local] {
+					seen[c.Local] = true
+					queue = append(queue, visit{c.Local, root})
+				}
+				continue
+			}
+			if alloc, witness := calleeAllocates(g, g.Imported, c); alloc {
+				report(c.Pos,
+					"%s on the zero-alloc hot path rooted at //lint:hotpath %s%s; make the callee allocation-free or annotate //lint:allow allocfree with the audit reason",
+					witness, root.Display, where)
+			}
+		}
+	}
+	return nil
+}

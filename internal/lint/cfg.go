@@ -463,6 +463,98 @@ func (g *cfg) dominators() []bitset {
 	return dom
 }
 
+// backEdges returns the CFG edges that close loops: edges whose target
+// dominates their source.  Every loop a Go function can form — for/range
+// statements, labeled continue, and backward goto — produces exactly such
+// an edge, which is why the cancellation analyzer keys off this rather
+// than off loop syntax.  Unreachable blocks are excluded: they carry the
+// full dominator set by construction (see dominators), which would make
+// every dead edge look like a loop.
+func (g *cfg) backEdges(dom []bitset) [][2]int {
+	reach := g.reachable()
+	var out [][2]int
+	for _, blk := range g.blocks {
+		if !reach[blk.index] {
+			continue
+		}
+		for _, s := range blk.succs {
+			if s < len(dom) && dom[blk.index].has(s) {
+				out = append(out, [2]int{blk.index, s})
+			}
+		}
+	}
+	return out
+}
+
+// reachable marks the blocks reachable from entry.
+func (g *cfg) reachable() []bool {
+	reach := make([]bool, len(g.blocks))
+	stack := []int{cfgEntry}
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if reach[b] {
+			continue
+		}
+		reach[b] = true
+		stack = append(stack, g.blocks[b].succs...)
+	}
+	return reach
+}
+
+// naturalLoop returns the block set of the natural loop of back-edge
+// (from, to): to itself plus every block that reaches from without passing
+// through to.
+func (g *cfg) naturalLoop(from, to int) []int {
+	preds := make([][]int, len(g.blocks))
+	for _, blk := range g.blocks {
+		for _, s := range blk.succs {
+			preds[s] = append(preds[s], blk.index)
+		}
+	}
+	in := make([]bool, len(g.blocks))
+	in[to] = true
+	stack := []int{from}
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if in[b] {
+			continue
+		}
+		in[b] = true
+		stack = append(stack, preds[b]...)
+	}
+	var out []int
+	for b, ok := range in {
+		if ok {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// backEdges exposes the CFG back-edges of this function's flow facts.
+func (ff *funcFlow) backEdges() [][2]int { return ff.cfg.backEdges(ff.dom) }
+
+// loopSpan returns the source span covered by the natural loop of one
+// back-edge: the positions of every statement and condition in the loop's
+// blocks.  ok is false when the loop's blocks carry no nodes at all (a
+// degenerate `for {}`).
+func (ff *funcFlow) loopSpan(from, to int) (lo, hi token.Pos, ok bool) {
+	for _, b := range ff.cfg.naturalLoop(from, to) {
+		for _, n := range ff.cfg.blocks[b].nodes {
+			if !ok || n.Pos() < lo {
+				lo = n.Pos()
+			}
+			if !ok || n.End() > hi {
+				hi = n.End()
+			}
+			ok = true
+		}
+	}
+	return lo, hi, ok
+}
+
 // bitset is a fixed-size bit vector over block or definition indices.
 type bitset []uint64
 

@@ -271,3 +271,151 @@ func f(x float64) float64 {
 		}
 	}
 }
+
+// ---- back edges (the loop substrate ctxflow leans on) -------------------
+
+// backEdgeCount builds the flow facts for fn and returns its back-edges.
+func backEdges(t *testing.T, src, fn string) [][2]int {
+	t.Helper()
+	fx := buildFlow(t, src, fn)
+	edges := fx.ff.backEdges()
+	for _, e := range edges {
+		if !fx.ff.dom[e[0]].has(e[1]) {
+			t.Errorf("edge %v reported as back-edge but target does not dominate source", e)
+		}
+	}
+	return edges
+}
+
+func TestBackEdgesSimpleLoop(t *testing.T) {
+	src := `package fixture
+func f(n int) int {
+	s := 0
+	for i := 0; i < n; i++ {
+		s += i
+	}
+	return s
+}`
+	if got := backEdges(t, src, "f"); len(got) != 1 {
+		t.Errorf("simple for loop has %d back-edges, want 1", len(got))
+	}
+}
+
+func TestBackEdgesLabeledContinue(t *testing.T) {
+	// With a for-post outer loop the labeled continue funnels through the
+	// post block, so it joins the outer loop's own back-edge: two distinct
+	// back-edges (inner, outer).
+	src := `package fixture
+func f(m [][]int) int {
+	s := 0
+outer:
+	for i := 0; i < len(m); i++ {
+		for j := range m[i] {
+			if m[i][j] < 0 {
+				continue outer
+			}
+			s += m[i][j]
+		}
+	}
+	return s
+}`
+	if got := backEdges(t, src, "f"); len(got) != 2 {
+		t.Errorf("labeled-continue for-post nest has %d back-edges, want 2 (inner, outer-via-post)", len(got))
+	}
+
+	// With a range outer loop there is no post block: the labeled continue
+	// jumps straight to the outer head and forms its own back-edge.
+	src2 := `package fixture
+func f(m [][]int) int {
+	s := 0
+outer:
+	for i := range m {
+		for j := range m[i] {
+			if m[i][j] < 0 {
+				continue outer
+			}
+			s += m[i][j]
+		}
+	}
+	return s
+}`
+	if got := backEdges(t, src2, "f"); len(got) != 3 {
+		t.Errorf("labeled-continue range nest has %d back-edges, want 3 (inner, outer, labeled continue)", len(got))
+	}
+}
+
+func TestBackEdgesGotoLoop(t *testing.T) {
+	src := `package fixture
+func f(n int) int {
+	s := 0
+	i := 0
+loop:
+	if i < n {
+		s += i
+		i++
+		goto loop
+	}
+	return s
+}`
+	got := backEdges(t, src, "f")
+	if len(got) != 1 {
+		t.Fatalf("goto loop has %d back-edges, want 1", len(got))
+	}
+	// The natural loop of the goto edge must span from the labeled
+	// condition through the goto statement itself.
+	fx := buildFlow(t, src, "f")
+	lo, hi, ok := fx.ff.loopSpan(got[0][0], got[0][1])
+	if !ok {
+		t.Fatalf("goto loop span empty")
+	}
+	loLine := fx.pass.Fset.Position(lo).Line
+	hiLine := fx.pass.Fset.Position(hi).Line
+	if loLine > 6 || hiLine < 9 {
+		t.Errorf("goto loop span covers lines %d-%d, want the if-through-goto body (6-9)", loLine, hiLine)
+	}
+}
+
+func TestBackEdgesSelectLoop(t *testing.T) {
+	// A for{select{...}} event loop: the loop head block is empty (no
+	// condition), so the back-edge and its span must come from the comm
+	// clauses.
+	src := `package fixture
+func f(ch, done chan int) int {
+	s := 0
+	for {
+		select {
+		case v := <-ch:
+			s += v
+		case <-done:
+			return s
+		}
+	}
+}`
+	got := backEdges(t, src, "f")
+	if len(got) < 1 {
+		t.Fatalf("select loop has %d back-edges, want at least 1", len(got))
+	}
+	fx := buildFlow(t, src, "f")
+	covered := false
+	for _, e := range got {
+		if _, _, ok := fx.ff.loopSpan(e[0], e[1]); ok {
+			covered = true
+		}
+	}
+	if !covered {
+		t.Errorf("no select-loop back-edge produced a non-empty span; ctxflow would go blind here")
+	}
+}
+
+func TestBackEdgesNoneInStraightLine(t *testing.T) {
+	src := `package fixture
+func f(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}`
+	if got := backEdges(t, src, "f"); len(got) != 0 {
+		t.Errorf("branch-only function has %d back-edges, want 0", len(got))
+	}
+}

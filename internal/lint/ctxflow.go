@@ -1,0 +1,322 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// CtxFlowName is the analyzer's registered name.
+const CtxFlowName = "ctxflow"
+
+// CtxFlow statically enforces the cancellation contract PR 4 established
+// dynamically with watchdog tests: a function that accepts a
+// context.Context must actually let it flow.
+//
+// Rule 1 — poll on back-edges.  Every loop in a ctx-taking function must
+// mention the context (or a value derived from it — a gate struct built
+// around ctx counts) somewhere in the loop body, so cancellation is
+// observed on the loop's back-edge.  Loops are found through the CFG
+// dominator machinery, not syntax: a back-edge is an edge whose target
+// dominates its source, which catches labeled continue and backward goto
+// the same as for/range.  Only *outermost* loops are checked — the
+// contract is amortized polling (an inner per-user loop inherits the
+// enclosing round loop's poll), exactly the shape SolveNashWS uses.
+// By the same amortization argument, a bounded loop whose body is
+// straight-line arithmetic — a range or conditioned for with no function
+// calls (builtins and stdlib math aside), no nested loop, and no channel
+// operation — finishes in microseconds and is exempt: a poll there would
+// cost more than the loop.  Unconditioned `for {}` loops and loops that
+// call functions are never exempt.
+//
+// Rule 2 — don't drop ctx on the floor.  A call from a ctx-taking
+// function to a non-ctx function is flagged when a ctx-aware sibling
+// variant exists (Foo → FooCtx, locally or via the imported facts):
+// calling des.Run where des.RunCtx exists silently discards the deadline.
+//
+// `//lint:allow ctxflow <reason>` marks audited exceptions — e.g. a
+// tight O(starts) dedup loop whose full run is cheaper than a poll.
+var CtxFlow = &Analyzer{
+	Name: CtxFlowName,
+	Doc: "ctx-taking functions must poll or propagate their context on " +
+		"every outermost loop back-edge, and must not call a non-ctx " +
+		"function when a Ctx variant exists",
+	Run: runCtxFlow,
+}
+
+func runCtxFlow(pass *Pass) error {
+	fc := newFlowCache(pass)
+	for _, fi := range pass.Graph.Funcs {
+		if !fi.TakesCtx || pass.InTestFile(fi.Decl.Pos()) {
+			continue
+		}
+		checkCtxLoops(pass, fc, fi)
+		checkCtxVariantCalls(pass, fi)
+	}
+	return nil
+}
+
+// checkCtxLoops applies Rule 1 to one function.
+func checkCtxLoops(pass *Pass, fc *flowCache, fi *FuncInfo) {
+	sig, _ := fi.Obj.Type().(*types.Signature)
+	ff := fc.flowFor(fi.Decl.Body, sig)
+	edges := ff.backEdges()
+	if len(edges) == 0 {
+		return
+	}
+	ctxVars := ctxDerivedVars(pass, ff, fi)
+
+	// Collect each back-edge's natural-loop span, widened to the full
+	// enclosing AST loop statement when one exists (so for-post statements
+	// and range expressions count as part of the loop).
+	type loopInfo struct {
+		lo, hi token.Pos
+		report token.Pos
+		stmt   ast.Stmt // enclosing for/range statement; nil for goto loops
+	}
+	var loops []loopInfo
+	for _, e := range edges {
+		lo, hi, ok := ff.loopSpan(e[0], e[1])
+		if !ok {
+			continue // degenerate empty loop: nothing can poll, nothing runs
+		}
+		report := lo
+		stmt := enclosingLoopStmt(fi.Decl.Body, lo, hi)
+		if stmt != nil {
+			lo, hi, report = stmt.Pos(), stmt.End(), stmt.Pos()
+		}
+		loops = append(loops, loopInfo{lo, hi, report, stmt})
+	}
+
+	// Outermost only: drop loops whose span sits inside another's.
+	reported := make(map[token.Pos]bool)
+	for i, l := range loops {
+		inner := false
+		for j, o := range loops {
+			if i != j && o.lo <= l.lo && l.hi <= o.hi && (o.lo != l.lo || o.hi != l.hi || j < i) {
+				inner = true
+				break
+			}
+		}
+		if inner || reported[l.report] {
+			continue
+		}
+		reported[l.report] = true
+		if spanMentionsVars(pass, fi.Decl.Body, l.lo, l.hi, ctxVars) {
+			continue
+		}
+		if trivialLoop(pass, l.stmt) {
+			continue
+		}
+		pass.Reportf(l.report,
+			"loop in %s never polls or propagates its context on the back-edge; check ctx.Err() (or a ctx-derived gate) each iteration, or annotate //lint:allow ctxflow with why cancellation can lag here",
+			fi.Display)
+	}
+}
+
+// ctxDerivedVars returns the context parameters of fi plus every local
+// variable whose definition mentions one (two hops), so a gate struct
+// wrapping ctx — `gate := ctxGate{ctx: ctx}` — counts as the context.
+func ctxDerivedVars(pass *Pass, ff *funcFlow, fi *FuncInfo) map[*types.Var]bool {
+	out := make(map[*types.Var]bool)
+	sig, _ := fi.Obj.Type().(*types.Signature)
+	if sig == nil {
+		return out
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		if p := sig.Params().At(i); isCtxType(p.Type()) {
+			out[p] = true
+		}
+	}
+	for hop := 0; hop < 2; hop++ {
+		for _, d := range ff.defs {
+			if d.rhs == nil || out[d.v] {
+				continue
+			}
+			if exprMentionsVars(pass, d.rhs, out) {
+				out[d.v] = true
+			}
+		}
+	}
+	return out
+}
+
+// exprMentionsVars reports whether any identifier in e resolves to a
+// variable in vars.
+func exprMentionsVars(pass *Pass, e ast.Node, vars map[*types.Var]bool) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok {
+			if v, ok := pass.TypesInfo.Uses[id].(*types.Var); ok && vars[v] {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// spanMentionsVars reports whether body mentions one of vars inside
+// [lo, hi].
+func spanMentionsVars(pass *Pass, body ast.Node, lo, hi token.Pos, vars map[*types.Var]bool) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found || n == nil {
+			return false
+		}
+		if n.End() < lo || n.Pos() > hi {
+			return false // subtree entirely outside the span
+		}
+		if id, ok := n.(*ast.Ident); ok && lo <= id.Pos() && id.End() <= hi {
+			if v, ok := pass.TypesInfo.Uses[id].(*types.Var); ok && vars[v] {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// trivialLoop reports whether stmt is a bounded loop whose whole run is
+// cheaper than a context poll: a range loop or a conditioned for whose
+// body has no user-function calls, no nested loops, and no channel
+// operations.  Such a loop is over in microseconds — cancellation cannot
+// meaningfully lag behind it, so demanding a per-iteration poll (or an
+// allow annotation) would only add noise.  stmt == nil (goto-formed
+// loops) and `for {}` without a condition never qualify.
+func trivialLoop(pass *Pass, stmt ast.Stmt) bool {
+	var body *ast.BlockStmt
+	switch s := stmt.(type) {
+	case *ast.ForStmt:
+		if s.Cond == nil {
+			return false // for {}: unbounded, must poll
+		}
+		body = s.Body
+	case *ast.RangeStmt:
+		if t := pass.TypesInfo.TypeOf(s.X); t != nil {
+			switch t.Underlying().(type) {
+			case *types.Chan:
+				return false // ranging over a channel blocks
+			case *types.Signature:
+				return false // range-over-func calls the iterator
+			}
+		}
+		body = s.Body
+	default:
+		return false
+	}
+	trivial := true
+	ast.Inspect(body, func(n ast.Node) bool {
+		if !trivial {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt, *ast.SelectStmt, *ast.GoStmt, *ast.SendStmt:
+			trivial = false
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				trivial = false // channel receive blocks
+			}
+		case *ast.CallExpr:
+			if !cheapCall(pass, n) {
+				trivial = false
+			}
+		case *ast.FuncLit:
+			return false // a declared-but-uncalled literal runs nothing here
+		}
+		return trivial
+	})
+	return trivial
+}
+
+// cheapCall reports whether call is a builtin, a type conversion, or a
+// call into stdlib math/math/bits — per-iteration work measured in
+// nanoseconds, which keeps the enclosing loop inside trivialLoop's
+// microsecond budget.
+func cheapCall(pass *Pass, call *ast.CallExpr) bool {
+	switch fun := unparen(call.Fun).(type) {
+	case *ast.Ident:
+		switch pass.TypesInfo.Uses[fun].(type) {
+		case *types.Builtin, *types.TypeName:
+			return true
+		}
+	case *ast.SelectorExpr:
+		if f, ok := pass.TypesInfo.Uses[fun.Sel].(*types.Func); ok {
+			if pkg := f.Pkg(); pkg != nil {
+				switch pkg.Path() {
+				case "math", "math/bits":
+					return true
+				}
+			}
+		}
+	case *ast.ArrayType, *ast.MapType, *ast.ChanType, *ast.FuncType,
+		*ast.InterfaceType, *ast.StarExpr:
+		return true // conversion to a composite type
+	}
+	return false
+}
+
+// enclosingLoopStmt returns the outermost for/range statement in body
+// whose span contains [lo, hi], or nil for loops formed by goto alone.
+func enclosingLoopStmt(body ast.Node, lo, hi token.Pos) ast.Stmt {
+	var best ast.Stmt
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			if n.Pos() <= lo && hi <= n.End() {
+				if best == nil || n.Pos() < best.Pos() || n.End() > best.End() {
+					best = n.(ast.Stmt)
+				}
+			}
+		}
+		return true
+	})
+	return best
+}
+
+// checkCtxVariantCalls applies Rule 2 to one function.
+func checkCtxVariantCalls(pass *Pass, fi *FuncInfo) {
+	for _, c := range fi.Calls {
+		if c.Callee == nil || c.Iface {
+			continue
+		}
+		sig, _ := c.Callee.Type().(*types.Signature)
+		if sigTakesCtx(sig) {
+			continue // ctx already flows into the callee
+		}
+		variant := ""
+		if c.Local != nil {
+			if c.Local.Fact.CtxVariant != "" {
+				variant = c.Local.Fact.CtxVariant
+			}
+		} else if fact, ok := pass.Graph.Imported.Lookup(FuncKey(c.Callee)); ok {
+			variant = fact.CtxVariant
+		}
+		if variant == "" {
+			continue
+		}
+		if variant == fi.Key {
+			// The caller IS the callee's Ctx variant — the standard wrapper
+			// shape (workCtx polls, then delegates to work).  The wrapper is
+			// where polling is checked; the delegation is not a dropped ctx.
+			continue
+		}
+		pass.Reportf(c.Pos,
+			"%s holds a context but calls %s, which ignores it; call %s so the deadline propagates, or annotate //lint:allow ctxflow if the call is short-lived",
+			fi.Display, displayKey(c.Callee), shortVariantName(variant))
+	}
+}
+
+// shortVariantName trims the package path off a fact key, leaving
+// pkgname-free "Name" or "(Recv).Name" plus the final path element for
+// readability.
+func shortVariantName(key string) string {
+	if i := strings.LastIndex(key, "/"); i >= 0 {
+		key = key[i+1:]
+	}
+	return key
+}

@@ -11,6 +11,12 @@
 //   - errdrop: error return values must be handled (or explicitly
 //     discarded with `_ =`), errcheck-style.
 //
+// On top of the syntactic set sit the dataflow analyzers (feasguard,
+// detorder, dimcheck, parsafe — built on the intraprocedural CFG in
+// cfg.go) and the interprocedural set (allocfree, ctxflow, wsalias —
+// built on the module-wide approximate call graph in callgraph.go, whose
+// per-function summaries travel between packages as facts).
+//
 // The framework deliberately mirrors a small slice of the
 // golang.org/x/tools/go/analysis API so the analyzers read like standard
 // vet checks, but it is implemented entirely on the standard library
@@ -23,7 +29,9 @@
 //	x := a == b //lint:allow floateq exact sentinel comparison
 //
 // A whole-line `//lint:allow <analyzer> <reason>` comment suppresses
-// findings on the next source line instead.
+// findings on the next source line instead.  An allow that suppresses
+// nothing is itself reported (as staleallow), so annotations cannot
+// outlive the code they were written for.
 package lint
 
 import (
@@ -58,7 +66,12 @@ type Pass struct {
 	Pkg *types.Package
 	// TypesInfo records types and uses for every expression.
 	TypesInfo *types.Info
+	// Graph is the package's call-graph substrate: local functions with
+	// their call edges and allocation summaries, plus the imported facts
+	// of every dependency (see callgraph.go).
+	Graph *Graph
 
+	sup   *suppressions
 	diags *[]Diagnostic
 }
 
@@ -91,23 +104,46 @@ type Diagnostic struct {
 // AllowDirective is the comment prefix that suppresses a finding.
 const AllowDirective = "//lint:allow"
 
-// suppressions maps file name → line → analyzer names allowed there.
-type suppressions map[string]map[int]map[string]bool
+// HotpathDirective marks a function as a zero-allocation hot-path root:
+// the function and everything statically reachable from it must not heap-
+// allocate (see the allocfree analyzer).  It is written in the function's
+// doc comment (or on the line directly above the declaration).
+const HotpathDirective = "//lint:hotpath"
+
+// StaleAllowName is the pseudo-analyzer name under which unused
+// //lint:allow directives are reported.  It is a framework invariant, not
+// a member of All(): it cannot be selected, and it cannot be suppressed.
+const StaleAllowName = "staleallow"
+
+// allowEntry is one parsed //lint:allow directive.
+type allowEntry struct {
+	name string // analyzer being allowed
+	file string
+	// lines are the source lines the directive covers: its own line, and
+	// the following line when the comment stands alone.
+	lines [2]int
+	pos   token.Pos
+	used  bool
+}
+
+// suppressions indexes the //lint:allow directives of one package.
+type suppressions struct {
+	entries []*allowEntry
+	// byLine maps file name → line → directives covering that line.
+	byLine map[string]map[int][]*allowEntry
+}
 
 // collectSuppressions scans every comment for //lint:allow directives.  A
 // directive suppresses matching findings on its own line; a directive that
 // is the only thing on its line also suppresses the following line, so
 // annotations can sit above long statements.
-func collectSuppressions(fset *token.FileSet, files []*ast.File) suppressions {
-	sup := make(suppressions)
-	add := func(file string, line int, name string) {
-		if sup[file] == nil {
-			sup[file] = make(map[int]map[string]bool)
+func collectSuppressions(fset *token.FileSet, files []*ast.File) *suppressions {
+	sup := &suppressions{byLine: make(map[string]map[int][]*allowEntry)}
+	add := func(e *allowEntry, line int) {
+		if sup.byLine[e.file] == nil {
+			sup.byLine[e.file] = make(map[int][]*allowEntry)
 		}
-		if sup[file][line] == nil {
-			sup[file][line] = make(map[string]bool)
-		}
-		sup[file][line][name] = true
+		sup.byLine[e.file][line] = append(sup.byLine[e.file][line], e)
 	}
 	for _, f := range files {
 		for _, cg := range f.Comments {
@@ -121,12 +157,19 @@ func collectSuppressions(fset *token.FileSet, files []*ast.File) suppressions {
 				if len(fields) == 0 {
 					continue
 				}
-				name := fields[0]
 				pos := fset.Position(c.Pos())
-				add(pos.Filename, pos.Line, name)
-				if pos.Column == 1 || onlyCommentOnLine(fset, f, c) {
-					add(pos.Filename, pos.Line+1, name)
+				e := &allowEntry{
+					name: fields[0],
+					file: pos.Filename,
+					pos:  c.Pos(),
 				}
+				e.lines[0] = pos.Line
+				add(e, pos.Line)
+				if pos.Column == 1 || onlyCommentOnLine(fset, f, c) {
+					e.lines[1] = pos.Line + 1
+					add(e, pos.Line+1)
+				}
+				sup.entries = append(sup.entries, e)
 			}
 		}
 	}
@@ -164,40 +207,127 @@ func onlyCommentOnLine(fset *token.FileSet, f *ast.File, c *ast.Comment) bool {
 	return alone
 }
 
-// suppressed reports whether d is covered by an annotation.
-func (s suppressions) suppressed(fset *token.FileSet, d Diagnostic) bool {
-	pos := fset.Position(d.Pos)
-	byLine := s[pos.Filename]
+// allowedAt reports whether a finding by the named analyzer at pos is
+// covered by an annotation, marking every covering directive as used.
+// Analyzers that fold allowances into facts (allocfree) call this through
+// Pass.Allowed while summarizing, so an allow consumed by the fact
+// computation counts as live even though no diagnostic was ever filed.
+func (s *suppressions) allowedAt(fset *token.FileSet, pos token.Pos, name string) bool {
+	p := fset.Position(pos)
+	byLine := s.byLine[p.Filename]
 	if byLine == nil {
 		return false
 	}
-	names := byLine[pos.Line]
-	return names[d.Analyzer] || names["all"]
+	allowed := false
+	for _, e := range byLine[p.Line] {
+		if e.name == name || e.name == "all" {
+			e.used = true
+			allowed = true
+		}
+	}
+	return allowed
+}
+
+// Allowed reports whether a finding by the named analyzer at pos carries a
+// //lint:allow annotation, marking the annotation as used.
+func (p *Pass) Allowed(pos token.Pos, name string) bool {
+	return p.sup.allowedAt(p.Fset, pos, name)
+}
+
+// staleDirectives returns the directives that suppressed nothing, limited
+// to analyzer names in ran (an allow for an analyzer that did not run this
+// pass is not stale — it may fire on the full suite).  Directives naming
+// no known analyzer at all are always stale: they are typos that can never
+// suppress anything.
+func (s *suppressions) staleDirectives(ran map[string]bool) []*allowEntry {
+	var out []*allowEntry
+	for _, e := range s.entries {
+		if e.used || e.name == "all" {
+			continue
+		}
+		if ran[e.name] || !knownAnalyzer(e.name) {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// knownAnalyzer reports whether name identifies a member of the full suite.
+func knownAnalyzer(name string) bool {
+	for _, a := range All() {
+		if a.Name == name {
+			return true
+		}
+	}
+	return false
 }
 
 // Run executes the analyzers over one type-checked package and returns the
-// findings that survive //lint:allow suppression, sorted by position.
+// findings that survive //lint:allow suppression, sorted by position.  It
+// is RunPkg without imported facts — sufficient for single-package
+// fixtures and tests; drivers use RunPkg so interprocedural facts flow.
 func Run(analyzers []*Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) ([]Diagnostic, error) {
+	diags, _, err := RunPkg(analyzers, fset, files, pkg, info, nil)
+	return diags, err
+}
+
+// RunPkg executes the analyzers over one type-checked package with the
+// facts of its dependencies available in store (nil means none), and
+// returns the surviving findings together with the package's own exported
+// facts, which the driver forwards to dependent packages.
+func RunPkg(analyzers []*Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, store *FactStore) ([]Diagnostic, *PkgFacts, error) {
+	if store == nil {
+		store = NewFactStore()
+	}
+	sup := collectSuppressions(fset, files)
+
+	// The call-graph substrate is built once per package — before any
+	// analyzer runs — because fact computation itself consumes allowances
+	// (an allowed allocation must not poison every caller's summary).
 	var diags []Diagnostic
+	base := &Pass{
+		Fset:      fset,
+		Files:     files,
+		Pkg:       pkg,
+		TypesInfo: info,
+		sup:       sup,
+		diags:     &diags,
+	}
+	graph := buildGraph(base, store)
+	base.Graph = graph
+
+	ran := make(map[string]bool, len(analyzers))
 	for _, a := range analyzers {
+		ran[a.Name] = true
 		pass := &Pass{
 			Analyzer:  a,
 			Fset:      fset,
 			Files:     files,
 			Pkg:       pkg,
 			TypesInfo: info,
+			Graph:     graph,
+			sup:       sup,
 			diags:     &diags,
 		}
 		if err := a.Run(pass); err != nil {
-			return nil, fmt.Errorf("lint: analyzer %s: %w", a.Name, err)
+			return nil, nil, fmt.Errorf("lint: analyzer %s: %w", a.Name, err)
 		}
 	}
-	sup := collectSuppressions(fset, files)
 	kept := diags[:0]
 	for _, d := range diags {
-		if !sup.suppressed(fset, d) {
+		if !sup.allowedAt(fset, d.Pos, d.Analyzer) {
 			kept = append(kept, d)
 		}
+	}
+	// An allow that suppressed nothing — neither a filed diagnostic nor a
+	// fact-level allowance — has rotted; report it at its own position.
+	for _, e := range sup.staleDirectives(ran) {
+		kept = append(kept, Diagnostic{
+			Analyzer: StaleAllowName,
+			Pos:      e.pos,
+			Message: fmt.Sprintf("//lint:allow %s suppresses nothing on this line; delete the stale annotation (or fix its analyzer name)",
+				e.name),
+		})
 	}
 	sort.Slice(kept, func(i, j int) bool {
 		pi, pj := fset.Position(kept[i].Pos), fset.Position(kept[j].Pos)
@@ -209,15 +339,17 @@ func Run(analyzers []*Analyzer, fset *token.FileSet, files []*ast.File, pkg *typ
 		}
 		return pi.Column < pj.Column
 	})
-	return kept, nil
+	return kept, graph.Facts, nil
 }
 
 // All returns the full greedlint analyzer suite: the syntactic v1
-// analyzers plus the dataflow-aware v2 set built on the CFG pass.
+// analyzers, the dataflow-aware v2 set built on the CFG pass, and the
+// interprocedural v3 set built on the call-graph facts.
 func All() []*Analyzer {
 	return []*Analyzer{
 		FloatEq, RNGSource, PanicFree, ErrDrop,
 		FeasGuard, DetOrder, DimCheck, ParSafe,
+		AllocFree, CtxFlow, WSAlias,
 	}
 }
 

@@ -52,6 +52,25 @@ func TestParSafe(t *testing.T) {
 	linttest.Run(t, "testdata/parsafe", "fixture/parsafe", []*lint.Analyzer{lint.ParSafe})
 }
 
+func TestAllocFree(t *testing.T) {
+	linttest.Run(t, "testdata/allocfree", "fixture/allocfree", []*lint.Analyzer{lint.AllocFree})
+}
+
+func TestCtxFlow(t *testing.T) {
+	linttest.Run(t, "testdata/ctxflow", "fixture/ctxflow", []*lint.Analyzer{lint.CtxFlow})
+}
+
+func TestWSAlias(t *testing.T) {
+	linttest.Run(t, "testdata/wsalias", "fixture/wsalias", []*lint.Analyzer{lint.WSAlias})
+}
+
+func TestStaleAllow(t *testing.T) {
+	// Run with floateq only: stale detection applies to allows naming a
+	// running analyzer (or no known analyzer at all), while allows for the
+	// rest of the suite are left alone.
+	linttest.Run(t, "testdata/staleallow", "fixture/staleallow", []*lint.Analyzer{lint.FloatEq})
+}
+
 func TestAllRegistersEveryAnalyzer(t *testing.T) {
 	names := make(map[string]bool)
 	for _, a := range lint.All() {
@@ -63,6 +82,7 @@ func TestAllRegistersEveryAnalyzer(t *testing.T) {
 	for _, want := range []string{
 		"floateq", "rngsource", "panicfree", "errdrop",
 		"feasguard", "detorder", "dimcheck", "parsafe",
+		"allocfree", "ctxflow", "wsalias",
 	} {
 		if !names[want] {
 			t.Errorf("All() does not register %q", want)

@@ -77,10 +77,20 @@ func LoadPackage(cfg LoadConfig) (*Package, error) {
 
 // Analyze loads the package and runs the given analyzers over it.
 func Analyze(cfg LoadConfig, analyzers []*Analyzer) ([]Diagnostic, *token.FileSet, error) {
+	diags, fset, _, err := AnalyzePkg(cfg, analyzers, nil)
+	return diags, fset, err
+}
+
+// AnalyzePkg loads the package and runs the analyzers with the facts of
+// its dependencies available in store (nil means none), returning the
+// package's own exported facts alongside the findings.  Drivers call this
+// in dependency order, feeding each package's facts forward, so the
+// interprocedural analyzers see the whole downward closure.
+func AnalyzePkg(cfg LoadConfig, analyzers []*Analyzer, store *FactStore) ([]Diagnostic, *token.FileSet, *PkgFacts, error) {
 	p, err := LoadPackage(cfg)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
-	diags, err := Run(analyzers, p.Fset, p.Files, p.Pkg, p.Info)
-	return diags, p.Fset, err
+	diags, facts, err := RunPkg(analyzers, p.Fset, p.Files, p.Pkg, p.Info, store)
+	return diags, p.Fset, facts, err
 }

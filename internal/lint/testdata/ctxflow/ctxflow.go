@@ -1,0 +1,194 @@
+// Package ctxflow exercises the cancellation-flow analyzer: back-edge
+// polling (for/range, labeled continue, goto-formed loops), the
+// outermost-loop amortization rule, the trivial-loop exemption,
+// gate-struct provenance, the Ctx sibling-variant rule, and the audited
+// allow.
+package ctxflow
+
+import (
+	"context"
+	"math"
+)
+
+// PollsCtx checks its context on every iteration: the contract's shape.
+func PollsCtx(ctx context.Context, xs []float64) float64 {
+	s := 0.0
+	for i := range xs {
+		if ctx.Err() != nil {
+			return s
+		}
+		s += xs[i]
+	}
+	return s
+}
+
+// MissesPoll does per-iteration work through a function call without
+// ever consulting ctx.
+func MissesPoll(ctx context.Context, xs []float64) float64 {
+	s := 0.0
+	for i := range xs { // want "ctxflow"
+		s += square(xs[i])
+	}
+	return s
+}
+
+func square(x float64) float64 { return x * x }
+
+// TrivialLoopExempt is a bounded loop of straight-line arithmetic: the
+// whole pass is cheaper than a poll, so the amortization exemption
+// applies and nothing is flagged.
+func TrivialLoopExempt(ctx context.Context, xs []float64) float64 {
+	s := 0.0
+	for i := range xs {
+		s += xs[i] * xs[i]
+	}
+	return s
+}
+
+// TrivialMathLoop stays exempt with stdlib math calls in the body —
+// nanosecond work that doesn't break the microsecond budget.
+func TrivialMathLoop(ctx context.Context, xs []float64) float64 {
+	s := 0.0
+	for i := range xs {
+		s += math.Abs(xs[i])
+	}
+	return s
+}
+
+// UnconditionedSpin has no loop condition, so boundedness is not
+// syntactically evident and the exemption never applies.
+func UnconditionedSpin(ctx context.Context, xs []float64) float64 {
+	s := 0.0
+	i := 0
+	for { // want "ctxflow"
+		if i >= len(xs) {
+			break
+		}
+		s += xs[i]
+		i++
+	}
+	return s
+}
+
+// ChanRangeNoPoll ranges over a channel: each iteration can block
+// indefinitely, so the loop is never trivial.
+func ChanRangeNoPoll(ctx context.Context, ch chan float64) float64 {
+	s := 0.0
+	for v := range ch { // want "ctxflow"
+		s += v
+	}
+	return s
+}
+
+// OuterPollCoversInner polls in the round loop only: the inner per-user
+// loop is amortized by the outer back-edge and must not be flagged.
+func OuterPollCoversInner(ctx context.Context, m [][]float64) float64 {
+	s := 0.0
+	for r := range m {
+		if ctx.Err() != nil {
+			return s
+		}
+		for c := range m[r] {
+			s += m[r][c]
+		}
+	}
+	return s
+}
+
+type gate struct{ ctx context.Context }
+
+func (g gate) hit() bool { return g.ctx.Err() != nil }
+
+// PollsViaGate wraps ctx in a gate struct first; provenance tracking must
+// recognize the gate as ctx-derived.
+func PollsViaGate(ctx context.Context, xs []float64) float64 {
+	gt := gate{ctx: ctx}
+	s := 0.0
+	for i := range xs {
+		if gt.hit() {
+			return s
+		}
+		s += xs[i]
+	}
+	return s
+}
+
+// LabeledNoPoll's labeled continue adds a second back-edge onto the outer
+// loop; neither polls, and the finding lands once, on the outer loop.
+func LabeledNoPoll(ctx context.Context, m [][]float64) float64 {
+	s := 0.0
+outer:
+	for r := range m { // want "ctxflow"
+		for c := range m[r] {
+			if m[r][c] < 0 {
+				continue outer
+			}
+			s += m[r][c]
+		}
+	}
+	return s
+}
+
+// GotoNoPoll forms its loop with a backward goto — no for statement at
+// all — and still must poll on the back-edge.
+func GotoNoPoll(ctx context.Context, xs []float64) float64 {
+	s := 0.0
+	i := 0
+loop:
+	if i < len(xs) { // want "ctxflow"
+		s += xs[i]
+		i++
+		goto loop
+	}
+	return s
+}
+
+// GotoPolls is the same goto loop with the poll in place.
+func GotoPolls(ctx context.Context, xs []float64) float64 {
+	s := 0.0
+	i := 0
+loop:
+	if i < len(xs) && ctx.Err() == nil {
+		s += xs[i]
+		i++
+		goto loop
+	}
+	return s
+}
+
+// work and workCtx are the sibling pair the variant rule keys off.
+func work(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	return xs[0]
+}
+
+func workCtx(ctx context.Context, xs []float64) float64 {
+	if ctx.Err() != nil {
+		return 0
+	}
+	return work(xs)
+}
+
+// DropsCtx holds a deadline but hands the work to the variant that
+// ignores it.
+func DropsCtx(ctx context.Context, xs []float64) float64 {
+	return work(xs) // want "ctxflow"
+}
+
+// ThreadsCtx propagates the deadline through the Ctx variant.
+func ThreadsCtx(ctx context.Context, xs []float64) float64 {
+	return workCtx(ctx, xs)
+}
+
+// AllowedTightLoop documents an audited exception: a bounded per-item
+// pass whose calls are known-cheap, accepted after review.
+func AllowedTightLoop(ctx context.Context, xs []float64) float64 {
+	s := 0.0
+	//lint:allow ctxflow O(len) scoring pass over at most a few dozen items
+	for i := range xs {
+		s += square(xs[i])
+	}
+	return s
+}

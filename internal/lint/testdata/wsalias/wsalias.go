@@ -1,0 +1,71 @@
+// Package wsalias exercises the workspace-ownership analyzer: dst
+// aliasing in *Into implementations and Workspace capture by goroutines.
+package wsalias
+
+// Workspace mirrors the core/game scratch types by name, which is what
+// the analyzer keys off.
+type Workspace struct{ buf []float64 }
+
+// ScaleInto is the contract in its intended shape: grow dst, write
+// through it, return it.
+func ScaleInto(dst, rates []float64, k float64) []float64 {
+	if cap(dst) < len(rates) {
+		dst = make([]float64, len(rates))
+	}
+	dst = dst[:len(rates)]
+	for i := range rates {
+		dst[i] = k * rates[i]
+	}
+	return dst
+}
+
+// BadReturnInto hands back an input: the caller would write through the
+// "result" straight into rates.
+func BadReturnInto(dst, rates []float64) []float64 {
+	if len(rates) <= cap(dst) {
+		return rates // want "wsalias"
+	}
+	dst = dst[:0]
+	dst = append(dst, rates...)
+	return dst
+}
+
+// BadRebindInto silently turns dst into a view of an input.
+func BadRebindInto(dst, rates []float64, n int) []float64 {
+	dst = rates[:n] // want "wsalias"
+	return dst
+}
+
+// CopyInto copies values out of its input — append copies, so mentioning
+// rates on the right-hand side is fine.
+func CopyInto(dst, rates []float64) []float64 {
+	dst = append(dst[:0], rates...)
+	return dst
+}
+
+// SpawnShared leaks one workspace into a goroutine while the caller still
+// owns it.
+func SpawnShared(ws *Workspace, done chan struct{}) {
+	go func() {
+		ws.buf = ws.buf[:0] // want "wsalias"
+		close(done)
+	}()
+}
+
+// SpawnPerWorker uses the sanctioned idiom: the goroutine captures the
+// per-worker slice and indexes its own slot.
+func SpawnPerWorker(wss []Workspace, done chan struct{}) {
+	go func() {
+		wss[0].buf = wss[0].buf[:0]
+		close(done)
+	}()
+}
+
+// SpawnAllowed documents an audited hand-off: the spawner provably never
+// touches the workspace again.
+func SpawnAllowed(ws *Workspace, done chan struct{}) {
+	go func() {
+		ws.buf = ws.buf[:0] //lint:allow wsalias ownership handed off at spawn; spawner never reuses ws
+		close(done)
+	}()
+}

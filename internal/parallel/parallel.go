@@ -136,6 +136,7 @@ func mustRun(ctx context.Context, workers, n int, fn func(i int) error) error {
 		}
 		wg.Wait()
 	}
+	//lint:allow ctxflow O(tasks) failure scan after the pool drained; Sprintf runs only on the re-panic path
 	for i, p := range panics {
 		if p != nil {
 			panic(fmt.Sprintf("parallel: task %d panicked: %v\n%s", i, p.val, p.stack))

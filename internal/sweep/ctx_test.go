@@ -76,7 +76,7 @@ func TestSweepCtxLiveMatchesPlain(t *testing.T) {
 	}
 	for k := range plain.Rows {
 		for i := range plain.Rows[k] {
-			if plain.Rows[k][i] != viaCtx.Rows[k][i] { //lint:allow floateq deterministic sweeps must agree bitwise with and without a live ctx
+			if plain.Rows[k][i] != viaCtx.Rows[k][i] { // deterministic sweeps must agree bitwise with and without a live ctx
 				t.Errorf("row %d col %d: %v vs %v", k, i, plain.Rows[k][i], viaCtx.Rows[k][i])
 			}
 		}

@@ -277,6 +277,7 @@ func GHCWidthsCtx(ctx context.Context, n int, gamma float64, rounds int) (Table,
 		}
 		return ws[len(ws)-1]
 	}
+	//lint:allow ctxflow O(rounds) row assembly from widths both solves already produced; nothing cancelable remains
 	for k := 0; k < rounds; k++ {
 		t.Rows = append(t.Rows, []float64{float64(k + 1), get(fs.Widths, k), get(pr.Widths, k)})
 	}
@@ -372,6 +373,7 @@ func NewtonResidualsCtx(ctx context.Context, workers, n, steps int) (Table, erro
 		Header: []string{"step", "resid_fairshare", "resid_fifo"},
 	}
 	us := make(core.Profile, n)
+	//lint:allow ctxflow O(n) profile construction before the sweep; the deadline governs the solves, not their setup
 	for i := range us {
 		us[i] = utility.NewLinear(1, 0.12+0.08*float64(i))
 	}
