@@ -2,7 +2,7 @@ GO ?= go
 LINT := bin/greedlint
 FUZZTIME ?= 30s
 
-.PHONY: all build lint lint-json lint-golden test race bench bench-micro fuzz clean
+.PHONY: all build lint lint-changed lint-json lint-golden test race bench bench-micro escapes escapes-update fuzz clean
 
 all: build lint test
 
@@ -12,16 +12,25 @@ build:
 $(LINT): cmd/greedlint/*.go internal/lint/*.go
 	$(GO) build -o $(LINT) ./cmd/greedlint
 
-# go vet's standard checks, then the full in-tree greedlint suite —
-# floateq, rngsource, panicfree, errdrop, the dataflow-aware feasguard,
-# detorder, dimcheck, parsafe, and the interprocedural allocfree,
-# ctxflow, wsalias — through the vettool protocol (covers test files,
-# flows call-graph facts through vetx), then once standalone for the
-# sorted listing.
-lint: $(LINT)
+# The fail-fast pre-gate first (only the packages whose Go files changed
+# vs HEAD — seconds, not the whole module), then go vet's standard
+# checks, then the full in-tree greedlint suite — floateq, rngsource,
+# panicfree, errdrop, the dataflow-aware feasguard, detorder, dimcheck,
+# parsafe, the interprocedural allocfree, ctxflow, wsalias, and the
+# concurrency-contract guardedby, chanown, fanout — through the vettool
+# protocol (covers test files, flows call-graph facts through vetx),
+# then once standalone for the sorted listing.
+lint: $(LINT) lint-changed
 	$(GO) vet ./...
 	$(GO) vet -vettool=$(abspath $(LINT)) ./...
 	$(LINT) ./...
+
+# Standalone run scoped to the git-changed packages: the quick local
+# loop (and the first thing `make lint` tries, so a broken edit fails in
+# seconds).  A lower bound only — dependents of a changed package are
+# not re-checked until the full run.
+lint-changed: $(LINT)
+	$(LINT) -changed
 
 # Machine-readable findings stream (CI archives it as an artifact).
 # Exit 0 writes [], so the artifact always exists and always parses.
@@ -52,6 +61,19 @@ bench:
 # path regressed to allocating.
 bench-micro:
 	$(GO) run ./cmd/greedbench -hotpath BENCH_hotpath.json
+
+# Compiler escape-analysis gate: diff `go build -gcflags=-m` output over
+# the //lint:hotpath functions against BENCH_escapes.json.  Exits 1 on
+# a new heap escape (regression) or a stale baseline entry (fixed
+# escape still listed); a clean run rewrites the file byte-identically.
+escapes:
+	$(GO) run ./cmd/greedbench -escapes BENCH_escapes.json
+
+# Accept the current escape set as the new baseline (after auditing the
+# gate's ESCAPE(new)/ESCAPE(stale) listing).
+escapes-update:
+	rm -f BENCH_escapes.json
+	$(GO) run ./cmd/greedbench -escapes BENCH_escapes.json
 
 # Short fuzz smoke over the allocation invariants; CI runs this on every
 # push, longer local runs via FUZZTIME=5m make fuzz.

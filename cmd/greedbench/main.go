@@ -24,9 +24,18 @@
 // allocates exits 1.  -cpuprofile and -memprofile write pprof profiles
 // of whatever work the invocation did.
 //
+// With -escapes the suite is also skipped: the module is compiled with
+// -gcflags=-m and every "escapes to heap" / "moved to heap" diagnostic
+// inside a //lint:hotpath function is diffed against the committed
+// baseline (BENCH_escapes.json).  A new escape is a regression; a
+// baseline entry the compiler no longer reports is stale; either fails
+// the gate.  A clean comparison rewrites the baseline byte-identically
+// so CI can assert reproducibility with git diff.
+//
 // Exit status: 1 if any selected experiment fails, times out, panics, or
 // mismatches the paper's shape (or, under -hotpath, a gated benchmark
-// allocates); 2 on infrastructure errors (bad flags, write failures).
+// allocates; under -escapes, the escape baseline drifted); 2 on
+// infrastructure errors (bad flags, write failures).
 package main
 
 import (
@@ -66,6 +75,7 @@ func run() int {
 		cpuProf = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this path")
 		memProf = flag.String("memprofile", "", "write a pprof heap profile (after the run) to this path")
 		hotOut  = flag.String("hotpath", "", "run the hot-path micro-benchmarks instead of the suite, write ns/op+allocs/op JSON to this path; exit 1 if a gated path exceeds its allocs/op budget")
+		escOut  = flag.String("escapes", "", "diff the compiler's hot-path escape analysis against the baseline JSON at this path instead of running the suite; exit 1 on new or stale escapes")
 	)
 	flag.Parse()
 
@@ -105,6 +115,14 @@ func run() int {
 
 	if *hotOut != "" {
 		code, err := writeHotpathJSON(*hotOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "greedbench:", err)
+			return 2
+		}
+		return code
+	}
+	if *escOut != "" {
+		code, err := writeEscapesJSON(*escOut)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "greedbench:", err)
 			return 2

@@ -1,10 +1,14 @@
 // Command greedlint runs greednet's in-tree static-analysis suite
 // (internal/lint): the syntactic analyzers floateq, rngsource, panicfree,
 // and errdrop; the dataflow-aware set feasguard, detorder, dimcheck, and
-// parsafe; and the interprocedural set allocfree, ctxflow, and wsalias,
+// parsafe; the interprocedural set allocfree, ctxflow, and wsalias,
 // which flow per-function call-graph facts (who allocates, who carries a
-// Ctx sibling) across package boundaries.  A framework-level staleallow
-// check reports //lint:allow directives that no longer suppress anything.
+// Ctx sibling) across package boundaries; and the concurrency-contract
+// set guardedby, chanown, and fanout, which enforce the //lint:guardedby
+// lock discipline on a CFG lock-held lattice, //lint:chanowner channel
+// close ownership, and the parallel-only goroutine inventory.  A
+// framework-level staleallow check reports //lint:allow directives that
+// no longer suppress anything.
 //
 // It speaks the go command's (unpublished) vet driver protocol, so the
 // canonical invocation is through the build system, which supplies export
@@ -21,6 +25,7 @@
 //
 //	greedlint ./...
 //	greedlint -json ./...   # findings as a JSON array on stdout
+//	greedlint -changed      # only packages with Go files changed vs HEAD
 //
 // Suppress an intentional finding with a trailing or preceding comment:
 //
@@ -50,6 +55,7 @@ var (
 	versionFlag   = flag.String("V", "", "print version and exit (use -V=full for the build-system form)")
 	flagsFlag     = flag.Bool("flags", false, "print analyzer flags in JSON (used by the go command)")
 	jsonFlag      = flag.Bool("json", false, "standalone mode: also emit findings as a JSON array on stdout")
+	changedFlag   = flag.Bool("changed", false, "standalone mode: lint only the packages holding Go files changed vs HEAD (plus untracked); exits 0 when nothing changed")
 )
 
 func main() {
@@ -74,6 +80,21 @@ func main() {
 	}
 
 	args := flag.Args()
+	if *changedFlag {
+		if len(args) > 0 {
+			fatal(fmt.Errorf("greedlint: -changed selects its own packages; drop the %v arguments", args))
+		}
+		patterns, err := changedPackagePatterns()
+		if err != nil {
+			fatal(err)
+		}
+		if len(patterns) == 0 {
+			fmt.Fprintln(os.Stderr, "greedlint: no Go files changed vs HEAD")
+			return
+		}
+		runStandalone(patterns, analyzers)
+		return
+	}
 	if len(args) == 0 {
 		flag.Usage()
 		os.Exit(1)
@@ -349,6 +370,90 @@ func runStandalone(patterns []string, analyzers []*lint.Analyzer) {
 	if len(all) > 0 {
 		os.Exit(2)
 	}
+}
+
+// changedPackagePatterns maps the working tree's changed Go files —
+// `git diff --name-only HEAD` plus untracked files — to the package
+// patterns containing them, for the fail-fast pre-gate `greedlint
+// -changed`.  Files under a testdata element are skipped (fixtures are
+// not packages of this module), as are files whose directory no longer
+// exists or lies outside the working directory.  The result is a lower
+// bound on the full run, not a replacement: a change can break a
+// *dependent* package's contract, which only `greedlint ./...` sees.
+func changedPackagePatterns() ([]string, error) {
+	top, err := gitLines("rev-parse", "--show-toplevel")
+	if err != nil || len(top) == 0 {
+		return nil, fmt.Errorf("greedlint: -changed needs a git worktree: %v", err)
+	}
+	changed, err := gitLines("diff", "--name-only", "HEAD")
+	if err != nil {
+		return nil, fmt.Errorf("greedlint: git diff: %w", err)
+	}
+	untracked, err := gitLines("ls-files", "--others", "--exclude-standard")
+	if err != nil {
+		return nil, fmt.Errorf("greedlint: git ls-files: %w", err)
+	}
+	wd, err := os.Getwd()
+	if err != nil {
+		return nil, err
+	}
+	dirs := make(map[string]bool)
+	for _, f := range append(changed, untracked...) {
+		if !strings.HasSuffix(f, ".go") {
+			continue
+		}
+		// Git paths are repo-root-relative; patterns must be cwd-relative.
+		rel, err := filepath.Rel(wd, filepath.Join(top[0], f))
+		if err != nil || strings.HasPrefix(rel, "..") {
+			continue
+		}
+		dir := filepath.ToSlash(filepath.Dir(rel))
+		if dir != "." && slicesContainsTestdata(dir) {
+			continue
+		}
+		if st, err := os.Stat(filepath.Dir(rel)); err != nil || !st.IsDir() {
+			continue // the whole directory was deleted
+		}
+		dirs[dir] = true
+	}
+	patterns := make([]string, 0, len(dirs))
+	for dir := range dirs {
+		if dir == "." {
+			patterns = append(patterns, ".")
+		} else {
+			patterns = append(patterns, "./"+dir)
+		}
+	}
+	sort.Strings(patterns)
+	return patterns, nil
+}
+
+// slicesContainsTestdata reports whether any element of the
+// slash-separated path is the go tool's reserved testdata directory.
+func slicesContainsTestdata(dir string) bool {
+	for _, seg := range strings.Split(dir, "/") {
+		if seg == "testdata" {
+			return true
+		}
+	}
+	return false
+}
+
+// gitLines runs a git subcommand and returns its non-empty output lines.
+func gitLines(args ...string) ([]string, error) {
+	cmd := exec.Command("git", args...)
+	cmd.Stderr = os.Stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, err
+	}
+	var lines []string
+	for _, l := range strings.Split(string(out), "\n") {
+		if l != "" {
+			lines = append(lines, l)
+		}
+	}
+	return lines, nil
 }
 
 // topoOrder sorts packages dependencies-first (imports restricted to the

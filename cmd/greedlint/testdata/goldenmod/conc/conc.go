@@ -1,0 +1,52 @@
+// Package conc seeds one violation per concurrency-contract analyzer
+// (guardedby, chanown, fanout) so the golden output pins the v4 set.
+package conc
+
+import "sync"
+
+// Counter guards its count with a mutex.
+type Counter struct {
+	mu sync.Mutex
+	//lint:guardedby mu
+	n int
+}
+
+// Bump writes the guarded field with no lock: a guardedby finding.
+func (c *Counter) Bump() {
+	c.n++
+}
+
+// Snapshot is the disciplined shape: no finding.
+func (c *Counter) Snapshot() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+// Feed owns its channel through Run.
+type Feed struct {
+	//lint:chanowner Run
+	out chan int
+}
+
+// Run is the declared owner: clean.
+func (f *Feed) Run(n int) {
+	for i := 0; i < n; i++ {
+		f.out <- i
+	}
+	close(f.out)
+}
+
+// Stop closes from outside the owner: a chanown finding.
+func (f *Feed) Stop() {
+	close(f.out)
+}
+
+// Watch spawns an unannotated goroutine: a fanout finding.
+func (f *Feed) Watch(c *Counter) {
+	go func() {
+		for range f.out {
+			c.Snapshot()
+		}
+	}()
+}

@@ -126,6 +126,7 @@ func runGuarded(buf *bytes.Buffer, e Experiment, opt Options, suiteCtx context.C
 	// there is no data race and no nondeterministic partial output.
 	scratch := &bytes.Buffer{}
 	done := make(chan Outcome, 1)
+	//lint:fanout watchdog runs one experiment so the select below can abandon it at the deadline; done is buffered so the leaked runner never blocks
 	go func() {
 		done <- runContained(scratch, e, optCtx)
 	}()

@@ -53,6 +53,11 @@ type FuncFact struct {
 	// FooCtx, same receiver) when one exists, so callers holding a ctx can
 	// be pointed at it.
 	CtxVariant string `json:"ctx_variant,omitempty"`
+	// NeedsLocks lists the //lint:locked lock names of the declaration:
+	// locks every caller must hold (exclusive) around a call.  The
+	// guardedby analyzer checks call sites against its lock-held lattice,
+	// cross-package included.
+	NeedsLocks []string `json:"needs_locks,omitempty"`
 }
 
 // PkgFacts bundles one package's exported function facts.
@@ -139,6 +144,8 @@ type FuncInfo struct {
 	Obj     *types.Func
 	// Hotpath marks the //lint:hotpath annotation.
 	Hotpath bool
+	// Locked lists the //lint:locked lock names of the declaration.
+	Locked []string
 	// TakesCtx reports a context.Context parameter.
 	TakesCtx bool
 	// Allocs are the function's own allocating constructs (allowances and
@@ -287,6 +294,7 @@ func buildGraph(pass *Pass, store *FactStore) *Graph {
 				Decl:     fd,
 				Obj:      obj,
 				Hotpath:  hasHotpathDirective(fd),
+				Locked:   lockedDirective(fd),
 				TakesCtx: sigTakesCtx(sig),
 			}
 			g.Funcs = append(g.Funcs, fi)
@@ -319,6 +327,7 @@ func buildGraph(pass *Pass, store *FactStore) *Graph {
 	// consult the imported facts once.
 	for _, fi := range g.Funcs {
 		fi.Fact.Hotpath = fi.Hotpath
+		fi.Fact.NeedsLocks = fi.Locked
 		fi.Fact.TakesCtx = fi.TakesCtx
 		if len(fi.Allocs) > 0 {
 			fi.Fact.Allocates = true
@@ -410,6 +419,26 @@ func hasHotpathDirective(fd *ast.FuncDecl) bool {
 		}
 	}
 	return false
+}
+
+// lockedDirective parses the //lint:locked names in the declaration's doc
+// comment: the locks (receiver fields or package variables, by the same
+// textual paths the lock lattice uses) that every caller must hold around
+// a call.  Names are sorted so the exported fact is canonical.
+func lockedDirective(fd *ast.FuncDecl) []string {
+	if fd.Doc == nil {
+		return nil
+	}
+	var out []string
+	for _, c := range fd.Doc.List {
+		text := strings.TrimSpace(c.Text)
+		if !strings.HasPrefix(text, LockedDirective) {
+			continue
+		}
+		out = append(out, strings.Fields(strings.TrimPrefix(text, LockedDirective))...)
+	}
+	sort.Strings(out)
+	return out
 }
 
 // shortPos renders a position as basename:line, keeping witnesses (which
@@ -775,7 +804,7 @@ func SortedFuncKeys(pf *PkgFacts) []string {
 
 // factsHeader versions the vetx payload; a reader that sees a different
 // header treats the file as having no facts rather than failing the build.
-const factsHeader = "greedlintv3\n"
+const factsHeader = "greedlintv4\n"
 
 // factsFile is the serialized form of a FactStore.
 type factsFile struct {

@@ -1,0 +1,335 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// ChanOwnName is the analyzer's registered name (and //lint:allow token).
+const ChanOwnName = "chanown"
+
+// ChanOwn enforces channel ownership discipline — the rules that keep
+// close() panics and unbounded blocking out of the tree:
+//
+//   - A channel declared with `//lint:chanowner Run` (on a channel-typed
+//     struct field or var declaration) may only be closed inside a function
+//     named Run: exactly one owner closes, everyone else just sends or
+//     receives.
+//   - No function may close a channel it received as a parameter — the
+//     callee cannot know whether the creator (or anyone else) will close
+//     it too.  Closing a parameter is the classic double-close seed.
+//   - A send (or a second close) that is dominated by a close of the same
+//     channel is a guaranteed panic, detected through the CFG dominator
+//     sets.
+//   - A blocking receive (`<-ch` or `range ch`) must not appear in a
+//     //lint:hotpath function or anything locally reachable from one: the
+//     zero-alloc hot paths also carry a bounded-wait contract.  Receives
+//     inside a select that has a default case are non-blocking and exempt;
+//     anything else needs `//lint:allow chanown <bounded-wait reason>`.
+//
+// Like the lock lattice, channels are tracked per variable or field object;
+// a channel reached through an alias is not tracked.  Test files are
+// exempt.
+var ChanOwn = &Analyzer{
+	Name: ChanOwnName,
+	Doc: "channel ownership: close only inside the //lint:chanowner owner, " +
+		"never close a parameter, never send after a dominating close, and " +
+		"no blocking receive on a //lint:hotpath function",
+	Run: runChanOwn,
+}
+
+func runChanOwn(pass *Pass) error {
+	owners := collectChanOwners(pass)
+	fc := newFlowCache(pass)
+	for _, fi := range pass.Graph.Funcs {
+		if pass.InTestFile(fi.Decl.Pos()) {
+			continue
+		}
+		checkChanFunc(pass, fc, fi, owners)
+	}
+	checkHotpathReceives(pass)
+	return nil
+}
+
+// collectChanOwners maps annotated channel objects (struct fields and var
+// declarations) to their declared owner's function name, reporting
+// malformed annotations.
+func collectChanOwners(pass *Pass) map[*types.Var]string {
+	owners := make(map[*types.Var]string)
+	record := func(names []*ast.Ident, args []string, pos token.Pos) {
+		if len(args) == 0 {
+			pass.Reportf(pos, "//lint:chanowner names no owner; write //lint:chanowner <FuncName>")
+			return
+		}
+		for _, name := range names {
+			v, ok := pass.TypesInfo.Defs[name].(*types.Var)
+			if !ok {
+				continue
+			}
+			if _, isChan := types.Unalias(v.Type()).Underlying().(*types.Chan); !isChan {
+				pass.Reportf(pos, "//lint:chanowner on non-channel %s; the annotation only applies to channels", name.Name)
+				continue
+			}
+			owners[v] = args[0]
+		}
+	}
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.StructType:
+				if n.Fields == nil {
+					return true
+				}
+				for _, fld := range n.Fields.List {
+					args, pos, found := directiveArgs(fld.Doc, ChanOwnerDirective)
+					if !found {
+						args, pos, found = directiveArgs(fld.Comment, ChanOwnerDirective)
+					}
+					if found {
+						record(fld.Names, args, pos)
+					}
+				}
+			case *ast.ValueSpec:
+				args, pos, found := directiveArgs(n.Doc, ChanOwnerDirective)
+				if !found {
+					args, pos, found = directiveArgs(n.Comment, ChanOwnerDirective)
+				}
+				if found {
+					record(n.Names, args, pos)
+				}
+			}
+			return true
+		})
+	}
+	return owners
+}
+
+// chanUse is one close or send on a tracked channel.
+type chanUse struct {
+	pos  token.Pos
+	node ast.Node // the close CallExpr or SendStmt
+	v    *types.Var
+	path string // display form, e.g. "f.out"
+}
+
+// checkChanFunc applies the close-side rules to one declaration (nested
+// literals included: a closure's close counts as the enclosing function's,
+// which is what the owner rule should see — the goroutine belongs to its
+// spawner).
+func checkChanFunc(pass *Pass, fc *flowCache, fi *FuncInfo, owners map[*types.Var]string) {
+	var closes, sends []chanUse
+	ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if !isBuiltinClose(pass, n) || len(n.Args) != 1 {
+				return true
+			}
+			v, path := chanVar(pass, n.Args[0])
+			if v == nil {
+				return true
+			}
+			closes = append(closes, chanUse{n.Pos(), n, v, path})
+			if owner, ok := owners[v]; ok && fi.Obj.Name() != owner {
+				pass.Reportf(n.Pos(),
+					"close of %s outside its declared owner %s (//lint:chanowner); move the close into %s or change the owner annotation",
+					path, owner, owner)
+			} else if !ok && isParamOf(v, fi.Obj) {
+				pass.Reportf(n.Pos(),
+					"%s closes its channel parameter %s; only the channel's creator should close it — return instead, or declare ownership with //lint:chanowner %s at the channel's declaration",
+					fi.Obj.Name(), path, fi.Obj.Name())
+			}
+		case *ast.SendStmt:
+			v, path := chanVar(pass, n.Chan)
+			if v != nil {
+				sends = append(sends, chanUse{n.Pos(), n, v, path})
+			}
+		}
+		return true
+	})
+	if len(closes) == 0 {
+		return
+	}
+	// Send-after-close and double close: a use dominated by an earlier
+	// close of the same channel panics on every execution that reaches it.
+	sig, _ := fi.Obj.Type().(*types.Signature)
+	ff := fc.flowFor(fi.Decl.Body, sig)
+	checkDominatedUse := func(u chanUse, what string) {
+		for _, dn := range ff.dominatorNodes(u.pos) {
+			for _, cl := range closes {
+				if cl.v != u.v || cl.pos >= u.pos {
+					continue
+				}
+				if dn.Pos() <= cl.pos && cl.pos <= dn.End() && !inDeferOrLit(dn, cl.pos) {
+					pass.Reportf(u.pos, "%s on %s, but it was already closed at %s — this panics; restructure so the owner closes exactly once, after the last send",
+						what, u.path, shortPos(pass.Fset, cl.pos))
+					return
+				}
+			}
+		}
+	}
+	for _, s := range sends {
+		checkDominatedUse(s, "send")
+	}
+	for _, c := range closes {
+		checkDominatedUse(c, "second close")
+	}
+}
+
+// inDeferOrLit reports whether pos sits inside a defer statement or
+// function literal within node n — those closes run at another time, so
+// they do not dominate a textual successor.
+func inDeferOrLit(n ast.Node, pos token.Pos) bool {
+	inside := false
+	ast.Inspect(n, func(m ast.Node) bool {
+		if inside {
+			return false
+		}
+		switch m.(type) {
+		case *ast.DeferStmt, *ast.FuncLit:
+			if m.Pos() <= pos && pos <= m.End() {
+				inside = true
+			}
+			return false
+		}
+		return true
+	})
+	return inside
+}
+
+// checkHotpathReceives walks every function locally reachable from a
+// //lint:hotpath root (the allocfree BFS) and flags blocking receives.
+func checkHotpathReceives(pass *Pass) {
+	g := pass.Graph
+	type visit struct {
+		fi   *FuncInfo
+		root *FuncInfo
+	}
+	var queue []visit
+	seen := make(map[*FuncInfo]bool)
+	for _, fi := range g.Funcs {
+		if fi.Hotpath {
+			queue = append(queue, visit{fi, fi})
+			seen[fi] = true
+		}
+	}
+	reportedAt := make(map[token.Pos]bool)
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		fi, root := v.fi, v.root
+		if !pass.InTestFile(fi.Decl.Pos()) {
+			where := ""
+			if fi != root {
+				where = " (in " + fi.Display + ", reachable from it)"
+			}
+			// Receives inside a select carrying a default case are bounded.
+			var exempt []ast.Node
+			ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+				if sel, ok := n.(*ast.SelectStmt); ok && selectHasDefault(sel) {
+					exempt = append(exempt, sel)
+				}
+				return true
+			})
+			inExempt := func(pos token.Pos) bool {
+				for _, e := range exempt {
+					if e.Pos() <= pos && pos <= e.End() {
+						return true
+					}
+				}
+				return false
+			}
+			report := func(pos token.Pos, form string) {
+				if reportedAt[pos] || inExempt(pos) {
+					return
+				}
+				reportedAt[pos] = true
+				pass.Reportf(pos,
+					"%s on the hot path rooted at //lint:hotpath %s%s blocks unboundedly; make it non-blocking (select with default) or annotate //lint:allow chanown with the bounded-wait justification",
+					form, root.Display, where)
+			}
+			ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.UnaryExpr:
+					if n.Op == token.ARROW {
+						report(n.Pos(), "channel receive")
+					}
+				case *ast.RangeStmt:
+					t := pass.TypesInfo.TypeOf(n.X)
+					if t != nil {
+						if _, isChan := types.Unalias(t).Underlying().(*types.Chan); isChan {
+							report(n.Pos(), "range over a channel")
+						}
+					}
+				}
+				return true
+			})
+		}
+		for _, c := range fi.Calls {
+			if c.Iface || c.Callee == nil || c.Local == nil || seen[c.Local] {
+				continue
+			}
+			seen[c.Local] = true
+			queue = append(queue, visit{c.Local, root})
+		}
+	}
+}
+
+// selectHasDefault reports a default clause in the select body.
+func selectHasDefault(sel *ast.SelectStmt) bool {
+	for _, cs := range sel.Body.List {
+		if cc, ok := cs.(*ast.CommClause); ok && cc.Comm == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// isBuiltinClose reports a call to the close builtin.
+func isBuiltinClose(pass *Pass, call *ast.CallExpr) bool {
+	id, ok := unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := pass.TypesInfo.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "close"
+}
+
+// chanVar resolves a channel expression to its variable or field object
+// and a display path; aliased or computed channels return nil.
+func chanVar(pass *Pass, e ast.Expr) (*types.Var, string) {
+	switch e := unparen(e).(type) {
+	case *ast.Ident:
+		if v, ok := pass.TypesInfo.Uses[e].(*types.Var); ok {
+			return v, e.Name
+		}
+		if v, ok := pass.TypesInfo.Defs[e].(*types.Var); ok {
+			return v, e.Name
+		}
+	case *ast.SelectorExpr:
+		if v := selectedField(pass, e); v != nil {
+			if base := lockPath(e.X); base != "" {
+				return v, base + "." + e.Sel.Name
+			}
+			return v, e.Sel.Name
+		}
+	}
+	return nil, ""
+}
+
+// isParamOf reports whether v is a parameter of fn.
+func isParamOf(v *types.Var, fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		if sig.Params().At(i) == v {
+			return true
+		}
+	}
+	return false
+}

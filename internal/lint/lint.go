@@ -13,9 +13,11 @@
 //
 // On top of the syntactic set sit the dataflow analyzers (feasguard,
 // detorder, dimcheck, parsafe — built on the intraprocedural CFG in
-// cfg.go) and the interprocedural set (allocfree, ctxflow, wsalias —
-// built on the module-wide approximate call graph in callgraph.go, whose
-// per-function summaries travel between packages as facts).
+// cfg.go), the interprocedural set (allocfree, ctxflow, wsalias — built on
+// the module-wide approximate call graph in callgraph.go, whose
+// per-function summaries travel between packages as facts), and the
+// concurrency-contract set (guardedby, chanown, fanout — built on the
+// lock-held lattice in cfg.go and the same call-graph facts).
 //
 // The framework deliberately mirrors a small slice of the
 // golang.org/x/tools/go/analysis API so the analyzers read like standard
@@ -109,6 +111,31 @@ const AllowDirective = "//lint:allow"
 // allocate (see the allocfree analyzer).  It is written in the function's
 // doc comment (or on the line directly above the declaration).
 const HotpathDirective = "//lint:hotpath"
+
+// GuardedByDirective marks a struct field as protected by a sibling mutex
+// field: `//lint:guardedby mu` on (or above) the field declaration means
+// the field may only be read while mu is at least read-locked and only be
+// written while mu is exclusively locked (see the guardedby analyzer).
+const GuardedByDirective = "//lint:guardedby"
+
+// LockedDirective asserts a function's locking precondition:
+// `//lint:locked mu` in the doc comment means every caller must hold mu
+// exclusively around the call.  The lock lattice seeds the body with mu
+// held (both bare and receiver-qualified), and the requirement is exported
+// as a NeedsLocks fact so cross-package call sites are checked too.
+const LockedDirective = "//lint:locked"
+
+// ChanOwnerDirective declares the single function allowed to close a
+// channel: `//lint:chanowner Run` on a channel-typed struct field or var
+// declaration restricts close() of that channel to a function named Run
+// (see the chanown analyzer).
+const ChanOwnerDirective = "//lint:chanowner"
+
+// FanoutDirective whitelists one go statement outside internal/parallel:
+// `//lint:fanout <role> <why>` on (or above) the spawning line admits the
+// goroutine into the audited inventory (see the fanout analyzer).  The
+// canonical role in this tree is "watchdog".
+const FanoutDirective = "//lint:fanout"
 
 // StaleAllowName is the pseudo-analyzer name under which unused
 // //lint:allow directives are reported.  It is a framework invariant, not
@@ -343,13 +370,15 @@ func RunPkg(analyzers []*Analyzer, fset *token.FileSet, files []*ast.File, pkg *
 }
 
 // All returns the full greedlint analyzer suite: the syntactic v1
-// analyzers, the dataflow-aware v2 set built on the CFG pass, and the
-// interprocedural v3 set built on the call-graph facts.
+// analyzers, the dataflow-aware v2 set built on the CFG pass, the
+// interprocedural v3 set built on the call-graph facts, and the v4
+// concurrency-contract set built on the lock-held lattice.
 func All() []*Analyzer {
 	return []*Analyzer{
 		FloatEq, RNGSource, PanicFree, ErrDrop,
 		FeasGuard, DetOrder, DimCheck, ParSafe,
 		AllocFree, CtxFlow, WSAlias,
+		GuardedBy, ChanOwn, Fanout,
 	}
 }
 

@@ -64,6 +64,25 @@ func TestWSAlias(t *testing.T) {
 	linttest.Run(t, "testdata/wsalias", "fixture/wsalias", []*lint.Analyzer{lint.WSAlias})
 }
 
+func TestGuardedBy(t *testing.T) {
+	linttest.Run(t, "testdata/guardedby", "fixture/guardedby", []*lint.Analyzer{lint.GuardedBy})
+}
+
+func TestChanOwn(t *testing.T) {
+	linttest.Run(t, "testdata/chanown", "fixture/chanown", []*lint.Analyzer{lint.ChanOwn})
+}
+
+func TestFanout(t *testing.T) {
+	linttest.Run(t, "testdata/fanout", "fixture/fanout", []*lint.Analyzer{lint.Fanout})
+}
+
+func TestFanoutExemptsParallel(t *testing.T) {
+	// Under the worker pool's import path the same spawns produce no
+	// findings: the pool is the sanctioned fan-out mechanism.
+	linttest.Run(t, "testdata/fanout_parallel", "greednet/internal/parallel",
+		[]*lint.Analyzer{lint.Fanout})
+}
+
 func TestStaleAllow(t *testing.T) {
 	// Run with floateq only: stale detection applies to allows naming a
 	// running analyzer (or no known analyzer at all), while allows for the
@@ -83,6 +102,7 @@ func TestAllRegistersEveryAnalyzer(t *testing.T) {
 		"floateq", "rngsource", "panicfree", "errdrop",
 		"feasguard", "detorder", "dimcheck", "parsafe",
 		"allocfree", "ctxflow", "wsalias",
+		"guardedby", "chanown", "fanout",
 	} {
 		if !names[want] {
 			t.Errorf("All() does not register %q", want)

@@ -21,11 +21,13 @@ import (
 // atomic.* calls are never ident writes, so they are out of scope (and
 // out of danger of false positives).
 //
-// The tree's goroutines all live in internal/parallel's worker pool
+// The tree's goroutines are either internal/parallel's pool workers
 // (tasks write through per-index slice slots and join on a WaitGroup,
-// which is exactly the shape this analyzer wants); the analyzer remains
-// the gate that keeps any future direct spawn honest about the
-// accumulators it shares.
+// which is exactly the shape this analyzer wants) or the few direct
+// spawns whitelisted into the fanout analyzer's audited inventory via
+// //lint:fanout — the experiment watchdog being the canonical one.
+// fanout polices where goroutines may exist; parsafe keeps whatever
+// spawns honest about the accumulators they share.
 var ParSafe = &Analyzer{
 	Name: "parsafe",
 	Doc: "flags variables written both inside a go func literal and by " +

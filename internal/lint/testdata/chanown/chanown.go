@@ -1,0 +1,100 @@
+// Package chanown exercises the channel-ownership analyzer: declared-owner
+// closes, parameter closes, dominated send-after-close, and hot-path
+// receive discipline.
+package chanown
+
+// pipe owns its output channel through run: only run may close it.
+type pipe struct {
+	//lint:chanowner run
+	out chan int
+}
+
+// run is the declared owner: send, then close, exactly once.
+func (p *pipe) run() {
+	p.out <- 1
+	close(p.out)
+}
+
+// stop closes from outside the owner.
+func (p *pipe) stop() {
+	close(p.out) // want "outside its declared owner run"
+}
+
+// closeParam closes a channel it was handed — the classic double-close
+// seed.
+func closeParam(ch chan int) {
+	close(ch) // want "closes its channel parameter ch"
+}
+
+// sendAfterClose panics on every execution.
+func sendAfterClose() {
+	ch := make(chan int, 1)
+	close(ch)
+	ch <- 1 // want "already closed"
+}
+
+// doubleClose panics on the second close.
+func doubleClose() {
+	ch := make(chan int)
+	close(ch)
+	close(ch) // want "already closed"
+}
+
+// branchClose is fine: the closing path returns before the send.
+func branchClose(b bool) {
+	ch := make(chan int, 1)
+	if b {
+		close(ch)
+		return
+	}
+	ch <- 1
+}
+
+// deferClose is fine: the deferred close runs after the send.
+func deferClose() {
+	ch := make(chan int, 1)
+	defer close(ch)
+	ch <- 1
+}
+
+// drainHot blocks unboundedly on a hot path.
+//
+//lint:hotpath
+func drainHot(ch chan int) int {
+	return <-ch // want "channel receive on the hot path"
+}
+
+// pollHot bounds the wait with a default case: exempt.
+//
+//lint:hotpath
+func pollHot(ch chan int) int {
+	select {
+	case v := <-ch:
+		return v
+	default:
+		return 0
+	}
+}
+
+// rangeHelper is not annotated itself but is reachable from hotRoot.
+func rangeHelper(ch chan int) int {
+	sum := 0
+	for v := range ch { // want "range over a channel"
+		sum += v
+	}
+	return sum
+}
+
+// hotRoot pulls rangeHelper onto the hot path.
+//
+//lint:hotpath
+func hotRoot(ch chan int) int {
+	return rangeHelper(ch)
+}
+
+// allowedWait documents a bounded-wait audit.
+//
+//lint:hotpath
+func allowedWait(ch chan int) int {
+	return <-ch //lint:allow chanown producer is a buffered one-shot filled before this call
+}

@@ -1,0 +1,34 @@
+// Package fanout exercises the goroutine-inventory analyzer: every go
+// statement must be annotated into the audited inventory (the fixture is
+// not internal/parallel, so the package-level exemption does not apply).
+package fanout
+
+func compute() int { return 42 }
+
+// spawnBad fans out with no annotation.
+func spawnBad(done chan int) {
+	go func() { done <- compute() }() // want "go statement outside internal/parallel"
+}
+
+// spawnWatchdog is the audited inventory shape: role plus justification.
+func spawnWatchdog(done chan int) {
+	//lint:fanout watchdog abandons a hung run; the result channel is buffered
+	go func() { done <- compute() }()
+}
+
+// spawnTrailing annotates on the spawning line itself.
+func spawnTrailing(done chan int) {
+	go func() { done <- compute() }() //lint:fanout watchdog abandons a hung run; buffered channel
+}
+
+// spawnBare has a role but no justification: not an audit.
+func spawnBare(done chan int) {
+	//lint:fanout watchdog
+	go func() { done <- compute() }() // want "needs a role and a justification"
+}
+
+// stale annotations that whitelist nothing are flagged like stale allows.
+func noSpawn() int {
+	//lint:fanout watchdog the goroutine below was deleted // want "whitelists no go statement"
+	return compute()
+}

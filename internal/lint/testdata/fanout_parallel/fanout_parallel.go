@@ -1,0 +1,18 @@
+// Package fanout_parallel exercises the fanout analyzer's package-level
+// exemption: under internal/parallel's import path, the worker pool may
+// spawn freely with no annotations.
+package parallel
+
+func work(jobs <-chan int, results chan<- int) {
+	for j := range jobs {
+		results <- j * j
+	}
+}
+
+// fan spawns pool workers — exempt in this package, a finding anywhere
+// else.
+func fan(jobs <-chan int, results chan<- int, workers int) {
+	for i := 0; i < workers; i++ {
+		go work(jobs, results)
+	}
+}

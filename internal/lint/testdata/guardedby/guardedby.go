@@ -1,0 +1,138 @@
+// Package guardedby exercises the lock-discipline analyzer: //lint:guardedby
+// field annotations checked against the CFG lock-held lattice, and
+// //lint:locked call-site preconditions.
+package guardedby
+
+import "sync"
+
+// counter is the canonical guarded struct: n may only be touched under mu.
+type counter struct {
+	mu sync.RWMutex
+	//lint:guardedby mu
+	n int
+}
+
+// bad writes without any lock.
+func (c *counter) bad() {
+	c.n++ // want "write to c.n"
+}
+
+// badRead reads without any lock.
+func (c *counter) badRead() int {
+	return c.n // want "read of c.n"
+}
+
+// good holds the exclusive lock; the deferred unlock runs at return, so
+// the lock stays held for the whole body.
+func (c *counter) good() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+}
+
+// goodRead holds the read lock across the read.
+func (c *counter) goodRead() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.n
+}
+
+// readLockWrite holds only the shared lock: reads are licensed, the write
+// is not.
+func (c *counter) readLockWrite() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	c.n++ // want "holding only the read lock"
+	return c.n
+}
+
+// tryBranches holds the lock only where TryLock succeeded.
+func (c *counter) tryBranches() {
+	if c.mu.TryLock() {
+		c.n++
+		c.mu.Unlock()
+	} else {
+		c.n++ // want "write to c.n"
+	}
+}
+
+// tryGate is the negated early-return idiom: past the guard, the lock is
+// held.
+func (c *counter) tryGate() {
+	if !c.mu.TryLock() {
+		return
+	}
+	c.n++
+	c.mu.Unlock()
+}
+
+// releasedEarly loses the lock at the explicit unlock.
+func (c *counter) releasedEarly() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+	c.n++ // want "write to c.n"
+}
+
+// relockLoop releases and re-acquires per iteration; both accesses are
+// covered, and the loop back-edge does not leak the held state past the
+// unlock.
+func (c *counter) relockLoop(rounds int) {
+	for i := 0; i < rounds; i++ {
+		c.mu.Lock()
+		c.n++
+		c.mu.Unlock()
+	}
+}
+
+// bumpLocked declares its precondition instead of acquiring: callers must
+// hold c.mu exclusively.
+//
+//lint:locked mu
+func (c *counter) bumpLocked() {
+	c.n++
+}
+
+// goodCaller satisfies the //lint:locked precondition.
+func (c *counter) goodCaller() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.bumpLocked()
+}
+
+// badCaller calls the locked method without holding anything.
+func (c *counter) badCaller() {
+	c.bumpLocked() // want "requires c.mu held exclusively"
+}
+
+// spawned closures are separate units: the lock held at spawn time is no
+// guarantee at run time.
+func (c *counter) leakyClosure(done chan struct{}) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	go func() {
+		c.n++ // want "write to c.n"
+		close(done)
+	}()
+}
+
+// selfLockingClosure acquires inside the literal, which is fine.
+func (c *counter) selfLockingClosure(done chan struct{}) {
+	go func() {
+		c.mu.Lock()
+		c.n++
+		c.mu.Unlock()
+		close(done)
+	}()
+}
+
+// misannotated names a lock that is not a sibling field.
+type misannotated struct {
+	//lint:guardedby nosuch // want "names no sibling field"
+	v int
+}
+
+// allowEscape documents an audited exception.
+func (c *counter) allowEscape() int {
+	return c.n //lint:allow guardedby read is racy by design; monotonic counter used for logging only
+}
