@@ -2,7 +2,7 @@ GO ?= go
 LINT := bin/greedlint
 FUZZTIME ?= 30s
 
-.PHONY: all build lint lint-changed lint-json lint-golden test race bench bench-micro escapes escapes-update fuzz clean
+.PHONY: all build lint lint-changed lint-json lint-golden test race bench bench-micro bench-events escapes escapes-update fuzz clean
 
 all: build lint test
 
@@ -61,6 +61,15 @@ bench:
 # path regressed to allocating.
 bench-micro:
 	$(GO) run ./cmd/greedbench -hotpath BENCH_hotpath.json
+
+# Events/sec headline gate: the calendar-queue engine vs the frozen heap
+# baseline over identical event sequences at N = 10², 10⁴, 10⁵ sources,
+# plus the multicore replication-throughput pass.  Archived as
+# BENCH_events.json; exits 1 when a calendar/heap ratio drops under its
+# scale's floor, the warm event loop allocates, or (multi-core hosts
+# only) replication throughput stops scaling.
+bench-events:
+	$(GO) run ./cmd/greedbench -events BENCH_events.json
 
 # Compiler escape-analysis gate: diff `go build -gcflags=-m` output over
 # the //lint:hotpath functions against BENCH_escapes.json.  Exits 1 on

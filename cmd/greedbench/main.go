@@ -76,6 +76,8 @@ func run() int {
 		memProf = flag.String("memprofile", "", "write a pprof heap profile (after the run) to this path")
 		hotOut  = flag.String("hotpath", "", "run the hot-path micro-benchmarks instead of the suite, write ns/op+allocs/op JSON to this path; exit 1 if a gated path exceeds its allocs/op budget")
 		escOut  = flag.String("escapes", "", "diff the compiler's hot-path escape analysis against the baseline JSON at this path instead of running the suite; exit 1 on new or stale escapes")
+		evOut   = flag.String("events", "", "run the events/sec benchmark family (calendar vs heap engines plus replication throughput) instead of the suite, write JSON to this path; exit 1 on a ratio, allocation, or scaling regression")
+		force   = flag.Bool("force", false, "allow -benchjson to overwrite a multi-core artifact with a single-core (speedup_valid:false) measurement")
 	)
 	flag.Parse()
 
@@ -123,6 +125,14 @@ func run() int {
 	}
 	if *escOut != "" {
 		code, err := writeEscapesJSON(*escOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "greedbench:", err)
+			return 2
+		}
+		return code
+	}
+	if *evOut != "" {
+		code, err := writeEventsJSON(*evOut)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "greedbench:", err)
 			return 2
@@ -177,7 +187,7 @@ func run() int {
 	opt := experiment.Options{Fast: *fast, Seed: *seed, SeedSet: seedSet, Timeout: *timeout}
 
 	if *benchJS != "" {
-		if err := writeBenchJSON(*benchJS, selected, opt, *workers); err != nil {
+		if err := writeBenchJSON(*benchJS, selected, opt, *workers, *force); err != nil {
 			fmt.Fprintln(os.Stderr, "greedbench:", err)
 			return 2
 		}
@@ -320,9 +330,36 @@ type benchRecord struct {
 	SpeedupValid bool `json:"speedup_valid"`
 }
 
+// guardBenchOverwrite refuses to clobber a multi-core artifact with a
+// single-core measurement.  BENCH_parallel.json is the repo's scaling
+// evidence; a speedup_valid:false record silently replacing a valid one
+// (someone regenerating on a 1-core laptop or CI runner) would erase it.
+// -force overrides for deliberate regeneration.
+func guardBenchOverwrite(path string, next benchRecord, force bool) error {
+	if next.SpeedupValid || force {
+		return nil
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil // no prior artifact (or unreadable): nothing to protect
+	}
+	var prev benchRecord
+	if json.Unmarshal(data, &prev) != nil || !prev.SpeedupValid {
+		return nil
+	}
+	return fmt.Errorf("refusing to overwrite %s: existing record was measured on %d cores (speedup_valid:true) and this host has %d; rerun with -force to replace it",
+		path, prev.HostCores, next.HostCores)
+}
+
 // writeBenchJSON times the selected suite once sequentially and once at
 // the requested worker count, and writes the comparison as JSON.
-func writeBenchJSON(path string, selected []experiment.Experiment, opt experiment.Options, workers int) error {
+func writeBenchJSON(path string, selected []experiment.Experiment, opt experiment.Options, workers int, force bool) error {
+	// Validity is known from the host alone — guard before spending
+	// minutes timing a run whose artifact would be refused anyway.
+	probe := benchRecord{HostCores: runtime.GOMAXPROCS(0), SpeedupValid: runtime.GOMAXPROCS(0) > 1}
+	if err := guardBenchOverwrite(path, probe, force); err != nil {
+		return err
+	}
 	run := func(w int) (time.Duration, error) {
 		start := time.Now()
 		outcomes, err := experiment.RunSuite(io.Discard, selected, opt, w)

@@ -1,0 +1,379 @@
+package calq
+
+import (
+	"math"
+	"testing"
+
+	"greednet/internal/randdist"
+)
+
+// model is the reference priority queue: a flat slice scanned for the
+// (T, seq)-lexicographic minimum.  Dead slow and obviously correct.
+type model struct {
+	evs []Event
+}
+
+func (m *model) enqueue(ev Event) { m.evs = append(m.evs, ev) }
+func (m *model) len() int         { return len(m.evs) }
+func (m *model) remove(seq uint64) bool {
+	for i := range m.evs {
+		if m.evs[i].seq == seq {
+			m.evs = append(m.evs[:i], m.evs[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+func (m *model) popMin() Event {
+	best := 0
+	for i := range m.evs {
+		if eventBefore(m.evs[i], m.evs[best]) {
+			best = i
+		}
+	}
+	ev := m.evs[best]
+	m.evs = append(m.evs[:best], m.evs[best+1:]...)
+	return ev
+}
+
+func sameEvent(a, b Event) bool {
+	return math.Float64bits(a.T) == math.Float64bits(b.T) &&
+		a.User == b.User && a.Token == b.Token && a.Arr == b.Arr && a.seq == b.seq
+}
+
+// TestFIFOTieBreak pins the tie-break contract: events enqueued with
+// exactly equal timestamps dequeue in insertion order, interleaved
+// arbitrarily with distinct-time events.
+func TestFIFOTieBreak(t *testing.T) {
+	var q Queue
+	q.Init(8, 0.5)
+	const tie = 3.25
+	for i := 0; i < 50; i++ {
+		q.Enqueue(Event{T: tie, User: int32(i)})
+		q.Enqueue(Event{T: tie + 1 + float64(i), User: int32(1000 + i)})
+	}
+	for i := 0; i < 50; i++ {
+		ev, ok := q.DequeueMin()
+		if !ok || int(ev.User) != i {
+			t.Fatalf("tie %d: got user %d (ok=%v), want %d", i, ev.User, ok, i)
+		}
+	}
+	for i := 0; i < 50; i++ {
+		ev, ok := q.DequeueMin()
+		if !ok || int(ev.User) != 1000+i {
+			t.Fatalf("post-tie %d: got user %d (ok=%v), want %d", i, ev.User, ok, 1000+i)
+		}
+	}
+	if _, ok := q.DequeueMin(); ok {
+		t.Fatal("DequeueMin on empty queue reported ok")
+	}
+}
+
+// TestModelEquivalence drives the calendar queue and the reference
+// model through the same randomized operation sequences — enqueues
+// (including exact ties and out-of-order earlier times), dequeues, and
+// removes — across seeds and load shapes that force both grow and
+// shrink rehashes, asserting every dequeued event matches the model's.
+func TestModelEquivalence(t *testing.T) {
+	for _, seed := range []int64{1, 2, 7, 42} {
+		for _, span := range []float64{1.0, 1e3, 2e5} {
+			rng := randdist.NewRand(seed)
+			var q Queue
+			q.Init(4, span/64)
+			var m model
+			var live []uint64 // stamps still queued (candidates for Remove)
+			lastT := 0.0
+			for op := 0; op < 4000; op++ {
+				switch r := rng.Float64(); {
+				case r < 0.55 || m.len() == 0:
+					ev := Event{T: rng.Float64() * span, User: int32(op)}
+					switch {
+					case rng.Float64() < 0.15 && m.len() > 0:
+						// exact tie with a queued event
+						ev.T = m.evs[rng.Intn(m.len())].T
+					case rng.Float64() < 0.15:
+						// strictly earlier than the last dequeue
+						ev.T = lastT * rng.Float64()
+					}
+					seq := q.Enqueue(ev)
+					ev.seq = seq
+					m.enqueue(ev)
+					live = append(live, seq)
+				case r < 0.85:
+					got, ok := q.DequeueMin()
+					if !ok {
+						t.Fatalf("seed %d span %g op %d: queue empty, model has %d", seed, span, op, m.len())
+					}
+					want := m.popMin()
+					if !sameEvent(got, want) {
+						t.Fatalf("seed %d span %g op %d: got %+v, want %+v", seed, span, op, got, want)
+					}
+					lastT = got.T
+					live = removeStamp(live, got.seq)
+				default:
+					if len(live) == 0 {
+						continue
+					}
+					k := rng.Intn(len(live))
+					seq := live[k]
+					tm := timeOf(&m, seq)
+					if got, want := q.Remove(tm, seq), m.remove(seq); got != want {
+						t.Fatalf("seed %d span %g op %d: Remove(%d)=%v, model=%v", seed, span, op, seq, got, want)
+					}
+					live = removeStamp(live, seq)
+				}
+				if q.Len() != m.len() {
+					t.Fatalf("seed %d span %g op %d: Len=%d, model=%d", seed, span, op, q.Len(), m.len())
+				}
+			}
+			// Drain: the full remaining order must match.
+			for m.len() > 0 {
+				got, ok := q.DequeueMin()
+				if !ok {
+					t.Fatalf("seed %d span %g drain: queue empty early", seed, span)
+				}
+				if want := m.popMin(); !sameEvent(got, want) {
+					t.Fatalf("seed %d span %g drain: got %+v, want %+v", seed, span, got, want)
+				}
+			}
+			if q.Len() != 0 {
+				t.Fatalf("seed %d span %g: %d events left after drain", seed, span, q.Len())
+			}
+		}
+	}
+}
+
+func removeStamp(live []uint64, seq uint64) []uint64 {
+	for i, s := range live {
+		if s == seq {
+			live[i] = live[len(live)-1]
+			return live[:len(live)-1]
+		}
+	}
+	return live
+}
+
+func timeOf(m *model, seq uint64) float64 {
+	for i := range m.evs {
+		if m.evs[i].seq == seq {
+			return m.evs[i].T
+		}
+	}
+	return 0
+}
+
+// TestResizeInvariants forces the calendar through its grow and shrink
+// cascades and checks the structural invariants after every resize:
+// power-of-two bucket count, event conservation, per-bucket ordering
+// (tail = minimum), and zeroed slack capacity (bucket recycling leaves
+// no stale events behind the length).
+func TestResizeInvariants(t *testing.T) {
+	rng := randdist.NewRand(9)
+	var q Queue
+	q.Init(4, 0.25)
+	check := func(stage string) {
+		t.Helper()
+		if nb := len(q.buckets); nb&(nb-1) != 0 || nb < minBuckets {
+			t.Fatalf("%s: bucket count %d not a power of two ≥ %d", stage, nb, minBuckets)
+		}
+		if q.mask != len(q.buckets)-1 {
+			t.Fatalf("%s: mask %d != nb-1 %d", stage, q.mask, len(q.buckets)-1)
+		}
+		n := 0
+		for i, b := range q.buckets {
+			n += len(b)
+			for j := 0; j+1 < len(b); j++ {
+				if eventBefore(b[j], b[j+1]) {
+					t.Fatalf("%s: bucket %d out of order at %d", stage, i, j)
+				}
+			}
+			slack := b[len(b):cap(b)]
+			for j, ev := range slack {
+				if ev != (Event{}) {
+					t.Fatalf("%s: bucket %d slack slot %d not zeroed: %+v", stage, i, j, ev)
+				}
+			}
+		}
+		if n != q.size {
+			t.Fatalf("%s: bucket population %d != size %d", stage, n, q.size)
+		}
+	}
+	for i := 0; i < 3000; i++ {
+		q.Enqueue(Event{T: rng.Float64() * 1e4, User: int32(i)})
+		if i%251 == 0 {
+			check("grow")
+		}
+	}
+	grown := len(q.buckets)
+	if grown <= minBuckets {
+		t.Fatalf("3000 enqueues never grew the calendar (nb=%d)", grown)
+	}
+	prev := Event{T: math.Inf(-1)}
+	for q.Len() > 0 {
+		ev, _ := q.DequeueMin()
+		if eventBefore(ev, prev) {
+			t.Fatalf("drain out of order: %+v after %+v", ev, prev)
+		}
+		prev = ev
+		if q.Len()%397 == 0 {
+			check("shrink")
+		}
+	}
+	if len(q.buckets) >= grown {
+		t.Fatalf("drain never shrank the calendar (nb=%d, peak %d)", len(q.buckets), grown)
+	}
+}
+
+// TestInitSanitizesWidth covers the degenerate width hints: NaN, zero,
+// negative, and infinities must all still yield a working queue.
+func TestInitSanitizesWidth(t *testing.T) {
+	for _, w := range []float64{math.NaN(), 0, -3, math.Inf(1), math.Inf(-1), 1e-300, 1e300} {
+		var q Queue
+		q.Init(8, w)
+		q.Enqueue(Event{T: 2, User: 1})
+		q.Enqueue(Event{T: 1, User: 2})
+		if ev, ok := q.DequeueMin(); !ok || ev.User != 2 {
+			t.Fatalf("widthHint %g: first dequeue got %+v (ok=%v)", w, ev, ok)
+		}
+		if ev, ok := q.DequeueMin(); !ok || ev.User != 1 {
+			t.Fatalf("widthHint %g: second dequeue got %+v (ok=%v)", w, ev, ok)
+		}
+	}
+}
+
+// TestRemoveMissing pins Remove's misses: an already-dequeued stamp, a
+// never-issued stamp, and an empty queue all report false.
+func TestRemoveMissing(t *testing.T) {
+	var q Queue
+	q.Init(4, 1)
+	seq := q.Enqueue(Event{T: 5})
+	if !q.Remove(5, seq) {
+		t.Fatal("Remove of a queued stamp failed")
+	}
+	if q.Remove(5, seq) {
+		t.Fatal("Remove of a removed stamp succeeded")
+	}
+	q.Enqueue(Event{T: 1})
+	if q.Remove(1, 999) {
+		t.Fatal("Remove of a never-issued stamp succeeded")
+	}
+	q.DequeueMin()
+	if q.Remove(1, 2) {
+		t.Fatal("Remove on an empty queue succeeded")
+	}
+}
+
+// TestCursorBoundaryLongRun drives millions of enqueue/dequeue pairs
+// with a monotonically growing clock, checking every DequeueMin against
+// a small sorted model.  This is the regression test for the cursor
+// drift bug: a cursor that carries its window bound as a float
+// accumulator (top += width across pops) slides away from the
+// ⌊T/width⌋ bucket assignment as the clock grows, and an event landing
+// within the accumulated error of a bucket boundary is skipped for a
+// full calendar year — here surfacing as an out-of-order pop against
+// the model.  The integer virtual-bucket cursor recomputes membership
+// with the same division insert hashes with, so no clock magnitude can
+// split the two.
+func TestCursorBoundaryLongRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long-run drift sweep")
+	}
+	rng := randdist.NewRand(99)
+	var q Queue
+	q.Init(8, 0.5556)
+
+	type mev struct {
+		t   float64
+		ord int
+	}
+	var model []mev // sorted ascending by (t, ord); pop from front
+	clock := 0.0
+	next := 0
+	push := func(tm float64) {
+		e := mev{t: tm, ord: next}
+		q.Enqueue(Event{T: tm, User: int32(next & 0x7fffffff)})
+		next++
+		i := len(model)
+		for i > 0 && (tm < model[i-1].t || (tm == model[i-1].t && e.ord < model[i-1].ord)) {
+			i--
+		}
+		model = append(model, mev{})
+		copy(model[i+1:], model[i:])
+		model[i] = e
+	}
+	// Keep a handful pending so pops interleave with inserts landing in
+	// nearby and far buckets alike.
+	for i := 0; i < 8; i++ {
+		push(clock + rng.Float64()*4)
+	}
+	const steps = 2_000_000
+	for i := 0; i < steps; i++ {
+		ev, ok := q.DequeueMin()
+		if !ok {
+			t.Fatalf("step %d: queue empty with %d modeled", i, len(model))
+		}
+		want := model[0]
+		model = model[:copy(model, model[1:])]
+		if math.Float64bits(ev.T) != math.Float64bits(want.t) || int(ev.User) != want.ord&0x7fffffff {
+			t.Fatalf("step %d (clock %g): popped (T=%v user=%d), model min (T=%v ord=%d)",
+				i, clock, ev.T, ev.User, want.t, want.ord)
+		}
+		if ev.T > clock {
+			clock = ev.T
+		}
+		// Mostly near-future events so the cursor advances steadily;
+		// occasionally a far-future one that wraps into a later year.
+		gap := rng.ExpFloat64()
+		if i%97 == 0 {
+			gap += 100 + rng.Float64()*1000
+		}
+		push(clock + gap)
+	}
+}
+
+// TestCursorDriftEngineShaped reproduces the DES engines' event-queue
+// shape at scale: 10⁵ pending events, most far in the future (next
+// arrivals, mean 1.1·10⁵ ahead) plus a near-term stream (completions,
+// mean 1 ahead), popped for millions of steps with the clock growing
+// past 10⁶.  Every push is at or after the current clock, so the popped
+// timestamps must be globally non-decreasing — the cursor-drift bug
+// (float window accumulator diverging from the ⌊T/width⌋ assignment as
+// the clock grows) surfaces as a boundary event skipped for a whole
+// calendar year and popped out of order.
+func TestCursorDriftEngineShaped(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long-run drift sweep")
+	}
+	rng := randdist.NewRand(5)
+	const n = 100_000
+	var q Queue
+	q.Init(n+1, 1/(2*0.9))
+	for i := 0; i < n; i++ {
+		q.Enqueue(Event{T: rng.ExpFloat64() * 111111, User: int32(i)})
+	}
+	prev := 0.0
+	clock := 0.0
+	const steps = 4_000_000
+	for i := 0; i < steps; i++ {
+		ev, ok := q.DequeueMin()
+		if !ok {
+			t.Fatal("queue drained")
+		}
+		if ev.T < prev {
+			t.Fatalf("step %d: popped T=%v after T=%v (clock %g): event was skipped past its year",
+				i, ev.T, prev, clock)
+		}
+		prev = ev.T
+		if ev.T > clock {
+			clock = ev.T
+		}
+		if i%2 == 0 {
+			q.Enqueue(Event{T: clock + rng.ExpFloat64()*111111, User: int32(i)})
+		} else {
+			q.Enqueue(Event{T: clock + rng.ExpFloat64(), User: int32(i)})
+		}
+	}
+	if clock < 1e6 {
+		t.Fatalf("clock only reached %g; the sweep must cross 1e6 to exercise large-magnitude boundaries", clock)
+	}
+}

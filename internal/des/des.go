@@ -160,6 +160,16 @@ func RunCtx(ctx context.Context, cfg Config) (Result, error) {
 	res.AvgDelay = make([]float64, n)
 	res.Throughput = make([]float64, n)
 
+	// Each iteration consumes exactly one (ExpFloat64, Float64) pair: the
+	// holding time and the event pick.  A stream-free discipline never
+	// touches the rng mid-run, so the pairs prefetch in full blocks;
+	// otherwise block size 1 lands every draw at its unbatched stream
+	// position.  Either way the run is byte-identical to the historical
+	// draw-per-event loop (the final pair's uniform may be drawn past the
+	// break, but the rng is per-run, so nothing can observe it).
+	var pb randdist.PairBatch
+	pb.Init(rng, randdist.BlockSize(streamFree(d)))
+
 	t := 0.0
 	inSystem := 0
 	gate := ctxGate{ctx: ctx}
@@ -171,7 +181,8 @@ func RunCtx(ctx context.Context, cfg Config) (Result, error) {
 		if inSystem > 0 {
 			rate += 1
 		}
-		dt := rng.ExpFloat64() / rate
+		e, uu := pb.Pair()
+		dt := e / rate
 		// Split the elapsed interval across warmup/measurement boundary.
 		// Only the O(1) total-queue average advances per event; the per-user
 		// integrals advance lazily at count changes (lq.bump below).
@@ -188,7 +199,7 @@ func RunCtx(ctx context.Context, cfg Config) (Result, error) {
 			break
 		}
 		// Choose the event type.
-		u := rng.Float64() * rate
+		u := uu * rate
 		if u < total {
 			// Arrival: pick the source by binary search on the rate prefix
 			// sums (the same source the linear scan chose for this draw).
@@ -219,7 +230,7 @@ func RunCtx(ctx context.Context, cfg Config) (Result, error) {
 	//lint:allow ctxflow O(n) post-run stats assembly over per-source accumulators; the event loop above already honored the deadline
 	for i := 0; i < n; i++ {
 		res.AvgQueue[i] = lq.avgQueue(i)
-		res.QueueCI95[i] = batchCI(lq.batchInt[i], batchLen)
+		res.QueueCI95[i] = batchCI(lq.batchRow(i), batchLen)
 		if departed[i] > 0 {
 			res.AvgDelay[i] = delaySum[i] / float64(departed[i])
 		} else {

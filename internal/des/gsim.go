@@ -1,12 +1,12 @@
 package des
 
 import (
-	"container/heap"
 	"context"
 	"math"
 	"math/rand"
 	"sort"
 
+	"greednet/internal/des/calq"
 	"greednet/internal/randdist"
 	"greednet/internal/stats"
 )
@@ -18,6 +18,13 @@ import (
 // serial (Fair Share) allocation; with rank classes it is HOL priority.
 // Unlike the memoryless engine in des.go, service completions must be
 // scheduled explicitly and preempted work tracked.
+//
+// Event management runs on the calendar queue in internal/des/calq (O(1)
+// amortized per event, no boxing); the frozen container/heap engine it
+// replaced survives in heapref.go as the differential baseline.  Variates
+// come through internal/randdist batches whose block size is 1 unless the
+// run's draw order is provably pure (see seedArrivals and streamfree.go),
+// so every seeded stream is byte-identical to the historical engine.
 
 // Classifier assigns a priority class (0 = highest) to an arriving packet.
 type Classifier interface {
@@ -158,42 +165,110 @@ type gpacket struct {
 	remaining float64
 }
 
-// gevent is a scheduled event.
-type gevent struct {
-	t     float64
-	user  int  // arrival: which user; completion: unused
-	token int  // completion: validity token
-	isArr bool // arrival vs completion
+// gpacketPool recycles gpackets across departures and arrivals so the
+// steady-state event loop allocates nothing.  get overwrites every field
+// at the call site; put is deliberately unannotated (its append may grow
+// the free list) and is amortized against the arrival that created the
+// packet.
+type gpacketPool struct {
+	free []*gpacket
 }
 
-type geventHeap []gevent
-
-func (h geventHeap) Len() int            { return len(h) }
-func (h geventHeap) Less(i, j int) bool  { return h[i].t < h[j].t }
-func (h geventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *geventHeap) Push(x interface{}) { *h = append(*h, x.(gevent)) }
-func (h *geventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
+func (pl *gpacketPool) get() *gpacket {
+	if n := len(pl.free); n > 0 {
+		p := pl.free[n-1]
+		pl.free[n-1] = nil
+		pl.free = pl.free[:n-1]
+		return p
+	}
+	return new(gpacket)
 }
+
+func (pl *gpacketPool) put(p *gpacket) { pl.free = append(pl.free, p) }
 
 // deque is a double-ended packet queue (resumed packets re-enter at the
-// front to preserve preemptive-resume FIFO order).
+// front to preserve preemptive-resume FIFO order), backed by a
+// power-of-two ring so both ends are O(1) and, once the ring has reached
+// its high-water size, allocation-free — the old slice deque allocated a
+// fresh backing array on every pushFront.
 type deque struct {
-	items []*gpacket
+	buf  []*gpacket
+	head int // ring index of the front element
+	n    int
 }
 
-func (d *deque) pushBack(p *gpacket)  { d.items = append(d.items, p) }
-func (d *deque) pushFront(p *gpacket) { d.items = append([]*gpacket{p}, d.items...) }
+// grow doubles the ring; unannotated, amortized against the pushes that
+// filled it.
+func (d *deque) grow() {
+	c := 2 * len(d.buf)
+	if c == 0 {
+		c = 8
+	}
+	nb := make([]*gpacket, c)
+	for i := 0; i < d.n; i++ {
+		nb[i] = d.buf[(d.head+i)&(len(d.buf)-1)]
+	}
+	d.buf = nb
+	d.head = 0
+}
+
+func (d *deque) pushBack(p *gpacket) {
+	if d.n == len(d.buf) {
+		d.grow()
+	}
+	d.buf[(d.head+d.n)&(len(d.buf)-1)] = p
+	d.n++
+}
+
+func (d *deque) pushFront(p *gpacket) {
+	if d.n == len(d.buf) {
+		d.grow()
+	}
+	d.head = (d.head - 1) & (len(d.buf) - 1)
+	d.buf[d.head] = p
+	d.n++
+}
+
 func (d *deque) popFront() *gpacket {
-	p := d.items[0]
-	d.items = d.items[1:]
+	p := d.buf[d.head]
+	d.buf[d.head] = nil // release the slot: no stale packet outlives its queue stay
+	d.head = (d.head + 1) & (len(d.buf) - 1)
+	d.n--
 	return p
 }
-func (d *deque) len() int { return len(d.items) }
+
+func (d *deque) len() int { return d.n }
+
+// seedArrivals initializes the calendar and schedules each source's first
+// arrival.  The first-arrival variates prefetch in one FillExp call
+// (byte-identical to the historical per-source draw loop).
+//
+// The bucket width is derived from the event RATE, not the pending-event
+// span: the engines process ≈ 2·Σλ events per unit time (arrivals at
+// rate Σλ, completions at rate busy ≈ Σλ for the unit-rate server), so
+// 1/(2·Σλ) keeps about one event per bucket near the cursor and about
+// one bucket step per dequeue.  Pending arrivals are exponentially
+// spread, so a span-derived width would be stretched by the tail —
+// piling width·density events into every cursor bucket and making the
+// window slide through virgin buckets (first-touch growth allocations)
+// for the whole run.  With the rate-derived width the tail simply wraps
+// into later calendar years, which the windowed scan is built for, and
+// after one year every bucket's capacity is recycled: the steady state
+// allocates nothing.  The steady population is ≈ len(rates)+1 events, so
+// no rehash ever fires to re-derive the width mid-run.
+func seedArrivals(events *calq.Queue, rng *rand.Rand, rates []float64) {
+	n := len(rates)
+	arr := make([]float64, n)
+	randdist.FillExp(rng, arr)
+	total := 0.0
+	for _, r := range rates {
+		total += r
+	}
+	events.Init(n+1, 1/(2*total))
+	for i, r := range rates {
+		events.Enqueue(calq.Event{T: arr[i] / r, User: int32(i), Arr: true})
+	}
+}
 
 // RunG simulates the general-service preemptive-priority station.
 func RunG(cfg GConfig) (Result, error) {
@@ -253,14 +328,24 @@ func RunGCtx(ctx context.Context, cfg GConfig) (Result, error) {
 	res.AvgDelay = make([]float64, n)
 	res.Throughput = make([]float64, n)
 
-	var events geventHeap
-	//lint:allow ctxflow O(n log n) event-heap seeding before the run loop; the run loop itself polls the gate
-	for i, r := range cfg.Rates {
-		heap.Push(&events, gevent{t: rng.ExpFloat64() / r, user: i, isArr: true})
-	}
+	// After seeding, every rng draw is an inter-arrival or service
+	// ExpFloat64 unless the classifier consumes the stream too; when the
+	// order is provably pure-exponential the batch prefetches full blocks
+	// and service draws come from the same batch, otherwise block size 1
+	// reproduces the unbatched stream draw for draw.
+	pureExp := randdist.IsExponential(cfg.Service) && streamFree(cfg.Classify)
+	var eb randdist.ExpBatch
+	eb.Init(rng, randdist.BlockSize(pureExp))
+
+	var events calq.Queue
+	seedArrivals(&events, rng, cfg.Rates)
+
+	var pool gpacketPool
 	var serving *gpacket
 	servingToken := 0
 	tokenSeq := 0
+	compT := 0.0       // scheduled completion time of the serving packet
+	var compSeq uint64 // its calendar stamp, for O(1) preemption removal
 	inSystem := 0
 	prev := 0.0
 
@@ -268,7 +353,8 @@ func RunGCtx(ctx context.Context, cfg GConfig) (Result, error) {
 		serving = p
 		tokenSeq++
 		servingToken = tokenSeq
-		heap.Push(&events, gevent{t: now + p.remaining, token: servingToken})
+		compT = now + p.remaining
+		compSeq = events.Enqueue(calq.Event{T: compT, Token: servingToken})
 	}
 	nextFromQueues := func(now float64) {
 		serving = nil
@@ -285,8 +371,8 @@ func RunGCtx(ctx context.Context, cfg GConfig) (Result, error) {
 		if err := gate.Err(); err != nil {
 			return Result{}, err
 		}
-		ev := heap.Pop(&events).(gevent)
-		now := ev.t
+		ev, _ := events.DequeueMin()
+		now := ev.T
 		if now > end {
 			now = end
 		}
@@ -300,52 +386,61 @@ func RunGCtx(ctx context.Context, cfg GConfig) (Result, error) {
 			}
 		}
 		prev = now
-		if ev.t > end {
+		if ev.T > end {
 			break
 		}
-		if ev.isArr {
-			u := ev.user
-			heap.Push(&events, gevent{t: ev.t + rng.ExpFloat64()/cfg.Rates[u], user: u, isArr: true})
-			p := &gpacket{
-				user:      u,
-				class:     cfg.Classify.Classify(u),
-				arrive:    ev.t,
-				remaining: cfg.Service.Sample(rng),
+		if ev.Arr {
+			u := int(ev.User)
+			events.Enqueue(calq.Event{T: ev.T + eb.Next()/cfg.Rates[u], User: ev.User, Arr: true})
+			p := pool.get()
+			p.user = u
+			p.class = cfg.Classify.Classify(u)
+			p.arrive = ev.T
+			if pureExp {
+				p.remaining = eb.Next()
+			} else {
+				p.remaining = cfg.Service.Sample(rng)
 			}
-			lq.bump(u, ev.t, 1)
+			lq.bump(u, ev.T, 1)
 			inSystem++
-			if ev.t >= cfg.Warmup {
+			if ev.T >= cfg.Warmup {
 				res.Arrivals++
 			}
 			switch {
 			case serving == nil:
-				startService(p, ev.t)
+				startService(p, ev.T)
 			case p.class < serving.class:
-				// Preempt: bank the remaining work and resume later.
+				// Preempt: bank the remaining work and resume later.  The
+				// engine tracks the pending completion's (time, stamp), so
+				// canceling it is a direct calendar removal — the old heap
+				// engine scanned the whole event array here.
 				preempted := serving
-				// Find the scheduled completion to compute remaining work:
-				// remaining = scheduled completion − now; rather than
-				// searching the heap, track it via the packet itself.
-				preempted.remaining = preemptRemaining(&events, servingToken, ev.t)
+				rem := compT - ev.T
+				if rem < 0 {
+					rem = 0
+				}
+				preempted.remaining = rem
+				events.Remove(compT, compSeq)
 				servingToken = -1 // invalidate
 				classes[preempted.class].pushFront(preempted)
-				startService(p, ev.t)
+				startService(p, ev.T)
 			default:
 				classes[p.class].pushBack(p)
 			}
 		} else {
-			if ev.token != servingToken || serving == nil {
+			if ev.Token != servingToken || serving == nil {
 				continue // stale completion from a preempted service
 			}
 			p := serving
-			lq.bump(p.user, ev.t, -1)
+			lq.bump(p.user, ev.T, -1)
 			inSystem--
-			if ev.t >= cfg.Warmup {
+			if ev.T >= cfg.Warmup {
 				res.Departures++
 				departed[p.user]++
-				delaySum[p.user] += ev.t - p.arrive
+				delaySum[p.user] += ev.T - p.arrive
 			}
-			nextFromQueues(ev.t)
+			pool.put(p)
+			nextFromQueues(ev.T)
 		}
 	}
 
@@ -355,7 +450,7 @@ func RunGCtx(ctx context.Context, cfg GConfig) (Result, error) {
 	//lint:allow ctxflow O(n) post-run stats assembly over per-source accumulators; the event loop above already honored the deadline
 	for i := 0; i < n; i++ {
 		res.AvgQueue[i] = lq.avgQueue(i)
-		res.QueueCI95[i] = batchCI(lq.batchInt[i], batchLen)
+		res.QueueCI95[i] = batchCI(lq.batchRow(i), batchLen)
 		if departed[i] > 0 {
 			res.AvgDelay[i] = delaySum[i] / float64(departed[i])
 		} else {
@@ -365,20 +460,4 @@ func RunGCtx(ctx context.Context, cfg GConfig) (Result, error) {
 	}
 	res.TotalAvgQueue = totalAvg.Value()
 	return res, nil
-}
-
-// preemptRemaining removes the pending completion with the given token
-// from the heap and returns its residual service time relative to now.
-func preemptRemaining(events *geventHeap, token int, now float64) float64 {
-	for i, ev := range *events {
-		if !ev.isArr && ev.token == token {
-			rem := ev.t - now
-			heap.Remove(events, i)
-			if rem < 0 {
-				rem = 0
-			}
-			return rem
-		}
-	}
-	return 0
 }

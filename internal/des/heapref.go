@@ -1,0 +1,358 @@
+package des
+
+import (
+	"container/heap"
+	"math"
+
+	"greednet/internal/randdist"
+	"greednet/internal/stats"
+)
+
+// Frozen container/heap reference engines.  RunGHeap and RunSchedHeap
+// are the pre-calendar-queue event loops, kept verbatim (boxing heap,
+// allocating deque, fresh packet per arrival) for two jobs: the
+// differential suite pins the calendar-queue engines against them bit
+// for bit, and greedbench -events reports the calendar queue's
+// events/sec as a ratio over them.  They take no context — baselines
+// are run to completion on small horizons — and must not be used by
+// experiments.
+
+// gevent is a scheduled event in the heap reference engines.
+type gevent struct {
+	t     float64
+	user  int  // arrival: which user; completion: unused
+	token int  // completion: validity token
+	isArr bool // arrival vs completion
+}
+
+type geventHeap []gevent
+
+func (h geventHeap) Len() int            { return len(h) }
+func (h geventHeap) Less(i, j int) bool  { return h[i].t < h[j].t }
+func (h geventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *geventHeap) Push(x interface{}) { *h = append(*h, x.(gevent)) }
+func (h *geventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	old[n-1] = gevent{} // zero the vacated tail slot: no stale event lingers in the backing array
+	*h = old[:n-1]
+	return x
+}
+
+// refDeque is the historical double-ended packet queue: pushFront
+// allocates a fresh slice per call.  Kept only so the reference
+// engines' allocation profile stays the measured baseline.
+type refDeque struct {
+	items []*gpacket
+}
+
+func (d *refDeque) pushBack(p *gpacket)  { d.items = append(d.items, p) }
+func (d *refDeque) pushFront(p *gpacket) { d.items = append([]*gpacket{p}, d.items...) }
+func (d *refDeque) popFront() *gpacket {
+	p := d.items[0]
+	d.items = d.items[1:]
+	return p
+}
+func (d *refDeque) len() int { return len(d.items) }
+
+// RunGHeap is the frozen heap-based general-service engine; see the
+// package comment above.  Semantics (and, for continuous event times,
+// results) match RunG exactly.
+func RunGHeap(cfg GConfig) (Result, error) {
+	n := len(cfg.Rates)
+	if n == 0 {
+		return Result{}, ErrBadConfig
+	}
+	total := 0.0
+	for _, r := range cfg.Rates {
+		if r <= 0 || math.IsNaN(r) {
+			return Result{}, ErrBadConfig
+		}
+		total += r
+	}
+	if total >= 1 {
+		return Result{}, ErrBadConfig
+	}
+	if !validSpan(cfg.Horizon) || !validSpan(cfg.Warmup) {
+		return Result{}, ErrBadConfig
+	}
+	if cfg.Service == nil {
+		cfg.Service = randdist.Exponential{}
+	}
+	if cfg.Classify == nil {
+		cfg.Classify = SingleClass{}
+	}
+	if cfg.Horizon <= 0 {
+		cfg.Horizon = 2e5
+	}
+	if cfg.Warmup <= 0 {
+		cfg.Warmup = 0.05 * cfg.Horizon
+	}
+	if cfg.Batches <= 0 {
+		cfg.Batches = 20
+	}
+
+	rng := randdist.NewRand(cfg.Seed)
+	cfg.Classify.Reset(cfg.Rates, rng)
+	classes := make([]refDeque, cfg.Classify.NumClasses())
+
+	end := cfg.Warmup + cfg.Horizon
+	batchLen := cfg.Horizon / float64(cfg.Batches)
+
+	lq := newLazyQueues(n, cfg.Batches, cfg.Warmup, end, batchLen)
+	var totalAvg stats.TimeAverage
+	delaySum := make([]float64, n)
+	departed := make([]int64, n)
+	var res Result
+	res.AvgQueue = make([]float64, n)
+	res.QueueCI95 = make([]float64, n)
+	res.AvgDelay = make([]float64, n)
+	res.Throughput = make([]float64, n)
+
+	var events geventHeap
+	for i, r := range cfg.Rates {
+		heap.Push(&events, gevent{t: rng.ExpFloat64() / r, user: i, isArr: true})
+	}
+	var serving *gpacket
+	servingToken := 0
+	tokenSeq := 0
+	inSystem := 0
+	prev := 0.0
+
+	startService := func(p *gpacket, now float64) {
+		serving = p
+		tokenSeq++
+		servingToken = tokenSeq
+		heap.Push(&events, gevent{t: now + p.remaining, token: servingToken})
+	}
+	nextFromQueues := func(now float64) {
+		serving = nil
+		for c := range classes {
+			if classes[c].len() > 0 {
+				startService(classes[c].popFront(), now)
+				return
+			}
+		}
+	}
+
+	for events.Len() > 0 {
+		ev := heap.Pop(&events).(gevent)
+		now := ev.t
+		if now > end {
+			now = end
+		}
+		if now > cfg.Warmup && now > prev {
+			lo := math.Max(prev, cfg.Warmup)
+			span := now - lo
+			if span > 0 {
+				totalAvg.Accumulate(float64(inSystem), span)
+			}
+		}
+		prev = now
+		if ev.t > end {
+			break
+		}
+		if ev.isArr {
+			u := ev.user
+			heap.Push(&events, gevent{t: ev.t + rng.ExpFloat64()/cfg.Rates[u], user: u, isArr: true})
+			p := &gpacket{
+				user:      u,
+				class:     cfg.Classify.Classify(u),
+				arrive:    ev.t,
+				remaining: cfg.Service.Sample(rng),
+			}
+			lq.bump(u, ev.t, 1)
+			inSystem++
+			if ev.t >= cfg.Warmup {
+				res.Arrivals++
+			}
+			switch {
+			case serving == nil:
+				startService(p, ev.t)
+			case p.class < serving.class:
+				preempted := serving
+				preempted.remaining = heapPreemptRemaining(&events, servingToken, ev.t)
+				servingToken = -1
+				classes[preempted.class].pushFront(preempted)
+				startService(p, ev.t)
+			default:
+				classes[p.class].pushBack(p)
+			}
+		} else {
+			if ev.token != servingToken || serving == nil {
+				continue
+			}
+			p := serving
+			lq.bump(p.user, ev.t, -1)
+			inSystem--
+			if ev.t >= cfg.Warmup {
+				res.Departures++
+				departed[p.user]++
+				delaySum[p.user] += ev.t - p.arrive
+			}
+			nextFromQueues(ev.t)
+		}
+	}
+
+	lq.finish()
+
+	res.Duration = cfg.Horizon
+	for i := 0; i < n; i++ {
+		res.AvgQueue[i] = lq.avgQueue(i)
+		res.QueueCI95[i] = batchCI(lq.batchRow(i), batchLen)
+		if departed[i] > 0 {
+			res.AvgDelay[i] = delaySum[i] / float64(departed[i])
+		} else {
+			res.AvgDelay[i] = math.NaN()
+		}
+		res.Throughput[i] = float64(departed[i]) / cfg.Horizon
+	}
+	res.TotalAvgQueue = totalAvg.Value()
+	return res, nil
+}
+
+// heapPreemptRemaining removes the pending completion with the given
+// token from the heap and returns its residual service time relative
+// to now — the historical O(heap) preemption scan.
+func heapPreemptRemaining(events *geventHeap, token int, now float64) float64 {
+	for i, ev := range *events {
+		if !ev.isArr && ev.token == token {
+			rem := ev.t - now
+			heap.Remove(events, i)
+			if rem < 0 {
+				rem = 0
+			}
+			return rem
+		}
+	}
+	return 0
+}
+
+// RunSchedHeap is the frozen heap-based non-preemptive scheduler
+// engine; see the package comment above.
+func RunSchedHeap(cfg SchedConfig) (Result, error) {
+	n := len(cfg.Rates)
+	if n == 0 {
+		return Result{}, ErrBadConfig
+	}
+	total := 0.0
+	for _, r := range cfg.Rates {
+		if r <= 0 || math.IsNaN(r) {
+			return Result{}, ErrBadConfig
+		}
+		total += r
+	}
+	if total >= 1 {
+		return Result{}, ErrBadConfig
+	}
+	if !validSpan(cfg.Horizon) || !validSpan(cfg.Warmup) {
+		return Result{}, ErrBadConfig
+	}
+	if cfg.Service == nil {
+		cfg.Service = randdist.Exponential{}
+	}
+	if cfg.Sched == nil {
+		cfg.Sched = &FCFSSched{}
+	}
+	if cfg.Horizon <= 0 {
+		cfg.Horizon = 2e5
+	}
+	if cfg.Warmup <= 0 {
+		cfg.Warmup = 0.05 * cfg.Horizon
+	}
+	if cfg.Batches <= 0 {
+		cfg.Batches = 20
+	}
+
+	rng := randdist.NewRand(cfg.Seed)
+	cfg.Sched.Reset(cfg.Rates)
+
+	end := cfg.Warmup + cfg.Horizon
+	batchLen := cfg.Horizon / float64(cfg.Batches)
+	lq := newLazyQueues(n, cfg.Batches, cfg.Warmup, end, batchLen)
+	var totalAvg stats.TimeAverage
+	delaySum := make([]float64, n)
+	departed := make([]int64, n)
+	var res Result
+	res.AvgQueue = make([]float64, n)
+	res.QueueCI95 = make([]float64, n)
+	res.AvgDelay = make([]float64, n)
+	res.Throughput = make([]float64, n)
+
+	var events geventHeap
+	for i, r := range cfg.Rates {
+		heap.Push(&events, gevent{t: rng.ExpFloat64() / r, user: i, isArr: true})
+	}
+	var serving *gpacket
+	inSystem := 0
+	prev := 0.0
+
+	for events.Len() > 0 {
+		ev := heap.Pop(&events).(gevent)
+		now := ev.t
+		if now > end {
+			now = end
+		}
+		if now > cfg.Warmup && now > prev {
+			lo := math.Max(prev, cfg.Warmup)
+			span := now - lo
+			if span > 0 {
+				totalAvg.Accumulate(float64(inSystem), span)
+			}
+		}
+		prev = now
+		if ev.t > end {
+			break
+		}
+		if ev.isArr {
+			u := ev.user
+			heap.Push(&events, gevent{t: ev.t + rng.ExpFloat64()/cfg.Rates[u], user: u, isArr: true})
+			p := &gpacket{user: u, arrive: ev.t, remaining: cfg.Service.Sample(rng)}
+			lq.bump(u, ev.t, 1)
+			inSystem++
+			if ev.t >= cfg.Warmup {
+				res.Arrivals++
+			}
+			if serving == nil {
+				serving = p
+				heap.Push(&events, gevent{t: ev.t + p.remaining})
+			} else {
+				cfg.Sched.Enqueue(p, ev.t)
+			}
+		} else {
+			if serving == nil {
+				continue
+			}
+			p := serving
+			lq.bump(p.user, ev.t, -1)
+			inSystem--
+			if ev.t >= cfg.Warmup {
+				res.Departures++
+				departed[p.user]++
+				delaySum[p.user] += ev.t - p.arrive
+			}
+			serving = nil
+			if cfg.Sched.Len() > 0 {
+				serving = cfg.Sched.Dequeue(ev.t)
+				heap.Push(&events, gevent{t: ev.t + serving.remaining})
+			}
+		}
+	}
+
+	lq.finish()
+
+	res.Duration = cfg.Horizon
+	for i := 0; i < n; i++ {
+		res.AvgQueue[i] = lq.avgQueue(i)
+		res.QueueCI95[i] = batchCI(lq.batchRow(i), batchLen)
+		if departed[i] > 0 {
+			res.AvgDelay[i] = delaySum[i] / float64(departed[i])
+		} else {
+			res.AvgDelay[i] = math.NaN()
+		}
+		res.Throughput[i] = float64(departed[i]) / cfg.Horizon
+	}
+	res.TotalAvgQueue = totalAvg.Value()
+	return res, nil
+}

@@ -14,44 +14,70 @@ import "math"
 // Segments are clamped to the measurement window [warmup, end] at flush
 // time, and zero-count segments are skipped — they contribute nothing to
 // either the run integral or the batch-means integrals.
+//
+// Layout.  All per-user state lives in ONE flat float64 arena,
+// interleaved per user: [count, lastT, integral, batch₀ … batch₋₁] —
+// uStride header slots followed by the batch-means row.  At 10⁵ users
+// the stats dwarf every cache level and each bump indexes a random
+// user, so the miss count per bump IS the cost; the historical three
+// parallel arrays plus a separately-allocated batch row cost four
+// misses where the interleaved stride costs one or two (header and the
+// current batch entry usually share or neighbor a cache line).  The
+// count lives in a float64 slot: queue counts are tiny integers, exactly
+// representable, and the arithmetic (count·segment) is bit-identical to
+// the historical int-count version.
 type lazyQueues struct {
-	counts   []int       // current per-user packets in system
-	lastT    []float64   // start of user i's open constant-count segment
-	integral []float64   // ∫ counts_i over [warmup, end] so far
-	batchInt [][]float64 // per-user, per-batch integrals for batch means
+	data []float64 // n strides of uStride+batches slots each
 
 	warmup, end, batchLen float64
 	batches               int
 }
 
+// Interleaved per-user slot offsets within a stride.
+const (
+	uCount    = 0 // current packets in system (integer-valued)
+	uLastT    = 1 // start of the open constant-count segment
+	uIntegral = 2 // ∫ count over [warmup, end] so far
+	uStride   = 3 // header slots before the batch row
+)
+
 func newLazyQueues(n, batches int, warmup, end, batchLen float64) *lazyQueues {
-	lq := &lazyQueues{
-		counts:   make([]int, n),
-		lastT:    make([]float64, n),
-		integral: make([]float64, n),
-		batchInt: make([][]float64, n),
+	return &lazyQueues{
+		data:     make([]float64, n*(uStride+batches)),
 		warmup:   warmup,
 		end:      end,
 		batchLen: batchLen,
 		batches:  batches,
 	}
-	for i := range lq.batchInt {
-		lq.batchInt[i] = make([]float64, batches)
-	}
-	return lq
+}
+
+// user is user i's interleaved stride: header slots plus batch row.
+//
+//lint:hotpath
+func (lq *lazyQueues) user(i int) []float64 {
+	s := uStride + lq.batches
+	return lq.data[i*s : (i+1)*s]
+}
+
+// batchRow is user i's per-batch integral row (valid after finish).
+func (lq *lazyQueues) batchRow(i int) []float64 {
+	return lq.user(i)[uStride:]
 }
 
 // flush closes user i's open constant-count segment at time now.
+//
+//lint:hotpath
 func (lq *lazyQueues) flush(i int, now float64) {
-	if c := lq.counts[i]; c > 0 {
-		lo := math.Max(lq.lastT[i], lq.warmup)
+	u := lq.user(i)
+	if c := u[uCount]; c > 0 {
+		lo := math.Max(u[uLastT], lq.warmup)
 		hi := math.Min(now, lq.end)
 		if hi > lo {
-			lq.integral[i] += float64(c) * (hi - lo)
-			accumulateBatchUser(lq.batchInt[i], c, lo-lq.warmup, hi-lq.warmup, lq.batchLen, lq.batches)
+			u[uIntegral] += c * (hi - lo)
+			accumulateBatchUser(u[uStride:], c, lo-lq.warmup, hi-lq.warmup, lq.batchLen, lq.batches)
 		}
 	}
-	lq.lastT[i] = now
+	u[uLastT] = now
 }
 
 // bump records that user i's count changes by delta at time now, closing
@@ -60,13 +86,14 @@ func (lq *lazyQueues) flush(i int, now float64) {
 //lint:hotpath
 func (lq *lazyQueues) bump(i int, now float64, delta int) {
 	lq.flush(i, now)
-	lq.counts[i] += delta
+	lq.user(i)[uCount] += float64(delta)
 }
 
 // finish closes every user's open segment at the end of measurement.
 // Statistics are complete only after finish.
 func (lq *lazyQueues) finish() {
-	for i := range lq.counts {
+	n := len(lq.data) / (uStride + lq.batches)
+	for i := 0; i < n; i++ {
 		lq.flush(i, lq.end)
 	}
 }
@@ -74,7 +101,7 @@ func (lq *lazyQueues) finish() {
 // avgQueue returns the time-averaged queue of user i over the window.
 func (lq *lazyQueues) avgQueue(i int) float64 {
 	if dur := lq.end - lq.warmup; dur > 0 {
-		return lq.integral[i] / dur
+		return lq.user(i)[uIntegral] / dur
 	}
 	return math.NaN()
 }
@@ -89,7 +116,9 @@ func (lq *lazyQueues) avgQueue(i int) float64 {
 // while intervals were single event spans, a large one for the long
 // constant-count segments flushed here — so the boundary case steps to
 // the next batch instead.
-func accumulateBatchUser(batchInt []float64, c int, lo, hi, batchLen float64, batches int) {
+// The count c is integer-valued (see lazyQueues layout); c·seg is
+// bit-identical to the historical float64(int-count)·seg product.
+func accumulateBatchUser(batchInt []float64, c float64, lo, hi, batchLen float64, batches int) {
 	for lo < hi {
 		b := int(lo / batchLen)
 		if b >= batches {
@@ -106,7 +135,7 @@ func accumulateBatchUser(batchInt []float64, c int, lo, hi, batchLen float64, ba
 			// remainder belongs anyway.
 			seg = hi - lo
 		}
-		batchInt[b] += float64(c) * seg
+		batchInt[b] += c * seg
 		lo += seg
 	}
 }
@@ -129,6 +158,17 @@ func cumRates(rates []float64) []float64 {
 // smallest i with u ≤ cum[i], clamped to the last source.  This is the
 // binary-search form of the historical linear scan (advance while
 // u > acc), choosing the identical source for every draw.
+//
+// The clamp is structural, not a patch-up branch: hi starts at
+// len(cum)−1 and only ever decreases, so the result cannot index past
+// user n−1 even when u exceeds cum[n−1].  Callers draw u = Float64()·rate
+// with rate ≥ total; the caller's `u < total` guard uses total computed
+// in the same left-to-right order as cum, so total == cum[n−1] bit for
+// bit — but tiny trailing rates (cum entries separated by less than one
+// ulp) and a draw landing exactly on cum[n−1] still land in range by the
+// bound alone, with no float equality anywhere.  Degenerate u (NaN)
+// compares false against every entry and resolves to source 0 rather
+// than panicking.
 //
 //lint:hotpath
 func pickSource(cum []float64, u float64) int {

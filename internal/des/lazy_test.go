@@ -37,7 +37,7 @@ func eagerAccumulate(n, batches int, warmup, end, batchLen float64, evs []countE
 			for i, c := range counts {
 				if c > 0 {
 					integral[i] += float64(c) * (hi - lo)
-					accumulateBatchUser(batchInt[i], c, lo-warmup, hi-warmup, batchLen, batches)
+					accumulateBatchUser(batchInt[i], float64(c), lo-warmup, hi-warmup, batchLen, batches)
 				}
 			}
 		}
@@ -95,13 +95,13 @@ func TestLazyQueuesMatchesEagerReference(t *testing.T) {
 		lq.finish()
 
 		for i := 0; i < n; i++ {
-			if d := math.Abs(lq.integral[i] - wantInt[i]); d > 1e-9*(1+wantInt[i]) {
-				t.Fatalf("trial %d user %d: lazy integral %v, eager %v", trial, i, lq.integral[i], wantInt[i])
+			if d := math.Abs(lq.user(i)[uIntegral] - wantInt[i]); d > 1e-9*(1+wantInt[i]) {
+				t.Fatalf("trial %d user %d: lazy integral %v, eager %v", trial, i, lq.user(i)[uIntegral], wantInt[i])
 			}
 			for b := 0; b < batches; b++ {
-				if d := math.Abs(lq.batchInt[i][b] - wantBatch[i][b]); d > 1e-9*(1+wantBatch[i][b]) {
+				if d := math.Abs(lq.batchRow(i)[b] - wantBatch[i][b]); d > 1e-9*(1+wantBatch[i][b]) {
 					t.Fatalf("trial %d user %d batch %d: lazy %v, eager %v",
-						trial, i, b, lq.batchInt[i][b], wantBatch[i][b])
+						trial, i, b, lq.batchRow(i)[b], wantBatch[i][b])
 				}
 			}
 		}

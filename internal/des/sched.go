@@ -5,6 +5,7 @@ import (
 	"context"
 	"math"
 
+	"greednet/internal/des/calq"
 	"greednet/internal/randdist"
 	"greednet/internal/stats"
 )
@@ -14,6 +15,8 @@ import (
 // the setting of real packet networks and of the Fair Queueing algorithm
 // of Demers, Keshav & Shenker that §5.2 discusses.  (The preemptive
 // priority engine lives in gsim.go; the memoryless CTMC engine in des.go.)
+// Like gsim.go, the event core is the internal/des/calq calendar queue
+// with the frozen heap baseline preserved in heapref.go.
 
 // Scheduler selects the next packet to transmit.
 type Scheduler interface {
@@ -32,29 +35,43 @@ type Scheduler interface {
 	Len() int
 }
 
-// FCFSSched transmits packets in arrival order (the baseline).
+// FCFSSched transmits packets in arrival order (the baseline).  The queue
+// advances a head index on Dequeue and compacts in place once the dead
+// prefix dominates — the same amortization as fifoQueue in
+// disciplines.go — so the backing array stops growing (and stops
+// re-allocating) at the high-water backlog.  The historical `q = q[1:]`
+// dequeue kept every popped packet reachable and leaked capacity forever.
 type FCFSSched struct {
-	q []*gpacket
+	q    []*gpacket
+	head int
 }
 
 // Name implements Scheduler.
 func (f *FCFSSched) Name() string { return "fcfs" }
 
 // Reset implements Scheduler.
-func (f *FCFSSched) Reset(rates []float64) { f.q = f.q[:0] }
+func (f *FCFSSched) Reset(rates []float64) {
+	f.q = f.q[:0]
+	f.head = 0
+}
 
 // Enqueue implements Scheduler.
 func (f *FCFSSched) Enqueue(p *gpacket, now float64) { f.q = append(f.q, p) }
 
 // Dequeue implements Scheduler.
 func (f *FCFSSched) Dequeue(now float64) *gpacket {
-	p := f.q[0]
-	f.q = f.q[1:]
+	p := f.q[f.head]
+	f.q[f.head] = nil // release the slot: a departed packet must not stay reachable
+	f.head++
+	if f.head > 64 && f.head*2 >= len(f.q) {
+		f.q = append(f.q[:0], f.q[f.head:]...)
+		f.head = 0
+	}
 	return p
 }
 
 // Len implements Scheduler.
-func (f *FCFSSched) Len() int { return len(f.q) }
+func (f *FCFSSched) Len() int { return len(f.q) - f.head }
 
 // fqItem is a tagged packet in the FQ heap.
 type fqItem struct {
@@ -78,6 +95,7 @@ func (h *fqHeap) Pop() interface{} {
 	old := *h
 	n := len(old)
 	x := old[n-1]
+	old[n-1] = fqItem{} // zero the vacated tail: the popped packet pointer must not linger in the backing array
 	*h = old[:n-1]
 	return x
 }
@@ -236,11 +254,19 @@ func RunSchedCtx(ctx context.Context, cfg SchedConfig) (Result, error) {
 	res.AvgDelay = make([]float64, n)
 	res.Throughput = make([]float64, n)
 
-	var events geventHeap
-	//lint:allow ctxflow O(n log n) event-heap seeding before the run loop; the run loop itself polls the gate
-	for i, r := range cfg.Rates {
-		heap.Push(&events, gevent{t: rng.ExpFloat64() / r, user: i, isArr: true})
-	}
+	// The Scheduler interface has no rng access (Reset takes only rates),
+	// so after seeding the draw order is pure ExpFloat64 exactly when the
+	// service distribution is exponential; then arrivals AND transmission
+	// times prefetch from one batch.  Otherwise block size 1 reproduces
+	// the unbatched stream.
+	pureExp := randdist.IsExponential(cfg.Service)
+	var eb randdist.ExpBatch
+	eb.Init(rng, randdist.BlockSize(pureExp))
+
+	var events calq.Queue
+	seedArrivals(&events, rng, cfg.Rates)
+
+	var pool gpacketPool
 	var serving *gpacket
 	inSystem := 0
 	prev := 0.0
@@ -250,8 +276,8 @@ func RunSchedCtx(ctx context.Context, cfg SchedConfig) (Result, error) {
 		if err := gate.Err(); err != nil {
 			return Result{}, err
 		}
-		ev := heap.Pop(&events).(gevent)
-		now := ev.t
+		ev, _ := events.DequeueMin()
+		now := ev.T
 		if now > end {
 			now = end
 		}
@@ -265,40 +291,49 @@ func RunSchedCtx(ctx context.Context, cfg SchedConfig) (Result, error) {
 			}
 		}
 		prev = now
-		if ev.t > end {
+		if ev.T > end {
 			break
 		}
-		if ev.isArr {
-			u := ev.user
-			heap.Push(&events, gevent{t: ev.t + rng.ExpFloat64()/cfg.Rates[u], user: u, isArr: true})
-			p := &gpacket{user: u, arrive: ev.t, remaining: cfg.Service.Sample(rng)}
-			lq.bump(u, ev.t, 1)
+		if ev.Arr {
+			u := int(ev.User)
+			events.Enqueue(calq.Event{T: ev.T + eb.Next()/cfg.Rates[u], User: ev.User, Arr: true})
+			p := pool.get()
+			p.user = u
+			p.class = 0
+			p.arrive = ev.T
+			if pureExp {
+				p.remaining = eb.Next()
+			} else {
+				p.remaining = cfg.Service.Sample(rng)
+			}
+			lq.bump(u, ev.T, 1)
 			inSystem++
-			if ev.t >= cfg.Warmup {
+			if ev.T >= cfg.Warmup {
 				res.Arrivals++
 			}
 			if serving == nil {
 				serving = p
-				heap.Push(&events, gevent{t: ev.t + p.remaining})
+				events.Enqueue(calq.Event{T: ev.T + p.remaining})
 			} else {
-				cfg.Sched.Enqueue(p, ev.t)
+				cfg.Sched.Enqueue(p, ev.T)
 			}
 		} else {
 			if serving == nil {
 				continue
 			}
 			p := serving
-			lq.bump(p.user, ev.t, -1)
+			lq.bump(p.user, ev.T, -1)
 			inSystem--
-			if ev.t >= cfg.Warmup {
+			if ev.T >= cfg.Warmup {
 				res.Departures++
 				departed[p.user]++
-				delaySum[p.user] += ev.t - p.arrive
+				delaySum[p.user] += ev.T - p.arrive
 			}
+			pool.put(p)
 			serving = nil
 			if cfg.Sched.Len() > 0 {
-				serving = cfg.Sched.Dequeue(ev.t)
-				heap.Push(&events, gevent{t: ev.t + serving.remaining})
+				serving = cfg.Sched.Dequeue(ev.T)
+				events.Enqueue(calq.Event{T: ev.T + serving.remaining})
 			}
 		}
 	}
@@ -309,7 +344,7 @@ func RunSchedCtx(ctx context.Context, cfg SchedConfig) (Result, error) {
 	//lint:allow ctxflow O(n) post-run stats assembly over per-source accumulators; the event loop above already honored the deadline
 	for i := 0; i < n; i++ {
 		res.AvgQueue[i] = lq.avgQueue(i)
-		res.QueueCI95[i] = batchCI(lq.batchInt[i], batchLen)
+		res.QueueCI95[i] = batchCI(lq.batchRow(i), batchLen)
 		if departed[i] > 0 {
 			res.AvgDelay[i] = delaySum[i] / float64(departed[i])
 		} else {

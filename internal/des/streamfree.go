@@ -1,0 +1,66 @@
+package des
+
+// Stream-free markers.  The engines share one seeded rng per run, and the
+// batched variate generation in internal/randdist may only prefetch whole
+// blocks when nothing else consumes that stream mid-run — otherwise the
+// prefetch would reorder draws and change every seeded result.  A
+// discipline, classifier, or scheduler declares that it never draws from
+// the run's rng (after Reset) by implementing StreamFree; anything
+// without the marker — including randomized disciplines like
+// ProcessorSharing (rng.Intn per departure), the FairShareSplitter and
+// SerialClass thinners (rng.Float64 per arrival), and any external
+// implementation — falls back to block size 1, which is byte-identical to
+// the unbatched stream no matter who draws in between.  Claiming the
+// marker falsely is the one way to change seeded results, so new
+// randomized implementations must simply not implement it.
+
+// StreamFree is implemented by disciplines, classifiers, and schedulers
+// that perform no draws from the run's shared rng between Reset and the
+// end of the run.
+type StreamFree interface {
+	// StreamFree reports that the implementation is draw-free for the
+	// whole run.
+	StreamFree() bool
+}
+
+// streamFree reports whether v declares itself draw-free.
+func streamFree(v interface{}) bool {
+	sf, ok := v.(StreamFree)
+	return ok && sf.StreamFree()
+}
+
+// StreamFree implements the draw-free marker: FIFO keeps a deterministic
+// queue and never touches the rng.
+func (f *FIFO) StreamFree() bool { return true }
+
+// StreamFree implements the draw-free marker: the preemptive stack is
+// deterministic.
+func (l *LIFOPreemptive) StreamFree() bool { return true }
+
+// StreamFree implements the draw-free marker: polling order is fixed.
+func (c *CyclicPolling) StreamFree() bool { return true }
+
+// StreamFree implements the draw-free marker: class queues are
+// deterministic, but a user-supplied Classify closure could draw from
+// anywhere, so only the nil (Packet.Class) default is declared safe.
+func (s *StrictPriority) StreamFree() bool { return s.Classify == nil }
+
+// StreamFree implements the draw-free marker: the rank table is computed
+// at Reset and the underlying strict-priority queues are deterministic.
+func (r *RatePriority) StreamFree() bool { return true }
+
+// StreamFree implements the draw-free marker: the single class is
+// constant.
+func (SingleClass) StreamFree() bool { return true }
+
+// StreamFree implements the draw-free marker: ranks are computed at
+// Reset.
+func (rc *RankClass) StreamFree() bool { return true }
+
+// StreamFree implements the draw-free marker: the Scheduler interface
+// gives schedulers no access to the run's rng at all (Reset takes only
+// rates); declared for uniformity.
+func (f *FCFSSched) StreamFree() bool { return true }
+
+// StreamFree implements the draw-free marker; see FCFSSched.StreamFree.
+func (f *FQSched) StreamFree() bool { return true }

@@ -128,6 +128,10 @@ func RunTandemCtx(ctx context.Context, cfg TandemConfig) (TandemResult, error) {
 	for _, r := range extRates {
 		extTotal += r
 	}
+	// Prefix sums for O(log N) stream picks; cumExt[len-1] accumulates in
+	// the same order as extTotal above, so the binary search picks exactly
+	// the stream the historical linear scan chose for every draw.
+	cumExt := cumRates(extRates)
 
 	end := cfg.Warmup + cfg.Horizon
 	countsA := make([]int, nUsers)
@@ -137,6 +141,11 @@ func RunTandemCtx(ctx context.Context, cfg TandemConfig) (TandemResult, error) {
 	delaySum := make([]float64, nUsers)
 	departed := make([]int64, nUsers)
 	busyA, busyB := 0, 0
+
+	// One (ExpFloat64, Float64) pair per iteration, batch-safe only when
+	// BOTH station disciplines are stream-free; see RunCtx.
+	var pb randdist.PairBatch
+	pb.Init(rng, randdist.BlockSize(streamFree(discA) && streamFree(discB)))
 
 	t := 0.0
 	gate := ctxGate{ctx: ctx}
@@ -151,7 +160,8 @@ func RunTandemCtx(ctx context.Context, cfg TandemConfig) (TandemResult, error) {
 		if busyB > 0 {
 			rate++
 		}
-		dt := rng.ExpFloat64() / rate
+		e, uu := pb.Pair()
+		dt := e / rate
 		tNext := t + dt
 		if tNext > cfg.Warmup {
 			lo := math.Max(t, cfg.Warmup)
@@ -167,16 +177,13 @@ func RunTandemCtx(ctx context.Context, cfg TandemConfig) (TandemResult, error) {
 		if t >= end {
 			break
 		}
-		u := rng.Float64() * rate
+		u := uu * rate
 		switch {
 		case u < extTotal:
-			// External arrival: find the stream.
-			i := 0
-			acc := extRates[0]
-			for u > acc && i < len(extRates)-1 {
-				i++
-				acc += extRates[i]
-			}
+			// External arrival: pick the stream by binary search on the
+			// prefix sums (same pick as the old linear scan, clamped to the
+			// last stream just as the scan's bounds check was).
+			i := pickSource(cumExt, u)
 			if i < len(ratesA) {
 				// Arrives at station A (long or cross-A); local index i.
 				discA.Enqueue(Packet{User: i, Arrive: t})

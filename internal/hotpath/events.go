@@ -1,0 +1,137 @@
+package hotpath
+
+import (
+	"runtime"
+
+	"greednet/internal/des"
+)
+
+// The events/sec headline family: the same seeded general-service run
+// executed by the calendar-queue engine (des.RunG) and by the frozen
+// container/heap baseline (des.RunGHeap), at three event-queue
+// populations.  The two engines are bit-identical in results and event
+// sequence (internal/des's differential suite pins that), so each pair
+// processes EXACTLY the same events and the events/sec ratio reduces to
+// the inverse runtime ratio — which is what greedbench -events gates on.
+// Ratios are machine-relative by construction, so the gate travels
+// across hosts, unlike absolute events/sec, which the JSON artifact
+// records for trending only.
+
+// EventScale is one population point of the events/sec family.
+type EventScale struct {
+	// Name is the stable identifier recorded in BENCH_events.json.
+	Name string
+	// Sources is the number of Poisson sources; the event-queue population
+	// is Sources+1 (one pending arrival per source plus the in-service
+	// completion).
+	Sources int
+	// Horizon is the simulated time span (events scale with it at ≈1.8
+	// events per unit time under the fixed 0.9 total load).
+	Horizon float64
+	// RatioFloor is the minimum calendar/heap events-per-second ratio the
+	// -events gate accepts.  The O(1)-vs-O(log N) gap widens with the
+	// population, so the floor rises with Sources; at N=10² the calendar
+	// only has to not lose.
+	RatioFloor float64
+}
+
+// AllocsPerEventBudget is the -events gate's ceiling on steady-state
+// allocations per event in the calendar-queue engine.  The two-horizon
+// delta cancels all setup and ramp-up allocations, so the warm event
+// loop must measure as allocation-free; the budget is nonzero only to
+// absorb measurement noise (stray runtime allocations between the
+// MemStats reads), not to license any per-event allocation.
+const AllocsPerEventBudget = 0.01
+
+// EventScales returns the benchmark family in emission order:
+// N = 10², 10⁴, 10⁵ sources.
+func EventScales() []EventScale {
+	return []EventScale{
+		{Name: "n1e2", Sources: 100, Horizon: 2e4, RatioFloor: 0.9},
+		{Name: "n1e4", Sources: 10_000, Horizon: 5e4, RatioFloor: 1.3},
+		// The largest scale runs a longer horizon so per-run event work
+		// dominates the O(N) fixed costs both engines share (seeding the
+		// first arrivals, assembling per-user statistics): events/sec is a
+		// steady-state throughput claim, and a short horizon would dilute
+		// the queue-op gap with identical setup time.
+		{Name: "n1e5", Sources: 100_000, Horizon: 6e5, RatioFloor: 2.0},
+	}
+}
+
+// eventConfig builds the scale's run: equal-rate sources at total load
+// 0.9, near-zero warmup so every processed event is counted, and a fixed
+// seed so calendar and heap runs consume identical streams.
+func eventConfig(s EventScale, horizonScale float64) des.GConfig {
+	rates := make([]float64, s.Sources)
+	for i := range rates {
+		rates[i] = 0.9 / float64(s.Sources)
+	}
+	return des.GConfig{
+		Rates:   rates,
+		Horizon: s.Horizon * horizonScale,
+		Warmup:  1e-9,
+		Seed:    17,
+	}
+}
+
+// EventRun executes the calendar-queue engine at scale s with the
+// horizon stretched by horizonScale, returning the number of processed
+// (counted) events: arrivals plus departures.
+func EventRun(s EventScale, horizonScale float64) (int64, error) {
+	res, err := des.RunG(eventConfig(s, horizonScale))
+	if err != nil {
+		return 0, err
+	}
+	return res.Arrivals + res.Departures, nil
+}
+
+// EventRunHeap is EventRun on the frozen heap baseline; it processes the
+// identical event sequence.
+func EventRunHeap(s EventScale, horizonScale float64) (int64, error) {
+	res, err := des.RunGHeap(eventConfig(s, horizonScale))
+	if err != nil {
+		return 0, err
+	}
+	return res.Arrivals + res.Departures, nil
+}
+
+// EventAllocsPerEvent measures the calendar engine's steady-state
+// allocations per event by the two-horizon delta: runs at H and 2H
+// allocate identically during setup and ramp-up (same config shapes,
+// same pool high-water marks by determinism), so the malloc difference
+// divided by the event difference isolates the warm per-event cost.
+func EventAllocsPerEvent(s EventScale) (float64, error) {
+	a1, e1, err := eventRunMallocs(s, 1)
+	if err != nil {
+		return 0, err
+	}
+	a2, e2, err := eventRunMallocs(s, 2)
+	if err != nil {
+		return 0, err
+	}
+	if e2 <= e1 {
+		return 0, nil
+	}
+	da := float64(a2) - float64(a1)
+	if da < 0 {
+		da = 0
+	}
+	return da / float64(e2-e1), nil
+}
+
+func eventRunMallocs(s EventScale, horizonScale float64) (uint64, int64, error) {
+	// Warm run: lets the first invocation's one-time costs (lazy runtime
+	// init) happen outside the measured window.
+	if _, err := EventRun(s, horizonScale); err != nil {
+		return 0, 0, err
+	}
+	var m1, m2 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&m1)
+	events, err := EventRun(s, horizonScale)
+	if err != nil {
+		return 0, 0, err
+	}
+	runtime.ReadMemStats(&m2)
+	return m2.Mallocs - m1.Mallocs, events, nil
+}
