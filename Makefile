@@ -2,7 +2,7 @@ GO ?= go
 LINT := bin/greedlint
 FUZZTIME ?= 30s
 
-.PHONY: all build lint lint-changed lint-json lint-golden test race bench bench-micro bench-events escapes escapes-update fuzz clean
+.PHONY: all build lint lint-changed lint-json lint-golden test race bench bench-micro bench-events service-bench escapes escapes-update fuzz clean
 
 all: build lint test
 
@@ -70,6 +70,17 @@ bench-micro:
 # only) replication throughput stops scaling.
 bench-events:
 	$(GO) run ./cmd/greedbench -events BENCH_events.json
+
+# greedd chaos load harness: a thousand hill-climbing selfish clients
+# plus the four service-level chaos injectors against an in-process
+# greedd, archived as BENCH_service.json (latency percentiles, shed
+# accounting by typed reason, cache hit rate, drain verdict).  Exits 1
+# on queue growth past its bound, rejections without a typed reason,
+# handler panics, or goroutines leaked across the drain.  The shared
+# overwrite guard refuses to replace a multi-core artifact with a
+# single-core run; override deliberately with FORCE=-force.
+service-bench:
+	$(GO) run ./cmd/greedbench -service BENCH_service.json -seed 7 $(FORCE)
 
 # Compiler escape-analysis gate: diff `go build -gcflags=-m` output over
 # the //lint:hotpath functions against BENCH_escapes.json.  Exits 1 on

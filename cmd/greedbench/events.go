@@ -1,9 +1,7 @@
 package main
 
 import (
-	"encoding/json"
 	"fmt"
-	"os"
 	"runtime"
 	"testing"
 
@@ -210,7 +208,13 @@ func benchReplications() (eventsReplicationRecord, error) {
 // writeEventsJSON runs the events/sec family, writes BENCH_events.json,
 // prints the human summary, and returns exit code 1 when the gate
 // fails.
-func writeEventsJSON(path string) (int, error) {
+func writeEventsJSON(path string, force bool) (int, error) {
+	// The replication record's validity is known from the host alone —
+	// apply the shared overwrite guard before spending the benchmark
+	// time on a run whose artifact would be refused anyway.
+	if err := guardArtifactOverwrite(path, runtime.GOMAXPROCS(0) > 1, force); err != nil {
+		return 0, err
+	}
 	var report eventsReport
 	for _, s := range hotpath.EventScales() {
 		rec, err := benchEventScale(s)
@@ -234,12 +238,7 @@ func writeEventsJSON(path string) (int, error) {
 	fmt.Printf("events replications: %d seeds, %.0f ev/s at %d workers, %.2fx vs sequential%s\n",
 		rep.Replications, rep.EventsPerSec, rep.Workers, rep.Speedup, validity)
 
-	data, err := json.MarshalIndent(report, "", "  ")
-	if err != nil {
-		return 0, err
-	}
-	data = append(data, '\n')
-	if err := os.WriteFile(path, data, 0o644); err != nil {
+	if err := writeArtifactJSON(path, report, force); err != nil {
 		return 0, err
 	}
 	fmt.Printf("events bench: %d scales -> %s\n", len(report.Scales), path)

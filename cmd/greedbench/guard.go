@@ -1,0 +1,94 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// The overwrite guard shared by every artifact-writing mode
+// (-benchjson, -events, -service).  The BENCH_*.json files are the
+// repo's scaling and latency evidence; a single-core measurement
+// (speedup_valid:false) silently replacing a multi-core one — someone
+// regenerating on a 1-core laptop or CI runner — would erase it.
+// -force overrides for deliberate regeneration.
+
+// artifactValidity scans a decoded JSON value for the speedup_valid
+// marker, wherever the artifact keeps it: top-level (BENCH_parallel,
+// BENCH_service) or nested (BENCH_events keeps it under "replication").
+// It returns the marker's value, the host_cores recorded beside it, and
+// whether a marker was found at all.  Maps are walked in sorted key
+// order so the first hit is deterministic.
+func artifactValidity(v any) (valid bool, cores int, found bool) {
+	switch node := v.(type) {
+	case map[string]any:
+		if sv, ok := node["speedup_valid"].(bool); ok {
+			if hc, ok := node["host_cores"].(float64); ok {
+				cores = int(hc)
+			}
+			return sv, cores, true
+		}
+		keys := make([]string, 0, len(node))
+		for k := range node {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			if v2, c2, ok := artifactValidity(node[k]); ok {
+				return v2, c2, true
+			}
+		}
+	case []any:
+		for _, e := range node {
+			if v2, c2, ok := artifactValidity(e); ok {
+				return v2, c2, true
+			}
+		}
+	}
+	return false, 0, false
+}
+
+// guardArtifactOverwrite refuses to clobber a multi-core artifact at
+// path with a measurement whose own validity marker is false.  Call it
+// with the next run's validity BEFORE spending minutes measuring: for
+// every mode the marker is known from the host alone.
+func guardArtifactOverwrite(path string, nextValid, force bool) error {
+	if nextValid || force {
+		return nil
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil // no prior artifact (or unreadable): nothing to protect
+	}
+	var prev any
+	if json.Unmarshal(data, &prev) != nil {
+		return nil
+	}
+	valid, cores, found := artifactValidity(prev)
+	if !found || !valid {
+		return nil
+	}
+	return fmt.Errorf("refusing to overwrite %s: existing record was measured on %d cores (speedup_valid:true) and this run is single-core; rerun with -force to replace it",
+		path, cores)
+}
+
+// writeArtifactJSON marshals v, re-checks the overwrite guard against
+// v's own validity marker (cheap insurance for callers that probed
+// before measuring), and writes the artifact with a trailing newline.
+func writeArtifactJSON(path string, v any, force bool) error {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	var decoded any
+	if json.Unmarshal(data, &decoded) == nil {
+		if nextValid, _, found := artifactValidity(decoded); found {
+			if gerr := guardArtifactOverwrite(path, nextValid, force); gerr != nil {
+				return gerr
+			}
+		}
+	}
+	data = append(data, '\n')
+	return os.WriteFile(path, data, 0o644)
+}

@@ -77,7 +77,10 @@ func run() int {
 		hotOut  = flag.String("hotpath", "", "run the hot-path micro-benchmarks instead of the suite, write ns/op+allocs/op JSON to this path; exit 1 if a gated path exceeds its allocs/op budget")
 		escOut  = flag.String("escapes", "", "diff the compiler's hot-path escape analysis against the baseline JSON at this path instead of running the suite; exit 1 on new or stale escapes")
 		evOut   = flag.String("events", "", "run the events/sec benchmark family (calendar vs heap engines plus replication throughput) instead of the suite, write JSON to this path; exit 1 on a ratio, allocation, or scaling regression")
-		force   = flag.Bool("force", false, "allow -benchjson to overwrite a multi-core artifact with a single-core (speedup_valid:false) measurement")
+		svcOut  = flag.String("service", "", "run the greedd chaos load harness instead of the suite, write latency/shed JSON to this path; exit 1 on queue growth, untyped rejections, panics, or leaked goroutines")
+		svcN    = flag.Int("service-clients", 1000, "client population for -service")
+		svcR    = flag.Int("service-rounds", 2, "control-loop rounds per client for -service")
+		force   = flag.Bool("force", false, "allow -benchjson/-events/-service to overwrite a multi-core artifact with a single-core (speedup_valid:false) measurement")
 	)
 	flag.Parse()
 
@@ -132,7 +135,15 @@ func run() int {
 		return code
 	}
 	if *evOut != "" {
-		code, err := writeEventsJSON(*evOut)
+		code, err := writeEventsJSON(*evOut, *force)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "greedbench:", err)
+			return 2
+		}
+		return code
+	}
+	if *svcOut != "" {
+		code, err := writeServiceJSON(*svcOut, *svcN, *svcR, *seed, *force)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "greedbench:", err)
 			return 2
@@ -330,25 +341,10 @@ type benchRecord struct {
 	SpeedupValid bool `json:"speedup_valid"`
 }
 
-// guardBenchOverwrite refuses to clobber a multi-core artifact with a
-// single-core measurement.  BENCH_parallel.json is the repo's scaling
-// evidence; a speedup_valid:false record silently replacing a valid one
-// (someone regenerating on a 1-core laptop or CI runner) would erase it.
-// -force overrides for deliberate regeneration.
+// guardBenchOverwrite applies the shared artifact guard (guard.go) to
+// the -benchjson record before the timing run is spent.
 func guardBenchOverwrite(path string, next benchRecord, force bool) error {
-	if next.SpeedupValid || force {
-		return nil
-	}
-	data, err := os.ReadFile(path)
-	if err != nil {
-		return nil // no prior artifact (or unreadable): nothing to protect
-	}
-	var prev benchRecord
-	if json.Unmarshal(data, &prev) != nil || !prev.SpeedupValid {
-		return nil
-	}
-	return fmt.Errorf("refusing to overwrite %s: existing record was measured on %d cores (speedup_valid:true) and this host has %d; rerun with -force to replace it",
-		path, prev.HostCores, next.HostCores)
+	return guardArtifactOverwrite(path, next.SpeedupValid, force)
 }
 
 // writeBenchJSON times the selected suite once sequentially and once at
@@ -395,12 +391,7 @@ func writeBenchJSON(path string, selected []experiment.Experiment, opt experimen
 		Speedup:      float64(seq.Nanoseconds()) / float64(par.Nanoseconds()),
 		SpeedupValid: runtime.GOMAXPROCS(0) > 1,
 	}
-	data, err := json.MarshalIndent(rec, "", "  ")
-	if err != nil {
-		return err
-	}
-	data = append(data, '\n')
-	if err := os.WriteFile(path, data, 0o644); err != nil {
+	if err := writeArtifactJSON(path, rec, force); err != nil {
 		return err
 	}
 	fmt.Printf("suite bench: sequential %v, %d workers %v (%.2fx), %d experiments -> %s\n",

@@ -1,0 +1,454 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"greednet/internal/chaos"
+	"greednet/internal/selfish"
+	"greednet/internal/service"
+)
+
+// The -service mode: a deterministic load harness for the greedd
+// service.  It boots the service in-process on a loopback listener,
+// drives it with hill-climbing selfish agents (the closed control
+// loop) interleaved with all four service-level chaos injectors
+// (slow-client, stalled-connection, malformed-payload, deadline-skew),
+// and writes BENCH_service.json with request-latency percentiles, shed
+// accounting, cache effectiveness, and the drain verdict.  The gate
+// fails on the failure modes the service exists to prevent: queue
+// growth past its bound, rejections without a typed reason, handler
+// panics, and goroutines leaked across the drain.
+
+// serviceReport is the BENCH_service.json artifact.
+type serviceReport struct {
+	Clients int `json:"clients"`
+	Rounds  int `json:"rounds"`
+	Drivers int `json:"drivers"`
+
+	Requests     int64   `json:"requests"`
+	Succeeded    int64   `json:"succeeded"`
+	P50MS        float64 `json:"p50_ms"`
+	P95MS        float64 `json:"p95_ms"`
+	P99MS        float64 `json:"p99_ms"`
+	ShedByReason map[string]int64 `json:"shed_by_reason"`
+	ShedRate     float64 `json:"shed_rate"`
+	// UntypedSheds counts rejections that arrived without one of the
+	// service's typed reasons — the gate's zero-tolerance counter.
+	UntypedSheds int64 `json:"untyped_sheds"`
+
+	SolvesRun    int64   `json:"solves_run"`
+	CacheHits    int64   `json:"cache_hits"`
+	Coalesced    int64   `json:"coalesced"`
+	CacheHitRate float64 `json:"cache_hit_rate"`
+	Panics       int64   `json:"panics"`
+
+	QueueCap int `json:"queue_cap"`
+	QueueMax int `json:"queue_max"`
+
+	StalledConns     int   `json:"stalled_conns"`
+	DrainNS          int64 `json:"drain_ns"`
+	DrainClean       bool  `json:"drain_clean"`
+	LeakedGoroutines int   `json:"leaked_goroutines"`
+
+	HostCores int `json:"host_cores"`
+	// SpeedupValid mirrors the other BENCH artifacts for the shared
+	// overwrite guard: single-core latency percentiles are not
+	// comparable with multi-core ones and must not replace them.
+	SpeedupValid bool `json:"speedup_valid"`
+}
+
+// gateService returns the regression messages for a report, empty when
+// the gate passes.  Pure — unit tests feed it synthetic reports with
+// injected regressions.
+func gateService(r serviceReport) []string {
+	var fails []string
+	if r.Requests == 0 {
+		fails = append(fails, "harness made no requests")
+		return fails
+	}
+	if r.QueueMax > r.QueueCap {
+		fails = append(fails, fmt.Sprintf(
+			"queue grew to %d past its %d bound (shedding failed to hold the line)",
+			r.QueueMax, r.QueueCap))
+	}
+	if r.UntypedSheds > 0 {
+		fails = append(fails, fmt.Sprintf(
+			"%d rejections carried no typed reason", r.UntypedSheds))
+	}
+	if r.Panics > 0 {
+		fails = append(fails, fmt.Sprintf("%d handler panics under load", r.Panics))
+	}
+	if !r.DrainClean {
+		fails = append(fails, "service did not drain cleanly on shutdown")
+	}
+	if r.LeakedGoroutines > 0 {
+		fails = append(fails, fmt.Sprintf(
+			"%d goroutines leaked across the drain", r.LeakedGoroutines))
+	}
+	if r.Succeeded == 0 {
+		fails = append(fails, "no request ever succeeded (the control loop never closed)")
+	}
+	if r.P99MS <= 0 {
+		fails = append(fails, "no latency was measured")
+	}
+	return fails
+}
+
+// timingTransport measures every round trip into its driver's sample
+// slice.  Each driver owns one instance, so no locking.
+type timingTransport struct {
+	inner *http.Transport
+	lat   *[]float64 // milliseconds
+}
+
+func (t *timingTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	start := time.Now()
+	resp, err := t.inner.RoundTrip(req)
+	*t.lat = append(*t.lat, float64(time.Since(start).Nanoseconds())/1e6)
+	return resp, err
+}
+
+// serviceDriver runs one slice of the client population on its own
+// goroutine: each of its clients is a hill-climbing agent plus a chaos
+// schedule drawn from the driver's seeded injector.
+type serviceDriver struct {
+	base    string
+	tcpAddr string
+	rounds  int
+	agents  []*selfish.Agent
+	inj     *chaos.ServiceInjector
+	hc      *http.Client
+	tr      *timingTransport
+
+	lat      []float64
+	requests int64
+	success  int64
+	shed     map[string]int64
+	untyped  int64
+	stalled  []net.Conn
+	err      error
+}
+
+func newServiceDriver(base string, rounds int, seed int64) *serviceDriver {
+	d := &serviceDriver{
+		base:    base,
+		tcpAddr: base[len("http://"):],
+		rounds:  rounds,
+		shed:    make(map[string]int64),
+		inj: chaos.NewServiceInjector(seed, chaos.ServiceInjector{
+			SlowEvery:   40,
+			SlowDelay:   2 * time.Millisecond,
+			StallProb:   0.01,
+			MalformProb: 0.05,
+			SkewProb:    0.05,
+		}),
+	}
+	d.tr = &timingTransport{
+		inner: &http.Transport{MaxIdleConnsPerHost: 4},
+		lat:   &d.lat,
+	}
+	d.hc = &http.Client{Transport: d.tr, Timeout: 30 * time.Second}
+	return d
+}
+
+// addAgent registers one climbing client with this driver.  Rates are
+// scaled so a population of n greedy-but-retreating agents can actually
+// be admitted under the protection bound (each must keep n·r < 1).
+func (d *serviceDriver) addAgent(id string, population int, seed int64) {
+	scale := 1 / float64(population)
+	d.agents = append(d.agents, selfish.NewAgent(d.base, id, d.hc, selfish.AgentOptions{
+		Rate0:      0.4 * scale,
+		Step0:      0.1 * scale,
+		Lo:         0.01 * scale,
+		Hi:         0.95,
+		DeadlineMS: 25,
+		Seed:       seed,
+	}))
+}
+
+// run drives every agent through every round.  One chaos decision is
+// drawn per agent-round: a stalled connection or a malformed payload
+// replaces that round's traffic (the client misbehaved instead of
+// participating); a skewed deadline adds a poisoned solve on top of the
+// normal step.
+func (d *serviceDriver) run(ctx context.Context, wg *sync.WaitGroup) {
+	defer wg.Done()
+	for round := 0; round < d.rounds; round++ {
+		if ctx.Err() != nil {
+			return
+		}
+		for _, a := range d.agents {
+			if delay := d.inj.Delay(); delay > 0 {
+				time.Sleep(delay)
+			}
+			if d.inj.Stall() {
+				d.stallConn()
+				continue
+			}
+			if body := d.inj.MutateBody(d.updateBody(a)); !bytes.Equal(body, d.updateBody(a)) {
+				d.rawPost("/v1/update", body)
+				continue
+			}
+			if ms := d.inj.SkewDeadline(25); ms != 25 {
+				// A skew-clocked client retries hard: the volley both
+				// exercises the typed deadline rejection and presses the
+				// per-client token bucket into overload shedding.
+				skew, merr := json.Marshal(service.SolveRequest{Client: a.ID(), DeadlineMS: ms})
+				if merr == nil {
+					for burst := 0; burst < 4; burst++ {
+						d.rawPost("/v1/solve", skew)
+					}
+				}
+			}
+			res, err := a.Step(ctx)
+			d.requests += 3 // update + solve + congestion legs
+			if err != nil {
+				d.err = err
+				return
+			}
+			if res.Shed == "" {
+				d.success++
+			} else {
+				d.recordShed(res.Shed)
+			}
+		}
+	}
+}
+
+func (d *serviceDriver) updateBody(a *selfish.Agent) []byte {
+	body, err := json.Marshal(service.UpdateRequest{Client: "chaos", Rate: a.Rate()})
+	if err != nil {
+		return []byte(`{"client":"chaos","rate":0.0001}`)
+	}
+	return body
+}
+
+// recordShed tallies a rejection reason, counting anything outside the
+// service's typed vocabulary as untyped.
+func (d *serviceDriver) recordShed(reason string) {
+	switch reason {
+	case service.ReasonAdmission, service.ReasonOverload, service.ReasonDeadline,
+		service.ReasonMalformed, service.ReasonDraining, service.ReasonPanic:
+		d.shed[reason]++
+	default:
+		d.untyped++
+	}
+}
+
+// rawPost sends a raw (possibly corrupt) body and tallies the typed
+// rejection it must come back with.
+func (d *serviceDriver) rawPost(path string, body []byte) {
+	d.requests++
+	resp, err := d.hc.Post(d.base+path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		d.untyped++
+		return
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if resp.StatusCode/100 == 2 {
+		// A mutation can survive as valid JSON (or a skewed-but-positive
+		// budget can be met); success is not a shed.
+		d.success++
+		return
+	}
+	var rej service.Rejection
+	if json.NewDecoder(resp.Body).Decode(&rej) != nil {
+		d.untyped++
+		return
+	}
+	d.recordShed(rej.Reason)
+}
+
+// stallConn opens a connection, sends an incomplete request, and walks
+// away — the half-open client the server must carry without wedging.
+// The connections are closed after the drive so the drain check proves
+// their handlers exit.
+func (d *serviceDriver) stallConn() {
+	conn, err := net.DialTimeout("tcp", d.tcpAddr, time.Second)
+	if err != nil {
+		return
+	}
+	_, _ = conn.Write([]byte("POST /v1/update HTTP/1.1\r\nHost: greedd\r\nContent-Length: 512\r\n\r\n{\"client\":"))
+	d.stalled = append(d.stalled, conn)
+}
+
+// percentile returns the p-th percentile (0 < p ≤ 1) of sorted samples.
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(p*float64(len(sorted))+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// writeServiceJSON boots the service, runs the chaos load drive, writes
+// BENCH_service.json, and returns exit code 1 when the gate fails.
+func writeServiceJSON(path string, clients, rounds int, seed int64, force bool) (int, error) {
+	if err := guardArtifactOverwrite(path, runtime.GOMAXPROCS(0) > 1, force); err != nil {
+		return 0, err
+	}
+
+	baseline := runtime.NumGoroutine()
+
+	// MaxClients is deliberately far below the driven population: the
+	// harness's point is a thousand clients pressing against a service
+	// sized for a hundred, so the admission, overload, and deadline shed
+	// paths all fire for real while the admitted core still closes its
+	// control loop.
+	svc := service.New(service.Options{
+		Workers:      2,
+		QueueCap:     64,
+		MaxClients:   128,
+		SolveTimeout: 250 * time.Millisecond,
+		// Tight enough that a chaos burst (skewed solve stacked on a
+		// normal step) can trip a client's bucket, loose enough that the
+		// steady control loop stays admitted.
+		Burst:  4,
+		Refill: 100,
+	})
+	svc.Start()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return 0, err
+	}
+	httpSrv := &http.Server{Handler: svc.Handler()}
+	serveErr := make(chan error, 1)
+	//lint:fanout http-serve runs the harness listener's accept loop; exits when the drive completes and Shutdown closes the listener, reporting into the buffered serveErr channel
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+	base := "http://" + ln.Addr().String()
+
+	nDrivers := runtime.GOMAXPROCS(0)
+	if nDrivers > clients {
+		nDrivers = clients
+	}
+	drivers := make([]*serviceDriver, nDrivers)
+	for i := range drivers {
+		drivers[i] = newServiceDriver(base, rounds, seed+int64(1000+i))
+	}
+	for i := 0; i < clients; i++ {
+		drivers[i%nDrivers].addAgent(fmt.Sprintf("c%04d", i), clients, seed+int64(i))
+	}
+
+	ctx := context.Background()
+	start := time.Now()
+	var wg sync.WaitGroup
+	for _, d := range drivers {
+		wg.Add(1)
+		//lint:fanout load-driver drives its slice of agents through the chaos schedule; exits when its rounds complete, joined via wg.Wait below
+		go d.run(ctx, &wg)
+	}
+	wg.Wait()
+	driveNS := time.Since(start).Nanoseconds()
+
+	// Server-side counters before shutdown (drain rejections would
+	// otherwise pollute the shed accounting).
+	var stats service.Stats
+	resp, err := http.Get(base + "/v1/stats")
+	if err != nil {
+		return 0, err
+	}
+	err = json.NewDecoder(resp.Body).Decode(&stats)
+	_ = resp.Body.Close()
+	if err != nil {
+		return 0, err
+	}
+
+	// The misbehaving clients go away; the drain must release their
+	// handlers and every worker.
+	report := serviceReport{
+		Clients: clients, Rounds: rounds, Drivers: nDrivers,
+		QueueCap: 64, QueueMax: stats.QueueMax,
+		SolvesRun: stats.SolvesRun, CacheHits: stats.CacheHits,
+		Coalesced: stats.Coalesced, Panics: stats.Panics,
+		ShedByReason: make(map[string]int64),
+		HostCores:    runtime.GOMAXPROCS(0),
+		SpeedupValid: runtime.GOMAXPROCS(0) > 1,
+	}
+	var all []float64
+	for _, d := range drivers {
+		if d.err != nil {
+			return 0, fmt.Errorf("driver error: %w", d.err)
+		}
+		report.Requests += d.requests
+		report.Succeeded += d.success
+		report.UntypedSheds += d.untyped
+		report.StalledConns += len(d.stalled)
+		for reason, n := range d.shed {
+			report.ShedByReason[reason] += n
+		}
+		all = append(all, d.lat...)
+		for _, conn := range d.stalled {
+			_ = conn.Close()
+		}
+		d.tr.inner.CloseIdleConnections()
+	}
+	sort.Float64s(all)
+	report.P50MS = percentile(all, 0.50)
+	report.P95MS = percentile(all, 0.95)
+	report.P99MS = percentile(all, 0.99)
+	var sheds int64
+	for _, n := range report.ShedByReason {
+		sheds += n
+	}
+	sheds += report.UntypedSheds
+	report.ShedRate = float64(sheds) / float64(report.Requests)
+	if stats.Solves > 0 {
+		report.CacheHitRate = float64(stats.CacheHits) / float64(stats.Solves)
+	}
+
+	drainStart := time.Now()
+	sctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	httpErr := httpSrv.Shutdown(sctx)
+	svcErr := svc.Shutdown(sctx)
+	<-serveErr // accept loop has exited
+	report.DrainNS = time.Since(drainStart).Nanoseconds()
+	report.DrainClean = httpErr == nil && svcErr == nil
+
+	// Give trailing goroutines (connection handlers observing their
+	// closed sockets) a beat to exit before declaring a leak.
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > baseline && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > baseline {
+		report.LeakedGoroutines = n - baseline
+	}
+
+	fmt.Printf("service: %d clients × %d rounds over %d drivers in %v\n",
+		clients, rounds, nDrivers, time.Duration(driveNS).Round(time.Millisecond))
+	fmt.Printf("service: %d requests, p50 %.2fms p95 %.2fms p99 %.2fms, shed %.1f%% %v, cache hit %.1f%%, %d coalesced, queue max %d/%d\n",
+		report.Requests, report.P50MS, report.P95MS, report.P99MS,
+		100*report.ShedRate, report.ShedByReason, 100*report.CacheHitRate,
+		report.Coalesced, report.QueueMax, report.QueueCap)
+	fmt.Printf("service: drain %v clean=%v, %d stalled conns released, %d goroutines leaked\n",
+		time.Duration(report.DrainNS).Round(time.Millisecond), report.DrainClean,
+		report.StalledConns, report.LeakedGoroutines)
+
+	if err := writeArtifactJSON(path, report, force); err != nil {
+		return 0, err
+	}
+	fmt.Printf("service bench -> %s\n", path)
+
+	code := 0
+	for _, msg := range gateService(report) {
+		fmt.Printf("  REGRESSION(%s)\n", msg)
+		code = 1
+	}
+	return code, nil
+}

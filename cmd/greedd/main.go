@@ -1,0 +1,133 @@
+// Command greedd serves the allocation game over HTTP: simulated
+// selfish clients POST rate/utility updates, the daemon admits them
+// under the Fair Share protection bound, batches concurrent solve
+// requests into single Nash solves, and republishes each client's
+// equilibrium congestion — the closed control loop of the paper run as
+// a long-lived service.
+//
+// The daemon is built to degrade, not wedge: bounded queues with
+// deadline-aware shedding, per-client token buckets, panic containment,
+// and a stall watchdog that flips /healthz to draining.  On SIGTERM or
+// SIGINT it drains gracefully and verifies that every goroutine it
+// started has exited, printing "greedd: drain clean" (the marker the CI
+// smoke job greps for) or "greedd: drain dirty" with a non-zero exit.
+//
+// Example:
+//
+//	greedd -addr 127.0.0.1:8080 -workers 4 -queue 128
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"greednet/internal/cliutil"
+	"greednet/internal/service"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("greedd", flag.ContinueOnError)
+	fs.SetOutput(os.Stderr)
+	var (
+		addr         = fs.String("addr", "127.0.0.1:8080", "listen address")
+		allocName    = fs.String("alloc", "fair-share", "allocation: fair-share|proportional|hol|hol-largest|blend:θ")
+		workers      = fs.Int("workers", 0, "solve workers (0 = default)")
+		queueCap     = fs.Int("queue", 0, "solve queue bound (0 = default)")
+		maxClients   = fs.Int("max-clients", 0, "admitted-population cap (0 = default)")
+		solveTimeout = fs.Duration("solve-timeout", 0, "per-solve deadline (0 = default)")
+		stallAfter   = fs.Duration("stall-after", 0, "watchdog stall threshold (0 = default)")
+		drainBudget  = fs.Duration("drain", 10*time.Second, "graceful shutdown budget")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	al, err := cliutil.ParseAlloc(*allocName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "greedd:", err)
+		return 2
+	}
+
+	// Install the signal handler before capturing the goroutine
+	// baseline: the runtime's signal loop starts lazily on the first
+	// Notify and (by design) never exits, so it must count as baseline,
+	// not as a leak.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, os.Interrupt)
+	baseline := runtime.NumGoroutine()
+
+	svc := service.New(service.Options{
+		Alloc:        al,
+		Workers:      *workers,
+		QueueCap:     *queueCap,
+		MaxClients:   *maxClients,
+		SolveTimeout: *solveTimeout,
+		StallAfter:   *stallAfter,
+	})
+	svc.Start()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "greedd:", err)
+		return 1
+	}
+	httpSrv := &http.Server{
+		Handler:           svc.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       15 * time.Second,
+		WriteTimeout:      30 * time.Second,
+	}
+
+	serveErr := make(chan error, 1)
+	//lint:fanout http-serve runs the accept loop; exits when Shutdown closes the listener, reporting into the buffered serveErr channel
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+	fmt.Fprintf(os.Stdout, "greedd: listening on %s (alloc=%s)\n", ln.Addr(), al.Name())
+
+	select {
+	case got := <-sig:
+		fmt.Fprintf(os.Stdout, "greedd: %v, draining\n", got)
+	case err := <-serveErr:
+		fmt.Fprintln(os.Stderr, "greedd: serve:", err)
+		return 1
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainBudget)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		fmt.Fprintln(os.Stderr, "greedd: http shutdown:", err)
+	}
+	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(os.Stderr, "greedd: serve:", err)
+	}
+	if err := svc.Shutdown(ctx); err != nil {
+		fmt.Fprintln(os.Stderr, "greedd: service shutdown:", err)
+		return 1
+	}
+
+	// The drain contract: every goroutine this process started must be
+	// gone.  The count can trail the Shutdown return by a scheduler
+	// beat, so poll briefly before declaring it dirty.
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > baseline && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > baseline {
+		fmt.Fprintf(os.Stderr, "greedd: drain dirty (goroutines=%d, baseline=%d)\n", n, baseline)
+		return 1
+	}
+	fmt.Fprintf(os.Stdout, "greedd: drain clean (goroutines=%d)\n", runtime.NumGoroutine())
+	return 0
+}

@@ -1,0 +1,87 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"net/http"
+	"os"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestRunServesAndDrainsClean boots the daemon on an ephemeral port,
+// confirms it serves, sends it SIGTERM, and asserts the graceful-drain
+// contract: exit 0 and the "drain clean" marker the CI smoke job greps
+// for.  run prints to os.Stdout, so the test swaps it for a pipe.
+func TestRunServesAndDrainsClean(t *testing.T) {
+	rOut, wOut, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = rOut.Close() }()
+	origStdout := os.Stdout
+	os.Stdout = wOut
+	defer func() { os.Stdout = origStdout }()
+
+	exitCh := make(chan int, 1)
+	go func() {
+		exitCh <- run([]string{"-addr", "127.0.0.1:0"})
+		_ = wOut.Close()
+	}()
+
+	sc := bufio.NewScanner(rOut)
+	var addr string
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.Contains(line, "listening on ") {
+			addr = strings.Fields(strings.SplitAfter(line, "listening on ")[1])[0]
+			break
+		}
+	}
+	if addr == "" {
+		t.Fatal("daemon never announced its address")
+	}
+
+	// The daemon answers while alive.
+	resp, err := http.Get(fmt.Sprintf("http://%s/healthz", addr))
+	if err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+	_ = resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status %d", resp.StatusCode)
+	}
+
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+
+	var tail strings.Builder
+	for sc.Scan() {
+		tail.WriteString(sc.Text())
+		tail.WriteByte('\n')
+	}
+	select {
+	case code := <-exitCh:
+		if code != 0 {
+			t.Fatalf("exit code %d, output:\n%s", code, tail.String())
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("daemon did not exit after SIGTERM")
+	}
+	if !strings.Contains(tail.String(), "drain clean") {
+		t.Fatalf("missing drain-clean marker; output:\n%s", tail.String())
+	}
+}
+
+// TestRunBadFlags pins the usage exit code.
+func TestRunBadFlags(t *testing.T) {
+	if code := run([]string{"-alloc", "bogus"}); code != 2 {
+		t.Fatalf("bad alloc: exit %d, want 2", code)
+	}
+	if code := run([]string{"-definitely-not-a-flag"}); code != 2 {
+		t.Fatalf("bad flag: exit %d, want 2", code)
+	}
+}

@@ -1,0 +1,109 @@
+package chaos
+
+import (
+	"math/rand"
+	"time"
+
+	"greednet/internal/randdist"
+)
+
+// ServiceInjector perturbs the traffic a simulated client sends at the
+// greedd boundary.  It models the four client-side pathologies the
+// service must shed rather than absorb:
+//
+//   - slow-client: a delay before each request, so queue heads age;
+//   - stalled-connection: a request that opens but never completes,
+//     exercising server read timeouts and drain accounting;
+//   - malformed-payload: deterministic corruption of the JSON body,
+//     which must come back 400/malformed, never 500;
+//   - deadline-skew: a client whose clock is wrong, shipping budgets
+//     that are negative or absurdly small.
+//
+// Like the other injectors in this package it is driven only by its
+// knobs and its seed: two instances with the same configuration emit
+// the same fault schedule.  The embedded rng makes an instance
+// single-goroutine; give each simulated client its own (seeded, say,
+// by client index).  With every knob at its zero value each hook is an
+// exact pass-through.
+type ServiceInjector struct {
+	// SlowEvery, when positive, makes every SlowEvery-th request pause
+	// for SlowDelay before being sent.
+	SlowEvery int
+	// SlowDelay is the pre-request pause for slowed requests.
+	SlowDelay time.Duration
+	// StallProb is the per-request probability of the connection
+	// stalling: the harness opens the request and then abandons it
+	// instead of completing the round trip.
+	StallProb float64
+	// MalformProb is the per-request probability of the JSON body being
+	// corrupted before it is sent.
+	MalformProb float64
+	// SkewProb is the per-request probability of the deadline budget
+	// being replaced by a skewed one (negative or near-zero).
+	SkewProb float64
+
+	rng   *rand.Rand
+	calls int
+}
+
+// NewServiceInjector returns an injector whose fault schedule is fully
+// determined by the configuration and seed.
+func NewServiceInjector(seed int64, cfg ServiceInjector) *ServiceInjector {
+	inj := cfg
+	inj.rng = randdist.NewRand(seed)
+	inj.calls = 0
+	return &inj
+}
+
+// Delay returns the pre-send pause for the next request (slow-client).
+// Zero when the request is not slowed.
+func (inj *ServiceInjector) Delay() time.Duration {
+	inj.calls++
+	if inj.SlowEvery > 0 && inj.calls%inj.SlowEvery == 0 {
+		return inj.SlowDelay
+	}
+	return 0
+}
+
+// Stall reports whether the next request's connection should be opened
+// and then abandoned mid-flight (stalled-connection).
+func (inj *ServiceInjector) Stall() bool {
+	return inj.StallProb > 0 && inj.rng.Float64() < inj.StallProb
+}
+
+// MutateBody possibly corrupts a JSON request body (malformed-payload).
+// The corruption mode is drawn deterministically from the injector's
+// rng: truncation, a raw NaN literal spliced into the rate field, a
+// flipped byte, or leading garbage.  The input slice is never modified.
+func (inj *ServiceInjector) MutateBody(body []byte) []byte {
+	if inj.MalformProb <= 0 || inj.rng.Float64() >= inj.MalformProb {
+		return body
+	}
+	switch inj.rng.Intn(4) {
+	case 0: // truncate mid-object
+		cut := 1 + inj.rng.Intn(len(body))
+		return append([]byte(nil), body[:cut]...)
+	case 1: // non-finite rate: JSON has no NaN, so this is a parse error
+		return []byte(`{"client":"chaos","rate":NaN}`)
+	case 2: // stamp a NUL somewhere: invalid at every JSON position
+		out := append([]byte(nil), body...)
+		out[inj.rng.Intn(len(out))] = 0x00
+		return out
+	default: // leading garbage before the object
+		return append([]byte("!!"), body...)
+	}
+}
+
+// SkewDeadline possibly replaces a request's deadline budget with a
+// skewed one (deadline-skew): either negative — a client whose clock
+// ran ahead, which the service must answer with a typed deadline
+// rejection — or 1ms, which forces the shed-on-head-age path.
+func (inj *ServiceInjector) SkewDeadline(ms int64) int64 {
+	if inj.SkewProb <= 0 || inj.rng.Float64() >= inj.SkewProb {
+		return ms
+	}
+	if inj.rng.Intn(2) == 0 {
+		return -1 - int64(inj.rng.Intn(5000)) // clock ran ahead: already expired
+	}
+	return 1 // nearly no budget: expires while queued
+}

@@ -1,0 +1,118 @@
+package chaos
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// TestServiceInjectorDeterministic pins the reproducibility contract:
+// two injectors with the same seed and knobs emit the identical fault
+// schedule across every hook.
+func TestServiceInjectorDeterministic(t *testing.T) {
+	cfg := ServiceInjector{
+		SlowEvery: 3, SlowDelay: 5 * time.Millisecond,
+		StallProb: 0.2, MalformProb: 0.3, SkewProb: 0.25,
+	}
+	a := NewServiceInjector(42, cfg)
+	b := NewServiceInjector(42, cfg)
+	body := []byte(`{"client":"c7","rate":0.05}`)
+	for i := 0; i < 500; i++ {
+		if da, db := a.Delay(), b.Delay(); da != db {
+			t.Fatalf("step %d: delays diverge: %v vs %v", i, da, db)
+		}
+		if sa, sb := a.Stall(), b.Stall(); sa != sb {
+			t.Fatalf("step %d: stall decisions diverge", i)
+		}
+		if ma, mb := a.MutateBody(body), b.MutateBody(body); !bytes.Equal(ma, mb) {
+			t.Fatalf("step %d: mutations diverge: %q vs %q", i, ma, mb)
+		}
+		if ka, kb := a.SkewDeadline(250), b.SkewDeadline(250); ka != kb {
+			t.Fatalf("step %d: skews diverge: %d vs %d", i, ka, kb)
+		}
+	}
+}
+
+// TestServiceInjectorQuiet pins the pass-through contract: every knob
+// at its zero value means no hook ever perturbs anything.
+func TestServiceInjectorQuiet(t *testing.T) {
+	inj := NewServiceInjector(1, ServiceInjector{})
+	body := []byte(`{"client":"a","rate":0.1}`)
+	for i := 0; i < 200; i++ {
+		if d := inj.Delay(); d != 0 {
+			t.Fatalf("quiet injector delayed %v", d)
+		}
+		if inj.Stall() {
+			t.Fatal("quiet injector stalled")
+		}
+		if got := inj.MutateBody(body); !bytes.Equal(got, body) {
+			t.Fatalf("quiet injector mutated body to %q", got)
+		}
+		if ms := inj.SkewDeadline(250); ms != 250 {
+			t.Fatalf("quiet injector skewed deadline to %d", ms)
+		}
+	}
+}
+
+// TestServiceInjectorMutatesWithoutAliasing checks MutateBody never
+// scribbles on the caller's slice, and that corrupted bodies really are
+// corrupt: none of them may decode into a clean update with the
+// original finite rate intact AND parse as valid JSON unchanged.
+func TestServiceInjectorMutateBody(t *testing.T) {
+	inj := NewServiceInjector(7, ServiceInjector{MalformProb: 1})
+	body := []byte(`{"client":"a","rate":0.1}`)
+	orig := append([]byte(nil), body...)
+	sawChange := false
+	for i := 0; i < 100; i++ {
+		out := inj.MutateBody(body)
+		if !bytes.Equal(body, orig) {
+			t.Fatal("MutateBody modified the input slice")
+		}
+		if !bytes.Equal(out, body) {
+			sawChange = true
+			var v struct {
+				Client string  `json:"client"`
+				Rate   float64 `json:"rate"`
+			}
+			if err := json.Unmarshal(out, &v); err == nil && v.Client == "a" && v.Rate == 0.1 {
+				t.Fatalf("mutation %q left the payload semantically intact", out)
+			}
+		}
+	}
+	if !sawChange {
+		t.Fatal("MalformProb=1 never corrupted the body")
+	}
+}
+
+// TestServiceInjectorSkewModes checks both skew modes appear and that
+// negative skews are genuinely negative (a clock that ran ahead).
+func TestServiceInjectorSkewModes(t *testing.T) {
+	inj := NewServiceInjector(11, ServiceInjector{SkewProb: 1})
+	var negative, tiny int
+	for i := 0; i < 200; i++ {
+		switch ms := inj.SkewDeadline(250); {
+		case ms < 0:
+			negative++
+		case ms == 1:
+			tiny++
+		default:
+			t.Fatalf("SkewProb=1 returned unskewed budget %d", ms)
+		}
+	}
+	if negative == 0 || tiny == 0 {
+		t.Fatalf("expected both skew modes, got negative=%d tiny=%d", negative, tiny)
+	}
+}
+
+// TestServiceInjectorSlowSchedule checks the slow-client cadence: with
+// SlowEvery=4 exactly every fourth request is delayed.
+func TestServiceInjectorSlowSchedule(t *testing.T) {
+	inj := NewServiceInjector(3, ServiceInjector{SlowEvery: 4, SlowDelay: time.Millisecond})
+	for i := 1; i <= 40; i++ {
+		d := inj.Delay()
+		if want := i%4 == 0; (d > 0) != want {
+			t.Fatalf("request %d: delay %v, want slowed=%v", i, d, want)
+		}
+	}
+}

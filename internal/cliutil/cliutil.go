@@ -15,6 +15,17 @@ import (
 	"greednet/internal/utility"
 )
 
+// CheckRate validates a single rate value: positive and finite (NaN and
+// ±Inf rejected).  It is the one rate-validation rule shared by the CLI
+// flag parsers and the greedd service boundary, so a rate that would
+// poison a solver is rejected identically everywhere it can enter.
+func CheckRate(v float64) error {
+	if v <= 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+		return fmt.Errorf("cliutil: rate %v must be positive and finite", v)
+	}
+	return nil
+}
+
 // ParseRates parses a comma-separated list of positive rates, e.g.
 // "0.1,0.2,0.15".
 func ParseRates(s string) ([]float64, error) {
@@ -29,8 +40,8 @@ func ParseRates(s string) ([]float64, error) {
 		if err != nil {
 			return nil, fmt.Errorf("cliutil: bad rate %q: %w", p, err)
 		}
-		if v <= 0 || math.IsNaN(v) || math.IsInf(v, 0) {
-			return nil, fmt.Errorf("cliutil: rate %v must be positive and finite", v)
+		if err := CheckRate(v); err != nil {
+			return nil, err
 		}
 		out = append(out, v)
 	}

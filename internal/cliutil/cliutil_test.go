@@ -1,6 +1,7 @@
 package cliutil
 
 import (
+	"math"
 	"testing"
 
 	"greednet/internal/utility"
@@ -85,5 +86,18 @@ func TestParseDiscipline(t *testing.T) {
 	}
 	if _, err := ParseDiscipline("red"); err == nil {
 		t.Error("unknown discipline should fail")
+	}
+}
+
+func TestCheckRate(t *testing.T) {
+	for _, good := range []float64{0.1, 0.9, 1, 1e-9, 1e9} {
+		if err := CheckRate(good); err != nil {
+			t.Errorf("CheckRate(%v): %v", good, err)
+		}
+	}
+	for _, bad := range []float64{0, -1, math.NaN(), math.Inf(1), math.Inf(-1)} {
+		if err := CheckRate(bad); err == nil {
+			t.Errorf("CheckRate(%v) should fail", bad)
+		}
 	}
 }

@@ -1,0 +1,121 @@
+package service
+
+import (
+	"math"
+	"net/http"
+	"testing"
+
+	"greednet/internal/alloc"
+	"greednet/internal/core"
+	"greednet/internal/game"
+	"greednet/internal/mm1"
+	"greednet/internal/randdist"
+)
+
+// TestAdmissionNeverViolatesProtectionBound drives the service boundary
+// with an adversarial stream of joins, rate updates, and leaves —
+// including rates crafted to sit exactly at, just under, and far past
+// the protection pole — and checks after every operation that the
+// admitted profile can never violate Theorem 8's guarantee:
+//
+//  1. every admitted client's bound r_i/(1 − N·r_i) is finite
+//     (N·r_i < 1), and
+//  2. the Fair Share congestion actually delivered at the admitted
+//     rates keeps every protection slack nonnegative — the same
+//     cross-check the E9 protection sweep performs against the paper.
+func TestAdmissionNeverViolatesProtectionBound(t *testing.T) {
+	s := New(Options{MaxClients: 32, Burst: 1e9, Refill: 1e9})
+	h := s.Handler()
+	rng := randdist.NewRand(99)
+	fs := alloc.FairShare{}
+
+	ids := []string{"a", "b", "c", "d", "e", "f", "g", "h"}
+	for step := 0; step < 2000; step++ {
+		id := ids[rng.Intn(len(ids))]
+		var rate float64
+		switch rng.Intn(6) {
+		case 0: // innocuous
+			rate = 0.01 + 0.1*rng.Float64()
+		case 1: // hostile: far past any pole
+			rate = 1 + 10*rng.Float64()
+		case 2: // hostile: exactly at the single-client pole
+			rate = 1.0
+		case 3: // adversarial: just under the current-population pole
+			n := float64(s.clientCount() + 1)
+			rate = (1 - 1e-9) / n
+		case 4: // adversarial: just over the current-population pole
+			n := float64(s.clientCount() + 1)
+			rate = (1 + 1e-9) / n
+		case 5: // leave
+			doJSON(t, h, "POST", "/v1/update", UpdateRequest{Client: id, Leave: true}, nil)
+			assertProtected(t, s, fs)
+			continue
+		}
+		code := doJSON(t, h, "POST", "/v1/update", UpdateRequest{Client: id, Rate: rate}, nil)
+		if code != http.StatusOK && code != http.StatusTooManyRequests {
+			t.Fatalf("step %d: unexpected status %d for rate %v", step, code, rate)
+		}
+		assertProtected(t, s, fs)
+	}
+}
+
+// clientCount reads the admitted population.
+func (s *Server) clientCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.clients)
+}
+
+// admittedRates snapshots the admitted rate vector in canonical order.
+func (s *Server) admittedRates() []core.Rate {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ids := s.sortedClientIDs()
+	r := make([]core.Rate, len(ids))
+	for i, id := range ids {
+		r[i] = s.clients[id].rate
+	}
+	return r
+}
+
+// assertProtected checks both halves of the admission invariant on the
+// currently admitted profile.
+func assertProtected(t *testing.T, s *Server, fs alloc.FairShare) {
+	t.Helper()
+	r := s.admittedRates()
+	n := len(r)
+	if n == 0 {
+		return
+	}
+	for i, ri := range r {
+		if float64(n)*ri >= 1 {
+			t.Fatalf("admitted profile %v: client %d has N·r = %v ≥ 1 (infinite bound)", r, i, float64(n)*ri)
+		}
+		if b := mm1.ProtectionBound(n, ri); math.IsInf(b, 1) || math.IsNaN(b) {
+			t.Fatalf("admitted profile %v: client %d bound %v not finite", r, i, b)
+		}
+	}
+	// Cross-check against the E9 claim: under Fair Share the delivered
+	// congestion respects every admitted bound (slack ≥ 0).
+	for i, slack := range game.ProtectionSlack(fs, r) {
+		if slack < -1e-9 || math.IsNaN(slack) {
+			t.Fatalf("admitted profile %v: protection slack[%d] = %v < 0", r, i, slack)
+		}
+	}
+}
+
+// TestAdmittedProfileAlwaysFeasible pins the corollary the solver path
+// relies on: each admitted r_i < 1/N forces Σr < 1, so solves always
+// start inside the M/M/1 feasibility region.
+func TestAdmittedProfileAlwaysFeasible(t *testing.T) {
+	s := New(Options{Burst: 1e9, Refill: 1e9})
+	h := s.Handler()
+	rng := randdist.NewRand(7)
+	for step := 0; step < 500; step++ {
+		id := string(rune('a' + rng.Intn(12)))
+		doJSON(t, h, "POST", "/v1/update", UpdateRequest{Client: id, Rate: rng.Float64() * 2}, nil)
+		if r := s.admittedRates(); len(r) > 0 && !core.Feasible(r) {
+			t.Fatalf("step %d: admitted profile %v infeasible", step, r)
+		}
+	}
+}

@@ -1,0 +1,566 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"greednet/internal/core"
+)
+
+// fakeClock is a mutable, goroutine-safe time source for the tests.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Unix(1_000_000, 0)}
+}
+
+func (f *fakeClock) now() time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.t
+}
+
+func (f *fakeClock) advance(d time.Duration) {
+	f.mu.Lock()
+	f.t = f.t.Add(d)
+	f.mu.Unlock()
+}
+
+// doJSON POSTs (or GETs, with a nil body) against the handler and
+// decodes the response body into out, returning the status code.
+func doJSON(t *testing.T, h http.Handler, method, path string, body any, out any) int {
+	t.Helper()
+	var rd *bytes.Reader
+	if raw, ok := body.([]byte); ok {
+		rd = bytes.NewReader(raw)
+	} else if body != nil {
+		data, err := json.Marshal(body)
+		if err != nil {
+			t.Fatalf("marshal: %v", err)
+		}
+		rd = bytes.NewReader(data)
+	} else {
+		rd = bytes.NewReader(nil)
+	}
+	req := httptest.NewRequest(method, path, rd)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if out != nil {
+		if err := json.Unmarshal(rec.Body.Bytes(), out); err != nil {
+			t.Fatalf("%s %s: undecodable body %q: %v", method, path, rec.Body.String(), err)
+		}
+	}
+	return rec.Code
+}
+
+// update admits one client and fails the test on rejection.
+func update(t *testing.T, h http.Handler, id string, rate float64, spec string) UpdateResponse {
+	t.Helper()
+	var resp UpdateResponse
+	code := doJSON(t, h, "POST", "/v1/update", UpdateRequest{Client: id, Rate: rate, Utility: spec}, &resp)
+	if code != http.StatusOK {
+		t.Fatalf("update %s rate %v: status %d", id, rate, code)
+	}
+	return resp
+}
+
+func TestUpdateSolveCongestionLoop(t *testing.T) {
+	s := New(Options{Workers: 1})
+	s.Start()
+	defer func() {
+		if err := s.Shutdown(context.Background()); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+	}()
+	h := s.Handler()
+
+	up := update(t, h, "a", 0.1, "linear:1,4")
+	if !up.Admitted || up.Clients != 1 {
+		t.Fatalf("bad update response: %+v", up)
+	}
+	wantBound := 0.1 / (1 - 0.1)
+	if diff := up.Bound - wantBound; diff > 1e-12 || diff < -1e-12 {
+		t.Errorf("bound = %v, want %v", up.Bound, wantBound)
+	}
+	update(t, h, "b", 0.15, "linear:1,4")
+
+	var sol SolveResponse
+	if code := doJSON(t, h, "POST", "/v1/solve", SolveRequest{Client: "a"}, &sol); code != http.StatusOK {
+		t.Fatalf("solve: status %d", code)
+	}
+	if !sol.Converged || len(sol.R) != 2 || len(sol.C) != 2 {
+		t.Fatalf("bad solve: %+v", sol)
+	}
+	if sol.Clients[0] != "a" || sol.Clients[1] != "b" {
+		t.Errorf("canonical client order broken: %v", sol.Clients)
+	}
+	if sol.Cached {
+		t.Error("first solve claims cached")
+	}
+
+	// Same profile again: must be a cache hit with identical vectors.
+	var sol2 SolveResponse
+	if code := doJSON(t, h, "POST", "/v1/solve", SolveRequest{Client: "b"}, &sol2); code != http.StatusOK {
+		t.Fatalf("second solve: status %d", code)
+	}
+	if !sol2.Cached {
+		t.Error("unchanged profile not served from cache")
+	}
+	for i := range sol.R {
+		if sol.R[i] != sol2.R[i] || sol.C[i] != sol2.C[i] {
+			t.Errorf("cached solve differs at %d: %v vs %v", i, sol.R[i], sol2.R[i])
+		}
+	}
+
+	// The republished congestion closes the loop.
+	var cg CongestionResponse
+	if code := doJSON(t, h, "GET", "/v1/congestion?client=a", nil, &cg); code != http.StatusOK {
+		t.Fatalf("congestion: status %d", code)
+	}
+	if cg.Congestion != sol.C[0] || cg.Rate != sol.R[0] {
+		t.Errorf("republished point %+v does not match solve %v/%v", cg, sol.R[0], sol.C[0])
+	}
+	if cg.Stale {
+		t.Error("fresh point reported stale")
+	}
+
+	// A rate update makes the published point stale.
+	update(t, h, "a", 0.12, "")
+	if code := doJSON(t, h, "GET", "/v1/congestion?client=a", nil, &cg); code != http.StatusOK {
+		t.Fatalf("congestion after update: status %d", code)
+	}
+	if !cg.Stale {
+		t.Error("point not stale after profile change")
+	}
+
+	var st Stats
+	if code := doJSON(t, h, "GET", "/v1/stats", nil, &st); code != http.StatusOK {
+		t.Fatalf("stats: status %d", code)
+	}
+	if st.CacheHits != 1 || st.SolvesRun != 1 {
+		t.Errorf("stats: %d hits, %d runs; want 1, 1", st.CacheHits, st.SolvesRun)
+	}
+}
+
+func TestAdmissionRejectsPoleCrossing(t *testing.T) {
+	s := New(Options{})
+	h := s.Handler()
+	// Single client at N·r = 1 exactly: rejected.
+	var rej Rejection
+	code := doJSON(t, h, "POST", "/v1/update", UpdateRequest{Client: "hog", Rate: 1.0}, &rej)
+	if code != http.StatusTooManyRequests || rej.Reason != ReasonAdmission {
+		t.Fatalf("N·r = 1 admitted: status %d, %+v", code, rej)
+	}
+	// 0.5 alone is fine (1·0.5 < 1)…
+	update(t, h, "a", 0.5, "")
+	// …but a second client pushes a's bound past the pole (2·0.5 = 1):
+	// the NEWCOMER is rejected, whatever its own rate.
+	code = doJSON(t, h, "POST", "/v1/update", UpdateRequest{Client: "b", Rate: 0.01}, &rej)
+	if code != http.StatusTooManyRequests || rej.Reason != ReasonAdmission {
+		t.Fatalf("join breaking an incumbent bound admitted: status %d, %+v", code, rej)
+	}
+	if !strings.Contains(rej.Detail, "incumbent") {
+		t.Errorf("rejection does not name the incumbent: %q", rej.Detail)
+	}
+	// After a retreats to 0.3, b fits (2·0.3 < 1, 2·0.01 < 1).
+	update(t, h, "a", 0.3, "")
+	update(t, h, "b", 0.01, "")
+}
+
+func TestMalformedRejections(t *testing.T) {
+	s := New(Options{})
+	h := s.Handler()
+	cases := []struct {
+		name string
+		body []byte
+	}{
+		{"truncated", []byte(`{"client":"a","rate":`)},
+		{"not json", []byte(`hello`)},
+		{"nan rate", []byte(`{"client":"a","rate":NaN}`)},
+		{"negative rate", []byte(`{"client":"a","rate":-0.5}`)},
+		{"zero rate", []byte(`{"client":"a","rate":0}`)},
+		{"inf rate", []byte(`{"client":"a","rate":1e999}`)},
+		{"no client", []byte(`{"rate":0.1}`)},
+		{"bad utility", []byte(`{"client":"a","rate":0.1,"utility":"bogus:1"}`)},
+		{"unknown field", []byte(`{"client":"a","rate":0.1,"rats":9}`)},
+	}
+	for _, tc := range cases {
+		var rej Rejection
+		code := doJSON(t, h, "POST", "/v1/update", tc.body, &rej)
+		if code != http.StatusBadRequest || rej.Reason != ReasonMalformed {
+			t.Errorf("%s: status %d reason %q, want 400 %q", tc.name, code, rej.Reason, ReasonMalformed)
+		}
+	}
+	st := s.snapshotStats()
+	if st.RejectedMalformed != int64(len(cases)) {
+		t.Errorf("malformed counter %d, want %d", st.RejectedMalformed, len(cases))
+	}
+}
+
+func TestTokenBucketSheds(t *testing.T) {
+	clk := newFakeClock()
+	s := New(Options{Burst: 3, Refill: 1, Clock: clk.now})
+	h := s.Handler()
+	update(t, h, "a", 0.1, "") // join spends 1 of 3 tokens
+	update(t, h, "a", 0.11, "")
+	update(t, h, "a", 0.12, "")
+	var rej Rejection
+	code := doJSON(t, h, "POST", "/v1/update", UpdateRequest{Client: "a", Rate: 0.13}, &rej)
+	if code != http.StatusTooManyRequests || rej.Reason != ReasonOverload {
+		t.Fatalf("empty bucket: status %d reason %q, want 429 %q", code, rej.Reason, ReasonOverload)
+	}
+	// One second refills one token.
+	clk.advance(time.Second)
+	update(t, h, "a", 0.13, "")
+}
+
+func TestSolveDeadlineSkewRejected(t *testing.T) {
+	s := New(Options{})
+	h := s.Handler()
+	update(t, h, "a", 0.1, "")
+	var rej Rejection
+	code := doJSON(t, h, "POST", "/v1/solve", SolveRequest{Client: "a", DeadlineMS: -50}, &rej)
+	if code != http.StatusServiceUnavailable || rej.Reason != ReasonDeadline {
+		t.Fatalf("negative deadline: status %d reason %q, want 503 %q", code, rej.Reason, ReasonDeadline)
+	}
+}
+
+func TestSolveNoClients(t *testing.T) {
+	s := New(Options{})
+	var rej Rejection
+	code := doJSON(t, s.Handler(), "POST", "/v1/solve", SolveRequest{Client: "x"}, &rej)
+	if code != http.StatusTooManyRequests || rej.Reason != ReasonAdmission {
+		t.Fatalf("empty profile solve: status %d reason %q", code, rej.Reason)
+	}
+}
+
+// blockingAlloc parks every congestion evaluation until released, so
+// tests can hold a solve in flight deterministically.
+type blockingAlloc struct {
+	inner   core.Allocation
+	release chan struct{}
+}
+
+func (b *blockingAlloc) Name() string { return "blocking(" + b.inner.Name() + ")" }
+func (b *blockingAlloc) Congestion(r []core.Rate) []core.Congestion {
+	<-b.release
+	return b.inner.Congestion(r)
+}
+func (b *blockingAlloc) CongestionOf(r []core.Rate, i int) core.Congestion {
+	<-b.release
+	return b.inner.CongestionOf(r, i)
+}
+
+func TestQueueShedsOverloadAndDeadline(t *testing.T) {
+	clk := newFakeClock()
+	rel := make(chan struct{})
+	s := New(Options{
+		Workers:  1,
+		QueueCap: 1,
+		Clock:    clk.now,
+		Alloc:    &blockingAlloc{inner: passAlloc{}, release: rel},
+	})
+	s.Start()
+	h := s.Handler()
+	update(t, h, "a", 0.1, "")
+
+	type result struct {
+		code int
+		rej  Rejection
+	}
+	results := make(chan result, 3)
+	solve := func(deadlineMS int64) {
+		var rej Rejection
+		code := doJSON(t, h, "POST", "/v1/solve", SolveRequest{Client: "a", DeadlineMS: deadlineMS}, &rej)
+		results <- result{code, rej}
+	}
+	// First solve: dequeued by the worker, parked on the allocation.
+	go solve(60_000)
+	waitFor(t, func() bool {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return len(s.flights) == 1 && len(s.queue) == 0
+	})
+	// Second solve: different profile (rate changed), sits in the queue.
+	update(t, h, "a", 0.11, "")
+	go solve(60_000)
+	waitFor(t, func() bool {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return len(s.queue) == 1
+	})
+
+	// Third: queue full → typed overload shed.
+	update(t, h, "a", 0.12, "")
+	var rej Rejection
+	code := doJSON(t, h, "POST", "/v1/solve", SolveRequest{Client: "a", DeadlineMS: 60_000}, &rej)
+	if code != http.StatusServiceUnavailable || rej.Reason != ReasonOverload {
+		t.Fatalf("full queue: status %d reason %q, want 503 %q", code, rej.Reason, ReasonOverload)
+	}
+
+	// Raise the cap effect by aging the head instead: with the head job
+	// 2s old, a 500ms-deadline request is shed with a typed deadline
+	// reason even though the queue has room.
+	s.mu.Lock()
+	s.opt.QueueCap = 8
+	s.mu.Unlock()
+	clk.advance(2 * time.Second)
+	code = doJSON(t, h, "POST", "/v1/solve", SolveRequest{Client: "a", DeadlineMS: 500}, &rej)
+	if code != http.StatusServiceUnavailable || rej.Reason != ReasonDeadline {
+		t.Fatalf("aged head: status %d reason %q, want 503 %q", code, rej.Reason, ReasonDeadline)
+	}
+	if !strings.Contains(rej.Detail, "queue head") {
+		t.Errorf("deadline shed detail: %q", rej.Detail)
+	}
+
+	close(rel) // release both parked solves
+	for i := 0; i < 2; i++ {
+		r := <-results
+		if r.code != http.StatusOK {
+			t.Errorf("parked solve %d: status %d %+v", i, r.code, r.rej)
+		}
+	}
+	if err := s.Shutdown(context.Background()); err != nil {
+		t.Errorf("shutdown: %v", err)
+	}
+	st := s.snapshotStats()
+	if st.ShedOverload == 0 || st.ShedDeadline == 0 {
+		t.Errorf("shed counters not bumped: %+v", st)
+	}
+	if st.QueueMax > 8 {
+		t.Errorf("queue grew past its cap: max %d", st.QueueMax)
+	}
+}
+
+// passAlloc is a trivial exact allocation for tests that never reach
+// real congestion values.
+type passAlloc struct{}
+
+func (passAlloc) Name() string { return "pass" }
+func (passAlloc) Congestion(r []core.Rate) []core.Congestion {
+	out := make([]core.Congestion, len(r))
+	for i, v := range r {
+		out[i] = core.Congestion(float64(v))
+	}
+	return out
+}
+func (passAlloc) CongestionOf(r []core.Rate, i int) core.Congestion {
+	return core.Congestion(float64(r[i]))
+}
+
+// panicAlloc blows up on first use: the solver containment test.
+type panicAlloc struct{ passAlloc }
+
+func (panicAlloc) CongestionOf(r []core.Rate, i int) core.Congestion { panic("hostile profile") }
+func (panicAlloc) Congestion(r []core.Rate) []core.Congestion       { panic("hostile profile") }
+
+func TestSolverPanicContained(t *testing.T) {
+	s := New(Options{Workers: 1, Alloc: panicAlloc{}})
+	s.Start()
+	h := s.Handler()
+	update(t, h, "a", 0.1, "")
+	var rej Rejection
+	code := doJSON(t, h, "POST", "/v1/solve", SolveRequest{Client: "a"}, &rej)
+	if code != http.StatusInternalServerError || rej.Reason != ReasonPanic || rej.Status != "FAILED(panic)" {
+		t.Fatalf("solver panic: status %d body %+v", code, rej)
+	}
+	// The worker survived: a sane allocation would now solve; at minimum
+	// the server still answers and drains cleanly.
+	if code := doJSON(t, h, "GET", "/healthz", nil, &HealthResponse{}); code != http.StatusOK {
+		t.Errorf("healthz after panic: %d", code)
+	}
+	if err := s.Shutdown(context.Background()); err != nil {
+		t.Errorf("shutdown after panic: %v", err)
+	}
+	if st := s.snapshotStats(); st.Panics == 0 {
+		t.Error("panic not counted")
+	}
+}
+
+func TestHandlerPanicContained(t *testing.T) {
+	s := New(Options{})
+	h := s.contain(func(w http.ResponseWriter, r *http.Request) { panic("boom") })
+	rec := httptest.NewRecorder()
+	h(rec, httptest.NewRequest("GET", "/x", nil))
+	var rej Rejection
+	if err := json.Unmarshal(rec.Body.Bytes(), &rej); err != nil {
+		t.Fatalf("bad body: %v", err)
+	}
+	if rec.Code != http.StatusInternalServerError || rej.Status != "FAILED(panic)" || rej.Reason != ReasonPanic {
+		t.Fatalf("contained panic rendered %d %+v", rec.Code, rej)
+	}
+}
+
+func TestWatchdogFlipsHealthOnStall(t *testing.T) {
+	clk := newFakeClock()
+	s := New(Options{StallAfter: time.Second, Clock: clk.now})
+	h := s.Handler()
+	update(t, h, "a", 0.1, "")
+
+	if code := doJSON(t, h, "GET", "/healthz", nil, &HealthResponse{}); code != http.StatusOK {
+		t.Fatalf("healthy server: %d", code)
+	}
+	// Plant a queued job that nobody is serving and let the stall clock
+	// run out.
+	s.mu.Lock()
+	s.queue = append(s.queue, &job{enqueued: clk.now(), fl: &flight{done: make(chan struct{})}})
+	s.mu.Unlock()
+	clk.advance(1500 * time.Millisecond)
+	s.checkStall(clk.now())
+
+	var hr HealthResponse
+	if code := doJSON(t, h, "GET", "/healthz", nil, &hr); code != http.StatusServiceUnavailable || hr.Status != "draining" {
+		t.Fatalf("stalled healthz: %d %+v", code, hr)
+	}
+	var rej Rejection
+	if code := doJSON(t, h, "POST", "/v1/solve", SolveRequest{Client: "a"}, &rej); code != http.StatusServiceUnavailable || rej.Reason != ReasonDraining {
+		t.Fatalf("stalled solve: %d %+v", code, rej)
+	}
+	// Progress resumes (queue drained): health recovers.
+	s.mu.Lock()
+	s.queue = nil
+	s.mu.Unlock()
+	s.checkStall(clk.now())
+	if code := doJSON(t, h, "GET", "/healthz", nil, &hr); code != http.StatusOK {
+		t.Fatalf("recovered healthz: %d %+v", code, hr)
+	}
+}
+
+func TestCoalescingSingleSolve(t *testing.T) {
+	rel := make(chan struct{})
+	s := New(Options{Workers: 2, Alloc: &blockingAlloc{inner: passAlloc{}, release: rel}})
+	s.Start()
+	h := s.Handler()
+	update(t, h, "a", 0.1, "")
+	update(t, h, "b", 0.2, "")
+
+	const waiters = 8
+	codes := make(chan int, waiters)
+	for i := 0; i < waiters; i++ {
+		go func() {
+			var sol SolveResponse
+			codes <- doJSON(t, h, "POST", "/v1/solve", SolveRequest{Client: "a", DeadlineMS: 60_000}, &sol)
+		}()
+	}
+	waitFor(t, func() bool {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return s.stats.Solves == waiters
+	})
+	close(rel)
+	for i := 0; i < waiters; i++ {
+		if c := <-codes; c != http.StatusOK {
+			t.Errorf("waiter %d: status %d", i, c)
+		}
+	}
+	if err := s.Shutdown(context.Background()); err != nil {
+		t.Errorf("shutdown: %v", err)
+	}
+	st := s.snapshotStats()
+	if st.SolvesRun != 1 {
+		t.Errorf("%d solver runs for %d identical requests, want exactly 1", st.SolvesRun, waiters)
+	}
+	if st.Coalesced != waiters-1 {
+		t.Errorf("coalesced = %d, want %d", st.Coalesced, waiters-1)
+	}
+}
+
+func TestUtilityChangeInvalidatesCache(t *testing.T) {
+	s := New(Options{Workers: 1})
+	s.Start()
+	defer func() {
+		if err := s.Shutdown(context.Background()); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+	}()
+	h := s.Handler()
+	update(t, h, "a", 0.1, "linear:1,4")
+	var sol SolveResponse
+	if code := doJSON(t, h, "POST", "/v1/solve", SolveRequest{Client: "a"}, &sol); code != http.StatusOK {
+		t.Fatalf("solve: %d", code)
+	}
+	s.mu.Lock()
+	cached := len(s.cache)
+	s.mu.Unlock()
+	if cached != 1 {
+		t.Fatalf("cache size %d after solve", cached)
+	}
+	// Changing the utility clears the cache outright.
+	update(t, h, "a", 0.1, "linear:2,4")
+	s.mu.Lock()
+	cached = len(s.cache)
+	s.mu.Unlock()
+	if cached != 0 {
+		t.Errorf("cache holds %d entries after a utility change, want 0", cached)
+	}
+}
+
+func TestShutdownDrainsAndRejects(t *testing.T) {
+	before := runtime.NumGoroutine()
+	s := New(Options{Workers: 3})
+	s.Start()
+	h := s.Handler()
+	update(t, h, "a", 0.1, "")
+	if code := doJSON(t, h, "POST", "/v1/solve", SolveRequest{Client: "a"}, &SolveResponse{}); code != http.StatusOK {
+		t.Fatalf("solve: %d", code)
+	}
+	if err := s.Shutdown(context.Background()); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	// Draining: every new request is a typed draining rejection.
+	var rej Rejection
+	if code := doJSON(t, h, "POST", "/v1/update", UpdateRequest{Client: "b", Rate: 0.1}, &rej); code != http.StatusServiceUnavailable || rej.Reason != ReasonDraining {
+		t.Errorf("post-drain update: %d %+v", code, rej)
+	}
+	if code := doJSON(t, h, "POST", "/v1/solve", SolveRequest{Client: "a"}, &rej); code != http.StatusServiceUnavailable || rej.Reason != ReasonDraining {
+		t.Errorf("post-drain solve: %d %+v", code, rej)
+	}
+	var hr HealthResponse
+	if code := doJSON(t, h, "GET", "/healthz", nil, &hr); code != http.StatusServiceUnavailable || hr.Status != "draining" {
+		t.Errorf("post-drain healthz: %d %+v", code, hr)
+	}
+	// All workers and the watchdog exited: goroutine count settles back.
+	waitFor(t, func() bool { return runtime.NumGoroutine() <= before })
+}
+
+// waitFor polls cond for up to 5 seconds.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition never became true")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func TestCacheEvictionIsFIFOAndBounded(t *testing.T) {
+	s := New(Options{CacheCap: 2})
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := 0; i < 5; i++ {
+		s.cacheStore(fmt.Sprintf("k%d", i), &SolveResponse{Key: fmt.Sprintf("k%d", i)})
+	}
+	if len(s.cache) > 2 {
+		t.Fatalf("cache size %d over cap 2", len(s.cache))
+	}
+	if _, ok := s.cache["k4"]; !ok {
+		t.Error("newest entry evicted")
+	}
+	if _, ok := s.cache["k0"]; ok {
+		t.Error("oldest entry survived FIFO eviction")
+	}
+}
