@@ -2,7 +2,7 @@ GO ?= go
 LINT := bin/greedlint
 FUZZTIME ?= 30s
 
-.PHONY: all build lint lint-changed lint-json lint-golden test race bench bench-micro bench-events service-bench escapes escapes-update fuzz clean
+.PHONY: all build lint lint-changed lint-json lint-golden test race bench bench-micro bench-events bench-classes service-bench escapes escapes-update fuzz clean
 
 all: build lint test
 
@@ -70,6 +70,15 @@ bench-micro:
 # only) replication throughput stops scaling.
 bench-events:
 	$(GO) run ./cmd/greedbench -events BENCH_events.json
+
+# Class-solver gate: the class-aggregated Nash solver at K classes over
+# N users up to 10^6, archived as BENCH_classes.json.  Exits 1 when a
+# scale's ns/op exceeds its ceiling (the solve went O(N)), the warm
+# steady state allocates, the class solve measures slower than the exact
+# solver it aggregates, or the fast arithmetic drifts off the exact
+# per-user answers (Float64bits at K = N and K = 1).
+bench-classes:
+	$(GO) run ./cmd/greedbench -classes BENCH_classes.json
 
 # greedd chaos load harness: a thousand hill-climbing selfish clients
 # plus the four service-level chaos injectors against an in-process

@@ -24,6 +24,8 @@ func BenchmarkE18DKSFQ(b *testing.B)         { benchExperiment(b, "E18") }
 func BenchmarkE19Tandem(b *testing.B)        { benchExperiment(b, "E19") }
 func BenchmarkE20OnlyFairShare(b *testing.B) { benchExperiment(b, "E20") }
 
+func BenchmarkE21ClassAggregation(b *testing.B) { benchExperiment(b, "E21") }
+
 // DESIGN.md §6 ablation: grid+golden best response vs Newton-on-FDC.
 func BenchmarkBRNewtonFDC(b *testing.B) {
 	us := utility.Identical(utility.NewLinear(1, 0.25), 3)

@@ -1,4 +1,4 @@
-// Benchmarks: one per reproduced table/figure-equivalent (E1–E20, run in
+// Benchmarks: one per reproduced table/figure-equivalent (E1–E21, run in
 // fast mode through the experiment registry), plus micro-benchmarks of the
 // core machinery and the ablations called out in DESIGN.md §6.
 package greednet_test

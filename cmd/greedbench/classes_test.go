@@ -1,0 +1,85 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// cleanClassReport is a report every gate accepts; tests inject one
+// regression at a time into copies of it.
+func cleanClassReport() classReport {
+	return classReport{
+		HostCores:    4,
+		SpeedupValid: true,
+		BitEqual:     true,
+		Scales: []classScaleRecord{
+			{Name: "k8_n256", K: 8, N: 256, NsPerOp: 5e5, NsCeiling: 1e7,
+				ExactNsPerOp: 1.2e8, SpeedupVsExact: 240},
+			{Name: "k8_n1e6", K: 8, N: 1_000_000, NsPerOp: 4e5, NsCeiling: 1e7},
+		},
+	}
+}
+
+func TestGateClassesCleanReportPasses(t *testing.T) {
+	if fails := gateClasses(cleanClassReport()); len(fails) != 0 {
+		t.Fatalf("clean report failed the gate: %v", fails)
+	}
+}
+
+func TestGateClassesCatchesCeilingRegression(t *testing.T) {
+	r := cleanClassReport()
+	r.Scales[1].NsPerOp = 2e7 // over the 1e7 ceiling: the solve went O(N)
+	fails := gateClasses(r)
+	if len(fails) != 1 {
+		t.Fatalf("want exactly 1 failure, got %v", fails)
+	}
+	if !strings.Contains(fails[0], "k8_n1e6") || !strings.Contains(fails[0], "ceiling") {
+		t.Fatalf("failure does not name the scale and regression kind: %q", fails[0])
+	}
+}
+
+func TestGateClassesCatchesAllocRegression(t *testing.T) {
+	r := cleanClassReport()
+	r.Scales[0].AllocsPerOp = 3 // warm scratch started escaping
+	fails := gateClasses(r)
+	if len(fails) != 1 {
+		t.Fatalf("want exactly 1 failure, got %v", fails)
+	}
+	if !strings.Contains(fails[0], "k8_n256") || !strings.Contains(fails[0], "allocs/op") {
+		t.Fatalf("failure does not name the scale and regression kind: %q", fails[0])
+	}
+}
+
+func TestGateClassesCatchesBitDrift(t *testing.T) {
+	r := cleanClassReport()
+	r.BitEqual = false
+	fails := gateClasses(r)
+	if len(fails) != 1 {
+		t.Fatalf("want exactly 1 failure, got %v", fails)
+	}
+	if !strings.Contains(fails[0], "bit-equality") {
+		t.Fatalf("failure does not name the regression kind: %q", fails[0])
+	}
+}
+
+func TestGateClassesCatchesSpeedupInversion(t *testing.T) {
+	r := cleanClassReport()
+	r.Scales[0].SpeedupVsExact = 0.8 // "aggregation" slower than the exact solver
+	fails := gateClasses(r)
+	if len(fails) != 1 {
+		t.Fatalf("want exactly 1 failure, got %v", fails)
+	}
+	if !strings.Contains(fails[0], "k8_n256") || !strings.Contains(fails[0], "slower") {
+		t.Fatalf("failure does not name the scale and regression kind: %q", fails[0])
+	}
+}
+
+// A scale without the exact comparison (SpeedupVsExact zero) must not
+// trip the speedup check.
+func TestGateClassesIgnoresMissingExactComparison(t *testing.T) {
+	r := cleanClassReport()
+	r.Scales[1].SpeedupVsExact = 0
+	if fails := gateClasses(r); len(fails) != 0 {
+		t.Fatalf("missing exact comparison tripped the gate: %v", fails)
+	}
+}

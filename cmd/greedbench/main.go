@@ -1,4 +1,4 @@
-// Command greedbench runs the paper-reproduction experiment suite (E1–E20)
+// Command greedbench runs the paper-reproduction experiment suite (E1–E21)
 // and prints each experiment's table with a paper-vs-measured verdict.
 // EXPERIMENTS.md is generated from this tool's output.
 //
@@ -23,6 +23,13 @@
 // allocs/op and bytes/op land in the given JSON file; a gated case that
 // allocates exits 1.  -cpuprofile and -memprofile write pprof profiles
 // of whatever work the invocation did.
+//
+// With -classes the suite is skipped in favor of the class-solver gate:
+// the class-aggregated Nash solver runs at K classes over N users up to
+// 10^6, its ns/op is checked against each scale's ceiling, its warm
+// steady state against zero allocs/op, and its arithmetic against the
+// exact per-user solver (Float64bits at K = N and K = 1); results land
+// in BENCH_classes.json.
 //
 // With -escapes the suite is also skipped: the module is compiled with
 // -gcflags=-m and every "escapes to heap" / "moved to heap" diagnostic
@@ -77,6 +84,7 @@ func run() int {
 		hotOut  = flag.String("hotpath", "", "run the hot-path micro-benchmarks instead of the suite, write ns/op+allocs/op JSON to this path; exit 1 if a gated path exceeds its allocs/op budget")
 		escOut  = flag.String("escapes", "", "diff the compiler's hot-path escape analysis against the baseline JSON at this path instead of running the suite; exit 1 on new or stale escapes")
 		evOut   = flag.String("events", "", "run the events/sec benchmark family (calendar vs heap engines plus replication throughput) instead of the suite, write JSON to this path; exit 1 on a ratio, allocation, or scaling regression")
+		clsOut  = flag.String("classes", "", "run the class-solver benchmark family (K classes, N users up to 10^6) instead of the suite, write JSON to this path; exit 1 on a ceiling, allocation, speedup, or bit-equality regression")
 		svcOut  = flag.String("service", "", "run the greedd chaos load harness instead of the suite, write latency/shed JSON to this path; exit 1 on queue growth, untyped rejections, panics, or leaked goroutines")
 		svcN    = flag.Int("service-clients", 1000, "client population for -service")
 		svcR    = flag.Int("service-rounds", 2, "control-loop rounds per client for -service")
@@ -136,6 +144,14 @@ func run() int {
 	}
 	if *evOut != "" {
 		code, err := writeEventsJSON(*evOut, *force)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "greedbench:", err)
+			return 2
+		}
+		return code
+	}
+	if *clsOut != "" {
+		code, err := writeClassesJSON(*clsOut, *force)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "greedbench:", err)
 			return 2

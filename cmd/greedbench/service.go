@@ -34,22 +34,27 @@ type serviceReport struct {
 	Rounds  int `json:"rounds"`
 	Drivers int `json:"drivers"`
 
-	Requests     int64   `json:"requests"`
-	Succeeded    int64   `json:"succeeded"`
-	P50MS        float64 `json:"p50_ms"`
-	P95MS        float64 `json:"p95_ms"`
-	P99MS        float64 `json:"p99_ms"`
+	Requests     int64            `json:"requests"`
+	Succeeded    int64            `json:"succeeded"`
+	P50MS        float64          `json:"p50_ms"`
+	P95MS        float64          `json:"p95_ms"`
+	P99MS        float64          `json:"p99_ms"`
 	ShedByReason map[string]int64 `json:"shed_by_reason"`
-	ShedRate     float64 `json:"shed_rate"`
+	ShedRate     float64          `json:"shed_rate"`
 	// UntypedSheds counts rejections that arrived without one of the
 	// service's typed reasons — the gate's zero-tolerance counter.
 	UntypedSheds int64 `json:"untyped_sheds"`
 
-	SolvesRun    int64   `json:"solves_run"`
-	CacheHits    int64   `json:"cache_hits"`
-	Coalesced    int64   `json:"coalesced"`
-	CacheHitRate float64 `json:"cache_hit_rate"`
-	Panics       int64   `json:"panics"`
+	SolvesRun int64 `json:"solves_run"`
+	CacheHits int64 `json:"cache_hits"`
+	// ClassCacheHits is the subset of CacheHits served by the
+	// class-canonical (identity-free) cache — the coalescing win over
+	// the historical per-user key, recorded so the hit-rate change is
+	// visible artifact to artifact.
+	ClassCacheHits int64   `json:"class_cache_hits"`
+	Coalesced      int64   `json:"coalesced"`
+	CacheHitRate   float64 `json:"cache_hit_rate"`
+	Panics         int64   `json:"panics"`
 
 	QueueCap int `json:"queue_cap"`
 	QueueMax int `json:"queue_max"`
@@ -374,7 +379,8 @@ func writeServiceJSON(path string, clients, rounds int, seed int64, force bool) 
 		Clients: clients, Rounds: rounds, Drivers: nDrivers,
 		QueueCap: 64, QueueMax: stats.QueueMax,
 		SolvesRun: stats.SolvesRun, CacheHits: stats.CacheHits,
-		Coalesced: stats.Coalesced, Panics: stats.Panics,
+		ClassCacheHits: stats.ClassCacheHits,
+		Coalesced:      stats.Coalesced, Panics: stats.Panics,
 		ShedByReason: make(map[string]int64),
 		HostCores:    runtime.GOMAXPROCS(0),
 		SpeedupValid: runtime.GOMAXPROCS(0) > 1,
@@ -432,10 +438,10 @@ func writeServiceJSON(path string, clients, rounds int, seed int64, force bool) 
 
 	fmt.Printf("service: %d clients × %d rounds over %d drivers in %v\n",
 		clients, rounds, nDrivers, time.Duration(driveNS).Round(time.Millisecond))
-	fmt.Printf("service: %d requests, p50 %.2fms p95 %.2fms p99 %.2fms, shed %.1f%% %v, cache hit %.1f%%, %d coalesced, queue max %d/%d\n",
+	fmt.Printf("service: %d requests, p50 %.2fms p95 %.2fms p99 %.2fms, shed %.1f%% %v, cache hit %.1f%% (%d via class coalescing), %d coalesced, queue max %d/%d\n",
 		report.Requests, report.P50MS, report.P95MS, report.P99MS,
 		100*report.ShedRate, report.ShedByReason, 100*report.CacheHitRate,
-		report.Coalesced, report.QueueMax, report.QueueCap)
+		report.ClassCacheHits, report.Coalesced, report.QueueMax, report.QueueCap)
 	fmt.Printf("service: drain %v clean=%v, %d stalled conns released, %d goroutines leaked\n",
 		time.Duration(report.DrainNS).Round(time.Millisecond), report.DrainClean,
 		report.StalledConns, report.LeakedGoroutines)

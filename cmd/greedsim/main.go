@@ -9,6 +9,13 @@
 //	greedsim -disc fifo -profile "linear:1,0.2;linear:1,0.2" -mode stackelberg -leader 0
 //	greedsim -disc fair-share -profile "linear:1,0.25;log:0.3,1" -mode envy
 //	greedsim -disc fair-share -mode nash -multistart 32 -seed 7
+//	greedsim -classes "500000xlinear:1,0.2@4e-7;500000xlinear:1,0.5@4e-7" -fluid
+//
+// With -classes the profile is class-aggregated: COUNTxSPEC@RATE entries
+// describe K utility classes carrying N = ΣCOUNT users, solved by the
+// O(K)-per-step class solver — a million-user game is as cheap as a
+// K-user one.  -fluid additionally solves the N → ∞ fluid limit and
+// prints the scaled per-class rates next to their finite-N counterparts.
 //
 // With -timeout the cooperative modes (nash, pareto, envy, dynamics,
 // coalition) run their solves under a deadline; a solve that exceeds it
@@ -49,6 +56,8 @@ func main() {
 		timeout  = flag.Duration("timeout", 0, "deadline for the solve; exceeding it prints FAILED(deadline) and exits 1 (0 disables)")
 		nstarts  = flag.Int("multistart", 0, "solve -mode nash from N random starts and report distinct equilibria and dropped starts (0 disables)")
 		msSeed   = flag.Int64("seed", 1, "RNG seed for the -multistart starting points")
+		classStr = flag.String("classes", "", "class-aggregated profile \"COUNTxSPEC@RATE;...\" solved by the O(K) class solver instead of -profile")
+		fluidOn  = flag.Bool("fluid", false, "with -classes: also solve the N→∞ fluid limit and print scaled per-class rates")
 	)
 	flag.Parse()
 
@@ -61,6 +70,10 @@ func main() {
 
 	a, err := cliutil.ParseAlloc(*discName)
 	fatalIf(err)
+	if *classStr != "" {
+		runClasses(ctx, a, *classStr, *fluidOn, *timeout)
+		return
+	}
 	var us core.Profile
 	var start []float64
 	var free []bool
@@ -182,6 +195,69 @@ func printPoint(title string, us core.Profile, p core.Point) {
 	// out-of-domain point prints ±Inf, which is the honest report.
 	fmt.Printf("total load %.4g, total queue %.4g (M/M/1 predicts %.4g)\n",
 		mm1.Sum(p.R), mm1.Sum(p.C), mm1.G(mm1.Sum(p.R))) //lint:allow feasguard diagnostic print of the solver's point; ±Inf is the honest rendering
+}
+
+// runClasses solves the class-aggregated game given by -classes with
+// the O(K)-per-step class solver and prints one row per class; with
+// -fluid it also solves the N → ∞ fluid limit and prints the scaled
+// per-class rates next to their finite-N counterparts.  The printing
+// loops live in ctx-free helpers: by the time anything prints, the
+// solve is done and there is nothing left to cancel.
+func runClasses(ctx context.Context, a core.Allocation, spec string, fluid bool, timeout time.Duration) {
+	classes, err := cliutil.ParseClasses(spec)
+	fatalIf(err)
+	cg, err := game.NewClassGame(classes)
+	fatalIf(err)
+	if load := classLoad(cg, cg.Rates()); load >= 1 {
+		fatalIf(fmt.Errorf("class starting rates are infeasible: Σ count·rate = %.4g ≥ 1", load))
+	}
+	res, err := game.SolveNashClassWS(ctx, nil, a, cg, nil, game.ClassNashOptions{})
+	fatalSolve(err, timeout)
+	printClassPoint(a, cg, res)
+	if !fluid {
+		return
+	}
+	fr, err := game.SolveNashFluid(ctx, a, cg, game.ClassNashOptions{})
+	fatalSolve(err, timeout)
+	printFluidPoint(cg, res, fr)
+}
+
+// classLoad is the total offered load Σ_j Count_j·r_j of per-class
+// rates r.
+func classLoad(cg game.ClassGame, r []float64) float64 {
+	total := 0.0
+	for j, c := range cg.Classes {
+		total += float64(c.Count) * r[j]
+	}
+	return total
+}
+
+// printClassPoint renders a class-aggregated equilibrium, one row per
+// class in canonical order.
+func printClassPoint(a core.Allocation, cg game.ClassGame, res game.ClassNashResult) {
+	fmt.Printf("%s class-aggregated Nash equilibrium (K=%d classes, N=%d users):\n",
+		a.Name(), cg.K(), cg.N())
+	fmt.Printf("%-6s %9s %-16s %12s %14s %12s\n",
+		"class", "count", "utility", "rate r_j", "congestion c_j", "payoff U_j")
+	for j, c := range cg.Classes {
+		fmt.Printf("%-6d %9d %-16s %12.6g %14.6g %12.6g\n",
+			j, c.Count, game.UtilitySpec(c.U), res.R[j], res.C[j], c.U.Value(res.R[j], res.C[j]))
+	}
+	fmt.Printf("converged=%v iters=%d maxDeviationGain=%.3g total load %.4g\n",
+		res.Converged, res.Iters, res.MaxGain, classLoad(cg, res.R))
+}
+
+// printFluidPoint renders the N → ∞ fluid equilibrium beside the
+// finite-N class solve: ŷ_j = lim N·ρ_j, so the finite-N column is
+// N·r_j and the two converge as N grows.
+func printFluidPoint(cg game.ClassGame, res game.ClassNashResult, fr game.FluidResult) {
+	n := float64(cg.N())
+	fmt.Printf("fluid limit (N→∞, scaled ŷ_j = lim N·ρ_j): converged=%v iters=%d maxScaledGain=%.3g\n",
+		fr.Converged, fr.Iters, fr.MaxGain)
+	fmt.Printf("%-6s %14s %14s %14s\n", "class", "ŷ_j (fluid)", "N·r_j (finite)", "ĉ_j (fluid)")
+	for j := range cg.Classes {
+		fmt.Printf("%-6d %14.6g %14.6g %14.6g\n", j, fr.Y[j], n*res.R[j], fr.Chat[j])
+	}
 }
 
 // runMultiStart solves from n random feasible starting points and

@@ -318,7 +318,7 @@ type PaperExperiment = experiment.Experiment
 // ExperimentVerdict is the paper-vs-measured outcome.
 type ExperimentVerdict = experiment.Verdict
 
-// Experiments returns the registry of all paper reproductions (E1–E20).
+// Experiments returns the registry of all paper reproductions (E1–E21).
 func Experiments() []PaperExperiment { return experiment.All() }
 
 // RunExperiment executes one experiment by ID, writing its table to w.

@@ -49,8 +49,8 @@ func TestPublicAPISimulation(t *testing.T) {
 }
 
 func TestPublicAPIExperiments(t *testing.T) {
-	if got := len(greednet.Experiments()); got != 20 {
-		t.Fatalf("Experiments() = %d entries, want 20", got)
+	if got := len(greednet.Experiments()); got != 21 {
+		t.Fatalf("Experiments() = %d entries, want 21", got)
 	}
 	var buf bytes.Buffer
 	v, err := greednet.RunExperiment("E5", &buf, greednet.ExperimentOptions{Fast: true})

@@ -1,0 +1,56 @@
+package cliutil
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"greednet/internal/game"
+)
+
+// ParseClasses parses a class-aggregated profile: semicolon-separated
+// "COUNTxSPEC@RATE" entries, e.g.
+//
+//	"125000xlinear:1,0.2@4e-7;125000xlinear:1,0.5@4e-7"
+//
+// COUNT is the class multiplicity (≥ 1), SPEC a utility spec in the
+// ParseUtility grammar, and RATE the per-member starting rate.  The
+// returned classes are validated but not canonicalized — hand them to
+// game.NewClassGame, which sorts and merges duplicates.
+func ParseClasses(s string) ([]game.Class, error) {
+	var out []game.Class
+	for _, part := range strings.Split(s, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		countStr, rest, ok := strings.Cut(part, "x")
+		if !ok {
+			return nil, fmt.Errorf("cliutil: class %q: want COUNTxSPEC@RATE", part)
+		}
+		count, err := strconv.Atoi(strings.TrimSpace(countStr))
+		if err != nil || count < 1 {
+			return nil, fmt.Errorf("cliutil: class %q: count %q must be a positive integer", part, countStr)
+		}
+		specStr, rateStr, ok := strings.Cut(rest, "@")
+		if !ok {
+			return nil, fmt.Errorf("cliutil: class %q: missing @RATE", part)
+		}
+		u, err := ParseUtility(strings.TrimSpace(specStr))
+		if err != nil {
+			return nil, err
+		}
+		rate, err := strconv.ParseFloat(strings.TrimSpace(rateStr), 64)
+		if err != nil {
+			return nil, fmt.Errorf("cliutil: class %q: bad rate %q", part, rateStr)
+		}
+		if err := CheckRate(rate); err != nil {
+			return nil, err
+		}
+		out = append(out, game.Class{U: u, Rate: rate, Count: count})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("cliutil: empty class profile")
+	}
+	return out, nil
+}

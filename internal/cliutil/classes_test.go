@@ -1,0 +1,53 @@
+package cliutil
+
+import (
+	"testing"
+
+	"greednet/internal/game"
+	"greednet/internal/utility"
+)
+
+func TestParseClasses(t *testing.T) {
+	cs, err := ParseClasses(" 125000 x linear:1,0.2 @ 4e-7 ;3xlog:0.3,1@0.01")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cs) != 2 {
+		t.Fatalf("got %d classes", len(cs))
+	}
+	if cs[0].Count != 125000 || cs[0].Rate != 4e-7 {
+		t.Errorf("class 0 = %+v", cs[0])
+	}
+	if l, ok := cs[0].U.(utility.Linear); !ok || l.A != 1 || l.Gamma != 0.2 {
+		t.Errorf("class 0 utility %#v", cs[0].U)
+	}
+	if cs[1].Count != 3 || cs[1].Rate != 0.01 {
+		t.Errorf("class 1 = %+v", cs[1])
+	}
+	// The parse output feeds NewClassGame directly.
+	cg, err := game.NewClassGame(cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cg.N() != 125003 || cg.K() != 2 {
+		t.Errorf("N=%d K=%d", cg.N(), cg.K())
+	}
+}
+
+func TestParseClassesRejectsMalformed(t *testing.T) {
+	for _, bad := range []string{
+		"",                    // empty profile
+		";;",                  // only separators
+		"linear:1,0.2@0.1",    // missing COUNTx
+		"2xlinear:1,0.2",      // missing @RATE
+		"0xlinear:1,0.2@0.1",  // zero count
+		"-1xlinear:1,0.2@0.1", // negative count
+		"2xnope:1,2@0.1",      // unknown utility
+		"2xlinear:1,0.2@-0.1", // negative rate
+		"2xlinear:1,0.2@zz",   // unparsable rate
+	} {
+		if _, err := ParseClasses(bad); err == nil {
+			t.Errorf("ParseClasses(%q) should fail", bad)
+		}
+	}
+}

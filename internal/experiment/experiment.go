@@ -99,6 +99,7 @@ func All() []Experiment {
 		E18DKSFairQueueing(),
 		E19Tandem(),
 		E20OnlyFairShare(),
+		E21ClassAggregation(),
 	}
 }
 

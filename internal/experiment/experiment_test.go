@@ -17,8 +17,8 @@ func TestRegistryWellFormed(t *testing.T) {
 		}
 		seen[e.ID] = true
 	}
-	if len(seen) != 20 {
-		t.Errorf("expected 20 experiments, got %d", len(seen))
+	if len(seen) != 21 {
+		t.Errorf("expected 21 experiments, got %d", len(seen))
 	}
 }
 
@@ -29,8 +29,8 @@ func TestByID(t *testing.T) {
 	if _, ok := ByID("E99"); ok {
 		t.Error("E99 should not exist")
 	}
-	if len(IDs()) != 20 {
-		t.Error("IDs should list 20 experiments")
+	if len(IDs()) != 21 {
+		t.Error("IDs should list 21 experiments")
 	}
 }
 

@@ -1,0 +1,291 @@
+package game
+
+import (
+	"math"
+
+	"greednet/internal/core"
+	"greednet/internal/mm1"
+)
+
+// classFairShareBR evaluates one deviating member's Fair Share congestion
+// in a class-aggregated game — the class analogue of alloc.FairShareBR,
+// with the same prefix-sum design over K rate blocks instead of N users:
+// Reset is O(K log K), each CongestionOf/OwnDerivs probe is O(log K),
+// and nothing allocates once the buffers have reached K's size.
+//
+// Block arithmetic follows the summation-order contract of DESIGN.md §13:
+// a class of multiplicity m at rate ρ starting at sorted position s
+// contributes one load step x = fl(float64(n−s+1)·ρ + σ) and one cost
+// step (g(x) − g_prev)/float64(n−s+1), and advances the prefix by
+// σ ← fl(σ + float64(m)·ρ).  At m = 1 both fl(1·ρ) = ρ and the single
+// step coincide exactly with the per-user chain, so at K = N the
+// evaluator is bit-identical to alloc.FairShareBR by construction; at
+// m > 1 the within-class chain steps (which agree only to rounding in
+// the exact solver) are collapsed into the first member's step.
+type classFairShareBR struct {
+	n  int // total users Σ counts, including the deviator
+	d  int // the deviating class's canonical index
+	nb int // number of nonempty blocks among the others
+
+	keys   []float64 // scratch: block rates in canonical-class order
+	brate  []float64 // block rates, stably sorted ascending
+	borig  []int     // canonical class index of each sorted block
+	bcount []int     // member count of each sorted block (deviator excluded)
+	bstart []int     // 1-based others-position of each block's first member; bstart[nb] = n
+	// sigma[j] = prefix sum through the first j blocks, advanced per the
+	// contract; filled for every j even past the flood point (OwnDerivs
+	// needs the prefix regardless).
+	sigma []float64
+	// gx[j] = g at block j's step and cacc[j] = cost accumulated through
+	// block j, valid for blocks before the flood.
+	gx   []float64
+	cacc []float64
+	// floodPos is the 1-based position of the first member of the first
+	// flooded block; n+1 when no block floods (past every position the
+	// deviator or the full chain can occupy).
+	floodPos int
+
+	ws core.Workspace
+}
+
+// Reset prepares the evaluator for the deviating class d of the per-class
+// rate vector r with multiplicities counts.  The deviator is the class's
+// first member in canonical expansion order, so its own class enters the
+// blocks with multiplicity counts[d]−1 (dropped entirely at zero).
+//
+//lint:hotpath
+func (b *classFairShareBR) Reset(r []core.Rate, counts []int, d int) {
+	kk := len(r)
+	n := 0
+	for _, m := range counts {
+		n += m
+	}
+	b.n, b.d = n, d
+	if cap(b.keys) < kk {
+		b.keys = make([]float64, kk)
+		b.brate = make([]float64, kk)
+		b.borig = make([]int, kk)
+		b.bcount = make([]int, kk)
+		b.gx = make([]float64, kk)
+		b.cacc = make([]float64, kk)
+	}
+	if cap(b.bstart) < kk+1 {
+		b.bstart = make([]int, kk+1)
+		b.sigma = make([]float64, kk+1)
+	}
+	// Gather the nonempty other-blocks in canonical order: every class,
+	// with the deviating class's multiplicity reduced by one.
+	nb := 0
+	b.keys = b.keys[:kk]
+	b.borig = b.borig[:kk]
+	b.bcount = b.bcount[:kk]
+	for j := 0; j < kk; j++ {
+		m := counts[j]
+		if j == d {
+			m--
+		}
+		if m == 0 {
+			continue
+		}
+		b.keys[nb] = r[j]
+		b.borig[nb] = j
+		b.bcount[nb] = m
+		nb++
+	}
+	// Compact scratch views sized to the block count.
+	b.nb = nb
+	b.keys = b.keys[:nb]
+	b.brate = b.brate[:nb]
+	b.gx = b.gx[:nb]
+	b.cacc = b.cacc[:nb]
+	b.bstart = b.bstart[:nb+1]
+	b.sigma = b.sigma[:nb+1]
+
+	// Stable argsort of the blocks by rate: ties keep canonical-class
+	// order, exactly as a stable per-user sort orders the expansion.
+	perm := b.ws.Ascending(b.keys)
+	for k, p := range perm {
+		b.brate[k] = b.keys[p]
+	}
+	// Permute borig/bcount along perm.  In-place reads would race writes,
+	// so stage through gx/cacc — float scratch the chain pass below
+	// rewrites anyway; class indices and counts are far below 2^53, so
+	// the float round trip is exact.
+	for k, p := range perm {
+		b.gx[k] = float64(b.bcount[p])
+		b.cacc[k] = float64(b.borig[p])
+	}
+	for k := 0; k < nb; k++ {
+		b.bcount[k] = int(b.gx[k])
+		b.borig[k] = int(b.cacc[k])
+	}
+
+	b.bstart[0] = 1
+	for k := 0; k < nb; k++ {
+		b.bstart[k+1] = b.bstart[k] + b.bcount[k]
+	}
+
+	b.sigma[0] = 0
+	prefix := 0.0
+	for k := 0; k < nb; k++ {
+		prefix += float64(b.bcount[k]) * b.brate[k]
+		b.sigma[k+1] = prefix
+	}
+
+	b.floodPos = n + 1
+	prevG := 0.0
+	c := 0.0
+	for k := 0; k < nb; k++ {
+		s := b.bstart[k]
+		xk := float64(n-s+1)*b.brate[k] + b.sigma[k]
+		gk := mm1.G(xk)
+		if math.IsInf(gk, 1) {
+			b.floodPos = s
+			break
+		}
+		c += (gk - prevG) / float64(n-s+1)
+		b.gx[k] = gk
+		b.cacc[k] = c
+		prevG = gk
+	}
+}
+
+// precedes reports whether sorted block j comes wholly before the deviator
+// in the stable ascending order when the deviator sends x.  All members of
+// a block share a rate and a canonical class, so a block precedes or
+// follows as a unit; ties break by canonical class index — the deviator is
+// its class's first member, so even its own residual block follows it.
+func (b *classFairShareBR) precedes(j int, x float64) bool {
+	o := b.brate[j]
+	if o < x {
+		return true
+	}
+	if x < o {
+		return false
+	}
+	return b.borig[j] < b.d
+}
+
+// blockPos returns the index of the first sorted block that does not
+// precede the deviator sending x (nb when all do), by binary search.
+func (b *classFairShareBR) blockPos(x float64) int {
+	lo, hi := 0, b.nb
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if b.precedes(mid, x) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// CongestionOf returns the deviating member's Fair Share congestion when
+// it sends x and every other class holds its Reset rate — O(log K), zero
+// allocations, bit-identical to alloc.FairShareBR at K = N.
+//
+//lint:hotpath
+func (b *classFairShareBR) CongestionOf(x core.Rate) core.Congestion {
+	j := b.blockPos(x)
+	k := b.bstart[j]
+	if k > b.floodPos {
+		// A class before the deviator already saturated the chain.
+		return math.Inf(1)
+	}
+	xk := float64(b.n-k+1)*x + b.sigma[j]
+	gk := mm1.G(xk)
+	if math.IsInf(gk, 1) {
+		return math.Inf(1)
+	}
+	prevG, prevC := 0.0, 0.0
+	if j >= 1 {
+		prevG, prevC = b.gx[j-1], b.cacc[j-1]
+	}
+	return prevC + (gk-prevG)/float64(b.n-k+1)
+}
+
+// OwnDerivs returns (∂C/∂x, ∂²C/∂x²) for the deviating member at x, the
+// class analogue of alloc.FairShareBR.OwnDerivs.
+//
+//lint:hotpath
+func (b *classFairShareBR) OwnDerivs(x core.Rate) (float64, float64) {
+	j := b.blockPos(x)
+	k := b.bstart[j]
+	xk := float64(b.n-k+1)*x + b.sigma[j]
+	return mm1.GPrime(xk), float64(b.n-k+1) * mm1.GPrime2(xk)
+}
+
+// classFairShareCongestion writes each class's Fair Share congestion (its
+// first member's, under the §13 contract) into dst, running the block
+// chain once over all K classes with full multiplicities — O(K log K),
+// allocation-free given a prepared evaluator's scratch.  At K = N the
+// chain degenerates to alloc.FairShare.CongestionInto's per-user chain
+// and is bit-identical to it.
+//
+//lint:hotpath
+func (b *classFairShareBR) classFairShareCongestion(dst []core.Congestion, r []core.Rate, counts []int) {
+	// Reuse Reset's block machinery with no deviator: d = −1 keeps every
+	// class at full multiplicity (no index matches), and Reset's chain
+	// pass has already accumulated each block's cost share in cacc.
+	b.Reset(r, counts, -1)
+	for k := 0; k < b.nb; k++ {
+		if b.bstart[k] >= b.floodPos {
+			// This and all larger-rate classes are flooded.
+			for m := k; m < b.nb; m++ {
+				dst[b.borig[m]] = math.Inf(1)
+			}
+			return
+		}
+		dst[b.borig[k]] = b.cacc[k]
+	}
+}
+
+// classPropSum accumulates Σ multiplicity-weighted rates in canonical
+// class order with the deviating class's first member sending x — the
+// class form of mm1.Sum over the expansion, exact at K = N where every
+// fl(1·ρ) = ρ reproduces the per-user term sequence.
+func classPropSum(r []core.Rate, counts []int, d int, x float64) float64 {
+	s := 0.0
+	for j := 0; j < len(r); j++ {
+		if j == d {
+			s += x
+			if m := counts[j] - 1; m > 0 {
+				s += float64(m) * r[j]
+			}
+			continue
+		}
+		s += float64(counts[j]) * r[j]
+	}
+	return s
+}
+
+// classPropCongestionOf is the deviating member's proportional (FIFO)
+// congestion x/(1−s), mirroring alloc.Proportional.CongestionInto's
+// saturation test.
+func classPropCongestionOf(r []core.Rate, counts []int, d int, x float64) core.Congestion {
+	s := classPropSum(r, counts, d, x)
+	if s >= 1 {
+		return math.Inf(1)
+	}
+	return x / (1 - s)
+}
+
+// classPropCongestion writes each class's proportional congestion into
+// dst: s sums fl(count·rate) in canonical order, then C_j = r_j/(1−s).
+func classPropCongestion(dst []core.Congestion, r []core.Rate, counts []int) {
+	s := 0.0
+	for j := range r {
+		s += float64(counts[j]) * r[j]
+	}
+	if s >= 1 {
+		for j := range dst {
+			dst[j] = math.Inf(1)
+		}
+		return
+	}
+	dd := 1 - s
+	for j, rj := range r {
+		dst[j] = rj / dd
+	}
+}

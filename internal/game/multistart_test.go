@@ -1,9 +1,12 @@
 package game
 
 import (
+	"math"
+	"sync/atomic"
 	"testing"
 
 	"greednet/internal/alloc"
+	"greednet/internal/core"
 	"greednet/internal/utility"
 )
 
@@ -38,6 +41,69 @@ func TestMultiStartNashWorkerCountInvariant(t *testing.T) {
 						workers, k, i, res.All[k].R[i], ref.All[k].R[i])
 				}
 			}
+		}
+	}
+}
+
+// countingAlloc wraps an Allocation and counts congestion evaluations —
+// a deterministic proxy for solver work (every best-response probe goes
+// through one of these methods).
+type countingAlloc struct {
+	inner core.Allocation
+	calls *atomic.Int64
+}
+
+func (c countingAlloc) Name() string { return c.inner.Name() }
+func (c countingAlloc) Congestion(r []core.Rate) []core.Congestion {
+	c.calls.Add(1)
+	return c.inner.Congestion(r)
+}
+func (c countingAlloc) CongestionOf(r []core.Rate, i int) core.Congestion {
+	c.calls.Add(1)
+	return c.inner.CongestionOf(r, i)
+}
+
+// TestMultiStartNashDedupsDuplicateStarts pins the duplicate-start fix:
+// bit-identical starts must be solved once, yet the result must read as
+// if every start ran — All one entry per start, duplicates bitwise equal
+// to their representative, Dropped untouched.
+func TestMultiStartNashDedupsDuplicateStarts(t *testing.T) {
+	us := utility.Identical(utility.NewLinear(1, 0.25), 3)
+	s1 := []float64{0.05, 0.025, 0.01}
+	s2 := []float64{0.2, 0.1, 0.05}
+	dup := [][]float64{s1, s2, append([]float64(nil), s1...), s1, append([]float64(nil), s2...)}
+	uniq := [][]float64{s1, s2}
+
+	var dupCalls, uniqCalls atomic.Int64
+	dres := MultiStartNashWorkers(1, countingAlloc{alloc.FairShare{}, &dupCalls}, us, dup, NashOptions{}, 1e-6)
+	ures := MultiStartNashWorkers(1, countingAlloc{alloc.FairShare{}, &uniqCalls}, us, uniq, NashOptions{}, 1e-6)
+
+	// Identical work: the three extra (duplicate) starts must not have
+	// cost a single congestion evaluation.
+	if dupCalls.Load() != uniqCalls.Load() {
+		t.Errorf("duplicate starts re-solved: %d congestion calls with dupes, %d without",
+			dupCalls.Load(), uniqCalls.Load())
+	}
+	if len(dres.All) != len(dup) || dres.Dropped != 0 {
+		t.Fatalf("All = %d, Dropped = %d; want %d, 0", len(dres.All), dres.Dropped, len(dup))
+	}
+	if len(dres.Distinct) != 1 {
+		t.Fatalf("Fair Share must have one distinct limit, got %d", len(dres.Distinct))
+	}
+	// Duplicates carry their representative's exact result.
+	for _, pair := range [][2]int{{0, 2}, {0, 3}, {1, 4}} {
+		a, b := dres.All[pair[0]], dres.All[pair[1]]
+		for i := range a.R {
+			if math.Float64bits(a.R[i]) != math.Float64bits(b.R[i]) {
+				t.Errorf("starts %d and %d are bit-identical but solved differently: R[%d] %v vs %v",
+					pair[0], pair[1], i, a.R[i], b.R[i])
+			}
+		}
+	}
+	// And the unique-only sweep agrees with the representatives.
+	for i := range ures.All[0].R {
+		if math.Float64bits(dres.All[0].R[i]) != math.Float64bits(ures.All[0].R[i]) {
+			t.Errorf("dedup changed the solve itself: R[%d] %v vs %v", i, dres.All[0].R[i], ures.All[0].R[i])
 		}
 	}
 }

@@ -231,7 +231,10 @@ type MultiStartResult struct {
 // distinct limits found (within tol in the ∞-norm).  For Fair Share
 // Distinct always has exactly one element (Theorem 4).  The independent
 // solves fan out across runtime.GOMAXPROCS(0) workers; use
-// MultiStartNashWorkers to bound the pool.
+// MultiStartNashWorkers to bound the pool.  Bit-identical starts are
+// solved once — duplicates share the first occurrence's result (the
+// solves are deterministic, so nothing else could come back), and All
+// still carries one entry per start, in start order.
 func MultiStartNash(a core.Allocation, us core.Profile, starts [][]core.Rate, opt NashOptions, tol float64) MultiStartResult {
 	return MultiStartNashWorkers(0, a, us, starts, opt, tol)
 }
@@ -252,25 +255,53 @@ func MultiStartNashWorkers(workers int, a core.Allocation, us core.Profile, star
 // covers only the starts that completed (never-claimed starts count as
 // Dropped), so it is a lower bound, not a verdict.
 func MultiStartNashCtx(ctx context.Context, workers int, a core.Allocation, us core.Profile, starts [][]core.Rate, opt NashOptions, tol float64) (MultiStartResult, error) {
-	solved := make([]NashResult, len(starts))
-	converged := make([]bool, len(starts))
-	ctxErr := parallel.MapOrderedCtx(ctx, workers, len(starts), func(k int) error {
-		res, err := SolveNashCtx(ctx, a, us, starts[k], opt)
+	// Sweep generators routinely emit bit-identical starts (grid corners,
+	// symmetric seeds), and the solves are deterministic, so a duplicate
+	// start can only reproduce the first one's result.  Dedup by the
+	// exact bit pattern of the start vector — order-sensitive, a permuted
+	// start is a different start — fan out one solve per unique start,
+	// and expand results back so All / Distinct / Dropped read exactly as
+	// if every start had been solved independently.
+	uniqOf := make(map[string]int, len(starts))
+	reps := make([]int, 0, len(starts)) // first-occurrence start index per unique vector
+	uniqIdx := make([]int, len(starts)) // start index -> unique slot
+	for k, st := range starts {
+		if err := core.CtxErr(ctx); err != nil {
+			return MultiStartResult{Dropped: len(starts)}, err
+		}
+		key := make([]byte, 0, 8*len(st))
+		for _, v := range st {
+			b := math.Float64bits(float64(v))
+			key = append(key, byte(b), byte(b>>8), byte(b>>16), byte(b>>24),
+				byte(b>>32), byte(b>>40), byte(b>>48), byte(b>>56))
+		}
+		j, seen := uniqOf[string(key)]
+		if !seen {
+			j = len(reps)
+			uniqOf[string(key)] = j
+			reps = append(reps, k)
+		}
+		uniqIdx[k] = j
+	}
+	solved := make([]NashResult, len(reps))
+	converged := make([]bool, len(reps))
+	ctxErr := parallel.MapOrderedCtx(ctx, workers, len(reps), func(j int) error {
+		res, err := SolveNashCtx(ctx, a, us, starts[reps[j]], opt)
 		if err != nil || !res.Converged {
 			return nil // dropped, not fatal: the count reports it
 		}
-		solved[k] = res
-		converged[k] = true
+		solved[j] = res
+		converged[j] = true
 		return nil
 	})
 	var out MultiStartResult
 	//lint:allow ctxflow O(starts*distinct) dedup of already-solved results; every cancelable solve is behind us and VecDist is ns-scale
 	for k := range starts {
-		if !converged[k] {
+		if !converged[uniqIdx[k]] {
 			out.Dropped++
 			continue
 		}
-		res := solved[k]
+		res := solved[uniqIdx[k]]
 		out.All = append(out.All, res)
 		dup := false
 		for _, d := range out.Distinct {

@@ -1,0 +1,224 @@
+package hotpath
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"testing"
+
+	"greednet/internal/alloc"
+	"greednet/internal/game"
+	"greednet/internal/utility"
+)
+
+// The class-solver benchmark family behind `greedbench -classes` and the
+// solvenashclass_* registry cases: K utility classes carrying N users in
+// total, solved by the O(K)-per-step class arithmetic.  The headline
+// configuration — K = 8 classes, N = 10^6 users — is the regime the
+// per-user solver cannot touch (10^6 inner line searches per round);
+// the class solver's cost depends on K alone, so the same equilibrium
+// falls out in milliseconds, and BENCH_classes.json pins both that
+// ceiling and the warm steady state's zero allocs/op.
+
+// ClassScale is one (K, N) configuration of the class-solver family.
+type ClassScale struct {
+	// Name is the stable identifier recorded in BENCH_classes.json.
+	Name string
+	// K is the class count, N the total user count (multiplicity N/K per
+	// class).
+	K, N int
+	// NsCeiling is the ns/op gate ceiling for the class solve at this
+	// scale.  Ceilings are set an order of magnitude above a warm
+	// measurement on a commodity core: they catch "the solve went
+	// accidentally O(N)" — the failure mode that matters — without
+	// contending with host-to-host variance.
+	NsCeiling float64
+	// ExactCompare marks scales small enough to also time the exact
+	// per-user solver on the expanded profile, so the artifact carries a
+	// measured class-vs-exact speedup instead of a claim.
+	ExactCompare bool
+}
+
+// ClassScales returns the -classes benchmark family in emission order.
+func ClassScales() []ClassScale {
+	return []ClassScale{
+		{Name: "k8_n64", K: 8, N: 64, NsCeiling: 10e6, ExactCompare: true},
+		{Name: "k8_n256", K: 8, N: 256, NsCeiling: 10e6, ExactCompare: true},
+		{Name: "k8_n4096", K: 8, N: 4096, NsCeiling: 10e6},
+		{Name: "k8_n1e6", K: 8, N: 1_000_000, NsCeiling: 10e6},
+		{Name: "k64_n1e6", K: 64, N: 1_000_000, NsCeiling: 100e6},
+	}
+}
+
+// ClassGameFor builds the family's canonical K-class game over N users:
+// linear utilities with K distinct γ spread over [0.2, 0.8] (distinct
+// specs keep the classes from merging), every member demanding 0.4/N so
+// the start is feasible at total load 0.4 for every scale.
+func ClassGameFor(k, n int) (game.ClassGame, error) {
+	if k < 1 || n < k || n%k != 0 {
+		return game.ClassGame{}, fmt.Errorf("hotpath: class scale needs 1 <= K <= N with K | N, got K=%d N=%d", k, n)
+	}
+	classes := make([]game.Class, k)
+	for j := range classes {
+		classes[j] = game.Class{
+			U:     utility.NewLinear(1, 0.2+0.6*float64(j)/float64(k)),
+			Rate:  0.4 / float64(n),
+			Count: n / k,
+		}
+	}
+	return game.NewClassGame(classes)
+}
+
+// ClassNashOpts returns the family's solve options.  Tol sits at 1e-9:
+// below the per-member rate scale even at N = 10^6 (0.4/N = 4e-7), yet
+// above the ≈1e-10 argmax noise of the inner golden-section searches, so
+// every scale converges instead of jittering at the tolerance floor.
+func ClassNashOpts() game.ClassNashOptions {
+	return game.ClassNashOptions{NashOptions: game.NashOptions{
+		Tol:     1e-9,
+		Damping: 0.5,
+		MaxIter: 2000,
+	}}
+}
+
+// ClassBench owns the warm state for repeated solves of one scale: the
+// game, a workspace, and the result destinations, so each Solve is the
+// pure steady-state cost the allocation gate measures.
+type ClassBench struct {
+	cg         game.ClassGame
+	ws         *game.ClassWorkspace
+	r0         []float64
+	rdst, cdst []float64
+	opt        game.ClassNashOptions
+}
+
+// NewClassBench builds the warm harness for a scale and runs one solve
+// to materialize every workspace buffer.
+func NewClassBench(s ClassScale) (*ClassBench, error) {
+	cg, err := ClassGameFor(s.K, s.N)
+	if err != nil {
+		return nil, err
+	}
+	k := cg.K()
+	cb := &ClassBench{
+		cg:   cg,
+		ws:   game.NewClassWorkspace(),
+		r0:   cg.Rates(),
+		rdst: make([]float64, k),
+		cdst: make([]float64, k),
+		opt:  ClassNashOpts(),
+	}
+	res, err := cb.Solve()
+	if err != nil {
+		return nil, err
+	}
+	if !res.Converged {
+		return nil, fmt.Errorf("hotpath: class scale %s did not converge in %d rounds", s.Name, res.Iters)
+	}
+	return cb, nil
+}
+
+// Solve runs one full class-aggregated Nash solve from the family start.
+// With the harness warm this is allocation-free.
+func (cb *ClassBench) Solve() (game.ClassNashResult, error) {
+	return game.SolveNashClassInto(context.Background(), cb.ws, alloc.FairShare{}, cb.cg, cb.r0, cb.opt, cb.rdst, cb.cdst)
+}
+
+// ExactSolve solves the same game with the per-user solver on the
+// expanded profile — the baseline the class-vs-exact speedup in
+// BENCH_classes.json is measured against.  O(N) per inner step; only
+// the ExactCompare scales pay for it.
+func (cb *ClassBench) ExactSolve() (game.NashResult, error) {
+	us, r0 := cb.cg.Expand()
+	return game.SolveNashWS(context.Background(), game.NewWorkspace(), alloc.FairShare{}, us, r0, cb.opt.NashOptions)
+}
+
+// ClassBitEquality verifies the fast class arithmetic against the exact
+// per-user solver at the two scales where bit-equality is the contract:
+// K = N (every class multiplicity one — the summation-order contract
+// degenerates to the per-user expression sequence) and K = 1 (one
+// symmetric class).  It returns nil when every solved rate and
+// congestion is Float64bits-equal, and a description of the first
+// mismatch otherwise.  greedbench -classes runs this before timing, so
+// BENCH_classes.json never records the speed of a solver that drifted
+// off the exact answers.
+func ClassBitEquality() error {
+	const n = 64
+	for _, k := range []int{n, 1} {
+		cg, err := ClassGameFor(k, n)
+		if err != nil {
+			return err
+		}
+		opt := ClassNashOpts()
+		if k == 1 {
+			// A multiplicity-n class carries fl's position-dependent
+			// rounding in the expansion, which pure class arithmetic
+			// cannot reproduce bit for bit; the mirror mode runs the
+			// per-user machinery with class-synchronized updates and is
+			// the documented bit-equality contract at K = 1.
+			opt.Summation = game.ClassMirror
+		}
+		cres, err := game.SolveNashClassWS(context.Background(), nil, alloc.FairShare{}, cg, nil, opt)
+		if err != nil {
+			return err
+		}
+		us, r0 := cg.Expand()
+		xres, err := game.SolveNashWS(context.Background(), nil, alloc.FairShare{}, us, r0, opt.NashOptions)
+		if err != nil {
+			return err
+		}
+		if cres.Converged != xres.Converged || cres.Iters != xres.Iters {
+			return fmt.Errorf("hotpath: K=%d N=%d converged/iters (%v, %d) vs exact (%v, %d)",
+				k, n, cres.Converged, cres.Iters, xres.Converged, xres.Iters)
+		}
+		// The class result reports each class at its first member in
+		// canonical expansion order — the same positions the in-tree
+		// differential tests pin (mid-iteration rounding can split
+		// same-class members by an ulp, so members past the first are
+		// tolerance-equal, not bit-equal).
+		pos := 0
+		for j, c := range cg.Classes {
+			if math.Float64bits(cres.R[j]) != math.Float64bits(xres.R[pos]) {
+				return fmt.Errorf("hotpath: K=%d N=%d class %d rate: class %v, exact %v", k, n, j, cres.R[j], xres.R[pos])
+			}
+			if math.Float64bits(cres.C[j]) != math.Float64bits(xres.C[pos]) {
+				return fmt.Errorf("hotpath: K=%d N=%d class %d congestion: class %v, exact %v", k, n, j, cres.C[j], xres.C[pos])
+			}
+			pos += c.Count
+		}
+	}
+	return nil
+}
+
+// classCases returns the class-solver entries of the hot-path registry.
+// Both headline scales are gated at zero allocations: the Into core with
+// a warm workspace must not touch the heap, whatever N is.
+func classCases() []Case {
+	bench := func(s ClassScale) func(b *testing.B) {
+		return func(b *testing.B) {
+			cb, err := NewClassBench(s)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := cb.Solve(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	var out []Case
+	for _, s := range ClassScales() {
+		if s.N < 1_000_000 {
+			continue // the registry carries the headline scales; -classes sweeps the rest
+		}
+		out = append(out, Case{
+			Name:  "solvenashclass_fairshare_" + s.Name,
+			Gated: true,
+			Bench: bench(s),
+		})
+	}
+	return out
+}

@@ -59,9 +59,11 @@ func rates64() []float64 {
 	return r
 }
 
-// Cases returns the hot-path benchmark suite in emission order.
+// Cases returns the hot-path benchmark suite in emission order: the
+// per-user paths below, then the class-solver headline scales
+// (classes.go).
 func Cases() []Case {
-	return []Case{
+	cases := []Case{
 		{
 			Name:     "fairshare_congestion_into_n64",
 			Gated:    true,
@@ -187,6 +189,7 @@ func Cases() []Case {
 			},
 		},
 	}
+	return append(cases, classCases()...)
 }
 
 // legacyFairShareCongestion is the pre-workspace Fair Share evaluation,

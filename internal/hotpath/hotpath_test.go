@@ -69,6 +69,9 @@ func TestGatedCasesWithinAllocBudget(t *testing.T) {
 			}
 		},
 	}
+	for name, fn := range classChecks(t) {
+		checks[name] = fn
+	}
 	for _, c := range Cases() {
 		if !c.Gated {
 			continue

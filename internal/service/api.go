@@ -145,11 +145,16 @@ type Stats struct {
 	RejectedAdmission int64 `json:"rejected_admission"`
 	RejectedMalformed int64 `json:"rejected_malformed"`
 
-	Solves     int64 `json:"solves"`
-	CacheHits  int64 `json:"cache_hits"`
-	Coalesced  int64 `json:"coalesced"`
-	SolvesRun  int64 `json:"solves_run"`
-	SolveFails int64 `json:"solve_fails"`
+	Solves    int64 `json:"solves"`
+	CacheHits int64 `json:"cache_hits"`
+	// ClassCacheHits counts the subset of CacheHits served by the
+	// class-canonical cache: the per-user key missed, but a game with
+	// the same multiset of (utility, rate) — identical-utility clients
+	// coalesced, ids ignored — had already been solved.
+	ClassCacheHits int64 `json:"class_cache_hits"`
+	Coalesced      int64 `json:"coalesced"`
+	SolvesRun      int64 `json:"solves_run"`
+	SolveFails     int64 `json:"solve_fails"`
 
 	ShedOverload int64 `json:"shed_overload"`
 	ShedDeadline int64 `json:"shed_deadline"`

@@ -142,9 +142,15 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 		if perr == nil {
 			c.spec = req.Utility
 			c.u = u
-			// The client's game changed: solved equilibria of the old
-			// utility must not be served again.
-			s.cacheClear()
+			// An existing client's game changed: drop equilibria of the
+			// dead game (stale keys can never be re-hit — clearing is
+			// capacity hygiene, not correctness).  A freshly admitted
+			// client has no old game, so the caches — including the
+			// identity-free class cache, which survives population churn
+			// by design — stay warm.
+			if known {
+				s.cacheClear()
+			}
 		}
 	}
 	s.profGen++
@@ -226,6 +232,20 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		out.Cached = true
 		s.mu.Unlock()
 		writeJSON(w, http.StatusOK, out)
+		return
+	}
+	// Per-user miss: the same game may still be cached class-canonically
+	// — identical-utility clients coalesce, so a renamed or permuted
+	// client population with the same multiset of (spec, rate) rebuilds
+	// its response without re-solving.
+	if out, hit := s.classServe(ids, key); hit {
+		s.stats.CacheHits++
+		s.stats.ClassCacheHits++
+		s.cacheStore(key, out)
+		resp := *out
+		resp.Cached = true
+		s.mu.Unlock()
+		writeJSON(w, http.StatusOK, resp)
 		return
 	}
 	fl, inFlight := s.flights[key]

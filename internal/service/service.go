@@ -139,6 +139,10 @@ type Server struct {
 	//lint:guardedby mu
 	cacheOrder []string
 	//lint:guardedby mu
+	classCache map[string]*classSolution
+	//lint:guardedby mu
+	classOrder []string
+	//lint:guardedby mu
 	published map[string]pub
 	//lint:guardedby mu
 	profGen int64
@@ -170,6 +174,7 @@ func New(opt Options) *Server {
 		clients:      make(map[string]*client),
 		flights:      make(map[string]*flight),
 		cache:        make(map[string]*SolveResponse),
+		classCache:   make(map[string]*classSolution),
 		published:    make(map[string]pub),
 		lastProgress: opt.Clock(),
 		wake:         make(chan struct{}, 1),

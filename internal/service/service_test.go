@@ -364,7 +364,7 @@ func (passAlloc) CongestionOf(r []core.Rate, i int) core.Congestion {
 type panicAlloc struct{ passAlloc }
 
 func (panicAlloc) CongestionOf(r []core.Rate, i int) core.Congestion { panic("hostile profile") }
-func (panicAlloc) Congestion(r []core.Rate) []core.Congestion       { panic("hostile profile") }
+func (panicAlloc) Congestion(r []core.Rate) []core.Congestion        { panic("hostile profile") }
 
 func TestSolverPanicContained(t *testing.T) {
 	s := New(Options{Workers: 1, Alloc: panicAlloc{}})
@@ -563,4 +563,94 @@ func TestCacheEvictionIsFIFOAndBounded(t *testing.T) {
 	if _, ok := s.cache["k0"]; ok {
 		t.Error("oldest entry survived FIFO eviction")
 	}
+}
+
+// TestClassCacheServesRenamedClients pins the class-canonical cache
+// round trip: a game solved for one client population is served from
+// cache to a disjoint population with the same multiset of
+// (utility, rate), identical-utility clients coalescing into classes.
+func TestClassCacheServesRenamedClients(t *testing.T) {
+	s := New(Options{Workers: 1})
+	s.Start()
+	defer func() {
+		if err := s.Shutdown(context.Background()); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+	}()
+	h := s.Handler()
+
+	// Two classes: a1/a2 coalesce (same spec and rate), a3 is its own.
+	update(t, h, "a1", 0.1, "linear:1,4")
+	update(t, h, "a2", 0.1, "linear:1,4")
+	update(t, h, "a3", 0.15, "linear:1,2")
+	var first SolveResponse
+	if code := doJSON(t, h, "POST", "/v1/solve", SolveRequest{Client: "a1"}, &first); code != http.StatusOK {
+		t.Fatalf("first solve: status %d", code)
+	}
+	if first.Cached {
+		t.Fatal("first solve claims cached")
+	}
+
+	// Replace the population: same game, new identities, permuted order.
+	for _, id := range []string{"a1", "a2", "a3"} {
+		doJSON(t, h, "POST", "/v1/update", UpdateRequest{Client: id, Leave: true}, nil)
+	}
+	update(t, h, "z9", 0.15, "linear:1,2")
+	update(t, h, "z1", 0.1, "linear:1,4")
+	update(t, h, "z2", 0.1, "linear:1,4")
+	var second SolveResponse
+	if code := doJSON(t, h, "POST", "/v1/solve", SolveRequest{Client: "z1"}, &second); code != http.StatusOK {
+		t.Fatalf("second solve: status %d", code)
+	}
+	if !second.Cached {
+		t.Fatal("renamed population missed the class cache")
+	}
+	if got := []string{"z1", "z2", "z9"}; !slicesEqual(second.Clients, got) {
+		t.Fatalf("clients = %v, want %v", second.Clients, got)
+	}
+	// The multiset of solved (rate, congestion) pairs must round-trip
+	// exactly: z1/z2 get the a1/a2 class values, z9 gets a3's.
+	for i, want := range []int{0, 1, 2} {
+		if second.R[i] != first.R[want] || second.C[i] != first.C[want] {
+			t.Errorf("member %d: got (%v, %v), want (%v, %v)",
+				i, second.R[i], second.C[i], first.R[want], first.C[want])
+		}
+	}
+
+	var st Stats
+	if code := doJSON(t, h, "GET", "/v1/stats", nil, &st); code != http.StatusOK {
+		t.Fatalf("stats: status %d", code)
+	}
+	if st.ClassCacheHits != 1 {
+		t.Errorf("class cache hits = %d, want 1", st.ClassCacheHits)
+	}
+	if st.SolvesRun != 1 {
+		t.Errorf("solves run = %d, want 1", st.SolvesRun)
+	}
+
+	// The rebuilt response is now in the per-user cache too: a repeat
+	// solve hits without touching the class path again.
+	var third SolveResponse
+	if code := doJSON(t, h, "POST", "/v1/solve", SolveRequest{Client: "z2"}, &third); code != http.StatusOK {
+		t.Fatalf("third solve: status %d", code)
+	}
+	if !third.Cached {
+		t.Error("repeat solve missed the per-user cache")
+	}
+	doJSON(t, h, "GET", "/v1/stats", nil, &st)
+	if st.ClassCacheHits != 1 {
+		t.Errorf("class cache hits grew to %d; repeat should hit per-user", st.ClassCacheHits)
+	}
+}
+
+func slicesEqual(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }

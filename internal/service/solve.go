@@ -4,13 +4,13 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"sort"
-	"strconv"
-	"strings"
 	"time"
 
 	"greednet/internal/core"
 	"greednet/internal/game"
+	"greednet/internal/profkey"
 )
 
 // flight is one in-flight solve that concurrent requests for the same
@@ -33,6 +33,7 @@ type job struct {
 	ids     []string // canonical (sorted) client order
 	us      core.Profile
 	rates   []core.Rate
+	specs   []string // utility specs, parallel to ids (class storage)
 	profGen int64
 	// enqueued stamps the shedding clock: the head job's age is the
 	// queue's age.
@@ -54,25 +55,22 @@ func (s *Server) sortedClientIDs() []string {
 	return ids
 }
 
-// canonicalKey renders the admitted profile as the cache/coalescing
-// key: client ids in sorted order, each with its exact rate (hex float,
-// so distinct profiles never collide) and utility spec.  Utility
-// changes therefore change the key — the cache can never serve a
-// solution from a stale utility.  mu must be held.
+// canonicalKey renders the admitted profile as the flight/cache key via
+// the shared profkey rendering: client ids in sorted order, each with
+// its exact rate (hex float, so distinct profiles never collide) and
+// utility spec.  Utility changes therefore change the key — the cache
+// can never serve a solution from a stale utility.  mu must be held.
 //
 //lint:locked mu
 func (s *Server) canonicalKey(ids []string) string {
-	var b strings.Builder
-	for _, id := range ids {
+	rates := make([]float64, len(ids))
+	specs := make([]string, len(ids))
+	for i, id := range ids {
 		c := s.clients[id]
-		b.WriteString(id)
-		b.WriteByte('=')
-		b.WriteString(strconv.FormatFloat(c.rate, 'x', -1, 64))
-		b.WriteByte(':')
-		b.WriteString(c.spec)
-		b.WriteByte(';')
+		rates[i] = c.rate
+		specs[i] = c.spec
 	}
-	return b.String()
+	return profkey.PerUser(ids, rates, specs)
 }
 
 // snapshotJob builds the solve job for the current profile.  mu must be
@@ -86,6 +84,7 @@ func (s *Server) snapshotJob(now time.Time) *job {
 		ids:      ids,
 		us:       make(core.Profile, len(ids)),
 		rates:    make([]core.Rate, len(ids)),
+		specs:    make([]string, len(ids)),
 		profGen:  s.profGen,
 		enqueued: now,
 		fl:       &flight{done: make(chan struct{})},
@@ -94,8 +93,116 @@ func (s *Server) snapshotJob(now time.Time) *job {
 		c := s.clients[id]
 		j.us[i] = c.u
 		j.rates[i] = c.rate
+		j.specs[i] = c.spec
 	}
 	return j
+}
+
+// classSolution is one solved game stored under its class-canonical key:
+// member equilibrium values grouped per (spec, rate) class, so a later
+// profile with the same multiset of (spec, rate) — under any client ids
+// — rebuilds a full response without re-solving.  Every in-tree
+// allocation is permutation-equivariant, so the solution genuinely
+// depends only on the multiset.
+type classSolution struct {
+	classes []profkey.ClassEntry
+	// rs and cs hold, per class, its members' solved rates and
+	// congestions in solve order.
+	rs, cs    [][]float64
+	converged bool
+	iters     int
+}
+
+// classIndex finds the class of (spec, rate) in canonical entries, or
+// −1.  Rates match bit-exactly, the same test profkey.Coalesce merges
+// by.
+func classIndex(classes []profkey.ClassEntry, spec string, rate float64) int {
+	for j := range classes {
+		if classes[j].Spec == spec &&
+			math.Float64bits(classes[j].RateVal) == math.Float64bits(rate) {
+			return j
+		}
+	}
+	return -1
+}
+
+// classStore files a solved response under the job's class-canonical
+// key with FIFO eviction, sharing CacheCap with the per-user cache.
+// mu must be held.
+//
+//lint:locked mu
+func (s *Server) classStore(j *job, res *SolveResponse) {
+	rates := make([]float64, len(j.ids))
+	for i, r := range j.rates {
+		rates[i] = float64(r)
+	}
+	classes := profkey.Coalesce(j.specs, rates)
+	key := profkey.Classes(classes)
+	sol := &classSolution{
+		classes:   classes,
+		rs:        make([][]float64, len(classes)),
+		cs:        make([][]float64, len(classes)),
+		converged: res.Converged,
+		iters:     res.Iters,
+	}
+	for i := range j.ids {
+		slot := classIndex(classes, j.specs[i], rates[i])
+		if slot < 0 {
+			return // cannot happen: classes were built from these inputs
+		}
+		sol.rs[slot] = append(sol.rs[slot], res.R[i])
+		sol.cs[slot] = append(sol.cs[slot], res.C[i])
+	}
+	if _, dup := s.classCache[key]; !dup {
+		for len(s.classCache) >= s.opt.CacheCap && len(s.classOrder) > 0 {
+			delete(s.classCache, s.classOrder[0])
+			s.classOrder = s.classOrder[1:]
+		}
+		s.classOrder = append(s.classOrder, key)
+	}
+	s.classCache[key] = sol
+}
+
+// classServe rebuilds a response for the current client set from the
+// class cache, if a game with the same multiset of (spec, rate) was
+// solved before.  perUserKey becomes the response's Key so the caller
+// sees its own canonical identity.  mu must be held.
+//
+//lint:locked mu
+func (s *Server) classServe(ids []string, perUserKey string) (*SolveResponse, bool) {
+	rates := make([]float64, len(ids))
+	specs := make([]string, len(ids))
+	for i, id := range ids {
+		c := s.clients[id]
+		rates[i] = c.rate
+		specs[i] = c.spec
+	}
+	sol, ok := s.classCache[profkey.ClassKey(specs, rates)]
+	if !ok {
+		return nil, false
+	}
+	out := &SolveResponse{
+		Key:       perUserKey,
+		Converged: sol.converged,
+		Iters:     sol.iters,
+		Clients:   ids,
+		R:         make([]float64, len(ids)),
+		C:         make([]float64, len(ids)),
+	}
+	// Members of a class receive the class's solved values in sorted-id
+	// order — the multiset of (rate, congestion) pairs is preserved
+	// exactly, and key equality guarantees the cursors stay in bounds.
+	cursors := make([]int, len(sol.classes))
+	for i := range ids {
+		slot := classIndex(sol.classes, specs[i], rates[i])
+		if slot < 0 || cursors[slot] >= len(sol.rs[slot]) {
+			return nil, false // defensive: key equality should preclude this
+		}
+		out.R[i] = sol.rs[slot][cursors[slot]]
+		out.C[i] = sol.cs[slot][cursors[slot]]
+		cursors[slot]++
+	}
+	return out, true
 }
 
 // cacheStore inserts a solved response under its key with FIFO
@@ -122,6 +229,8 @@ func (s *Server) cacheStore(key string, res *SolveResponse) {
 func (s *Server) cacheClear() {
 	s.cache = make(map[string]*SolveResponse)
 	s.cacheOrder = s.cacheOrder[:0]
+	s.classCache = make(map[string]*classSolution)
+	s.classOrder = s.classOrder[:0]
 }
 
 // dequeue pops the oldest queued job, or nil.
@@ -170,6 +279,7 @@ func (s *Server) runJob(ctx context.Context, j *job, ws *game.Workspace) {
 	s.mu.Lock()
 	if res != nil {
 		s.cacheStore(j.key, res)
+		s.classStore(j, res)
 		for i, id := range j.ids {
 			s.published[id] = pub{rate: res.R[i], congestion: res.C[i], profGen: j.profGen}
 		}
